@@ -1,0 +1,53 @@
+//! E1 — PDP-8 synthesis: times the behavioral-to-structural compilation
+//! and prints the package-count table the experiment reports.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use silc_bench::e1;
+use silc_pdp8::isp_machine;
+use silc_synth::{synthesize, Sharing, SynthOptions};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let machine = isp_machine().expect("parses");
+    c.bench_function("e1/synthesize_pdp8_shared", |b| {
+        b.iter(|| {
+            synthesize(
+                black_box(&machine),
+                &SynthOptions {
+                    sharing: Sharing::Shared,
+                },
+            )
+        })
+    });
+    c.bench_function("e1/synthesize_pdp8_per_op", |b| {
+        b.iter(|| {
+            synthesize(
+                black_box(&machine),
+                &SynthOptions {
+                    sharing: Sharing::PerOperation,
+                },
+            )
+        })
+    });
+    let (rows, result) = e1::table();
+    println!(
+        "{}",
+        silc_bench::render_table(
+            "E1: PDP-8 chip count",
+            &["module", "count", "packages"],
+            &rows
+        )
+    );
+    println!(
+        "claim: ratio {:.2} <= 1.50 -> {}",
+        result.ratio,
+        if result.ratio <= 1.5 {
+            "HOLDS"
+        } else {
+            "FAILS"
+        }
+    );
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

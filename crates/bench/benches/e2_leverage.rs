@@ -1,0 +1,31 @@
+//! E2 — description leverage: times SIL compilation across design sizes
+//! and prints source-vs-silicon leverage.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use silc_bench::e2;
+use silc_lang::Compiler;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e2/compile_shift_array");
+    for n in [4usize, 8, 16] {
+        let source = e2::shift_array(n);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &source, |b, src| {
+            b.iter(|| Compiler::new().compile(black_box(src)).expect("compiles"))
+        });
+    }
+    group.finish();
+
+    let rows = e2::run(&[2, 4, 8, 16]);
+    println!(
+        "{}",
+        silc_bench::render_table(
+            "E2: structured description leverage",
+            &["design", "n", "src lines", "flat elems", "leverage"],
+            &e2::table(&rows),
+        )
+    );
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,29 @@
+//! E3 — parameterised chip assembly: times datapath generation+assembly
+//! across bit widths and prints the assembly table.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use silc_bench::e3;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e3/assemble_datapath");
+    for bits in [4usize, 8, 16] {
+        group.bench_with_input(BenchmarkId::from_parameter(bits), &bits, |b, &bits| {
+            b.iter(|| e3::run_one(black_box(bits)))
+        });
+    }
+    group.finish();
+
+    let rows = e3::run(&[4, 8, 16, 32]);
+    println!(
+        "{}",
+        silc_bench::render_table(
+            "E3: parameterised chip assembly",
+            &["bits", "width", "height", "area", "wire", "tracks"],
+            &e3::table(&rows),
+        )
+    );
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

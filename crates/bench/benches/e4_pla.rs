@@ -1,0 +1,45 @@
+//! E4 — PLA programming: times exact and heuristic minimization on the
+//! benchmark suite and prints the personality table.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use silc_bench::e4;
+use silc_logic::functions::{bcd_to_seven_segment, traffic_light};
+use silc_logic::{minimize_exact, minimize_heuristic};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let bcd = bcd_to_seven_segment();
+    let traffic = traffic_light();
+    c.bench_function("e4/minimize_exact_bcd7seg_sa", |b| {
+        let on = bcd.on_cover(0).expect("cover");
+        let dc = bcd.dc_cover(0).expect("cover");
+        b.iter(|| minimize_exact(black_box(&on), black_box(&dc)).expect("minimizes"))
+    });
+    c.bench_function("e4/minimize_heuristic_traffic_ns1", |b| {
+        let on = traffic.on_cover(0).expect("cover");
+        let dc = traffic.dc_cover(0).expect("cover");
+        b.iter(|| minimize_heuristic(black_box(&on), black_box(&dc)).expect("minimizes"))
+    });
+
+    let rows = e4::run();
+    println!(
+        "{}",
+        silc_bench::render_table(
+            "E4: PLA programming",
+            &[
+                "function",
+                "i/o",
+                "raw",
+                "exact",
+                "heur",
+                "area",
+                "area ratio",
+                "fold"
+            ],
+            &e4::table(&rows),
+        )
+    );
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

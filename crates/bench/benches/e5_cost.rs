@@ -1,0 +1,44 @@
+//! E5 — the space/speed cost of behavioral compilation, plus the
+//! sharing-policy ablation.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use silc_bench::e5;
+use silc_rtl::parse;
+use silc_synth::{synthesize, Sharing, SynthOptions};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let machine = parse("machine acc { reg a[12]; port input x[12]; state s { a := a + x; } }")
+        .expect("parses");
+    c.bench_function("e5/synthesize_accumulator", |b| {
+        b.iter(|| {
+            synthesize(
+                black_box(&machine),
+                &SynthOptions {
+                    sharing: Sharing::Shared,
+                },
+            )
+        })
+    });
+
+    let rows = e5::run();
+    println!(
+        "{}",
+        silc_bench::render_table(
+            "E5: behavioral vs structural cost",
+            &[
+                "design",
+                "auto λ²",
+                "hand λ²",
+                "space",
+                "auto ns",
+                "hand ns",
+                "speed"
+            ],
+            &e5::table(&rows),
+        )
+    );
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

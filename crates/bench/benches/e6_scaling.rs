@@ -1,0 +1,65 @@
+//! E6 — compilation scaling: compile, flatten, DRC and CIF times versus
+//! design size.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use silc_bench::e6;
+use silc_drc::{check, check_flat, check_flat_unmerged, RuleSet};
+use silc_layout::flatten_to_rects;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let mut compile = c.benchmark_group("e6/compile");
+    for n in [4usize, 8, 16, 32] {
+        compile.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            b.iter(|| e6::compile_design(black_box(n)))
+        });
+    }
+    compile.finish();
+
+    let mut cif = c.benchmark_group("e6/emit_cif");
+    for n in [4usize, 8, 16, 32] {
+        let design = e6::compile_design(n);
+        cif.bench_with_input(BenchmarkId::from_parameter(n), &design, |b, d| {
+            b.iter(|| e6::emit_cif(black_box(d)))
+        });
+    }
+    cif.finish();
+
+    let mut drc = c.benchmark_group("e6/drc");
+    for n in [4usize, 8, 16] {
+        let design = e6::compile_design(n);
+        drc.bench_with_input(BenchmarkId::from_parameter(n), &design, |b, d| {
+            b.iter(|| {
+                check(black_box(&d.library), d.top, &RuleSet::mead_conway_nmos()).expect("root")
+            })
+        });
+    }
+    drc.finish();
+
+    // Ablation: maximal-rect merge before checking vs raw pairwise.
+    let mut ablation = c.benchmark_group("e6/drc_merge_ablation");
+    for n in [8usize, 16] {
+        let design = e6::compile_design(n);
+        let layers = flatten_to_rects(&design.library, design.top).expect("flattens");
+        ablation.bench_with_input(BenchmarkId::new("merged", n), &layers, |b, l| {
+            b.iter(|| check_flat(black_box(l), &RuleSet::mead_conway_nmos()))
+        });
+        ablation.bench_with_input(BenchmarkId::new("unmerged", n), &layers, |b, l| {
+            b.iter(|| check_flat_unmerged(black_box(l), &RuleSet::mead_conway_nmos()))
+        });
+    }
+    ablation.finish();
+
+    let rows = e6::run(&[2, 4, 8, 16, 32]);
+    println!(
+        "{}",
+        silc_bench::render_table(
+            "E6: compilation scaling",
+            &["n", "flat elems", "cif bytes", "drc violations"],
+            &e6::table(&rows),
+        )
+    );
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,42 @@
+//! E7 — verification: times the verifiers (DRC, ISP cross-simulation,
+//! extraction) and prints the pass/fail battery.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use silc_bench::e7;
+use silc_pdp8::{assemble, IspCrossCheck};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let program = assemble(
+        "*200
+                 cla cll
+         loop,   tad total
+                 tad count
+                 dca total
+                 isz count
+                 jmp loop
+                 hlt
+         count,  7770
+         total,  0000",
+    )
+    .expect("assembles");
+    c.bench_function("e7/isp_cross_check", |b| {
+        b.iter(|| IspCrossCheck::run(black_box(&program), 2000).expect("simulates"))
+    });
+    c.bench_function("e7/seeded_error_detection", |b| {
+        b.iter(|| e7::seeded_error_detection(black_box(10), 0xBEEF))
+    });
+
+    let rows = e7::run();
+    println!(
+        "{}",
+        silc_bench::render_table(
+            "E7: verification battery",
+            &["check", "result", "detail"],
+            &e7::table(&rows),
+        )
+    );
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

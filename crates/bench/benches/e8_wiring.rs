@@ -1,0 +1,53 @@
+//! E8 — wiring management: times the routers and prints channel-height
+//! and placement-quality curves.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use silc_bench::e8;
+use silc_route::river_route;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e8/river_route");
+    for n in [8usize, 32, 128] {
+        let bottom: Vec<i64> = (0..n as i64).map(|i| i * 8).collect();
+        let top: Vec<i64> = bottom.iter().map(|x| x + 12).collect();
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| river_route(black_box(&bottom), black_box(&top), 4).expect("routes"))
+        });
+    }
+    group.finish();
+
+    c.bench_function("e8/channel_sweep", |b| {
+        b.iter(|| e8::channel_sweep(black_box(&[4, 8]), 99))
+    });
+
+    let rows = e8::river_sweep(&[1, 2, 4, 8, 16]);
+    println!(
+        "{}",
+        silc_bench::render_table(
+            "E8a: river channel height vs interlock depth",
+            &["chain", "tracks", "height", "wire"],
+            &e8::river_table(&rows),
+        )
+    );
+    let (rows, skipped) = e8::channel_sweep(&[2, 4, 8, 12, 16], 2024);
+    println!(
+        "{}",
+        silc_bench::render_table(
+            "E8b: channel tracks vs density",
+            &["nets", "density", "tracks"],
+            &e8::channel_table(&rows),
+        )
+    );
+    println!("(cyclic instances re-rolled: {skipped})");
+    for nets in [4usize, 8, 16] {
+        let p = e8::placement_comparison(nets, 7);
+        println!(
+            "E8c placement: {} nets, aligned {} vs scrambled {} lambda",
+            p.nets, p.aligned_wire, p.scrambled_wire
+        );
+    }
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

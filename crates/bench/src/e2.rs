@@ -1,0 +1,195 @@
+//! E2 — description leverage: "structured designs can be described by
+//! structured programs". Measures SIL source size against the expanded
+//! artwork it produces across a sweep of design sizes.
+
+use silc_lang::Compiler;
+use silc_layout::CellStats;
+
+/// One measured design point.
+#[derive(Debug, Clone)]
+pub struct LeverageRow {
+    /// Design name.
+    pub design: &'static str,
+    /// Size parameter.
+    pub n: usize,
+    /// Non-blank source lines of the SIL program.
+    pub source_lines: usize,
+    /// Flattened artwork elements produced.
+    pub flat_elements: usize,
+    /// Leverage = elements per source line.
+    pub leverage: f64,
+}
+
+/// The four structured designs of the experiment, as SIL program
+/// generators parameterised by `n`.
+#[allow(clippy::type_complexity)]
+pub fn designs() -> Vec<(&'static str, fn(usize) -> String)> {
+    vec![
+        ("shift-array", shift_array),
+        ("decoder", decoder),
+        ("adder-row", adder_row),
+        ("crossbar", crossbar),
+    ]
+}
+
+/// An `n x n` array of two-phase shift-register cells.
+pub fn shift_array(n: usize) -> String {
+    format!(
+        "cell sr_bit() {{
+            box diff (0, 0) (2, 12);
+            box poly (-2, 3) (4, 5);
+            box poly (-2, 7) (4, 9);
+            box metal (4, 0) (7, 12);
+         }}
+         cell sr_row(n) {{ array sr_bit() at (0, 0) step (12, 0) count n; }}
+         cell sr_array(n) {{ array sr_row(n) at (0, 0) step (0, 0) (0, 16) count 1 n; }}
+         place sr_array({n}) at (0, 0);"
+    )
+}
+
+/// A 1-of-n decoder strip: n output drivers with select wiring.
+pub fn decoder(n: usize) -> String {
+    format!(
+        "cell drv() {{
+            box diff (0, 0) (2, 8);
+            box poly (-2, 3) (4, 5);
+            box metal (-4, 0) (-1, 8);
+         }}
+         cell dec(n) {{
+            array drv() at (0, 0) step (10, 0) count n;
+            for i in 0..n {{
+                wire metal 3 (i * 10, -4) (i * 10, -10 - i * 4) (n * 10, -10 - i * 4);
+            }}
+         }}
+         place dec({n}) at (0, 0);"
+    )
+}
+
+/// A row of ripple-adder slices with carry wiring.
+pub fn adder_row(n: usize) -> String {
+    format!(
+        "cell fa() {{
+            box diff (0, 0) (2, 12);
+            box diff (6, 0) (8, 12);
+            box poly (-2, 2) (10, 4);
+            box poly (-2, 8) (10, 10);
+            box metal (11, 0) (15, 12);
+            port cin metal (13, 0);
+            port cout metal (13, 12);
+         }}
+         cell adder(n) {{ array fa() at (0, 0) step (18, 0) count n; }}
+         place adder({n}) at (0, 0);"
+    )
+}
+
+/// An `n x n` crossbar of wire crossings with programmable taps on the
+/// diagonal.
+pub fn crossbar(n: usize) -> String {
+    format!(
+        "cell tap() {{
+            box diff (-3, -2) (3, 2);
+            box contact (-1, -1) (1, 1);
+         }}
+         cell xbar(n) {{
+            for i in 0..n {{
+                wire metal 4 (0, i * 12) (n * 12, i * 12);
+                wire poly 2 (i * 12 + 6, 0 - 4) (i * 12 + 6, n * 12 + 4);
+            }}
+            for i in 0..n {{
+                place tap() at (i * 12 + 6, i * 12);
+            }}
+         }}
+         place xbar({n}) at (0, 0);"
+    )
+}
+
+/// Measures one design at one size.
+///
+/// # Panics
+///
+/// Panics if the generated SIL fails to compile (covered by tests).
+pub fn measure(design: &'static str, gen: fn(usize) -> String, n: usize) -> LeverageRow {
+    let source = gen(n);
+    let compiled = Compiler::new()
+        .compile(&source)
+        .unwrap_or_else(|e| panic!("{design}({n}): {e}"));
+    let stats = CellStats::compute(&compiled.library, compiled.top).expect("top exists");
+    let source_lines = source.lines().filter(|l| !l.trim().is_empty()).count();
+    LeverageRow {
+        design,
+        n,
+        source_lines,
+        flat_elements: stats.flat_elements,
+        leverage: stats.flat_elements as f64 / source_lines as f64,
+    }
+}
+
+/// The full sweep.
+pub fn run(sizes: &[usize]) -> Vec<LeverageRow> {
+    let mut rows = Vec::new();
+    for (name, gen) in designs() {
+        for &n in sizes {
+            rows.push(measure(name, gen, n));
+        }
+    }
+    rows
+}
+
+/// Formats rows for display.
+pub fn table(rows: &[LeverageRow]) -> Vec<Vec<String>> {
+    rows.iter()
+        .map(|r| {
+            vec![
+                r.design.to_string(),
+                r.n.to_string(),
+                r.source_lines.to_string(),
+                r.flat_elements.to_string(),
+                format!("{:.1}", r.leverage),
+            ]
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_designs_compile_at_several_sizes() {
+        for (name, gen) in designs() {
+            for n in [2, 4, 8] {
+                let row = measure(name, gen, n);
+                assert!(row.flat_elements > 0, "{name}({n}) empty");
+            }
+        }
+    }
+
+    #[test]
+    fn leverage_grows_with_size() {
+        // The paper's point: the program stays the same size while the
+        // silicon grows.
+        for (name, gen) in designs() {
+            let small = measure(name, gen, 2);
+            let large = measure(name, gen, 16);
+            assert_eq!(
+                small.source_lines, large.source_lines,
+                "{name}: source size must not grow with n"
+            );
+            assert!(
+                large.leverage > 4.0 * small.leverage.min(large.leverage / 4.0 + 1.0)
+                    || large.flat_elements > 8 * small.flat_elements,
+                "{name}: leverage failed to scale ({} -> {})",
+                small.flat_elements,
+                large.flat_elements
+            );
+        }
+    }
+
+    #[test]
+    fn quadratic_designs_scale_quadratically() {
+        let small = measure("shift-array", shift_array, 4);
+        let large = measure("shift-array", shift_array, 8);
+        // 4x the cells for 2x the parameter.
+        assert_eq!(large.flat_elements, 4 * small.flat_elements);
+    }
+}

@@ -1,0 +1,165 @@
+//! E3 — parameterised chip assembly: one source, many widths. A
+//! register-ALU datapath is generated at several bit widths from a single
+//! parameterised SIL description, then assembled and routed.
+
+use silc_lang::Compiler;
+use silc_layout::Library;
+use silc_route::{stack_assemble, AssemblyStats, Slice};
+
+/// One assembled datapath measurement.
+#[derive(Debug, Clone)]
+pub struct AssemblyRow {
+    /// Datapath width in bits.
+    pub bits: usize,
+    /// Assembled width in lambda.
+    pub width: i64,
+    /// Assembled height in lambda.
+    pub height: i64,
+    /// Die area in lambda².
+    pub area: i64,
+    /// Routed wire length in lambda.
+    pub wire_length: i64,
+    /// Tracks used in each channel.
+    pub channel_tracks: Vec<usize>,
+}
+
+/// The parameterised datapath source: three stacked sections (register
+/// file slice row, ALU row, bus driver row), each `bits` slices wide,
+/// with per-bit ports on their facing edges.
+pub fn datapath_source(bits: usize) -> String {
+    format!(
+        "cell reg_slice() {{
+            box diff (2, 0) (4, 14);
+            box poly (0, 4) (6, 6);
+            box poly (0, 9) (6, 11);
+            box metal (6, 0) (9, 14);
+            box contact (6, 1) (8, 3);
+         }}
+         cell alu_slice() {{
+            box diff (2, 0) (4, 16);
+            box diff (8, 0) (10, 16);
+            box poly (0, 5) (12, 7);
+            box poly (0, 11) (12, 13);
+            box metal (12, 0) (15, 16);
+            box contact (12, 2) (14, 4);
+         }}
+         cell bus_slice() {{
+            box metal (4, 0) (7, 10);
+            box diff (0, 2) (2, 8);
+         }}
+         cell regs(n) {{
+            for i in 0..n {{
+                place reg_slice() at (i * 18, 0);
+                port (\"b\" + str(i)) metal (i * 18 + 7, 14);
+            }}
+         }}
+         cell alus(n) {{
+            for i in 0..n {{
+                place alu_slice() at (i * 18, 0);
+                port (\"b\" + str(i)) metal (i * 18 + 13, 0);
+                port (\"r\" + str(i)) metal (i * 18 + 13, 16);
+            }}
+         }}
+         cell buses(n) {{
+            for i in 0..n {{
+                place bus_slice() at (i * 18, 0);
+                port (\"r\" + str(i)) metal (i * 18 + 5, 0);
+            }}
+         }}
+         place regs({bits}) at (0, 0);
+         place alus({bits}) at (0, 100);
+         place buses({bits}) at (0, 200);"
+    )
+}
+
+fn build(bits: usize) -> (Library, Vec<Slice>) {
+    let source = datapath_source(bits);
+    let design = Compiler::new()
+        .compile(&source)
+        .unwrap_or_else(|e| panic!("datapath({bits}): {e}"));
+    let lib = design.library;
+    let find = |name: String| -> Slice {
+        Slice::new(
+            lib.cell_by_name(&name)
+                .unwrap_or_else(|| panic!("cell {name} missing")),
+        )
+    };
+    let slices = vec![
+        find(format!("regs$i{bits}")),
+        find(format!("alus$i{bits}")),
+        find(format!("buses$i{bits}")),
+    ];
+    (lib, slices)
+}
+
+/// Assembles the datapath at a given width and measures it.
+///
+/// # Panics
+///
+/// Panics if the generated SIL fails to compile or route (covered by
+/// tests).
+pub fn run_one(bits: usize) -> AssemblyRow {
+    let (mut lib, slices) = build(bits);
+    let (_, stats): (_, AssemblyStats) = stack_assemble(
+        &mut lib,
+        &slices,
+        silc_layout::Layer::Metal,
+        3,
+        6,
+        "datapath",
+    )
+    .unwrap_or_else(|e| panic!("assembly({bits}): {e}"));
+    AssemblyRow {
+        bits,
+        width: stats.width,
+        height: stats.height,
+        area: stats.width * stats.height,
+        wire_length: stats.wire_length,
+        channel_tracks: stats.channel_tracks,
+    }
+}
+
+/// The sweep of experiment E3.
+pub fn run(widths: &[usize]) -> Vec<AssemblyRow> {
+    widths.iter().map(|&b| run_one(b)).collect()
+}
+
+/// Formats rows for display.
+pub fn table(rows: &[AssemblyRow]) -> Vec<Vec<String>> {
+    rows.iter()
+        .map(|r| {
+            vec![
+                r.bits.to_string(),
+                r.width.to_string(),
+                r.height.to_string(),
+                r.area.to_string(),
+                r.wire_length.to_string(),
+                format!("{:?}", r.channel_tracks),
+            ]
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn datapath_assembles_at_multiple_widths() {
+        for bits in [4, 8, 16] {
+            let row = run_one(bits);
+            assert!(row.area > 0);
+            assert_eq!(row.channel_tracks.len(), 2);
+        }
+    }
+
+    #[test]
+    fn area_and_wire_grow_with_width() {
+        let narrow = run_one(4);
+        let wide = run_one(16);
+        assert!(wide.width > narrow.width);
+        assert!(wide.wire_length > narrow.wire_length);
+        // One description served both: that's the parameterisation claim;
+        // nothing to assert beyond both having built successfully.
+    }
+}

@@ -1,0 +1,112 @@
+//! E4 — PLA programming: product terms before/after minimization and
+//! resulting silicon area, across the benchmark function suite.
+
+use silc_logic::functions::benchmark_suite;
+use silc_pla::{fold_plan, Minimize, PlaSpec};
+
+/// One benchmark function's measurements.
+#[derive(Debug, Clone)]
+pub struct PlaRow {
+    /// Function name.
+    pub name: &'static str,
+    /// Inputs.
+    pub inputs: usize,
+    /// Outputs.
+    pub outputs: usize,
+    /// Terms with no minimization.
+    pub raw_terms: usize,
+    /// Terms after exact minimization.
+    pub exact_terms: usize,
+    /// Terms after heuristic minimization.
+    pub heuristic_terms: usize,
+    /// Layout area (λ²) of the exact-minimized PLA.
+    pub area: i64,
+    /// Area of the unminimized PLA, for the savings ratio.
+    pub raw_area: i64,
+    /// AND-plane columns before folding (2 x inputs).
+    pub columns: usize,
+    /// Physical columns after the greedy fold plan.
+    pub folded_columns: usize,
+}
+
+/// Runs the sweep.
+///
+/// # Panics
+///
+/// Panics if a benchmark function fails to minimize (covered by tests).
+pub fn run() -> Vec<PlaRow> {
+    benchmark_suite()
+        .into_iter()
+        .map(|(name, table)| {
+            let raw = PlaSpec::from_truth_table(&table, Minimize::None).expect("spec");
+            let exact = PlaSpec::from_truth_table(&table, Minimize::Exact).expect("spec");
+            let heur = PlaSpec::from_truth_table(&table, Minimize::Heuristic).expect("spec");
+            let (w, h) = exact.area_estimate();
+            let (rw, rh) = raw.area_estimate();
+            let plan = fold_plan(&exact);
+            PlaRow {
+                name,
+                inputs: table.num_inputs(),
+                outputs: table.num_outputs(),
+                raw_terms: raw.num_terms(),
+                exact_terms: exact.num_terms(),
+                heuristic_terms: heur.num_terms(),
+                area: w * h,
+                raw_area: rw * rh,
+                columns: plan.original_columns,
+                folded_columns: plan.folded_columns,
+            }
+        })
+        .collect()
+}
+
+/// Formats rows for display.
+pub fn table(rows: &[PlaRow]) -> Vec<Vec<String>> {
+    rows.iter()
+        .map(|r| {
+            vec![
+                r.name.to_string(),
+                format!("{}x{}", r.inputs, r.outputs),
+                r.raw_terms.to_string(),
+                r.exact_terms.to_string(),
+                r.heuristic_terms.to_string(),
+                r.area.to_string(),
+                format!("{:.2}", r.area as f64 / r.raw_area as f64),
+                format!("{}->{}", r.columns, r.folded_columns),
+            ]
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sweep_covers_suite() {
+        let rows = run();
+        assert!(rows.len() >= 6);
+        for r in &rows {
+            assert!(r.area > 0);
+            // Per-output ordering (exact <= heuristic <= raw) survives
+            // cross-output row sharing only for single-output functions;
+            // multi-output sharing can reorder the totals (a real
+            // phenomenon, visible in the published table).
+            if r.outputs == 1 {
+                assert!(r.exact_terms <= r.heuristic_terms, "{}", r.name);
+                assert!(r.exact_terms <= r.raw_terms, "{}", r.name);
+            }
+        }
+    }
+
+    #[test]
+    fn minimization_saves_area_where_possible() {
+        let rows = run();
+        // At least the don't-care-rich and redundant functions shrink.
+        let shrunk = rows.iter().filter(|r| r.exact_terms < r.raw_terms).count();
+        assert!(shrunk >= 3, "only {shrunk} functions shrank");
+        // Parity famously does not shrink in two-level form.
+        let parity = rows.iter().find(|r| r.name == "parity4").expect("row");
+        assert_eq!(parity.exact_terms, parity.raw_terms);
+    }
+}

@@ -1,0 +1,204 @@
+//! E5 — the space/speed cost of behavioral compilation: "it has been
+//! possible to construct hardware automatically, although at a cost in
+//! space and speed". Each design is implemented twice: compiled
+//! automatically from its ISP description, and hand-structured from the
+//! minimal module list (with PLA-based control where control exists).
+
+use silc_logic::functions::traffic_light;
+use silc_pla::{Minimize, PlaSpec};
+use silc_rtl::parse;
+use silc_synth::{synthesize, ModuleClass, Sharing, SynthOptions};
+
+/// One design compared both ways.
+#[derive(Debug, Clone)]
+pub struct CostRow {
+    /// Design name.
+    pub name: &'static str,
+    /// Area (λ²) of the automatically compiled version.
+    pub auto_area: u64,
+    /// Area (λ²) of the hand-structured version.
+    pub hand_area: u64,
+    /// Cycle time (ns) of the automatic version.
+    pub auto_cycle: u64,
+    /// Cycle time (ns) of the hand version.
+    pub hand_cycle: u64,
+}
+
+impl CostRow {
+    /// Space cost factor (>= 1 when the paper's claim holds).
+    pub fn space_ratio(&self) -> f64 {
+        self.auto_area as f64 / self.hand_area as f64
+    }
+
+    /// Speed cost factor.
+    pub fn speed_ratio(&self) -> f64 {
+        self.auto_cycle as f64 / self.hand_cycle as f64
+    }
+}
+
+fn hand(modules: &[ModuleClass], cycle: u64) -> (u64, u64) {
+    (modules.iter().map(ModuleClass::area_lambda2).sum(), cycle)
+}
+
+fn auto(src: &str) -> (u64, u64) {
+    let m = parse(src).expect("ISL source parses");
+    let a = synthesize(
+        &m,
+        &SynthOptions {
+            sharing: Sharing::Shared,
+        },
+    );
+    (a.estimate.area_lambda2, a.estimate.cycle_ns)
+}
+
+/// Runs the comparison over the three designs.
+pub fn run() -> Vec<CostRow> {
+    let mut rows = Vec::new();
+
+    // Counter: hand design is a register plus incrementer, clocked at
+    // their combined delay.
+    {
+        let (auto_area, auto_cycle) = auto(
+            "machine counter { reg n[8]; port output q[8];
+                state s { n := n + 1; q := n; } }",
+        );
+        let inc = ModuleClass::Incrementer { width: 8 };
+        let reg = ModuleClass::Register { width: 8 };
+        let (hand_area, hand_cycle) = hand(&[reg, inc], inc.delay_ns() + reg.delay_ns());
+        rows.push(CostRow {
+            name: "counter8",
+            auto_area,
+            hand_area,
+            auto_cycle,
+            hand_cycle,
+        });
+    }
+
+    // Accumulator: register + adder.
+    {
+        let (auto_area, auto_cycle) = auto(
+            "machine acc { reg a[12]; port input x[12];
+                state s { a := a + x; } }",
+        );
+        let add = ModuleClass::Adder { width: 12 };
+        let reg = ModuleClass::Register { width: 12 };
+        let (hand_area, hand_cycle) = hand(&[reg, add], add.delay_ns() + reg.delay_ns());
+        rows.push(CostRow {
+            name: "accum12",
+            auto_area,
+            hand_area,
+            auto_cycle,
+            hand_cycle,
+        });
+    }
+
+    // Traffic-light controller: the hand design is the minimized PLA
+    // (actual drawn area) plus the state register; the automatic design
+    // synthesizes the same behaviour from ISL.
+    {
+        let (auto_area, auto_cycle) = auto(
+            "machine traffic {
+                reg s[2];
+                port input c[1]; port input tl[1]; port input ts[1];
+                port output st[1]; port output hl[2]; port output fl[2];
+                state run {
+                    st := 0;
+                    if s == 0 {
+                        hl := 0; fl := 2;
+                        if (c == 1) && (tl == 1) { s := 1; st := 1; }
+                    } else if s == 1 {
+                        hl := 1; fl := 2;
+                        if ts == 1 { s := 3; st := 1; }
+                    } else if s == 3 {
+                        hl := 2; fl := 0;
+                        if (c == 0) || (tl == 1) { s := 2; st := 1; }
+                    } else {
+                        hl := 2; fl := 1;
+                        if ts == 1 { s := 0; st := 1; }
+                    }
+                }
+            }",
+        );
+        // Cost the hand design in the same module model: its control is
+        // one PLA with exactly the minimized personality's shape, plus
+        // the state register — no muxes, no spare logic.
+        let spec = PlaSpec::from_truth_table(&traffic_light(), Minimize::Exact).expect("spec");
+        let pla = ModuleClass::ControlPla {
+            inputs: spec.num_inputs() as u32,
+            outputs: spec.num_outputs() as u32,
+            terms: spec.num_terms() as u32,
+        };
+        let reg = ModuleClass::Register { width: 2 };
+        let hand_area = pla.area_lambda2() + reg.area_lambda2();
+        let hand_cycle = pla.delay_ns() + reg.delay_ns();
+        rows.push(CostRow {
+            name: "traffic",
+            auto_area,
+            hand_area,
+            auto_cycle,
+            hand_cycle,
+        });
+    }
+
+    rows
+}
+
+/// Formats rows for display.
+pub fn table(rows: &[CostRow]) -> Vec<Vec<String>> {
+    rows.iter()
+        .map(|r| {
+            vec![
+                r.name.to_string(),
+                r.auto_area.to_string(),
+                r.hand_area.to_string(),
+                format!("{:.2}", r.space_ratio()),
+                r.auto_cycle.to_string(),
+                r.hand_cycle.to_string(),
+                format!("{:.2}", r.speed_ratio()),
+            ]
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn automatic_costs_space_and_speed_on_datapaths() {
+        for row in run() {
+            if row.name == "traffic" {
+                // A pure controller compiles to essentially the PLA a
+                // human would draw: no meaningful penalty either way.
+                assert!(
+                    (0.7..1.5).contains(&row.space_ratio()),
+                    "traffic should break even, ratio {:.2}",
+                    row.space_ratio()
+                );
+                continue;
+            }
+            assert!(
+                row.space_ratio() > 1.0,
+                "{}: automatic should cost area, ratio {:.2}",
+                row.name,
+                row.space_ratio()
+            );
+            assert!(
+                row.speed_ratio() >= 1.0,
+                "{}: automatic should cost speed, ratio {:.2}",
+                row.name,
+                row.speed_ratio()
+            );
+        }
+    }
+
+    #[test]
+    fn cost_is_bounded() {
+        // The cost should be real but not absurd (sanity bound: within
+        // 10x) — matching the era's reported overheads.
+        for row in run() {
+            assert!(row.space_ratio() < 10.0, "{}", row.name);
+            assert!(row.speed_ratio() < 10.0, "{}", row.name);
+        }
+    }
+}

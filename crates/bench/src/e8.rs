@@ -1,0 +1,209 @@
+//! E8 — wiring management: how channel height responds to displacement
+//! (river routing), how tracks respond to congestion (channel routing),
+//! and what regular placement buys in wire length.
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use silc_route::{channel_density, channel_route, river_route, ChannelProblem};
+
+/// River-routing data point: interlock depth vs channel height.
+#[derive(Debug, Clone)]
+pub struct RiverRow {
+    /// Number of interlocked shifting nets.
+    pub chain: usize,
+    /// Tracks used.
+    pub tracks: usize,
+    /// Channel height in lambda.
+    pub height: i64,
+    /// Total wire length.
+    pub wire_length: i64,
+}
+
+/// Sweeps interlocked right-shift chains of increasing depth: `chain`
+/// nets each displaced far enough to overlap all the others.
+pub fn river_sweep(chains: &[usize]) -> Vec<RiverRow> {
+    chains
+        .iter()
+        .map(|&chain| {
+            let pitch = 4i64;
+            let bottom: Vec<i64> = (0..chain as i64).map(|i| i * pitch).collect();
+            let shift = chain as i64 * pitch + 20;
+            let top: Vec<i64> = bottom.iter().map(|x| x + shift).collect();
+            let r = river_route(&bottom, &top, pitch).expect("routable");
+            RiverRow {
+                chain,
+                tracks: r.tracks,
+                height: r.height,
+                wire_length: r.wire_length,
+            }
+        })
+        .collect()
+}
+
+/// Channel-routing data point.
+#[derive(Debug, Clone)]
+pub struct ChannelRow {
+    /// Nets in the problem.
+    pub nets: usize,
+    /// Density lower bound.
+    pub density: usize,
+    /// Tracks actually used.
+    pub tracks: usize,
+}
+
+/// Random channel problems of growing congestion (seeded, reproducible).
+/// Problems whose vertical constraints happen to cycle are skipped (and
+/// counted), mirroring how a dogleg-free flow would re-place.
+pub fn channel_sweep(net_counts: &[usize], seed: u64) -> (Vec<ChannelRow>, usize) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rows = Vec::new();
+    let mut skipped = 0usize;
+    for &nets in net_counts {
+        // Retry until a routable instance appears.
+        let mut attempts = 0;
+        loop {
+            attempts += 1;
+            let cols = nets * 3;
+            let mut top = vec![0u32; cols];
+            let mut bottom = vec![0u32; cols];
+            // Each net gets one top and one bottom pin at random columns.
+            let mut free_top: Vec<usize> = (0..cols).collect();
+            let mut free_bottom: Vec<usize> = (0..cols).collect();
+            free_top.shuffle(&mut rng);
+            free_bottom.shuffle(&mut rng);
+            for net in 1..=nets as u32 {
+                top[free_top[net as usize - 1]] = net;
+                bottom[free_bottom[net as usize - 1]] = net;
+            }
+            let problem = ChannelProblem {
+                top,
+                bottom,
+                pitch: 7,
+            };
+            match channel_route(&problem) {
+                Ok(route) => {
+                    rows.push(ChannelRow {
+                        nets,
+                        density: channel_density(&problem),
+                        tracks: route.tracks,
+                    });
+                    break;
+                }
+                Err(_) if attempts < 50 => skipped += 1,
+                Err(e) => panic!("no routable instance of {nets} nets: {e}"),
+            }
+        }
+    }
+    (rows, skipped)
+}
+
+/// Placement-quality data point: total wire length when the facing ports
+/// line up versus when they are scrambled.
+#[derive(Debug, Clone)]
+pub struct PlacementRow {
+    /// Nets crossing the channel.
+    pub nets: usize,
+    /// Wire length with aligned (regular) placement.
+    pub aligned_wire: i64,
+    /// Wire length with scrambled placement.
+    pub scrambled_wire: i64,
+}
+
+/// Measures regular vs scrambled placement for `nets` connections.
+pub fn placement_comparison(nets: usize, seed: u64) -> PlacementRow {
+    let pitch = 7i64;
+    let bottom: Vec<i64> = (0..nets as i64).map(|i| i * pitch * 3).collect();
+    // Aligned: straight across.
+    let aligned = river_route(&bottom, &bottom, pitch).expect("routable");
+
+    // Scrambled: the same pins permuted — needs the channel router. Top
+    // pins are staggered one column off the bottom pins so no column
+    // carries two pins (pin alignment, not constraint cycles, is what
+    // this experiment varies).
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut perm: Vec<usize> = (0..nets).collect();
+    perm.shuffle(&mut rng);
+    let cols = nets * 3 + 2;
+    let mut top = vec![0u32; cols];
+    let mut bot = vec![0u32; cols];
+    for (i, &p) in perm.iter().enumerate() {
+        bot[i * 3] = i as u32 + 1;
+        top[p * 3 + 1] = i as u32 + 1;
+    }
+    let scrambled_wire = channel_route(&ChannelProblem {
+        top,
+        bottom: bot,
+        pitch,
+    })
+    .expect("staggered pins have no vertical constraints")
+    .wire_length;
+    PlacementRow {
+        nets,
+        aligned_wire: aligned.wire_length,
+        scrambled_wire,
+    }
+}
+
+/// Formats the river sweep for display.
+pub fn river_table(rows: &[RiverRow]) -> Vec<Vec<String>> {
+    rows.iter()
+        .map(|r| {
+            vec![
+                r.chain.to_string(),
+                r.tracks.to_string(),
+                r.height.to_string(),
+                r.wire_length.to_string(),
+            ]
+        })
+        .collect()
+}
+
+/// Formats the channel sweep for display.
+pub fn channel_table(rows: &[ChannelRow]) -> Vec<Vec<String>> {
+    rows.iter()
+        .map(|r| {
+            vec![
+                r.nets.to_string(),
+                r.density.to_string(),
+                r.tracks.to_string(),
+            ]
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn river_height_tracks_interlock_depth() {
+        let rows = river_sweep(&[1, 2, 4, 8]);
+        for r in &rows {
+            assert_eq!(r.tracks, r.chain, "fully interlocked chain");
+        }
+        assert!(rows[3].height > rows[0].height);
+    }
+
+    #[test]
+    fn channel_tracks_bounded_by_density_then_nets() {
+        let (rows, _) = channel_sweep(&[2, 4, 6, 8], 42);
+        for r in &rows {
+            assert!(r.tracks >= r.density);
+            assert!(r.tracks <= r.nets);
+        }
+    }
+
+    #[test]
+    fn regular_placement_wins() {
+        for nets in [4, 8] {
+            let row = placement_comparison(nets, 7);
+            assert!(
+                row.aligned_wire < row.scrambled_wire,
+                "{nets} nets: {} vs {}",
+                row.aligned_wire,
+                row.scrambled_wire
+            );
+        }
+    }
+}

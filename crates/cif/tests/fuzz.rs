@@ -1,0 +1,21 @@
+//! Robustness: the CIF parser must never panic, whatever bytes arrive —
+//! it returns a diagnostic instead. (Manufacturing interfaces meet hostile
+//! tapes.)
+
+use proptest::prelude::*;
+use silc_cif::parse;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+    #[test]
+    fn parser_never_panics_on_ascii(input in "[ -~\n]{0,200}") {
+        let _ = parse(&input); // Ok or Err, never a panic
+    }
+
+    #[test]
+    fn parser_never_panics_on_cif_like_soup(
+        input in "(DS|DF|C|L|B|P|W|R|E|9|T|M|;|[0-9]{1,4}|-| |\n|NM|ND|NP){0,80}",
+    ) {
+        let _ = parse(&input);
+    }
+}

@@ -1,0 +1,605 @@
+use crate::{merge_rects, region_contains_rect, RuleSet};
+use silc_geom::{Coord, Rect};
+use silc_layout::{CellId, Layer, LayoutError, Library};
+use std::fmt;
+
+/// The rule a violation broke.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RuleKind {
+    /// Feature narrower than the layer's minimum width.
+    MinWidth {
+        /// Layer checked.
+        layer: Layer,
+        /// Required width in lambda.
+        required: Coord,
+    },
+    /// Two features closer than the minimum spacing.
+    MinSpacing {
+        /// First layer.
+        a: Layer,
+        /// Second layer.
+        b: Layer,
+        /// Required spacing in lambda.
+        required: Coord,
+    },
+    /// A contact cut not sufficiently surrounded by metal.
+    ContactMetalSurround {
+        /// Required surround in lambda.
+        required: Coord,
+    },
+    /// A contact cut not sufficiently surrounded by poly or diffusion.
+    ContactLowerSurround {
+        /// Required surround in lambda.
+        required: Coord,
+    },
+    /// A transistor gate without the required poly/diffusion extensions.
+    GateOverhang {
+        /// Required poly overhang in lambda.
+        poly: Coord,
+        /// Required diffusion overhang in lambda.
+        diff: Coord,
+    },
+}
+
+impl fmt::Display for RuleKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RuleKind::MinWidth { layer, required } => {
+                write!(f, "{layer} width < {required}")
+            }
+            RuleKind::MinSpacing { a, b, required } => {
+                write!(f, "{a}-{b} spacing < {required}")
+            }
+            RuleKind::ContactMetalSurround { required } => {
+                write!(f, "contact metal surround < {required}")
+            }
+            RuleKind::ContactLowerSurround { required } => {
+                write!(f, "contact poly/diffusion surround < {required}")
+            }
+            RuleKind::GateOverhang { poly, diff } => {
+                write!(f, "gate overhang (poly {poly}, diff {diff}) missing")
+            }
+        }
+    }
+}
+
+/// One design-rule violation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Violation {
+    /// Which rule fired.
+    pub rule: RuleKind,
+    /// Where (in root coordinates).
+    pub at: Rect,
+}
+
+impl fmt::Display for Violation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} at {}", self.rule, self.at)
+    }
+}
+
+/// The result of a DRC run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Report {
+    /// Name of the rule set used.
+    pub rules: String,
+    /// All violations found.
+    pub violations: Vec<Violation>,
+    /// Number of rectangles checked (after flattening/decomposition).
+    pub rects_checked: usize,
+}
+
+impl Report {
+    /// True when the layout is clean.
+    pub fn is_clean(&self) -> bool {
+        self.violations.is_empty()
+    }
+}
+
+impl fmt::Display for Report {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "DRC ({}) checked {} rects: {} violation(s)",
+            self.rules,
+            self.rects_checked,
+            self.violations.len()
+        )?;
+        for v in &self.violations {
+            writeln!(f, "  {v}")?;
+        }
+        Ok(())
+    }
+}
+
+/// Runs the design-rule checker on the flattened hierarchy under `root`.
+///
+/// # Errors
+///
+/// Returns [`LayoutError::UnknownCell`] if `root` is not in the library.
+pub fn check(lib: &Library, root: CellId, rules: &RuleSet) -> Result<Report, LayoutError> {
+    let layers = silc_layout::flatten_to_rects(lib, root)?;
+    Ok(check_flat(&layers, rules))
+}
+
+/// Runs the checker on pre-flattened per-layer rectangles (indexed by
+/// [`Layer::index`]).
+pub fn check_flat(layers: &[Vec<Rect>], rules: &RuleSet) -> Report {
+    let mut violations = Vec::new();
+    let rects_checked = layers.iter().map(Vec::len).sum();
+
+    // Merge each layer once.
+    let merged: Vec<Vec<crate::Region>> = layers.iter().map(|v| merge_rects(v)).collect();
+
+    width_checks(layers, rules, &mut violations);
+    spacing_checks(&merged, rules, &mut violations);
+    contact_checks(layers, rules, &mut violations);
+    gate_checks(&merged, layers, rules, &mut violations);
+
+    Report {
+        rules: rules.name.clone(),
+        violations,
+        rects_checked,
+    }
+}
+
+/// The ablation variant of [`check_flat`]: skips maximal-rect merging and
+/// runs the spacing and gate checks on the raw drawn rectangles.
+///
+/// The touching-exemption still prevents same-net false positives, but
+/// without band canonicalisation this variant reports one violation per
+/// offending *drawn* rectangle (duplicates on overlap-heavy generator
+/// output) and its spacing pass scales with the square of drawn, not
+/// merged, rectangles. E6's ablation bench compares the two; `DESIGN.md`
+/// lists the trade.
+pub fn check_flat_unmerged(layers: &[Vec<Rect>], rules: &RuleSet) -> Report {
+    let mut violations = Vec::new();
+    let rects_checked = layers.iter().map(Vec::len).sum();
+
+    // Pose the raw rects as one single-rect "region" each.
+    let pseudo: Vec<Vec<crate::Region>> = layers
+        .iter()
+        .map(|v| {
+            v.iter()
+                .map(|&r| crate::Region { rects: vec![r] })
+                .collect()
+        })
+        .collect();
+
+    width_checks(layers, rules, &mut violations);
+    spacing_checks(&pseudo, rules, &mut violations);
+    contact_checks(layers, rules, &mut violations);
+    gate_checks(&pseudo, layers, rules, &mut violations);
+
+    Report {
+        rules: format!("{} (unmerged)", rules.name),
+        violations,
+        rects_checked,
+    }
+}
+
+/// Width: every *drawn* rectangle must meet the minimum width unless it is
+/// redundant (fully covered by the other rectangles on the layer, in which
+/// case it adds no new feature).
+fn width_checks(layers: &[Vec<Rect>], rules: &RuleSet, out: &mut Vec<Violation>) {
+    for layer in Layer::ALL {
+        let w = rules.min_width(layer);
+        if w == 0 {
+            continue;
+        }
+        let rects = &layers[layer.index()];
+        for (i, r) in rects.iter().enumerate() {
+            if r.min_dimension() >= w {
+                continue;
+            }
+            // Redundancy exemption: covered entirely by the other rects.
+            let others: Vec<Rect> = rects
+                .iter()
+                .enumerate()
+                .filter(|&(j, _)| j != i)
+                .map(|(_, r)| *r)
+                .collect();
+            if region_contains_rect(&others, *r) {
+                continue;
+            }
+            out.push(Violation {
+                rule: RuleKind::MinWidth { layer, required: w },
+                at: *r,
+            });
+        }
+    }
+}
+
+/// Spacing: between merged rects that do not touch. Covers both
+/// region-to-region spacing and same-region notches.
+fn spacing_checks(merged: &[Vec<crate::Region>], rules: &RuleSet, out: &mut Vec<Violation>) {
+    for (a, b) in rules.active_spacing_pairs() {
+        let s = rules.min_spacing(a, b);
+        let ra: Vec<Rect> = merged[a.index()]
+            .iter()
+            .flat_map(|r| r.rects.iter().copied())
+            .collect();
+        if a == b {
+            for i in 0..ra.len() {
+                for j in (i + 1)..ra.len() {
+                    spacing_pair(a, b, s, ra[i], ra[j], out);
+                }
+            }
+        } else {
+            let rb: Vec<Rect> = merged[b.index()]
+                .iter()
+                .flat_map(|r| r.rects.iter().copied())
+                .collect();
+            for &x in &ra {
+                for &y in &rb {
+                    spacing_pair(a, b, s, x, y, out);
+                }
+            }
+        }
+    }
+}
+
+fn spacing_pair(a: Layer, b: Layer, s: Coord, x: Rect, y: Rect, out: &mut Vec<Violation>) {
+    if x.touches(y) {
+        // Same feature (same layer) or an intentional crossing (poly over
+        // diffusion forms a transistor): not a spacing violation.
+        return;
+    }
+    let (gx, gy) = x.axis_gaps(y);
+    if gx < s && gy < s {
+        out.push(Violation {
+            rule: RuleKind::MinSpacing { a, b, required: s },
+            at: x.union(y),
+        });
+    }
+}
+
+/// Contacts: each cut must be surrounded by metal and by poly or
+/// diffusion.
+fn contact_checks(layers: &[Vec<Rect>], rules: &RuleSet, out: &mut Vec<Violation>) {
+    let cuts = &layers[Layer::Contact.index()];
+    if cuts.is_empty() {
+        return;
+    }
+    let metal = &layers[Layer::Metal.index()];
+    let poly = &layers[Layer::Poly.index()];
+    let diff = &layers[Layer::Diffusion.index()];
+    let lower: Vec<Rect> = poly.iter().chain(diff.iter()).copied().collect();
+
+    for cut in cuts {
+        if rules.contact_metal_surround > 0 {
+            let needed = cut
+                .inflate(rules.contact_metal_surround)
+                .expect("inflating a valid rect");
+            if !region_contains_rect(metal, needed) {
+                out.push(Violation {
+                    rule: RuleKind::ContactMetalSurround {
+                        required: rules.contact_metal_surround,
+                    },
+                    at: *cut,
+                });
+            }
+        }
+        if rules.contact_lower_surround > 0 {
+            let needed = cut
+                .inflate(rules.contact_lower_surround)
+                .expect("inflating a valid rect");
+            // Either poly alone or diffusion alone must enclose; a mix is
+            // a butting contact, which we accept when the union covers.
+            if !region_contains_rect(&lower, needed) {
+                out.push(Violation {
+                    rule: RuleKind::ContactLowerSurround {
+                        required: rules.contact_lower_surround,
+                    },
+                    at: *cut,
+                });
+            }
+        }
+    }
+}
+
+/// Transistor gates: wherever poly crosses diffusion, poly must extend
+/// `gate_poly_overhang` beyond the channel on one axis and diffusion
+/// `gate_diff_overhang` on the other. A crossing fully covered by a
+/// contact cut is a butting contact (the metal shorts the junction), not
+/// a transistor, and is exempt.
+fn gate_checks(
+    merged: &[Vec<crate::Region>],
+    layers: &[Vec<Rect>],
+    rules: &RuleSet,
+    out: &mut Vec<Violation>,
+) {
+    if rules.gate_poly_overhang == 0 && rules.gate_diff_overhang == 0 {
+        return;
+    }
+    let poly: Vec<Rect> = merged[Layer::Poly.index()]
+        .iter()
+        .flat_map(|r| r.rects.iter().copied())
+        .collect();
+    let diff: Vec<Rect> = merged[Layer::Diffusion.index()]
+        .iter()
+        .flat_map(|r| r.rects.iter().copied())
+        .collect();
+    if poly.is_empty() || diff.is_empty() {
+        return;
+    }
+    // Gates are connected components of the poly∩diff geometry.
+    let mut crossings: Vec<Rect> = Vec::new();
+    for p in &poly {
+        for d in &diff {
+            if let Some(g) = p.intersection(*d) {
+                crossings.push(g);
+            }
+        }
+    }
+    let cuts = &layers[Layer::Contact.index()];
+    for gate_region in merge_rects(&crossings) {
+        let g = gate_region.bbox();
+        // Butting-contact exemption.
+        if region_contains_rect(cuts, g) {
+            continue;
+        }
+        let pv = rules.gate_poly_overhang;
+        let dv = rules.gate_diff_overhang;
+        // Orientation A: poly runs vertically (extends in y), diffusion
+        // horizontally (extends in x).
+        let vertical_ok = region_contains_rect(&poly, grow_y(g, pv))
+            && region_contains_rect(&diff, grow_x(g, dv));
+        // Orientation B: the transpose.
+        let horizontal_ok = region_contains_rect(&poly, grow_x(g, pv))
+            && region_contains_rect(&diff, grow_y(g, dv));
+        if !vertical_ok && !horizontal_ok {
+            out.push(Violation {
+                rule: RuleKind::GateOverhang { poly: pv, diff: dv },
+                at: g,
+            });
+        }
+    }
+}
+
+fn grow_x(r: Rect, by: Coord) -> Rect {
+    Rect::new(
+        silc_geom::Point::new(r.left() - by, r.bottom()),
+        silc_geom::Point::new(r.right() + by, r.top()),
+    )
+    .expect("growing keeps positive extent")
+}
+
+fn grow_y(r: Rect, by: Coord) -> Rect {
+    Rect::new(
+        silc_geom::Point::new(r.left(), r.bottom() - by),
+        silc_geom::Point::new(r.right(), r.top() + by),
+    )
+    .expect("growing keeps positive extent")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use silc_geom::Point;
+
+    fn rect(x: i64, y: i64, w: i64, h: i64) -> Rect {
+        Rect::from_origin_size(Point::new(x, y), w, h).unwrap()
+    }
+
+    fn flat_with(layer: Layer, rects: Vec<Rect>) -> Vec<Vec<Rect>> {
+        let mut layers = vec![Vec::new(); Layer::ALL.len()];
+        layers[layer.index()] = rects;
+        layers
+    }
+
+    fn rules() -> RuleSet {
+        RuleSet::mead_conway_nmos()
+    }
+
+    #[test]
+    fn clean_wide_metal() {
+        let report = check_flat(&flat_with(Layer::Metal, vec![rect(0, 0, 3, 20)]), &rules());
+        assert!(report.is_clean(), "{report}");
+    }
+
+    #[test]
+    fn narrow_metal_flagged() {
+        let report = check_flat(&flat_with(Layer::Metal, vec![rect(0, 0, 2, 20)]), &rules());
+        assert_eq!(report.violations.len(), 1);
+        assert!(matches!(
+            report.violations[0].rule,
+            RuleKind::MinWidth {
+                layer: Layer::Metal,
+                required: 3
+            }
+        ));
+    }
+
+    #[test]
+    fn redundant_narrow_rect_exempt() {
+        // A 1-wide sliver fully inside a legal fat rect is harmless.
+        let report = check_flat(
+            &flat_with(Layer::Metal, vec![rect(0, 0, 10, 10), rect(2, 2, 1, 5)]),
+            &rules(),
+        );
+        assert!(report.is_clean(), "{report}");
+    }
+
+    #[test]
+    fn spacing_violation_between_regions() {
+        // Two metal wires 2 apart; rule wants 3.
+        let report = check_flat(
+            &flat_with(Layer::Metal, vec![rect(0, 0, 3, 10), rect(5, 0, 3, 10)]),
+            &rules(),
+        );
+        assert_eq!(report.violations.len(), 1);
+        assert!(matches!(
+            report.violations[0].rule,
+            RuleKind::MinSpacing {
+                a: Layer::Metal,
+                b: Layer::Metal,
+                required: 3
+            }
+        ));
+    }
+
+    #[test]
+    fn abutting_rects_no_spacing_violation() {
+        let report = check_flat(
+            &flat_with(Layer::Metal, vec![rect(0, 0, 3, 10), rect(3, 0, 3, 10)]),
+            &rules(),
+        );
+        assert!(report.is_clean(), "{report}");
+    }
+
+    #[test]
+    fn diagonal_spacing_checked() {
+        // Corner-to-corner gap of (2, 2) violates 3-lambda spacing.
+        let report = check_flat(
+            &flat_with(Layer::Metal, vec![rect(0, 0, 3, 3), rect(5, 5, 3, 3)]),
+            &rules(),
+        );
+        assert_eq!(report.violations.len(), 1);
+    }
+
+    #[test]
+    fn notch_in_same_region_flagged() {
+        // A U shape in poly with a 1-lambda slot (rule wants 2).
+        let u = vec![
+            rect(0, 0, 7, 2), // base
+            rect(0, 2, 3, 6), // left prong
+            rect(4, 2, 3, 6), // right prong (slot of width 1 between)
+        ];
+        let report = check_flat(&flat_with(Layer::Poly, u), &rules());
+        assert!(
+            report
+                .violations
+                .iter()
+                .any(|v| matches!(v.rule, RuleKind::MinSpacing { .. })),
+            "{report}"
+        );
+    }
+
+    #[test]
+    fn poly_diff_separation() {
+        let mut layers = vec![Vec::new(); Layer::ALL.len()];
+        layers[Layer::Poly.index()] = vec![rect(0, 0, 2, 10)];
+        // Diffusion abutting would be a transistor; at 0 gap they touch and
+        // are fine, at... the rule wants 1, so nothing between touch and 1.
+        // Put it 1 away: legal.
+        layers[Layer::Diffusion.index()] = vec![rect(3, 0, 4, 10)];
+        let report = check_flat(&layers, &rules());
+        assert!(report.is_clean(), "{report}");
+    }
+
+    #[test]
+    fn good_contact_passes() {
+        // 2x2 cut at (4,4), metal and diff with 1-lambda surround.
+        let mut layers = vec![Vec::new(); Layer::ALL.len()];
+        layers[Layer::Contact.index()] = vec![rect(4, 4, 2, 2)];
+        layers[Layer::Metal.index()] = vec![rect(3, 3, 4, 4)];
+        layers[Layer::Diffusion.index()] = vec![rect(3, 3, 4, 4)];
+        let report = check_flat(&layers, &rules());
+        assert!(report.is_clean(), "{report}");
+    }
+
+    #[test]
+    fn bare_contact_flagged_twice() {
+        let report = check_flat(&flat_with(Layer::Contact, vec![rect(0, 0, 2, 2)]), &rules());
+        assert_eq!(report.violations.len(), 2);
+        assert!(report
+            .violations
+            .iter()
+            .any(|v| matches!(v.rule, RuleKind::ContactMetalSurround { .. })));
+        assert!(report
+            .violations
+            .iter()
+            .any(|v| matches!(v.rule, RuleKind::ContactLowerSurround { .. })));
+    }
+
+    #[test]
+    fn proper_transistor_passes() {
+        // Poly 2 wide crossing diff 4 wide; poly extends 2 beyond channel
+        // vertically, diff extends 2 beyond horizontally.
+        let mut layers = vec![Vec::new(); Layer::ALL.len()];
+        layers[Layer::Poly.index()] = vec![rect(4, 0, 2, 8)]; // vertical poly
+        layers[Layer::Diffusion.index()] = vec![rect(0, 3, 10, 2)]; // horizontal diff
+        let report = check_flat(&layers, &rules());
+        assert!(report.is_clean(), "{report}");
+    }
+
+    #[test]
+    fn missing_gate_overhang_flagged() {
+        // Poly stops flush with the diffusion edge: no overhang.
+        let mut layers = vec![Vec::new(); Layer::ALL.len()];
+        layers[Layer::Poly.index()] = vec![rect(4, 3, 2, 2)]; // only covers channel
+        layers[Layer::Diffusion.index()] = vec![rect(0, 3, 10, 2)];
+        let report = check_flat(&layers, &rules());
+        assert!(
+            report
+                .violations
+                .iter()
+                .any(|v| matches!(v.rule, RuleKind::GateOverhang { .. })),
+            "{report}"
+        );
+    }
+
+    #[test]
+    fn permissive_rules_report_nothing() {
+        let report = check_flat(
+            &flat_with(Layer::Metal, vec![rect(0, 0, 1, 1), rect(2, 0, 1, 1)]),
+            &RuleSet::permissive("off"),
+        );
+        assert!(report.is_clean());
+    }
+
+    #[test]
+    fn check_via_library() {
+        use silc_layout::{Cell, Element};
+        let mut lib = Library::new();
+        let mut c = Cell::new("bad");
+        c.push_element(Element::rect(Layer::Metal, rect(0, 0, 1, 10)));
+        let id = lib.add_cell(c).unwrap();
+        let report = check(&lib, id, &rules()).unwrap();
+        assert_eq!(report.violations.len(), 1);
+        assert!(report.to_string().contains("metal width"));
+    }
+
+    #[test]
+    fn unmerged_variant_agrees_on_simple_cases() {
+        // Disjoint clean wires: both variants clean.
+        let layers = flat_with(Layer::Metal, vec![rect(0, 0, 3, 10), rect(10, 0, 3, 10)]);
+        assert!(check_flat(&layers, &rules()).is_clean());
+        assert!(check_flat_unmerged(&layers, &rules()).is_clean());
+        // A real spacing violation: both catch it.
+        let layers = flat_with(Layer::Metal, vec![rect(0, 0, 3, 10), rect(5, 0, 3, 10)]);
+        assert!(!check_flat(&layers, &rules()).is_clean());
+        assert!(!check_flat_unmerged(&layers, &rules()).is_clean());
+    }
+
+    #[test]
+    fn unmerged_variant_duplicates_reports() {
+        // A wire drawn as three overlapping rects next to another wire:
+        // one physical violation. The merged checker canonicalises the
+        // overlaps and reports once; the raw variant reports once per
+        // offending drawn rect — the duplication (and quadratic blowup on
+        // overlap-heavy generators) that canonicalisation buys away.
+        let layers = flat_with(
+            Layer::Metal,
+            vec![
+                rect(0, 0, 4, 6),
+                rect(0, 4, 4, 6),
+                rect(0, 8, 4, 6),
+                rect(6, 0, 4, 14), // 2-lambda gap: violation
+            ],
+        );
+        let merged = check_flat(&layers, &rules());
+        let raw = check_flat_unmerged(&layers, &rules());
+        assert_eq!(merged.violations.len(), 1, "{merged}");
+        assert!(raw.violations.len() > 1, "{raw}");
+    }
+
+    #[test]
+    fn report_display() {
+        let report = check_flat(&flat_with(Layer::Metal, vec![rect(0, 0, 3, 3)]), &rules());
+        let s = report.to_string();
+        assert!(s.contains("mead-conway-nmos"));
+        assert!(s.contains("0 violation"));
+    }
+}

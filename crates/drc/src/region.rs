@@ -1,0 +1,229 @@
+use silc_geom::{Coord, Point, Rect};
+
+/// A connected group of merged rectangles on one layer — one electrical
+/// region of mask geometry.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Region {
+    /// Disjoint rectangles covering the region exactly.
+    pub rects: Vec<Rect>,
+}
+
+impl Region {
+    /// Bounding box of the region.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty region, which [`merge_rects`] never produces.
+    pub fn bbox(&self) -> Rect {
+        self.rects
+            .iter()
+            .copied()
+            .reduce(|a, b| a.union(b))
+            .expect("regions are non-empty")
+    }
+
+    /// Total area (rects are disjoint, so a plain sum).
+    pub fn area(&self) -> Coord {
+        self.rects.iter().map(Rect::area).sum()
+    }
+
+    /// True when the region touches `r` (shares at least a boundary
+    /// point).
+    pub fn touches_rect(&self, r: Rect) -> bool {
+        self.rects.iter().any(|a| a.touches(r))
+    }
+}
+
+/// Canonicalises a bag of (possibly overlapping) rectangles into disjoint
+/// maximal-band rectangles, grouped into connected [`Region`]s.
+///
+/// The decomposition slices the union into horizontal bands at every
+/// distinct rectangle top/bottom, producing per-band x-spans, then merges
+/// vertically adjacent rects with identical spans. Two rects belong to the
+/// same region when they touch (edge or corner).
+pub fn merge_rects(rects: &[Rect]) -> Vec<Region> {
+    if rects.is_empty() {
+        return Vec::new();
+    }
+    // Band boundaries.
+    let mut ys: Vec<Coord> = rects.iter().flat_map(|r| [r.bottom(), r.top()]).collect();
+    ys.sort_unstable();
+    ys.dedup();
+
+    // Per band, collect the merged x-spans of rects crossing it.
+    let mut bands: Vec<Rect> = Vec::new();
+    for w in ys.windows(2) {
+        let (y0, y1) = (w[0], w[1]);
+        let mut spans: Vec<(Coord, Coord)> = rects
+            .iter()
+            .filter(|r| r.bottom() <= y0 && y1 <= r.top())
+            .map(|r| (r.left(), r.right()))
+            .collect();
+        if spans.is_empty() {
+            continue;
+        }
+        spans.sort_unstable();
+        let mut merged: Vec<(Coord, Coord)> = Vec::new();
+        for (lo, hi) in spans {
+            match merged.last_mut() {
+                Some(last) if lo <= last.1 => last.1 = last.1.max(hi),
+                _ => merged.push((lo, hi)),
+            }
+        }
+        for (lo, hi) in merged {
+            bands.push(
+                Rect::new(Point::new(lo, y0), Point::new(hi, y1))
+                    .expect("bands have positive extent"),
+            );
+        }
+    }
+
+    // Merge vertically adjacent bands with identical x spans.
+    bands.sort_by_key(|r| (r.left(), r.right(), r.bottom()));
+    let mut merged: Vec<Rect> = Vec::new();
+    for band in bands {
+        match merged.last_mut() {
+            Some(last)
+                if last.left() == band.left()
+                    && last.right() == band.right()
+                    && last.top() == band.bottom() =>
+            {
+                *last = last.union(band);
+            }
+            _ => merged.push(band),
+        }
+    }
+
+    // Union-find over touching rects to form regions.
+    let n = merged.len();
+    let mut parent: Vec<usize> = (0..n).collect();
+    fn find(parent: &mut Vec<usize>, i: usize) -> usize {
+        if parent[i] != i {
+            let root = find(parent, parent[i]);
+            parent[i] = root;
+        }
+        parent[i]
+    }
+    for (i, a) in merged.iter().enumerate() {
+        for (j, b) in merged.iter().enumerate().skip(i + 1) {
+            if a.touches(*b) {
+                let (a, b) = (find(&mut parent, i), find(&mut parent, j));
+                if a != b {
+                    parent[a] = b;
+                }
+            }
+        }
+    }
+    let mut groups: std::collections::HashMap<usize, Vec<Rect>> = std::collections::HashMap::new();
+    for (i, &r) in merged.iter().enumerate() {
+        let root = find(&mut parent, i);
+        groups.entry(root).or_default().push(r);
+    }
+    let mut regions: Vec<Region> = groups.into_values().map(|rects| Region { rects }).collect();
+    regions.sort_by_key(|r| {
+        let b = r.bbox();
+        (b.left(), b.bottom())
+    });
+    regions
+}
+
+/// True when the union of `rects` fully contains `r` (coverage test used
+/// by the enclosure rules).
+pub fn region_contains_rect(rects: &[Rect], r: Rect) -> bool {
+    let clipped: Vec<Rect> = rects.iter().filter_map(|a| a.intersection(r)).collect();
+    silc_layout::union_area(&clipped) == r.area()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn rect(x: i64, y: i64, w: i64, h: i64) -> Rect {
+        Rect::from_origin_size(Point::new(x, y), w, h).unwrap()
+    }
+
+    #[test]
+    fn disjoint_rects_are_separate_regions() {
+        let regions = merge_rects(&[rect(0, 0, 2, 2), rect(10, 0, 2, 2)]);
+        assert_eq!(regions.len(), 2);
+    }
+
+    #[test]
+    fn overlapping_rects_merge() {
+        let regions = merge_rects(&[rect(0, 0, 4, 4), rect(2, 2, 4, 4)]);
+        assert_eq!(regions.len(), 1);
+        assert_eq!(regions[0].area(), 28);
+        // Rects inside a region are disjoint.
+        let rs = &regions[0].rects;
+        for (i, a) in rs.iter().enumerate() {
+            for b in &rs[i + 1..] {
+                assert!(!a.overlaps(*b));
+            }
+        }
+    }
+
+    #[test]
+    fn abutting_rects_merge_into_one_rect() {
+        // Two abutting halves become a single rect after vertical merging.
+        let regions = merge_rects(&[rect(0, 0, 4, 2), rect(0, 2, 4, 2)]);
+        assert_eq!(regions.len(), 1);
+        assert_eq!(regions[0].rects, vec![rect(0, 0, 4, 4)]);
+    }
+
+    #[test]
+    fn corner_touching_rects_same_region() {
+        let regions = merge_rects(&[rect(0, 0, 2, 2), rect(2, 2, 2, 2)]);
+        assert_eq!(regions.len(), 1);
+        assert_eq!(regions[0].rects.len(), 2);
+    }
+
+    #[test]
+    fn identical_rects_deduplicate() {
+        let regions = merge_rects(&[rect(0, 0, 5, 5), rect(0, 0, 5, 5)]);
+        assert_eq!(regions.len(), 1);
+        assert_eq!(regions[0].area(), 25);
+    }
+
+    #[test]
+    fn empty_input() {
+        assert!(merge_rects(&[]).is_empty());
+    }
+
+    #[test]
+    fn containment_test() {
+        let cover = [rect(0, 0, 4, 4), rect(4, 0, 4, 4)];
+        assert!(region_contains_rect(&cover, rect(1, 1, 6, 2)));
+        assert!(!region_contains_rect(&cover, rect(1, 1, 8, 2)));
+        assert!(region_contains_rect(&cover, rect(0, 0, 8, 4)));
+        assert!(!region_contains_rect(&[], rect(0, 0, 1, 1)));
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(48))]
+        #[test]
+        fn merge_preserves_area_and_disjointness(
+            specs in prop::collection::vec((0i64..30, 0i64..30, 1i64..10, 1i64..10), 1..12),
+        ) {
+            let rects: Vec<_> = specs.iter().map(|&(x, y, w, h)| rect(x, y, w, h)).collect();
+            let regions = merge_rects(&rects);
+            let merged_area: i64 = regions.iter().map(Region::area).sum();
+            prop_assert_eq!(merged_area, silc_layout::union_area(&rects));
+            // All rects across all regions are pairwise disjoint.
+            let all: Vec<Rect> = regions.iter().flat_map(|r| r.rects.clone()).collect();
+            for (i, a) in all.iter().enumerate() {
+                for b in &all[i + 1..] {
+                    prop_assert!(!a.overlaps(*b), "{a} overlaps {b}");
+                }
+            }
+            // Different regions never touch.
+            for (i, ra) in regions.iter().enumerate() {
+                for rb in &regions[i + 1..] {
+                    for a in &ra.rects {
+                        prop_assert!(!rb.touches_rect(*a));
+                    }
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,579 @@
+//! # silc-extract — circuit extraction from mask geometry
+//!
+//! The inverse of layout generation: recover the structural description
+//! (a transistor [`silc_netlist::Netlist`]) from the physical one. This
+//! closes the loop between the paper's three descriptions — a compiled
+//! layout can be extracted and compared against the intended structure
+//! (layout-versus-schematic), which is how experiment E7 verifies the
+//! generators.
+//!
+//! Extraction model (Mead–Conway nMOS):
+//!
+//! * conducting regions are connected geometry on diffusion, poly and
+//!   metal — with diffusion **split at transistor channels** (poly over
+//!   diffusion interrupts the diffusion wire);
+//! * contact cuts join the metal region above them to the poly or
+//!   diffusion region below; buried contacts join poly to diffusion;
+//! * every poly∩diffusion crossing is a transistor: gate = the poly
+//!   region, source/drain = the diffusion regions abutting the channel;
+//!   an implant over the channel makes it a depletion device
+//!   (`"dep"`), otherwise enhancement (`"enh"`);
+//! * nets covering a cell [`silc_layout::Port`] inherit the port's name.
+//!
+//! # Example
+//!
+//! ```
+//! use silc_extract::extract;
+//! use silc_layout::{Cell, Element, Layer, Library};
+//! use silc_geom::{Point, Rect};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let mut lib = Library::new();
+//! let mut c = Cell::new("t");
+//! // A poly line crossing a diffusion line: one transistor.
+//! c.push_element(Element::rect(Layer::Diffusion, Rect::new(Point::new(0, 4), Point::new(12, 8))?));
+//! c.push_element(Element::rect(Layer::Poly, Rect::new(Point::new(5, 0), Point::new(7, 12))?));
+//! let id = lib.add_cell(c)?;
+//! let extracted = extract(&lib, id)?;
+//! assert_eq!(extracted.transistor_count(), 1);
+//! # Ok(())
+//! # }
+//! ```
+
+mod switch;
+
+pub use switch::{switch_level_eval, Level, SwitchError};
+
+use silc_drc::{merge_rects, Region};
+use silc_geom::{Point, Rect};
+use silc_layout::{CellId, Layer, LayoutError, Library};
+use silc_netlist::{Netlist, NetlistError};
+use std::collections::HashMap;
+use std::error::Error;
+use std::fmt;
+
+/// Error produced by extraction.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum ExtractError {
+    /// The root cell is not in the library.
+    Layout(String),
+    /// A gate had fewer or more than two adjacent diffusion regions —
+    /// malformed transistor geometry.
+    MalformedTransistor {
+        /// Where the gate is.
+        at: Rect,
+        /// Number of adjacent diffusion regions found.
+        diffusions: usize,
+    },
+    /// Netlist construction failed (duplicate names).
+    Netlist(String),
+}
+
+impl fmt::Display for ExtractError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ExtractError::Layout(m) => write!(f, "layout access failed: {m}"),
+            ExtractError::MalformedTransistor { at, diffusions } => write!(
+                f,
+                "gate at {at} touches {diffusions} diffusion region(s), expected 2"
+            ),
+            ExtractError::Netlist(m) => write!(f, "netlist construction failed: {m}"),
+        }
+    }
+}
+
+impl Error for ExtractError {}
+
+impl From<LayoutError> for ExtractError {
+    fn from(e: LayoutError) -> ExtractError {
+        ExtractError::Layout(e.to_string())
+    }
+}
+
+impl From<NetlistError> for ExtractError {
+    fn from(e: NetlistError) -> ExtractError {
+        ExtractError::Netlist(e.to_string())
+    }
+}
+
+/// The result of extraction.
+#[derive(Debug)]
+pub struct Extracted {
+    /// The recovered transistor-level netlist.
+    pub netlist: Netlist,
+    /// One entry per transistor: (kind, gate rect).
+    pub transistors: Vec<(String, Rect)>,
+    /// Number of electrically distinct nets found.
+    pub nets: usize,
+}
+
+impl Extracted {
+    /// Number of recovered transistors.
+    pub fn transistor_count(&self) -> usize {
+        self.transistors.len()
+    }
+}
+
+/// Extracts the transistor netlist of the flattened hierarchy under
+/// `root`.
+///
+/// Net naming: a net whose geometry covers a port *of the root cell*
+/// takes that port's name; other nets are named `n0`, `n1`, ... in a
+/// deterministic (geometry-sorted) order.
+///
+/// # Errors
+///
+/// * [`ExtractError::Layout`] — unknown root;
+/// * [`ExtractError::MalformedTransistor`] — a channel without exactly
+///   two source/drain regions.
+pub fn extract(lib: &Library, root: CellId) -> Result<Extracted, ExtractError> {
+    let layers = silc_layout::flatten_to_rects(lib, root)?;
+    let poly_rects = &layers[Layer::Poly.index()];
+    let diff_rects = &layers[Layer::Diffusion.index()];
+    let metal_rects = &layers[Layer::Metal.index()];
+    let cut_rects = &layers[Layer::Contact.index()];
+    let buried_rects = &layers[Layer::Buried.index()];
+    let implant_rects = &layers[Layer::Implant.index()];
+
+    // Channels: connected components of poly ∩ diff. A crossing fully
+    // covered by a contact cut is a butting contact — a shorted junction,
+    // not a transistor.
+    let mut crossings: Vec<Rect> = Vec::new();
+    for p in poly_rects {
+        for d in diff_rects {
+            if let Some(g) = p.intersection(*d) {
+                if !crate::region_covered(cut_rects, g) {
+                    crossings.push(g);
+                }
+            }
+        }
+    }
+    let gates: Vec<Region> = merge_rects(&crossings);
+
+    // Source/drain diffusion: diffusion minus channels.
+    let gate_rects: Vec<Rect> = gates.iter().flat_map(|g| g.rects.clone()).collect();
+    let sd_rects = subtract_rects(diff_rects, &gate_rects);
+
+    // Conducting regions.
+    let diff_regions = merge_rects(&sd_rects);
+    let poly_regions = merge_rects(poly_rects);
+    let metal_regions = merge_rects(metal_rects);
+
+    // Node indexing: diff | poly | metal.
+    let nd = diff_regions.len();
+    let np = poly_regions.len();
+    let total = nd + np + metal_regions.len();
+    let mut uf = UnionFind::new(total);
+    let diff_node = |i: usize| i;
+    let poly_node = |i: usize| nd + i;
+    let metal_node = |i: usize| nd + np + i;
+
+    // Contacts join metal to poly/diffusion; buried joins poly to
+    // diffusion.
+    for cut in cut_rects {
+        let m = metal_regions.iter().position(|r| r.touches_rect(*cut));
+        let p = poly_regions.iter().position(|r| r.touches_rect(*cut));
+        let d = diff_regions.iter().position(|r| r.touches_rect(*cut));
+        if let (Some(m), Some(p)) = (m, p) {
+            uf.union(metal_node(m), poly_node(p));
+        }
+        if let (Some(m), Some(d)) = (m, d) {
+            uf.union(metal_node(m), diff_node(d));
+        }
+        // A cut with both poly and diffusion under it is a butting
+        // contact joining all three.
+        if let (Some(p), Some(d)) = (p, d) {
+            uf.union(poly_node(p), diff_node(d));
+        }
+    }
+    for buried in buried_rects {
+        let p = poly_regions.iter().position(|r| r.touches_rect(*buried));
+        let d = diff_regions.iter().position(|r| r.touches_rect(*buried));
+        if let (Some(p), Some(d)) = (p, d) {
+            uf.union(poly_node(p), diff_node(d));
+        }
+    }
+
+    // Net naming: root ports claim their nets.
+    let root_cell = lib
+        .cell(root)
+        .ok_or_else(|| ExtractError::Layout("no root".into()))?;
+    let mut net_names: HashMap<usize, String> = HashMap::new();
+    for port in root_cell.ports() {
+        let region_node = match port.layer {
+            Layer::Diffusion => diff_regions
+                .iter()
+                .position(|r| region_covers(r, port.at))
+                .map(diff_node),
+            Layer::Poly => poly_regions
+                .iter()
+                .position(|r| region_covers(r, port.at))
+                .map(poly_node),
+            Layer::Metal => metal_regions
+                .iter()
+                .position(|r| region_covers(r, port.at))
+                .map(metal_node),
+            _ => None,
+        };
+        if let Some(node) = region_node {
+            net_names.entry(uf.find(node)).or_insert(port.name.clone());
+        }
+    }
+
+    // Build the netlist.
+    let mut netlist = Netlist::new(root_cell.name().to_string());
+    let mut net_of_node: HashMap<usize, silc_netlist::NetId> = HashMap::new();
+    let mut next_anon = 0usize;
+    let mut net_id = |node: usize,
+                      uf: &mut UnionFind,
+                      netlist: &mut Netlist,
+                      net_names: &HashMap<usize, String>|
+     -> silc_netlist::NetId {
+        let rep = uf.find(node);
+        if let Some(&id) = net_of_node.get(&rep) {
+            return id;
+        }
+        let name = net_names.get(&rep).cloned().unwrap_or_else(|| {
+            let n = format!("n{next_anon}");
+            next_anon += 1;
+            n
+        });
+        let id = netlist.add_net(name);
+        net_of_node.insert(rep, id);
+        id
+    };
+
+    let mut transistors: Vec<(String, Rect)> = Vec::new();
+    for (t, gate) in gates.iter().enumerate() {
+        let gbox = gate.bbox();
+        // Gate poly region.
+        let gp = poly_regions
+            .iter()
+            .position(|r| gate.rects.iter().any(|g| r.touches_rect(*g)))
+            .ok_or(ExtractError::MalformedTransistor {
+                at: gbox,
+                diffusions: 0,
+            })?;
+        // Adjacent source/drain regions.
+        let mut sd: Vec<usize> = diff_regions
+            .iter()
+            .enumerate()
+            .filter(|(_, r)| gate.rects.iter().any(|g| r.touches_rect(*g)))
+            .map(|(i, _)| i)
+            .collect();
+        sd.sort_unstable();
+        sd.dedup();
+        if sd.len() != 2 {
+            return Err(ExtractError::MalformedTransistor {
+                at: gbox,
+                diffusions: sd.len(),
+            });
+        }
+        let kind = if implant_rects.iter().any(|imp| imp.contains_rect(gbox)) {
+            "dep"
+        } else {
+            "enh"
+        };
+        let g_net = net_id(poly_node(gp), &mut uf, &mut netlist, &net_names);
+        let mut s_net = net_id(diff_node(sd[0]), &mut uf, &mut netlist, &net_names);
+        let mut d_net = net_id(diff_node(sd[1]), &mut uf, &mut netlist, &net_names);
+        // Canonical source/drain order so signatures are stable.
+        if netlist.net_name(s_net) > netlist.net_name(d_net) {
+            std::mem::swap(&mut s_net, &mut d_net);
+        }
+        netlist.add_instance(
+            format!("m{t}"),
+            kind,
+            &[("gate", g_net), ("src", s_net), ("drn", d_net)],
+        )?;
+        transistors.push((kind.to_string(), gbox));
+    }
+
+    // Count all electrically distinct regions, including floating ones
+    // that no transistor touches.
+    let mut reps: Vec<usize> = (0..total).map(|i| uf.find(i)).collect();
+    reps.sort_unstable();
+    reps.dedup();
+    let nets = reps.len();
+    Ok(Extracted {
+        netlist,
+        transistors,
+        nets,
+    })
+}
+
+fn region_covers(region: &Region, p: Point) -> bool {
+    region.rects.iter().any(|r| r.contains_point(p))
+}
+
+/// True when the union of `rects` fully covers `r`.
+pub(crate) fn region_covered(rects: &[Rect], r: Rect) -> bool {
+    silc_drc::region_contains_rect(rects, r)
+}
+
+/// Subtracts `cuts` from `base`, returning disjoint rectangles covering
+/// `base − cuts` exactly.
+fn subtract_rects(base: &[Rect], cuts: &[Rect]) -> Vec<Rect> {
+    let mut result: Vec<Rect> = base.to_vec();
+    for cut in cuts {
+        let mut next: Vec<Rect> = Vec::with_capacity(result.len());
+        for r in result {
+            if let Some(overlap) = r.intersection(*cut) {
+                // Up to four slabs around the overlap.
+                if overlap.top() < r.top() {
+                    next.push(
+                        Rect::new(
+                            Point::new(r.left(), overlap.top()),
+                            Point::new(r.right(), r.top()),
+                        )
+                        .expect("non-empty slab"),
+                    );
+                }
+                if r.bottom() < overlap.bottom() {
+                    next.push(
+                        Rect::new(
+                            Point::new(r.left(), r.bottom()),
+                            Point::new(r.right(), overlap.bottom()),
+                        )
+                        .expect("non-empty slab"),
+                    );
+                }
+                if r.left() < overlap.left() {
+                    next.push(
+                        Rect::new(
+                            Point::new(r.left(), overlap.bottom()),
+                            Point::new(overlap.left(), overlap.top()),
+                        )
+                        .expect("non-empty slab"),
+                    );
+                }
+                if overlap.right() < r.right() {
+                    next.push(
+                        Rect::new(
+                            Point::new(overlap.right(), overlap.bottom()),
+                            Point::new(r.right(), overlap.top()),
+                        )
+                        .expect("non-empty slab"),
+                    );
+                }
+            } else {
+                next.push(r);
+            }
+        }
+        result = next;
+    }
+    result
+}
+
+struct UnionFind {
+    parent: Vec<usize>,
+}
+
+impl UnionFind {
+    fn new(n: usize) -> UnionFind {
+        UnionFind {
+            parent: (0..n).collect(),
+        }
+    }
+
+    fn find(&mut self, i: usize) -> usize {
+        if self.parent[i] != i {
+            let root = self.find(self.parent[i]);
+            self.parent[i] = root;
+        }
+        self.parent[i]
+    }
+
+    fn union(&mut self, a: usize, b: usize) {
+        let (ra, rb) = (self.find(a), self.find(b));
+        if ra != rb {
+            self.parent[ra] = rb;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use silc_layout::{Cell, Element, Port};
+
+    fn rect(x0: i64, y0: i64, x1: i64, y1: i64) -> Rect {
+        Rect::new(Point::new(x0, y0), Point::new(x1, y1)).unwrap()
+    }
+
+    /// A complete nMOS inverter: depletion pullup + enhancement pulldown.
+    fn inverter(lib: &mut Library) -> CellId {
+        let mut c = Cell::new("inv");
+        // Vertical diffusion strip from gnd to vdd.
+        c.push_element(Element::rect(Layer::Diffusion, rect(0, 0, 4, 30)));
+        // Pulldown gate: input poly crossing at y 8..10.
+        c.push_element(Element::rect(Layer::Poly, rect(-4, 8, 8, 10)));
+        // Pullup gate at y 20..22, with implant making it depletion.
+        c.push_element(Element::rect(Layer::Poly, rect(-4, 20, 8, 22)));
+        c.push_element(Element::rect(Layer::Implant, rect(-2, 18, 6, 24)));
+        // Output contact on the middle diffusion island, metal out.
+        c.push_element(Element::rect(Layer::Contact, rect(1, 14, 3, 16)));
+        c.push_element(Element::rect(Layer::Metal, rect(0, 13, 12, 17)));
+        // Buried contact tying the pullup gate to the output (standard
+        // depletion-load connection).
+        c.push_element(Element::rect(Layer::Buried, rect(-4, 14, 0, 21)));
+        // Ports.
+        c.push_port(Port::new("in", Layer::Poly, Point::new(-4, 9)));
+        c.push_port(Port::new("out", Layer::Metal, Point::new(12, 15)));
+        c.push_port(Port::new("gnd", Layer::Diffusion, Point::new(2, 0)));
+        c.push_port(Port::new("vdd", Layer::Diffusion, Point::new(2, 30)));
+        lib.add_cell(c).unwrap()
+    }
+
+    #[test]
+    fn single_transistor() {
+        let mut lib = Library::new();
+        let mut c = Cell::new("t");
+        c.push_element(Element::rect(Layer::Diffusion, rect(0, 4, 12, 8)));
+        c.push_element(Element::rect(Layer::Poly, rect(5, 0, 7, 12)));
+        let id = lib.add_cell(c).unwrap();
+        let x = extract(&lib, id).unwrap();
+        assert_eq!(x.transistor_count(), 1);
+        assert_eq!(x.transistors[0].0, "enh");
+        // Three nets: gate poly, two diffusion islands.
+        assert_eq!(x.nets, 3);
+    }
+
+    #[test]
+    fn implant_makes_depletion() {
+        let mut lib = Library::new();
+        let mut c = Cell::new("t");
+        c.push_element(Element::rect(Layer::Diffusion, rect(0, 4, 12, 8)));
+        c.push_element(Element::rect(Layer::Poly, rect(5, 0, 7, 12)));
+        c.push_element(Element::rect(Layer::Implant, rect(3, 2, 9, 10)));
+        let id = lib.add_cell(c).unwrap();
+        let x = extract(&lib, id).unwrap();
+        assert_eq!(x.transistors[0].0, "dep");
+    }
+
+    #[test]
+    fn inverter_extracts_fully() {
+        let mut lib = Library::new();
+        let id = inverter(&mut lib);
+        let x = extract(&lib, id).unwrap();
+        assert_eq!(x.transistor_count(), 2);
+        let kinds: Vec<&str> = x.transistors.iter().map(|(k, _)| k.as_str()).collect();
+        assert!(kinds.contains(&"enh"));
+        assert!(kinds.contains(&"dep"));
+        // Named nets: in, out, gnd, vdd.
+        let names: Vec<&str> = x.netlist.nets().iter().map(|n| n.name.as_str()).collect();
+        for expected in ["in", "out", "gnd", "vdd"] {
+            assert!(
+                names.contains(&expected),
+                "missing net {expected}: {names:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn inverter_matches_intended_netlist() {
+        let mut lib = Library::new();
+        let id = inverter(&mut lib);
+        let x = extract(&lib, id).unwrap();
+
+        // The schematic we meant to draw.
+        let mut intended = Netlist::new("inv");
+        let inn = intended.add_net("in");
+        let out = intended.add_net("out");
+        let gnd = intended.add_net("gnd");
+        let vdd = intended.add_net("vdd");
+        intended
+            .add_instance("m0", "enh", &[("gate", inn), ("src", gnd), ("drn", out)])
+            .unwrap();
+        intended
+            .add_instance("m1", "dep", &[("gate", out), ("src", out), ("drn", vdd)])
+            .unwrap();
+
+        assert!(
+            x.netlist.structurally_matches(&intended),
+            "extracted:\n{}\nintended:\n{intended}",
+            x.netlist
+        );
+    }
+
+    #[test]
+    fn metal_over_diffusion_does_not_connect() {
+        let mut lib = Library::new();
+        let mut c = Cell::new("t");
+        c.push_element(Element::rect(Layer::Diffusion, rect(0, 0, 10, 4)));
+        c.push_element(Element::rect(Layer::Metal, rect(0, 0, 10, 4)));
+        // A transistor so the netlist is non-trivial.
+        c.push_element(Element::rect(Layer::Poly, rect(4, -4, 6, 8)));
+        let id = lib.add_cell(c).unwrap();
+        let x = extract(&lib, id).unwrap();
+        // Metal and diffusion are separate nets (no contact): the two
+        // diffusion islands plus poly plus metal.
+        assert_eq!(x.nets, 4);
+    }
+
+    #[test]
+    fn contact_connects_layers() {
+        let mut lib = Library::new();
+        let mut c = Cell::new("t");
+        c.push_element(Element::rect(Layer::Diffusion, rect(0, 0, 10, 4)));
+        c.push_element(Element::rect(Layer::Metal, rect(0, 0, 10, 4)));
+        c.push_element(Element::rect(Layer::Contact, rect(1, 1, 3, 3)));
+        c.push_element(Element::rect(Layer::Poly, rect(4, -4, 6, 8)));
+        let id = lib.add_cell(c).unwrap();
+        let x = extract(&lib, id).unwrap();
+        // Metal joined to the left island: 3 nets now.
+        assert_eq!(x.nets, 3);
+    }
+
+    #[test]
+    fn dangling_gate_is_malformed() {
+        let mut lib = Library::new();
+        let mut c = Cell::new("t");
+        // Poly completely covers the diffusion: no source/drain islands.
+        c.push_element(Element::rect(Layer::Diffusion, rect(2, 2, 6, 6)));
+        c.push_element(Element::rect(Layer::Poly, rect(0, 0, 8, 8)));
+        let id = lib.add_cell(c).unwrap();
+        assert!(matches!(
+            extract(&lib, id),
+            Err(ExtractError::MalformedTransistor { diffusions: 0, .. })
+        ));
+    }
+
+    #[test]
+    fn subtract_rects_carves_holes() {
+        let base = vec![rect(0, 0, 10, 10)];
+        let out = subtract_rects(&base, &[rect(4, 4, 6, 6)]);
+        let area: i64 = out.iter().map(Rect::area).sum();
+        assert_eq!(area, 100 - 4);
+        // Disjoint.
+        for (i, a) in out.iter().enumerate() {
+            for b in &out[i + 1..] {
+                assert!(!a.overlaps(*b));
+            }
+        }
+        // Subtracting everything leaves nothing.
+        assert!(subtract_rects(&base, &[rect(-1, -1, 11, 11)]).is_empty());
+        // Disjoint cut leaves base intact.
+        assert_eq!(subtract_rects(&base, &[rect(20, 20, 30, 30)]), base);
+    }
+
+    #[test]
+    fn hierarchical_layout_extracts() {
+        // The same transistor placed twice via hierarchy.
+        let mut lib = Library::new();
+        let mut leaf = Cell::new("leaf");
+        leaf.push_element(Element::rect(Layer::Diffusion, rect(0, 4, 12, 8)));
+        leaf.push_element(Element::rect(Layer::Poly, rect(5, 0, 7, 12)));
+        let leaf_id = lib.add_cell(leaf).unwrap();
+        let mut top = Cell::new("top");
+        top.push_instance(
+            silc_layout::Instance::array(leaf_id, silc_geom::Transform::IDENTITY, 2, 1, 40, 0)
+                .unwrap(),
+        );
+        let top_id = lib.add_cell(top).unwrap();
+        let x = extract(&lib, top_id).unwrap();
+        assert_eq!(x.transistor_count(), 2);
+        assert_eq!(x.nets, 6);
+    }
+}

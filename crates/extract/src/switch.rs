@@ -1,0 +1,412 @@
+//! Switch-level simulation of extracted nMOS netlists.
+//!
+//! The final verification arrow: after [`crate::extract`] recovers
+//! transistors from mask geometry, this module computes the logic values
+//! the ratioed nMOS circuit actually produces, so a generated layout can
+//! be checked *functionally*, not just topologically.
+//!
+//! Model (classic ratioed nMOS):
+//!
+//! * an enhancement transistor conducts when its gate is high;
+//! * a depletion transistor always conducts (it is the pullup load);
+//! * a net with a conducting path to ground is **0** (pulldowns are
+//!   sized to win), otherwise a conducting path to VDD makes it **1**,
+//!   otherwise it is unknown/floating;
+//! * evaluation iterates to a fixed point; circuits that fail to settle
+//!   (unstable feedback) are reported rather than mis-simulated.
+
+use silc_netlist::Netlist;
+use std::collections::BTreeMap;
+use std::error::Error;
+use std::fmt;
+
+/// A switch-level signal value.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Level {
+    /// Pulled to ground.
+    Zero,
+    /// Pulled up to VDD.
+    One,
+    /// Floating or not yet determined.
+    Unknown,
+}
+
+impl Level {
+    /// Converts to a bool where determined.
+    pub fn as_bool(self) -> Option<bool> {
+        match self {
+            Level::Zero => Some(false),
+            Level::One => Some(true),
+            Level::Unknown => None,
+        }
+    }
+}
+
+impl fmt::Display for Level {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Level::Zero => "0",
+            Level::One => "1",
+            Level::Unknown => "X",
+        })
+    }
+}
+
+/// Error produced by switch-level evaluation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum SwitchError {
+    /// A named net (input, vdd, gnd) does not exist in the netlist.
+    UnknownNet {
+        /// The missing name.
+        name: String,
+    },
+    /// An instance was not a recognised transistor kind (`enh`/`dep`)
+    /// or lacked gate/src/drn pins.
+    NotATransistor {
+        /// The offending instance.
+        instance: String,
+    },
+    /// The circuit did not settle (combinational oscillation).
+    Unstable,
+}
+
+impl fmt::Display for SwitchError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SwitchError::UnknownNet { name } => write!(f, "net `{name}` not in the netlist"),
+            SwitchError::NotATransistor { instance } => {
+                write!(f, "instance `{instance}` is not an enh/dep transistor")
+            }
+            SwitchError::Unstable => write!(f, "circuit did not reach a stable state"),
+        }
+    }
+}
+
+impl Error for SwitchError {}
+
+/// Evaluates an extracted transistor netlist at switch level.
+///
+/// `inputs` force the named nets to fixed values; `vdd` and `gnd` name
+/// the rails. Returns the settled level of every net.
+///
+/// # Errors
+///
+/// * [`SwitchError::UnknownNet`] — a named net is absent;
+/// * [`SwitchError::NotATransistor`] — the netlist contains a non-`enh`/
+///   `dep` instance (switch-level simulation only models transistors);
+/// * [`SwitchError::Unstable`] — no fixed point within the iteration
+///   bound.
+///
+/// # Example
+///
+/// ```
+/// use silc_netlist::Netlist;
+/// use silc_extract::{switch_level_eval, Level};
+///
+/// // An inverter: depletion pullup + enhancement pulldown.
+/// let mut n = Netlist::new("inv");
+/// let (inn, out) = (n.add_net("in"), n.add_net("out"));
+/// let (vdd, gnd) = (n.add_net("vdd"), n.add_net("gnd"));
+/// n.add_instance("pu", "dep", &[("gate", out), ("src", out), ("drn", vdd)])?;
+/// n.add_instance("pd", "enh", &[("gate", inn), ("src", gnd), ("drn", out)])?;
+///
+/// let levels = switch_level_eval(&n, &[("in", true)], "vdd", "gnd")?;
+/// assert_eq!(levels["out"], Level::Zero);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+pub fn switch_level_eval(
+    netlist: &Netlist,
+    inputs: &[(&str, bool)],
+    vdd: &str,
+    gnd: &str,
+) -> Result<BTreeMap<String, Level>, SwitchError> {
+    let n_nets = netlist.nets().len();
+    let need = |name: &str| {
+        netlist
+            .net_by_name(name)
+            .ok_or_else(|| SwitchError::UnknownNet {
+                name: name.to_string(),
+            })
+    };
+    let vdd_id = need(vdd)?.raw() as usize;
+    let gnd_id = need(gnd)?.raw() as usize;
+    let mut forced: Vec<Option<Level>> = vec![None; n_nets];
+    forced[vdd_id] = Some(Level::One);
+    forced[gnd_id] = Some(Level::Zero);
+    for &(name, value) in inputs {
+        let id = need(name)?.raw() as usize;
+        forced[id] = Some(if value { Level::One } else { Level::Zero });
+    }
+
+    // Gather transistors.
+    struct Fet {
+        depletion: bool,
+        gate: usize,
+        src: usize,
+        drn: usize,
+    }
+    let mut fets = Vec::with_capacity(netlist.instances().len());
+    for inst in netlist.instances() {
+        let depletion = match inst.kind.as_str() {
+            "enh" => false,
+            "dep" => true,
+            _ => {
+                return Err(SwitchError::NotATransistor {
+                    instance: inst.name.clone(),
+                })
+            }
+        };
+        let pin = |p: &str| {
+            inst.connections
+                .iter()
+                .find(|(n, _)| n == p)
+                .map(|(_, id)| id.raw() as usize)
+                .ok_or_else(|| SwitchError::NotATransistor {
+                    instance: inst.name.clone(),
+                })
+        };
+        fets.push(Fet {
+            depletion,
+            gate: pin("gate")?,
+            src: pin("src")?,
+            drn: pin("drn")?,
+        });
+    }
+
+    // Iterate to a fixed point.
+    let mut levels: Vec<Level> = (0..n_nets)
+        .map(|i| forced[i].unwrap_or(Level::Unknown))
+        .collect();
+    let bound = 2 * n_nets + 8;
+    for _ in 0..bound {
+        // Conducting channel edges under the current gate values.
+        let mut adj: Vec<Vec<usize>> = vec![Vec::new(); n_nets];
+        for f in &fets {
+            let on = f.depletion || levels[f.gate] == Level::One;
+            if on {
+                adj[f.src].push(f.drn);
+                adj[f.drn].push(f.src);
+            }
+        }
+        // Every forced net is a driver of its polarity; drivers forward
+        // their value through conducting channels but other values never
+        // pass *through* a driver (it is low-impedance).
+        let reach = |want: Level| -> Vec<bool> {
+            let mut seen = vec![false; n_nets];
+            let mut stack: Vec<usize> = (0..n_nets).filter(|&i| forced[i] == Some(want)).collect();
+            for &s in &stack {
+                seen[s] = true;
+            }
+            while let Some(i) = stack.pop() {
+                for &j in &adj[i] {
+                    if !seen[j] {
+                        seen[j] = true;
+                        if forced[j].is_none() {
+                            stack.push(j);
+                        }
+                    }
+                }
+            }
+            seen
+        };
+        let down = reach(Level::Zero);
+        let up = reach(Level::One);
+
+        let mut next: Vec<Level> = Vec::with_capacity(n_nets);
+        for i in 0..n_nets {
+            let level = if let Some(f) = forced[i] {
+                f
+            } else if down[i] {
+                Level::Zero // ratioed: pulldown wins
+            } else if up[i] {
+                Level::One
+            } else {
+                Level::Unknown
+            };
+            next.push(level);
+        }
+        if next == levels {
+            let mut out = BTreeMap::new();
+            for (i, net) in netlist.nets().iter().enumerate() {
+                out.insert(net.name.clone(), levels[i]);
+            }
+            return Ok(out);
+        }
+        levels = next;
+    }
+    Err(SwitchError::Unstable)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn inverter() -> Netlist {
+        let mut n = Netlist::new("inv");
+        let inn = n.add_net("in");
+        let out = n.add_net("out");
+        let vdd = n.add_net("vdd");
+        let gnd = n.add_net("gnd");
+        n.add_instance("pu", "dep", &[("gate", out), ("src", out), ("drn", vdd)])
+            .unwrap();
+        n.add_instance("pd", "enh", &[("gate", inn), ("src", gnd), ("drn", out)])
+            .unwrap();
+        n
+    }
+
+    #[test]
+    fn inverter_inverts() {
+        let n = inverter();
+        let low = switch_level_eval(&n, &[("in", false)], "vdd", "gnd").unwrap();
+        assert_eq!(low["out"], Level::One);
+        let high = switch_level_eval(&n, &[("in", true)], "vdd", "gnd").unwrap();
+        assert_eq!(high["out"], Level::Zero);
+    }
+
+    #[test]
+    fn nand_gate() {
+        // Two enhancement pulldowns in series.
+        let mut n = Netlist::new("nand");
+        let a = n.add_net("a");
+        let b = n.add_net("b");
+        let out = n.add_net("out");
+        let mid = n.add_net("mid");
+        let vdd = n.add_net("vdd");
+        let gnd = n.add_net("gnd");
+        n.add_instance("pu", "dep", &[("gate", out), ("src", out), ("drn", vdd)])
+            .unwrap();
+        n.add_instance("p1", "enh", &[("gate", a), ("src", mid), ("drn", out)])
+            .unwrap();
+        n.add_instance("p2", "enh", &[("gate", b), ("src", gnd), ("drn", mid)])
+            .unwrap();
+        for (av, bv, expect) in [
+            (false, false, Level::One),
+            (false, true, Level::One),
+            (true, false, Level::One),
+            (true, true, Level::Zero),
+        ] {
+            let r = switch_level_eval(&n, &[("a", av), ("b", bv)], "vdd", "gnd").unwrap();
+            assert_eq!(r["out"], expect, "a={av} b={bv}");
+        }
+    }
+
+    #[test]
+    fn nor_gate() {
+        // Two parallel pulldowns.
+        let mut n = Netlist::new("nor");
+        let a = n.add_net("a");
+        let b = n.add_net("b");
+        let out = n.add_net("out");
+        let vdd = n.add_net("vdd");
+        let gnd = n.add_net("gnd");
+        n.add_instance("pu", "dep", &[("gate", out), ("src", out), ("drn", vdd)])
+            .unwrap();
+        n.add_instance("p1", "enh", &[("gate", a), ("src", gnd), ("drn", out)])
+            .unwrap();
+        n.add_instance("p2", "enh", &[("gate", b), ("src", gnd), ("drn", out)])
+            .unwrap();
+        for (av, bv, expect) in [
+            (false, false, Level::One),
+            (false, true, Level::Zero),
+            (true, false, Level::Zero),
+            (true, true, Level::Zero),
+        ] {
+            let r = switch_level_eval(&n, &[("a", av), ("b", bv)], "vdd", "gnd").unwrap();
+            assert_eq!(r["out"], expect, "a={av} b={bv}");
+        }
+    }
+
+    #[test]
+    fn two_stage_buffer() {
+        // Two chained inverters: out follows in after two stages.
+        let mut n = Netlist::new("buf");
+        let inn = n.add_net("in");
+        let mid = n.add_net("mid");
+        let out = n.add_net("out");
+        let vdd = n.add_net("vdd");
+        let gnd = n.add_net("gnd");
+        n.add_instance("pu1", "dep", &[("gate", mid), ("src", mid), ("drn", vdd)])
+            .unwrap();
+        n.add_instance("pd1", "enh", &[("gate", inn), ("src", gnd), ("drn", mid)])
+            .unwrap();
+        n.add_instance("pu2", "dep", &[("gate", out), ("src", out), ("drn", vdd)])
+            .unwrap();
+        n.add_instance("pd2", "enh", &[("gate", mid), ("src", gnd), ("drn", out)])
+            .unwrap();
+        let r = switch_level_eval(&n, &[("in", true)], "vdd", "gnd").unwrap();
+        assert_eq!(r["mid"], Level::Zero);
+        assert_eq!(r["out"], Level::One);
+        let r = switch_level_eval(&n, &[("in", false)], "vdd", "gnd").unwrap();
+        assert_eq!(r["out"], Level::Zero);
+    }
+
+    #[test]
+    fn pass_transistor_isolates() {
+        // A pass transistor with its gate low leaves the output floating.
+        let mut n = Netlist::new("pass");
+        let g = n.add_net("g");
+        let d = n.add_net("d");
+        let q = n.add_net("q");
+        let vdd = n.add_net("vdd");
+        let gnd = n.add_net("gnd");
+        // Keep the rails referenced.
+        n.add_instance("pd", "enh", &[("gate", d), ("src", gnd), ("drn", vdd)])
+            .unwrap();
+        n.add_instance("t", "enh", &[("gate", g), ("src", d), ("drn", q)])
+            .unwrap();
+        let r = switch_level_eval(&n, &[("g", false), ("d", true)], "vdd", "gnd").unwrap();
+        assert_eq!(r["q"], Level::Unknown);
+        let r = switch_level_eval(&n, &[("g", true), ("d", true)], "vdd", "gnd").unwrap();
+        assert_eq!(r["q"], Level::One);
+    }
+
+    #[test]
+    fn inputs_block_propagation_through_them() {
+        // Driving `d` high must not leak VDD through the input onto the
+        // other side of an off transistor network.
+        let mut n = Netlist::new("block");
+        let d = n.add_net("d");
+        let other = n.add_net("other");
+        let vdd = n.add_net("vdd");
+        let gnd = n.add_net("gnd");
+        n.add_instance("t", "dep", &[("gate", d), ("src", d), ("drn", other)])
+            .unwrap();
+        n.add_instance("k", "enh", &[("gate", gnd), ("src", gnd), ("drn", vdd)])
+            .unwrap();
+        let r = switch_level_eval(&n, &[("d", false)], "vdd", "gnd").unwrap();
+        // `other` connects to forced-low `d` through an always-on dep
+        // channel: the input drives it low.
+        assert_eq!(r["other"], Level::Zero);
+        let r = switch_level_eval(&n, &[("d", true)], "vdd", "gnd").unwrap();
+        assert_eq!(r["other"], Level::One);
+    }
+
+    #[test]
+    fn unknown_names_rejected() {
+        let n = inverter();
+        assert!(matches!(
+            switch_level_eval(&n, &[("nope", true)], "vdd", "gnd"),
+            Err(SwitchError::UnknownNet { .. })
+        ));
+        assert!(matches!(
+            switch_level_eval(&n, &[], "vcc", "gnd"),
+            Err(SwitchError::UnknownNet { .. })
+        ));
+    }
+
+    #[test]
+    fn foreign_kinds_rejected() {
+        let mut n = Netlist::new("t");
+        let a = n.add_net("a");
+        let vdd = n.add_net("vdd");
+        let gnd = n.add_net("gnd");
+        n.add_instance("r", "resistor", &[("a", a), ("b", vdd)])
+            .unwrap();
+        let _ = gnd;
+        assert!(matches!(
+            switch_level_eval(&n, &[], "vdd", "gnd"),
+            Err(SwitchError::NotATransistor { .. })
+        ));
+    }
+}

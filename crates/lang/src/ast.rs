@@ -1,0 +1,234 @@
+/// A SIL program: a list of top-level items.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Program {
+    pub items: Vec<Item>,
+}
+
+/// A top-level item.
+///
+/// `Stmt` is by far the largest variant, but items live in one short
+/// `Vec` per program, so boxing would buy nothing.
+#[derive(Debug, Clone, PartialEq)]
+#[allow(clippy::large_enum_variant)]
+pub enum Item {
+    /// `cell name(params) { body }` — a parameterised layout generator.
+    Cell(CellDef),
+    /// `fn name(params) { body }` — a value-returning procedure.
+    Fn(FnDef),
+    /// `type name { field, ... }` — a record type (data-type extension).
+    Type(TypeDef),
+    /// A statement executed in the implicit top cell.
+    Stmt(Stmt),
+}
+
+/// A parameter: name plus optional default.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Param {
+    pub name: String,
+    pub default: Option<Expr>,
+}
+
+#[derive(Debug, Clone, PartialEq)]
+pub struct CellDef {
+    pub name: String,
+    pub params: Vec<Param>,
+    pub body: Vec<Stmt>,
+    pub line: usize,
+}
+
+#[derive(Debug, Clone, PartialEq)]
+pub struct FnDef {
+    pub name: String,
+    pub params: Vec<Param>,
+    pub body: Vec<Stmt>,
+    pub line: usize,
+}
+
+#[derive(Debug, Clone, PartialEq)]
+pub struct TypeDef {
+    pub name: String,
+    pub fields: Vec<String>,
+    pub line: usize,
+}
+
+/// Orientation modifiers on a placement, applied in source order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OrientMod {
+    Rot90,
+    Rot180,
+    Rot270,
+    MirrorX,
+    MirrorY,
+}
+
+/// A statement. Every statement carries its source line for diagnostics.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Stmt {
+    /// `box layer (x0,y0) (x1,y1);`
+    Box {
+        layer: Expr,
+        a: Expr,
+        b: Expr,
+        line: usize,
+    },
+    /// `wire layer width (x,y) (x,y) ...;`
+    Wire {
+        layer: Expr,
+        width: Expr,
+        points: Vec<Expr>,
+        line: usize,
+    },
+    /// `polygon layer (x,y) (x,y) (x,y) ...;`
+    Polygon {
+        layer: Expr,
+        points: Vec<Expr>,
+        line: usize,
+    },
+    /// `port name layer (x,y);` — `name` may be a parenthesized string
+    /// expression for computed names: `port ("b" + str(i)) metal (x,y);`
+    Port {
+        name: Expr,
+        layer: Expr,
+        at: Expr,
+        line: usize,
+    },
+    /// `place cell(args) at (x,y) [orientation...];`
+    Place {
+        cell: String,
+        args: Vec<Expr>,
+        at: Expr,
+        orient: Vec<OrientMod>,
+        line: usize,
+    },
+    /// `array cell(args) at (x,y) step (dx,dy) [(dx2,dy2)] count n [m]
+    /// [orientation...];`
+    ArrayPlace {
+        cell: String,
+        args: Vec<Expr>,
+        at: Expr,
+        step: Expr,
+        step2: Option<Expr>,
+        count: Expr,
+        count2: Option<Expr>,
+        orient: Vec<OrientMod>,
+        line: usize,
+    },
+    /// `let name = expr;`
+    Let {
+        name: String,
+        value: Expr,
+        line: usize,
+    },
+    /// `name = expr;`
+    Assign {
+        name: String,
+        value: Expr,
+        line: usize,
+    },
+    /// `for i in a .. b { body }`
+    For {
+        var: String,
+        from: Expr,
+        to: Expr,
+        body: Vec<Stmt>,
+        line: usize,
+    },
+    /// `if cond { ... } else { ... }`
+    If {
+        cond: Expr,
+        then_body: Vec<Stmt>,
+        else_body: Vec<Stmt>,
+        line: usize,
+    },
+    /// `return expr;` (functions only).
+    Return { value: Option<Expr>, line: usize },
+    /// A bare expression (evaluated for effect, e.g. a function call).
+    Expr { value: Expr, line: usize },
+}
+
+impl Stmt {
+    /// The statement's source line.
+    pub fn line(&self) -> usize {
+        match self {
+            Stmt::Box { line, .. }
+            | Stmt::Wire { line, .. }
+            | Stmt::Polygon { line, .. }
+            | Stmt::Port { line, .. }
+            | Stmt::Place { line, .. }
+            | Stmt::ArrayPlace { line, .. }
+            | Stmt::Let { line, .. }
+            | Stmt::Assign { line, .. }
+            | Stmt::For { line, .. }
+            | Stmt::If { line, .. }
+            | Stmt::Return { line, .. }
+            | Stmt::Expr { line, .. } => *line,
+        }
+    }
+}
+
+/// Binary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BinOp {
+    Add,
+    Sub,
+    Mul,
+    Div,
+    Rem,
+    Eq,
+    Ne,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+    And,
+    Or,
+}
+
+/// An expression.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Expr {
+    Int(i64),
+    Bool(bool),
+    Str(String),
+    /// `(x, y)` — a point literal.
+    Point(Box<Expr>, Box<Expr>),
+    /// `[a, b, c]` — a list literal.
+    List(Vec<Expr>),
+    Ident(String),
+    /// `name { field: value, ... }` — record construction.
+    Record {
+        type_name: String,
+        fields: Vec<(String, Expr)>,
+    },
+    /// `f(args)` — function call.
+    Call {
+        name: String,
+        args: Vec<Expr>,
+    },
+    /// `expr.field` — record field access (also `.x`/`.y` on points).
+    Field {
+        base: Box<Expr>,
+        field: String,
+    },
+    /// `expr[index]` — list indexing.
+    Index {
+        base: Box<Expr>,
+        index: Box<Expr>,
+    },
+    Unary {
+        op: UnOp,
+        expr: Box<Expr>,
+    },
+    Binary {
+        op: BinOp,
+        lhs: Box<Expr>,
+        rhs: Box<Expr>,
+    },
+}
+
+/// Unary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum UnOp {
+    Neg,
+    Not,
+}

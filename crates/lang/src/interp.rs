@@ -1,0 +1,1182 @@
+use crate::ast::*;
+use crate::parser::parse;
+use crate::value::Value;
+use crate::LangError;
+use silc_geom::{Orientation, Path, Point, Polygon, Rect, Transform};
+use silc_layout::{Cell, CellId, Element, Instance, Layer, Library, Port};
+use std::collections::HashMap;
+
+/// The result of compiling a SIL program: a layout library plus the id of
+/// the implicit top cell (named `main`) holding the program's top-level
+/// geometry and placements.
+#[derive(Debug)]
+pub struct Design {
+    /// The elaborated hierarchy.
+    pub library: Library,
+    /// The implicit top cell.
+    pub top: CellId,
+}
+
+/// The SIL compiler: parses a program and elaborates it into a layout
+/// hierarchy.
+///
+/// Parameterised cells are elaborated lazily and **memoized per argument
+/// tuple**: placing `shifter(8)` twice emits one library cell instanced
+/// twice, preserving the sharing a graphics language's symbol facility
+/// provides.
+///
+/// # Example
+///
+/// ```
+/// use silc_lang::Compiler;
+/// # fn main() -> Result<(), silc_lang::LangError> {
+/// let design = Compiler::new().compile(
+///     "cell pad() { box metal (0,0) (8,8); }
+///      place pad() at (0, 0);
+///      place pad() at (20, 0);")?;
+/// assert!(design.library.cell_by_name("pad").is_some());
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct Compiler {}
+
+/// The standard-cell prelude: Mead–Conway leaf cells available to every
+/// SIL program (placed like any user cell, elaborated only when used).
+/// All are DRC-clean under `RuleSet::mead_conway_nmos`.
+///
+/// | cell | purpose | ports |
+/// |---|---|---|
+/// | `std_contact_md()` | metal–diffusion contact | `c` |
+/// | `std_contact_mp()` | metal–poly contact | `c` |
+/// | `std_butting()` | butting contact (poly+diff under one cut) | `c` |
+/// | `std_pullup()` | depletion pullup load | `out` |
+/// | `std_pass()` | pass transistor | `g`, `a`, `b` |
+/// | `std_inv()` | depletion-load inverter | `inp`, `out`, `vdd`, `gnd` |
+pub const PRELUDE: &str = r#"
+cell std_contact_md() {
+    box diff (-2, -2) (2, 2);
+    box metal (-2, -2) (2, 2);
+    box contact (-1, -1) (1, 1);
+    port c metal (0, 0);
+}
+cell std_contact_mp() {
+    box poly (-2, -2) (2, 2);
+    box metal (-2, -2) (2, 2);
+    box contact (-1, -1) (1, 1);
+    port c metal (0, 0);
+}
+cell std_butting() {
+    box poly (-2, -3) (2, 0);
+    box diff (-2, 0) (2, 3);
+    box metal (-2, -3) (2, 3);
+    box contact (-1, -2) (1, 2);
+    port c metal (0, 0);
+}
+cell std_pullup() {
+    box implant (-4, -4) (8, 4);
+    box diff (-3, -2) (6, 2);
+    box poly (-1, -4) (1, 4);
+    box contact (3, -1) (5, 1);
+    box metal (2, -2) (6, 2);
+    port out metal (4, 0);
+}
+cell std_pass() {
+    box diff (-4, -1) (4, 1);
+    box poly (-1, -4) (1, 4);
+    port g poly (0, 4);
+    port a diff (-4, 0);
+    port b diff (4, 0);
+}
+cell std_inv() {
+    box diff (0, 0) (4, 30);
+    box poly (-4, 8) (8, 10);
+    box poly (-4, 20) (8, 22);
+    box implant (-2, 18) (6, 24);
+    box contact (1, 14) (3, 16);
+    box metal (0, 13) (12, 17);
+    box buried (-4, 14) (0, 21);
+    port inp poly (-4, 9);
+    port out metal (12, 15);
+    port gnd diff (2, 0);
+    port vdd diff (2, 30);
+}
+"#;
+
+impl Compiler {
+    /// Creates a compiler.
+    pub fn new() -> Compiler {
+        Compiler {}
+    }
+
+    /// Compiles SIL source into a layout design.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LangError`] for syntax errors (with position) and for
+    /// elaboration errors (with the offending statement's line).
+    pub fn compile(&self, source: &str) -> Result<Design, LangError> {
+        let program = parse(source)?;
+        let mut interp = Interp::new();
+
+        // The standard-cell prelude is always in scope.
+        let prelude = parse(PRELUDE).expect("the prelude is valid SIL");
+        for item in &prelude.items {
+            if let Item::Cell(c) = item {
+                interp.cells.insert(c.name.clone(), c.clone());
+            }
+        }
+
+        // Register definitions first so order of items is free.
+        let mut top_stmts: Vec<&Stmt> = Vec::new();
+        for item in &program.items {
+            match item {
+                Item::Cell(c) => {
+                    if interp.cells.insert(c.name.clone(), c.clone()).is_some() {
+                        return Err(LangError::eval(
+                            c.line,
+                            format!("cell `{}` is defined twice", c.name),
+                        ));
+                    }
+                }
+                Item::Fn(f) => {
+                    if interp.fns.insert(f.name.clone(), f.clone()).is_some() {
+                        return Err(LangError::eval(
+                            f.line,
+                            format!("fn `{}` is defined twice", f.name),
+                        ));
+                    }
+                }
+                Item::Type(t) => {
+                    if interp.types.insert(t.name.clone(), t.clone()).is_some() {
+                        return Err(LangError::eval(
+                            t.line,
+                            format!("type `{}` is defined twice", t.name),
+                        ));
+                    }
+                }
+                Item::Stmt(s) => top_stmts.push(s),
+            }
+        }
+
+        let mut env = Env::new();
+        let mut top = Cell::new("main");
+        for stmt in top_stmts {
+            let flow = interp.exec_stmt(stmt, &mut env, &mut Some(&mut top))?;
+            if let Flow::Return(_) = flow {
+                return Err(LangError::eval(stmt.line(), "return outside a function"));
+            }
+        }
+        let top_id = interp
+            .lib
+            .add_cell(top)
+            .map_err(|e| LangError::eval(0, e.to_string()))?;
+        Ok(Design {
+            library: interp.lib,
+            top: top_id,
+        })
+    }
+}
+
+// -------------------------------------------------------------------
+// Environment
+// -------------------------------------------------------------------
+
+struct Env {
+    scopes: Vec<HashMap<String, Value>>,
+}
+
+impl Env {
+    fn new() -> Env {
+        Env {
+            scopes: vec![HashMap::new()],
+        }
+    }
+
+    fn push(&mut self) {
+        self.scopes.push(HashMap::new());
+    }
+
+    fn pop(&mut self) {
+        self.scopes.pop();
+    }
+
+    fn define(&mut self, name: &str, value: Value) {
+        self.scopes
+            .last_mut()
+            .expect("at least one scope")
+            .insert(name.to_string(), value);
+    }
+
+    fn assign(&mut self, name: &str, value: Value) -> bool {
+        for scope in self.scopes.iter_mut().rev() {
+            if let Some(slot) = scope.get_mut(name) {
+                *slot = value;
+                return true;
+            }
+        }
+        false
+    }
+
+    fn get(&self, name: &str) -> Option<&Value> {
+        self.scopes.iter().rev().find_map(|s| s.get(name))
+    }
+}
+
+enum Flow {
+    Normal,
+    Return(Value),
+}
+
+// -------------------------------------------------------------------
+// Interpreter
+// -------------------------------------------------------------------
+
+struct Interp {
+    cells: HashMap<String, CellDef>,
+    fns: HashMap<String, FnDef>,
+    types: HashMap<String, TypeDef>,
+    lib: Library,
+    memo: HashMap<String, CellId>,
+    elab_stack: Vec<String>,
+    call_depth: usize,
+}
+
+type CellSlot<'a, 'b> = Option<&'a mut Cell>;
+
+impl Interp {
+    fn new() -> Interp {
+        Interp {
+            cells: HashMap::new(),
+            fns: HashMap::new(),
+            types: HashMap::new(),
+            lib: Library::new(),
+            memo: HashMap::new(),
+            elab_stack: Vec::new(),
+            call_depth: 0,
+        }
+    }
+
+    // ---------------------------------------------------------------
+    // Cell elaboration
+    // ---------------------------------------------------------------
+
+    fn elaborate_cell(
+        &mut self,
+        name: &str,
+        args: Vec<Value>,
+        line: usize,
+    ) -> Result<CellId, LangError> {
+        let def = self
+            .cells
+            .get(name)
+            .cloned()
+            .ok_or_else(|| LangError::eval(line, format!("cell `{name}` is not defined")))?;
+
+        // Bind parameters (defaults for missing trailing arguments).
+        if args.len() > def.params.len() {
+            return Err(LangError::eval(
+                line,
+                format!(
+                    "cell `{name}` takes {} parameter(s), got {}",
+                    def.params.len(),
+                    args.len()
+                ),
+            ));
+        }
+        let mut bound: Vec<(String, Value)> = Vec::new();
+        for (i, param) in def.params.iter().enumerate() {
+            let value = if i < args.len() {
+                args[i].clone()
+            } else if let Some(default) = &param.default {
+                let mut env = Env::new();
+                self.eval(default, &mut env, line)?
+            } else {
+                return Err(LangError::eval(
+                    line,
+                    format!("cell `{name}` missing argument `{}`", param.name),
+                ));
+            };
+            bound.push((param.name.clone(), value));
+        }
+
+        // Memoization key from the bound argument tuple.
+        let key = format!(
+            "{name}({})",
+            bound
+                .iter()
+                .map(|(_, v)| v.memo_key())
+                .collect::<Vec<_>>()
+                .join(",")
+        );
+        if let Some(&id) = self.memo.get(&key) {
+            return Ok(id);
+        }
+        if self.elab_stack.contains(&key) {
+            return Err(LangError::RecursiveCell {
+                name: name.to_string(),
+            });
+        }
+        self.elab_stack.push(key.clone());
+
+        // Unique library name per variant.
+        let lib_name = if bound.is_empty() {
+            name.to_string()
+        } else {
+            let suffix: String = bound
+                .iter()
+                .map(|(_, v)| sanitize(&v.memo_key()))
+                .collect::<Vec<_>>()
+                .join("_");
+            format!("{name}${suffix}")
+        };
+
+        let mut env = Env::new();
+        for (pname, value) in &bound {
+            env.define(pname, value.clone());
+        }
+        let mut cell = Cell::new(lib_name);
+        for stmt in &def.body {
+            let flow = self.exec_stmt(stmt, &mut env, &mut Some(&mut cell))?;
+            if let Flow::Return(_) = flow {
+                return Err(LangError::eval(
+                    stmt.line(),
+                    "return is not allowed in a cell body",
+                ));
+            }
+        }
+        self.elab_stack.pop();
+
+        let id = self
+            .lib
+            .add_cell(cell)
+            .map_err(|e| LangError::eval(def.line, e.to_string()))?;
+        self.memo.insert(key, id);
+        Ok(id)
+    }
+
+    // ---------------------------------------------------------------
+    // Statements
+    // ---------------------------------------------------------------
+
+    fn exec_block(
+        &mut self,
+        body: &[Stmt],
+        env: &mut Env,
+        cell: &mut CellSlot<'_, '_>,
+    ) -> Result<Flow, LangError> {
+        env.push();
+        for stmt in body {
+            match self.exec_stmt(stmt, env, cell)? {
+                Flow::Normal => {}
+                ret @ Flow::Return(_) => {
+                    env.pop();
+                    return Ok(ret);
+                }
+            }
+        }
+        env.pop();
+        Ok(Flow::Normal)
+    }
+
+    fn exec_stmt(
+        &mut self,
+        stmt: &Stmt,
+        env: &mut Env,
+        cell: &mut CellSlot<'_, '_>,
+    ) -> Result<Flow, LangError> {
+        let line = stmt.line();
+        match stmt {
+            Stmt::Box { layer, a, b, .. } => {
+                let layer = self.eval_layer(layer, env, line)?;
+                let pa = self.eval_point(a, env, line)?;
+                let pb = self.eval_point(b, env, line)?;
+                let rect = Rect::new(pa, pb).map_err(|e| LangError::eval(line, e.to_string()))?;
+                self.target(cell, line)?
+                    .push_element(Element::rect(layer, rect));
+                Ok(Flow::Normal)
+            }
+            Stmt::Wire {
+                layer,
+                width,
+                points,
+                ..
+            } => {
+                let layer = self.eval_layer(layer, env, line)?;
+                let w = self.eval_int(width, env, line)?;
+                let pts = points
+                    .iter()
+                    .map(|p| self.eval_point(p, env, line))
+                    .collect::<Result<Vec<_>, _>>()?;
+                let path = Path::new(w, pts).map_err(|e| LangError::eval(line, e.to_string()))?;
+                self.target(cell, line)?
+                    .push_element(Element::new(layer, path));
+                Ok(Flow::Normal)
+            }
+            Stmt::Polygon { layer, points, .. } => {
+                let layer = self.eval_layer(layer, env, line)?;
+                let pts = points
+                    .iter()
+                    .map(|p| self.eval_point(p, env, line))
+                    .collect::<Result<Vec<_>, _>>()?;
+                let poly = Polygon::new(pts).map_err(|e| LangError::eval(line, e.to_string()))?;
+                self.target(cell, line)?
+                    .push_element(Element::new(layer, poly));
+                Ok(Flow::Normal)
+            }
+            Stmt::Port {
+                name, layer, at, ..
+            } => {
+                let name_value = self.eval(name, env, line)?;
+                let Value::Str(port_name) = name_value else {
+                    return Err(LangError::eval(
+                        line,
+                        format!("port name must be a string, got {}", name_value.type_name()),
+                    ));
+                };
+                let layer = self.eval_layer(layer, env, line)?;
+                let p = self.eval_point(at, env, line)?;
+                self.target(cell, line)?
+                    .push_port(Port::new(port_name, layer, p));
+                Ok(Flow::Normal)
+            }
+            Stmt::Place {
+                cell: child,
+                args,
+                at,
+                orient,
+                ..
+            } => {
+                let arg_values = args
+                    .iter()
+                    .map(|a| self.eval(a, env, line))
+                    .collect::<Result<Vec<_>, _>>()?;
+                let at = self.eval_point(at, env, line)?;
+                let child_id = self.elaborate_cell(child, arg_values, line)?;
+                let transform = Transform::new(orientation_of(orient), at);
+                self.target(cell, line)?
+                    .push_instance(Instance::place(child_id, transform));
+                Ok(Flow::Normal)
+            }
+            Stmt::ArrayPlace {
+                cell: child,
+                args,
+                at,
+                step,
+                step2,
+                count,
+                count2,
+                orient,
+                ..
+            } => {
+                let arg_values = args
+                    .iter()
+                    .map(|a| self.eval(a, env, line))
+                    .collect::<Result<Vec<_>, _>>()?;
+                let at = self.eval_point(at, env, line)?;
+                let step = self.eval_point(step, env, line)?;
+                let step2 = step2
+                    .as_ref()
+                    .map(|s| self.eval_point(s, env, line))
+                    .transpose()?;
+                let count = self.eval_int(count, env, line)?;
+                let count2 = count2
+                    .as_ref()
+                    .map(|c| self.eval_int(c, env, line))
+                    .transpose()?
+                    .unwrap_or(1);
+                if count < 1 || count2 < 1 {
+                    return Err(LangError::eval(line, "array count must be at least 1"));
+                }
+                let child_id = self.elaborate_cell(child, arg_values, line)?;
+                let orientation = orientation_of(orient);
+                let target = self.target(cell, line)?;
+                // Axis-aligned steps map onto native array instances
+                // (compact in CIF); diagonal steps expand to placements.
+                let axis_ok = step.y == 0 && step2.is_none_or(|s| s.x == 0);
+                if axis_ok {
+                    let dy = step2.map_or(0, |s| s.y);
+                    let inst = Instance::array(
+                        child_id,
+                        Transform::new(orientation, at),
+                        count as u32,
+                        count2 as u32,
+                        step.x,
+                        dy,
+                    )
+                    .map_err(|e| LangError::eval(line, e.to_string()))?;
+                    target.push_instance(inst);
+                } else {
+                    for j in 0..count2 {
+                        for i in 0..count {
+                            let offset = Point::new(
+                                at.x + step.x * i + step2.map_or(0, |s| s.x) * j,
+                                at.y + step.y * i + step2.map_or(0, |s| s.y) * j,
+                            );
+                            target.push_instance(Instance::place(
+                                child_id,
+                                Transform::new(orientation, offset),
+                            ));
+                        }
+                    }
+                }
+                Ok(Flow::Normal)
+            }
+            Stmt::Let { name, value, .. } => {
+                let v = self.eval(value, env, line)?;
+                env.define(name, v);
+                Ok(Flow::Normal)
+            }
+            Stmt::Assign { name, value, .. } => {
+                let v = self.eval(value, env, line)?;
+                if !env.assign(name, v) {
+                    return Err(LangError::eval(
+                        line,
+                        format!("assignment to undefined variable `{name}`"),
+                    ));
+                }
+                Ok(Flow::Normal)
+            }
+            Stmt::For {
+                var,
+                from,
+                to,
+                body,
+                ..
+            } => {
+                let from = self.eval_int(from, env, line)?;
+                let to = self.eval_int(to, env, line)?;
+                for i in from..to {
+                    env.push();
+                    env.define(var, Value::Int(i));
+                    let flow = self.exec_block(body, env, cell)?;
+                    env.pop();
+                    if let Flow::Return(_) = flow {
+                        return Ok(flow);
+                    }
+                }
+                Ok(Flow::Normal)
+            }
+            Stmt::If {
+                cond,
+                then_body,
+                else_body,
+                ..
+            } => {
+                let c = self.eval(cond, env, line)?;
+                let c = c.as_bool().ok_or_else(|| {
+                    LangError::eval(
+                        line,
+                        format!("if condition must be bool, got {}", c.type_name()),
+                    )
+                })?;
+                if c {
+                    self.exec_block(then_body, env, cell)
+                } else {
+                    self.exec_block(else_body, env, cell)
+                }
+            }
+            Stmt::Return { value, .. } => {
+                let v = match value {
+                    Some(e) => self.eval(e, env, line)?,
+                    None => Value::Int(0),
+                };
+                Ok(Flow::Return(v))
+            }
+            Stmt::Expr { value, .. } => {
+                self.eval(value, env, line)?;
+                Ok(Flow::Normal)
+            }
+        }
+    }
+
+    fn target<'a>(
+        &self,
+        cell: &'a mut CellSlot<'_, '_>,
+        line: usize,
+    ) -> Result<&'a mut Cell, LangError> {
+        cell.as_deref_mut().ok_or_else(|| {
+            LangError::eval(line, "geometry statements are not allowed inside fn bodies")
+        })
+    }
+
+    // ---------------------------------------------------------------
+    // Expressions
+    // ---------------------------------------------------------------
+
+    fn eval(&mut self, e: &Expr, env: &mut Env, line: usize) -> Result<Value, LangError> {
+        match e {
+            Expr::Int(v) => Ok(Value::Int(*v)),
+            Expr::Bool(b) => Ok(Value::Bool(*b)),
+            Expr::Str(s) => Ok(Value::Str(s.clone())),
+            Expr::Point(x, y) => {
+                let px = self.eval_int(x, env, line)?;
+                let py = self.eval_int(y, env, line)?;
+                Ok(Value::Point(Point::new(px, py)))
+            }
+            Expr::List(items) => {
+                let vs = items
+                    .iter()
+                    .map(|i| self.eval(i, env, line))
+                    .collect::<Result<Vec<_>, _>>()?;
+                Ok(Value::List(vs))
+            }
+            Expr::Ident(name) => env
+                .get(name)
+                .cloned()
+                .ok_or_else(|| LangError::eval(line, format!("`{name}` is not defined"))),
+            Expr::Record { type_name, fields } => {
+                let def = self.types.get(type_name).cloned().ok_or_else(|| {
+                    LangError::eval(line, format!("type `{type_name}` is not defined"))
+                })?;
+                let mut out: Vec<(String, Value)> = Vec::new();
+                for fname in &def.fields {
+                    let fexpr = fields
+                        .iter()
+                        .find(|(n, _)| n == fname)
+                        .map(|(_, e)| e)
+                        .ok_or_else(|| {
+                            LangError::eval(
+                                line,
+                                format!("missing field `{fname}` of type `{type_name}`"),
+                            )
+                        })?;
+                    out.push((fname.clone(), self.eval(fexpr, env, line)?));
+                }
+                for (n, _) in fields {
+                    if !def.fields.contains(n) {
+                        return Err(LangError::eval(
+                            line,
+                            format!("type `{type_name}` has no field `{n}`"),
+                        ));
+                    }
+                }
+                Ok(Value::Record {
+                    type_name: type_name.clone(),
+                    fields: out,
+                })
+            }
+            Expr::Call { name, args } => {
+                let arg_values = args
+                    .iter()
+                    .map(|a| self.eval(a, env, line))
+                    .collect::<Result<Vec<_>, _>>()?;
+                self.call(name, arg_values, line)
+            }
+            Expr::Field { base, field } => {
+                let base = self.eval(base, env, line)?;
+                match (&base, field.as_str()) {
+                    (Value::Point(p), "x") => Ok(Value::Int(p.x)),
+                    (Value::Point(p), "y") => Ok(Value::Int(p.y)),
+                    (Value::Record { fields, .. }, _) => fields
+                        .iter()
+                        .find(|(n, _)| n == field)
+                        .map(|(_, v)| v.clone())
+                        .ok_or_else(|| {
+                            LangError::eval(
+                                line,
+                                format!("{} has no field `{field}`", base.type_name()),
+                            )
+                        }),
+                    _ => Err(LangError::eval(
+                        line,
+                        format!("{} has no field `{field}`", base.type_name()),
+                    )),
+                }
+            }
+            Expr::Index { base, index } => {
+                let b = self.eval(base, env, line)?;
+                let i = self.eval_int(index, env, line)?;
+                match b {
+                    Value::List(items) => items
+                        .get(usize::try_from(i).unwrap_or(usize::MAX))
+                        .cloned()
+                        .ok_or_else(|| {
+                            LangError::eval(
+                                line,
+                                format!("index {i} out of range (len {})", items.len()),
+                            )
+                        }),
+                    other => Err(LangError::eval(
+                        line,
+                        format!("cannot index a {}", other.type_name()),
+                    )),
+                }
+            }
+            Expr::Unary { op, expr } => {
+                let v = self.eval(expr, env, line)?;
+                match (op, v) {
+                    (UnOp::Neg, Value::Int(i)) => Ok(Value::Int(-i)),
+                    (UnOp::Neg, Value::Point(p)) => Ok(Value::Point(Point::new(-p.x, -p.y))),
+                    (UnOp::Not, Value::Bool(b)) => Ok(Value::Bool(!b)),
+                    (op, v) => Err(LangError::eval(
+                        line,
+                        format!("cannot apply {op:?} to {}", v.type_name()),
+                    )),
+                }
+            }
+            Expr::Binary { op, lhs, rhs } => {
+                // Short-circuit logicals.
+                if matches!(op, BinOp::And | BinOp::Or) {
+                    let l = self.eval(lhs, env, line)?;
+                    let l = l.as_bool().ok_or_else(|| {
+                        LangError::eval(
+                            line,
+                            format!("logical op needs bool, got {}", l.type_name()),
+                        )
+                    })?;
+                    return match (op, l) {
+                        (BinOp::And, false) => Ok(Value::Bool(false)),
+                        (BinOp::Or, true) => Ok(Value::Bool(true)),
+                        _ => {
+                            let r = self.eval(rhs, env, line)?;
+                            r.as_bool().map(Value::Bool).ok_or_else(|| {
+                                LangError::eval(
+                                    line,
+                                    format!("logical op needs bool, got {}", r.type_name()),
+                                )
+                            })
+                        }
+                    };
+                }
+                let l = self.eval(lhs, env, line)?;
+                let r = self.eval(rhs, env, line)?;
+                binary(op, l, r, line)
+            }
+        }
+    }
+
+    fn call(&mut self, name: &str, args: Vec<Value>, line: usize) -> Result<Value, LangError> {
+        if let Some(def) = self.fns.get(name).cloned() {
+            if self.call_depth >= 256 {
+                return Err(LangError::eval(line, "function recursion too deep"));
+            }
+            if args.len() != def.params.len() {
+                // Allow defaults on trailing params.
+                if args.len() > def.params.len() {
+                    return Err(LangError::eval(
+                        line,
+                        format!(
+                            "fn `{name}` takes {} argument(s), got {}",
+                            def.params.len(),
+                            args.len()
+                        ),
+                    ));
+                }
+            }
+            let mut env = Env::new();
+            for (i, param) in def.params.iter().enumerate() {
+                let v = if i < args.len() {
+                    args[i].clone()
+                } else if let Some(default) = &param.default {
+                    self.eval(default, &mut Env::new(), line)?
+                } else {
+                    return Err(LangError::eval(
+                        line,
+                        format!("fn `{name}` missing argument `{}`", param.name),
+                    ));
+                };
+                env.define(&param.name, v);
+            }
+            self.call_depth += 1;
+            let flow = self.exec_block(&def.body, &mut env, &mut None);
+            self.call_depth -= 1;
+            match flow? {
+                Flow::Return(v) => Ok(v),
+                Flow::Normal => Ok(Value::Int(0)),
+            }
+        } else {
+            builtin(name, &args, line)
+        }
+    }
+
+    // Typed evaluation helpers.
+
+    fn eval_int(&mut self, e: &Expr, env: &mut Env, line: usize) -> Result<i64, LangError> {
+        let v = self.eval(e, env, line)?;
+        v.as_int()
+            .ok_or_else(|| LangError::eval(line, format!("expected an int, got {}", v.type_name())))
+    }
+
+    fn eval_point(&mut self, e: &Expr, env: &mut Env, line: usize) -> Result<Point, LangError> {
+        let v = self.eval(e, env, line)?;
+        v.as_point().ok_or_else(|| {
+            LangError::eval(line, format!("expected a point, got {}", v.type_name()))
+        })
+    }
+
+    fn eval_layer(&mut self, e: &Expr, env: &mut Env, line: usize) -> Result<Layer, LangError> {
+        let v = self.eval(e, env, line)?;
+        match &v {
+            Value::Str(s) => s
+                .parse()
+                .map_err(|_| LangError::eval(line, format!("unknown layer `{s}`"))),
+            other => Err(LangError::eval(
+                line,
+                format!("expected a layer name, got {}", other.type_name()),
+            )),
+        }
+    }
+}
+
+fn binary(op: &BinOp, l: Value, r: Value, line: usize) -> Result<Value, LangError> {
+    use BinOp::*;
+    let type_err = |l: &Value, r: &Value| {
+        LangError::eval(
+            line,
+            format!(
+                "cannot apply {op:?} to {} and {}",
+                l.type_name(),
+                r.type_name()
+            ),
+        )
+    };
+    match (op, &l, &r) {
+        (Add, Value::Int(a), Value::Int(b)) => Ok(Value::Int(a + b)),
+        (Sub, Value::Int(a), Value::Int(b)) => Ok(Value::Int(a - b)),
+        (Mul, Value::Int(a), Value::Int(b)) => Ok(Value::Int(a * b)),
+        (Div, Value::Int(a), Value::Int(b)) => {
+            if *b == 0 {
+                Err(LangError::eval(line, "division by zero"))
+            } else {
+                Ok(Value::Int(a / b))
+            }
+        }
+        (Rem, Value::Int(a), Value::Int(b)) => {
+            if *b == 0 {
+                Err(LangError::eval(line, "division by zero"))
+            } else {
+                Ok(Value::Int(a % b))
+            }
+        }
+        (Add, Value::Point(a), Value::Point(b)) => {
+            Ok(Value::Point(Point::new(a.x + b.x, a.y + b.y)))
+        }
+        (Sub, Value::Point(a), Value::Point(b)) => {
+            Ok(Value::Point(Point::new(a.x - b.x, a.y - b.y)))
+        }
+        (Mul, Value::Point(a), Value::Int(k)) => Ok(Value::Point(Point::new(a.x * k, a.y * k))),
+        (Mul, Value::Int(k), Value::Point(a)) => Ok(Value::Point(Point::new(a.x * k, a.y * k))),
+        (Add, Value::Str(a), Value::Str(b)) => Ok(Value::Str(format!("{a}{b}"))),
+        (Eq, a, b) => Ok(Value::Bool(a == b)),
+        (Ne, a, b) => Ok(Value::Bool(a != b)),
+        (Lt, Value::Int(a), Value::Int(b)) => Ok(Value::Bool(a < b)),
+        (Le, Value::Int(a), Value::Int(b)) => Ok(Value::Bool(a <= b)),
+        (Gt, Value::Int(a), Value::Int(b)) => Ok(Value::Bool(a > b)),
+        (Ge, Value::Int(a), Value::Int(b)) => Ok(Value::Bool(a >= b)),
+        _ => Err(type_err(&l, &r)),
+    }
+}
+
+fn builtin(name: &str, args: &[Value], line: usize) -> Result<Value, LangError> {
+    let int_arg = |i: usize| -> Result<i64, LangError> {
+        args.get(i)
+            .and_then(Value::as_int)
+            .ok_or_else(|| LangError::eval(line, format!("`{name}` expects int argument {i}")))
+    };
+    match (name, args.len()) {
+        ("abs", 1) => Ok(Value::Int(int_arg(0)?.abs())),
+        ("min", 2) => Ok(Value::Int(int_arg(0)?.min(int_arg(1)?))),
+        ("max", 2) => Ok(Value::Int(int_arg(0)?.max(int_arg(1)?))),
+        ("len", 1) => match &args[0] {
+            Value::List(items) => Ok(Value::Int(items.len() as i64)),
+            Value::Str(s) => Ok(Value::Int(s.len() as i64)),
+            other => Err(LangError::eval(
+                line,
+                format!("`len` expects a list or string, got {}", other.type_name()),
+            )),
+        },
+        ("pt", 2) => Ok(Value::Point(Point::new(int_arg(0)?, int_arg(1)?))),
+        ("str", 1) => Ok(Value::Str(args[0].to_string())),
+        _ => Err(LangError::eval(
+            line,
+            format!("`{name}` is not a function (or wrong argument count)"),
+        )),
+    }
+}
+
+fn orientation_of(mods: &[OrientMod]) -> Orientation {
+    let mut total = Orientation::R0;
+    for m in mods {
+        let step = match m {
+            OrientMod::Rot90 => Orientation::R90,
+            OrientMod::Rot180 => Orientation::R180,
+            OrientMod::Rot270 => Orientation::R270,
+            OrientMod::MirrorX => Orientation::MX,
+            OrientMod::MirrorY => Orientation::MX180,
+        };
+        total = step.compose(total);
+    }
+    total
+}
+
+fn sanitize(s: &str) -> String {
+    s.chars()
+        .map(|c| if c.is_ascii_alphanumeric() { c } else { '_' })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use silc_layout::flatten;
+
+    fn compile(src: &str) -> Design {
+        Compiler::new().compile(src).unwrap()
+    }
+
+    #[test]
+    fn simple_box_in_top() {
+        let d = compile("box metal (0, 0) (4, 4);");
+        let top = d.library.cell(d.top).unwrap();
+        assert_eq!(top.elements().len(), 1);
+        assert_eq!(top.elements()[0].layer, Layer::Metal);
+    }
+
+    #[test]
+    fn cell_definition_and_place() {
+        let d = compile(
+            "cell inv() { box diff (0,0) (2,8); }
+             place inv() at (10, 20);",
+        );
+        assert!(d.library.cell_by_name("inv").is_some());
+        let flat = flatten(&d.library, d.top).unwrap();
+        assert_eq!(flat.len(), 1);
+        assert_eq!(flat[0].element.bbox().min(), Point::new(10, 20));
+    }
+
+    #[test]
+    fn parameterised_cells_are_memoized() {
+        let d = compile(
+            "cell bar(w) { box metal (0,0) (w, 10); }
+             place bar(4) at (0,0);
+             place bar(4) at (20,0);
+             place bar(6) at (40,0);",
+        );
+        // Two variants: bar$i4 and bar$i6.
+        assert_eq!(d.library.len(), 3); // 2 variants + main
+        let flat = flatten(&d.library, d.top).unwrap();
+        assert_eq!(flat.len(), 3);
+    }
+
+    #[test]
+    fn default_parameters() {
+        let d = compile(
+            "cell pad(size = 8) { box metal (0,0) (size, size); }
+             place pad() at (0,0);
+             place pad(12) at (20,0);",
+        );
+        let flat = flatten(&d.library, d.top).unwrap();
+        let mut widths: Vec<i64> = flat.iter().map(|f| f.element.bbox().width()).collect();
+        widths.sort_unstable();
+        assert_eq!(widths, vec![8, 12]);
+    }
+
+    #[test]
+    fn arrays_expand() {
+        let d = compile(
+            "cell bit() { box diff (0,0) (3,3); }
+             array bit() at (0,0) step (5, 0) count 4;",
+        );
+        let flat = flatten(&d.library, d.top).unwrap();
+        assert_eq!(flat.len(), 4);
+        // Native array instance used (one instance, 4 copies).
+        assert_eq!(d.library.cell(d.top).unwrap().instances().len(), 1);
+    }
+
+    #[test]
+    fn two_dimensional_array() {
+        let d = compile(
+            "cell bit() { box diff (0,0) (3,3); }
+             array bit() at (0,0) step (5,0) (0,7) count 4 3;",
+        );
+        let flat = flatten(&d.library, d.top).unwrap();
+        assert_eq!(flat.len(), 12);
+    }
+
+    #[test]
+    fn diagonal_array_expands_to_places() {
+        let d = compile(
+            "cell bit() { box diff (0,0) (3,3); }
+             array bit() at (0,0) step (5, 5) count 3;",
+        );
+        let top = d.library.cell(d.top).unwrap();
+        assert_eq!(top.instances().len(), 3);
+        let flat = flatten(&d.library, d.top).unwrap();
+        assert!(flat
+            .iter()
+            .any(|f| f.element.bbox().min() == Point::new(10, 10)));
+    }
+
+    #[test]
+    fn for_loops_and_conditionals() {
+        let d = compile(
+            "for i in 0..6 {
+                if i % 2 == 0 { box metal (i * 10, 0) (i * 10 + 3, 3); }
+             }",
+        );
+        let top = d.library.cell(d.top).unwrap();
+        assert_eq!(top.elements().len(), 3);
+    }
+
+    #[test]
+    fn functions_compute_values() {
+        let d = compile(
+            "fn pitch(n) -> int { return n * 7; }
+             box metal (0, 0) (pitch(2), 3);",
+        );
+        let top = d.library.cell(d.top).unwrap();
+        assert_eq!(top.elements()[0].bbox().width(), 14);
+    }
+
+    #[test]
+    fn recursive_function_works() {
+        let d = compile(
+            "fn fact(n) { if n <= 1 { return 1; } return n * fact(n - 1); }
+             box metal (0,0) (fact(4), 2);",
+        );
+        let top = d.library.cell(d.top).unwrap();
+        assert_eq!(top.elements()[0].bbox().width(), 24);
+    }
+
+    #[test]
+    fn records_compose() {
+        let d = compile(
+            "type pitch { dx: int, dy: int }
+             let p = pitch { dx: 9, dy: 4 };
+             box metal (0, 0) (p.dx, p.dy);",
+        );
+        let top = d.library.cell(d.top).unwrap();
+        assert_eq!(top.elements()[0].bbox().width(), 9);
+        assert_eq!(top.elements()[0].bbox().height(), 4);
+    }
+
+    #[test]
+    fn record_field_validation() {
+        let err = Compiler::new()
+            .compile("type t { a: int } let x = t { b: 1 };")
+            .unwrap_err();
+        assert!(err.to_string().contains('a') || err.to_string().contains('b'));
+    }
+
+    #[test]
+    fn points_are_values() {
+        let d = compile(
+            "let origin = (5, 5);
+             let size = (4, 2);
+             box metal origin origin + size;",
+        );
+        let top = d.library.cell(d.top).unwrap();
+        assert_eq!(top.elements()[0].bbox().max(), Point::new(9, 7));
+    }
+
+    #[test]
+    fn nested_hierarchy() {
+        let d = compile(
+            "cell bit() { box diff (0,0) (2,2); }
+             cell word(n) { array bit() at (0,0) step (4,0) count n; }
+             cell memory(rows, n) { array word(n) at (0,0) step (0,0) (0, 5) count 1 rows; }
+             place memory(4, 8) at (0,0);",
+        );
+        let flat = flatten(&d.library, d.top).unwrap();
+        assert_eq!(flat.len(), 32);
+        // Hierarchy preserved: library has bit, word$i8, memory$..., main.
+        assert_eq!(d.library.len(), 4);
+    }
+
+    #[test]
+    fn orientations_compose() {
+        let d = compile(
+            "cell mark() { box metal (0,0) (4,1); }
+             place mark() at (0,0) rot 90;",
+        );
+        let flat = flatten(&d.library, d.top).unwrap();
+        let b = flat[0].element.bbox();
+        assert_eq!((b.width(), b.height()), (1, 4));
+    }
+
+    #[test]
+    fn ports_recorded() {
+        let d = compile("cell c() { port out metal (3, 4); } place c() at (0,0);");
+        let id = d.library.cell_by_name("c").unwrap();
+        let cell = d.library.cell(id).unwrap();
+        assert_eq!(cell.port("out").unwrap().at, Point::new(3, 4));
+    }
+
+    #[test]
+    fn wires_and_polygons() {
+        let d = compile(
+            "wire metal 3 (0,0) (20,0) (20,15);
+             polygon poly (0,0) (8,0) (0,8);",
+        );
+        let top = d.library.cell(d.top).unwrap();
+        assert_eq!(top.elements().len(), 2);
+    }
+
+    #[test]
+    fn errors_report_lines() {
+        let err = Compiler::new()
+            .compile("let a = 1;\nbox metal (0,0) (0, 5);\n")
+            .unwrap_err();
+        match err {
+            LangError::Eval { line, .. } => assert_eq!(line, 2),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn undefined_cell_diagnosed() {
+        let err = Compiler::new()
+            .compile("place ghost() at (0,0);")
+            .unwrap_err();
+        assert!(err.to_string().contains("ghost"));
+    }
+
+    #[test]
+    fn recursive_cell_rejected() {
+        let err = Compiler::new()
+            .compile("cell a() { place a() at (5,5); } place a() at (0,0);")
+            .unwrap_err();
+        assert!(matches!(err, LangError::RecursiveCell { .. }));
+    }
+
+    #[test]
+    fn division_by_zero_diagnosed() {
+        let err = Compiler::new().compile("let x = 1 / 0;").unwrap_err();
+        assert!(err.to_string().contains("zero"));
+    }
+
+    #[test]
+    fn geometry_in_fn_rejected() {
+        let err = Compiler::new()
+            .compile("fn bad() { box metal (0,0) (1,1); } let x = bad();")
+            .unwrap_err();
+        assert!(err.to_string().contains("fn"));
+    }
+
+    #[test]
+    fn builtins() {
+        let d = compile(
+            "let l = [3, 9, 2];
+             box metal (0,0) (max(len(l), abs(0 - 2)), min(4, 7));",
+        );
+        let top = d.library.cell(d.top).unwrap();
+        assert_eq!(top.elements()[0].bbox().width(), 3);
+        assert_eq!(top.elements()[0].bbox().height(), 4);
+    }
+
+    #[test]
+    fn string_layers_via_parens() {
+        let d = compile(r#"let l = "metal"; box (l) (0,0) (2,2);"#);
+        let top = d.library.cell(d.top).unwrap();
+        assert_eq!(top.elements()[0].layer, Layer::Metal);
+    }
+
+    #[test]
+    fn unknown_layer_diagnosed() {
+        let err = Compiler::new()
+            .compile("box metal9 (0,0) (1,1);")
+            .unwrap_err();
+        assert!(err.to_string().contains("metal9"));
+    }
+}

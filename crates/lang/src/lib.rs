@@ -1,0 +1,57 @@
+//! # silc-lang — SIL, an extensible structural design language
+//!
+//! The paper's session presents "an extensible language system with
+//! associated programming environment", showing that "structured designs
+//! can be described by structured programs", that "data type extensions
+//! provide a method of putting together hierarchical descriptions", and
+//! that parameterised specification pays off in chip assembly. SIL is that
+//! language:
+//!
+//! * **structured programs** — `let`, `for`, `if`, functions, lexical
+//!   scoping;
+//! * **parameterised cells** — `cell shifter(bits, width = 2) { ... }`,
+//!   elaborated on demand and **memoized per argument tuple**, so the
+//!   emitted hierarchy stays shared (one definition per distinct variant,
+//!   exactly like a CIF symbol);
+//! * **data-type extension** — user `type` records compose geometric
+//!   facts (pitches, port bundles) into named wholes;
+//! * **repetition** — `array cell() at (0,0) step (10,0) count 8;`
+//! * **hierarchy** — `place` composes previously defined cells;
+//! * geometry primitives `box`, `wire`, `poly`, `port` on the Mead–Conway
+//!   layers.
+//!
+//! Compilation (the *first definition* of silicon compilation) turns a SIL
+//! program into a [`silc_layout::Library`]; `silc-cif` then turns that
+//! into manufacturing data.
+//!
+//! # Example
+//!
+//! ```
+//! use silc_lang::Compiler;
+//!
+//! # fn main() -> Result<(), silc_lang::LangError> {
+//! let design = Compiler::new().compile(r#"
+//!     cell bit(w) {
+//!         box diff (0, 0) (w, 4);
+//!     }
+//!     cell row(n) {
+//!         array bit(2) at (0, 0) step (6, 0) count n;
+//!     }
+//!     place row(8) at (0, 0);
+//! "#)?;
+//! let flat = silc_layout::flatten(&design.library, design.top).expect("valid root");
+//! assert_eq!(flat.len(), 8);
+//! # Ok(())
+//! # }
+//! ```
+
+mod ast;
+mod error;
+mod interp;
+mod lexer;
+mod parser;
+mod value;
+
+pub use error::LangError;
+pub use interp::{Compiler, Design, PRELUDE};
+pub use value::Value;

@@ -1,0 +1,19 @@
+//! Robustness: the SIL compiler returns diagnostics, never panics.
+
+use proptest::prelude::*;
+use silc_lang::Compiler;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+    #[test]
+    fn compiler_never_panics_on_ascii(input in "[ -~\n]{0,200}") {
+        let _ = Compiler::new().compile(&input);
+    }
+
+    #[test]
+    fn compiler_never_panics_on_sil_like_soup(
+        input in "(cell|fn|type|let|for|if|place|array|box|wire|port|at|step|count|metal|diff|poly|\\(|\\)|\\{|\\}|;|,|[a-z]{1,3}|[0-9]{1,3}| |\n){0,60}",
+    ) {
+        let _ = Compiler::new().compile(&input);
+    }
+}

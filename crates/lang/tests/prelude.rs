@@ -1,0 +1,85 @@
+//! The standard-cell prelude: every `std_*` cell compiles, is DRC-clean,
+//! and extracts to the device structure it claims.
+
+use silc_drc::{check, RuleSet};
+use silc_lang::Compiler;
+
+#[test]
+fn every_prelude_cell_is_drc_clean() {
+    for cell in [
+        "std_contact_md",
+        "std_contact_mp",
+        "std_butting",
+        "std_pullup",
+        "std_pass",
+        "std_inv",
+    ] {
+        let source = format!("place {cell}() at (0, 0);");
+        let design = Compiler::new()
+            .compile(&source)
+            .unwrap_or_else(|e| panic!("{cell}: {e}"));
+        let report = check(&design.library, design.top, &RuleSet::mead_conway_nmos())
+            .unwrap_or_else(|e| panic!("{cell}: {e}"));
+        assert!(report.is_clean(), "{cell}: {report}");
+    }
+}
+
+#[test]
+fn prelude_inverter_extracts_and_inverts() {
+    let design = Compiler::new()
+        .compile("place std_inv() at (0, 0);")
+        .expect("compiles");
+    // Extract the *cell*, whose ports name the nets.
+    let cell_id = design.library.cell_by_name("std_inv").expect("in library");
+    let extracted = silc_extract::extract(&design.library, cell_id).expect("extracts");
+    assert_eq!(extracted.transistor_count(), 2);
+    let low = silc_extract::switch_level_eval(&extracted.netlist, &[("inp", false)], "vdd", "gnd")
+        .expect("settles");
+    assert_eq!(low["out"], silc_extract::Level::One);
+    let high = silc_extract::switch_level_eval(&extracted.netlist, &[("inp", true)], "vdd", "gnd")
+        .expect("settles");
+    assert_eq!(high["out"], silc_extract::Level::Zero);
+}
+
+#[test]
+fn butting_contact_joins_poly_and_diffusion() {
+    let design = Compiler::new()
+        .compile("place std_butting() at (0, 0);")
+        .expect("compiles");
+    let cell_id = design
+        .library
+        .cell_by_name("std_butting")
+        .expect("in library");
+    let extracted = silc_extract::extract(&design.library, cell_id).expect("extracts");
+    // No transistor, and poly+diff+metal are ONE net.
+    assert_eq!(extracted.transistor_count(), 0);
+    assert_eq!(extracted.nets, 1);
+}
+
+#[test]
+fn user_cells_compose_with_prelude() {
+    // Two pass transistors and a pullup wired side by side.
+    let design = Compiler::new()
+        .compile(
+            "cell gate_pair() {
+                place std_pass() at (0, 0);
+                place std_pass() at (0, 12);
+                place std_pullup() at (20, 6);
+            }
+            place gate_pair() at (0, 0);",
+        )
+        .expect("compiles");
+    let report =
+        check(&design.library, design.top, &RuleSet::mead_conway_nmos()).expect("root exists");
+    assert!(report.is_clean(), "{report}");
+    let extracted = silc_extract::extract(&design.library, design.top).expect("extracts");
+    assert_eq!(extracted.transistor_count(), 3); // 2 pass + 1 pullup
+}
+
+#[test]
+fn user_redefinition_of_std_cells_is_rejected() {
+    let err = Compiler::new()
+        .compile("cell std_inv() { box metal (0,0) (4,4); } place std_inv() at (0,0);")
+        .unwrap_err();
+    assert!(err.to_string().contains("std_inv"), "{err}");
+}

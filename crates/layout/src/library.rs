@@ -1,0 +1,383 @@
+use crate::{Cell, Instance, LayoutError};
+use std::collections::HashMap;
+use std::fmt;
+
+/// Opaque handle to a [`Cell`] stored in a [`Library`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct CellId(u32);
+
+impl CellId {
+    /// Builds an id from its raw index. Only useful in tests and
+    /// serialization code; ordinary code receives ids from
+    /// [`Library::add_cell`].
+    pub const fn from_raw(raw: u32) -> CellId {
+        CellId(raw)
+    }
+
+    /// The raw index.
+    pub const fn raw(self) -> u32 {
+        self.0
+    }
+}
+
+/// An arena of cells forming a design hierarchy (a DAG).
+///
+/// The library owns all cells; instances refer to cells by [`CellId`].
+/// Structural invariants maintained:
+///
+/// * cell names are unique ([`LayoutError::DuplicateCellName`]);
+/// * every instance refers to an existing cell
+///   ([`LayoutError::UnknownCell`]);
+/// * the instance graph is acyclic ([`LayoutError::RecursiveInstance`]).
+#[derive(Debug, Clone, Default)]
+pub struct Library {
+    cells: Vec<Cell>,
+    by_name: HashMap<String, CellId>,
+}
+
+impl Library {
+    /// Creates an empty library.
+    pub fn new() -> Library {
+        Library::default()
+    }
+
+    /// Number of cells.
+    pub fn len(&self) -> usize {
+        self.cells.len()
+    }
+
+    /// True when no cells have been added.
+    pub fn is_empty(&self) -> bool {
+        self.cells.is_empty()
+    }
+
+    /// Adds a cell, validating its name and any instances it already
+    /// carries.
+    ///
+    /// # Errors
+    ///
+    /// * [`LayoutError::DuplicateCellName`] if the name is taken.
+    /// * [`LayoutError::UnknownCell`] if an instance refers outside the
+    ///   library (a fresh cell can only instantiate cells added before it,
+    ///   which also guarantees acyclicity).
+    pub fn add_cell(&mut self, cell: Cell) -> Result<CellId, LayoutError> {
+        if self.by_name.contains_key(cell.name()) {
+            return Err(LayoutError::DuplicateCellName {
+                name: cell.name().to_string(),
+            });
+        }
+        for inst in cell.instances() {
+            if inst.cell.raw() as usize >= self.cells.len() {
+                return Err(LayoutError::UnknownCell { id: inst.cell });
+            }
+        }
+        let id = CellId(self.cells.len() as u32);
+        self.by_name.insert(cell.name().to_string(), id);
+        self.cells.push(cell);
+        Ok(id)
+    }
+
+    /// Looks up a cell by id.
+    pub fn cell(&self, id: CellId) -> Option<&Cell> {
+        self.cells.get(id.raw() as usize)
+    }
+
+    /// Looks up a cell id by name.
+    pub fn cell_by_name(&self, name: &str) -> Option<CellId> {
+        self.by_name.get(name).copied()
+    }
+
+    /// Adds an instance to an existing cell, re-validating the DAG
+    /// property (needed because, unlike [`Library::add_cell`], this can
+    /// point "forward" to cells added later).
+    ///
+    /// # Errors
+    ///
+    /// * [`LayoutError::UnknownCell`] for a dangling parent or child.
+    /// * [`LayoutError::RecursiveInstance`] if the child (transitively)
+    ///   instantiates the parent.
+    pub fn add_instance(&mut self, parent: CellId, inst: Instance) -> Result<(), LayoutError> {
+        if self.cell(parent).is_none() {
+            return Err(LayoutError::UnknownCell { id: parent });
+        }
+        if self.cell(inst.cell).is_none() {
+            return Err(LayoutError::UnknownCell { id: inst.cell });
+        }
+        if inst.cell == parent || self.reaches(inst.cell, parent) {
+            return Err(LayoutError::RecursiveInstance {
+                parent,
+                child: inst.cell,
+            });
+        }
+        self.cells[parent.raw() as usize].push_instance(inst);
+        Ok(())
+    }
+
+    /// True when `from` transitively instantiates `target`.
+    fn reaches(&self, from: CellId, target: CellId) -> bool {
+        let mut stack = vec![from];
+        let mut seen = vec![false; self.cells.len()];
+        while let Some(id) = stack.pop() {
+            if id == target {
+                return true;
+            }
+            let idx = id.raw() as usize;
+            if seen[idx] {
+                continue;
+            }
+            seen[idx] = true;
+            for inst in self.cells[idx].instances() {
+                stack.push(inst.cell);
+            }
+        }
+        false
+    }
+
+    /// Iterates over `(id, cell)` pairs in insertion order — which is a
+    /// valid bottom-up (children-before-parents) order for cells built via
+    /// [`Library::add_cell`] alone. When [`Library::add_instance`] has
+    /// introduced forward references, use [`Library::topological_order`].
+    pub fn iter(&self) -> impl Iterator<Item = (CellId, &Cell)> {
+        self.cells
+            .iter()
+            .enumerate()
+            .map(|(i, c)| (CellId(i as u32), c))
+    }
+
+    /// Returns all cell ids in children-before-parents order.
+    pub fn topological_order(&self) -> Vec<CellId> {
+        let n = self.cells.len();
+        let mut order = Vec::with_capacity(n);
+        let mut state = vec![0u8; n]; // 0 unvisited, 1 in progress, 2 done
+        for start in 0..n {
+            self.topo_visit(start, &mut state, &mut order);
+        }
+        order
+    }
+
+    fn topo_visit(&self, idx: usize, state: &mut [u8], order: &mut Vec<CellId>) {
+        if state[idx] != 0 {
+            return;
+        }
+        state[idx] = 1;
+        for inst in self.cells[idx].instances() {
+            self.topo_visit(inst.cell.raw() as usize, state, order);
+        }
+        state[idx] = 2;
+        order.push(CellId(idx as u32));
+    }
+
+    /// Imports every cell of `other` into this library, returning the id
+    /// each of `other`'s cells received here (indexable by the old id's
+    /// raw value). Name collisions are resolved by appending `$imp<n>`.
+    ///
+    /// This is how generator output (a PLA, a ROM) is composed into a
+    /// SIL-compiled design: build in separate libraries, import, place.
+    pub fn import(&mut self, other: &Library) -> Vec<CellId> {
+        let order = other.topological_order();
+        let mut mapping: Vec<Option<CellId>> = vec![None; other.len()];
+        for id in order {
+            let cell = other.cell(id).expect("topological ids are valid");
+            let mut name = cell.name().to_string();
+            let mut n = 0;
+            while self.by_name.contains_key(&name) {
+                n += 1;
+                name = format!("{}$imp{n}", cell.name());
+            }
+            let mut copy = Cell::new(name);
+            for e in cell.elements() {
+                copy.push_element(e.clone());
+            }
+            for p in cell.ports() {
+                copy.push_port(p.clone());
+            }
+            for inst in cell.instances() {
+                let child = mapping[inst.cell.raw() as usize]
+                    .expect("children precede parents in topological order");
+                let mut remapped = inst.clone();
+                remapped.cell = child;
+                copy.push_instance(remapped);
+            }
+            let new_id = self
+                .add_cell(copy)
+                .expect("name uniquified and children already present");
+            mapping[id.raw() as usize] = Some(new_id);
+        }
+        mapping
+            .into_iter()
+            .map(|m| m.expect("all visited"))
+            .collect()
+    }
+
+    /// Cells that no other cell instantiates (design roots).
+    pub fn roots(&self) -> Vec<CellId> {
+        let mut referenced = vec![false; self.cells.len()];
+        for cell in &self.cells {
+            for inst in cell.instances() {
+                referenced[inst.cell.raw() as usize] = true;
+            }
+        }
+        referenced
+            .iter()
+            .enumerate()
+            .filter(|&(_, &r)| !r)
+            .map(|(i, _)| CellId(i as u32))
+            .collect()
+    }
+}
+
+impl fmt::Display for Library {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "library ({} cells)", self.cells.len())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Element, Layer};
+    use silc_geom::{Point, Rect, Transform};
+
+    fn leaf(name: &str) -> Cell {
+        let mut c = Cell::new(name);
+        c.push_element(Element::rect(
+            Layer::Poly,
+            Rect::from_origin_size(Point::new(0, 0), 2, 2).unwrap(),
+        ));
+        c
+    }
+
+    #[test]
+    fn add_and_lookup() {
+        let mut lib = Library::new();
+        let a = lib.add_cell(leaf("a")).unwrap();
+        assert_eq!(lib.cell_by_name("a"), Some(a));
+        assert_eq!(lib.cell(a).unwrap().name(), "a");
+        assert!(lib.cell_by_name("b").is_none());
+        assert_eq!(lib.len(), 1);
+        assert!(!lib.is_empty());
+    }
+
+    #[test]
+    fn duplicate_names_rejected() {
+        let mut lib = Library::new();
+        lib.add_cell(leaf("a")).unwrap();
+        assert!(matches!(
+            lib.add_cell(leaf("a")),
+            Err(LayoutError::DuplicateCellName { .. })
+        ));
+    }
+
+    #[test]
+    fn forward_reference_in_new_cell_rejected() {
+        let mut lib = Library::new();
+        let mut c = Cell::new("parent");
+        c.push_instance(Instance::place(CellId::from_raw(7), Transform::IDENTITY));
+        assert!(matches!(
+            lib.add_cell(c),
+            Err(LayoutError::UnknownCell { .. })
+        ));
+    }
+
+    #[test]
+    fn cycles_rejected() {
+        let mut lib = Library::new();
+        let a = lib.add_cell(leaf("a")).unwrap();
+        let b = lib.add_cell(leaf("b")).unwrap();
+        lib.add_instance(a, Instance::place(b, Transform::IDENTITY))
+            .unwrap();
+        // b -> a would close the loop a -> b -> a.
+        assert!(matches!(
+            lib.add_instance(b, Instance::place(a, Transform::IDENTITY)),
+            Err(LayoutError::RecursiveInstance { .. })
+        ));
+        // Self-instantiation is also a cycle.
+        assert!(matches!(
+            lib.add_instance(a, Instance::place(a, Transform::IDENTITY)),
+            Err(LayoutError::RecursiveInstance { .. })
+        ));
+    }
+
+    #[test]
+    fn deep_cycle_rejected() {
+        let mut lib = Library::new();
+        let ids: Vec<_> = (0..5)
+            .map(|i| lib.add_cell(leaf(&format!("c{i}"))).unwrap())
+            .collect();
+        for w in ids.windows(2) {
+            lib.add_instance(w[0], Instance::place(w[1], Transform::IDENTITY))
+                .unwrap();
+        }
+        // c4 -> c0 closes a length-5 loop.
+        assert!(lib
+            .add_instance(ids[4], Instance::place(ids[0], Transform::IDENTITY))
+            .is_err());
+    }
+
+    #[test]
+    fn topological_order_is_children_first() {
+        let mut lib = Library::new();
+        let a = lib.add_cell(leaf("a")).unwrap();
+        let b = lib.add_cell(leaf("b")).unwrap();
+        let top = lib.add_cell(leaf("top")).unwrap();
+        lib.add_instance(top, Instance::place(a, Transform::IDENTITY))
+            .unwrap();
+        lib.add_instance(a, Instance::place(b, Transform::IDENTITY))
+            .unwrap();
+        let order = lib.topological_order();
+        let pos = |id: CellId| order.iter().position(|&x| x == id).unwrap();
+        assert!(pos(b) < pos(a));
+        assert!(pos(a) < pos(top));
+        assert_eq!(order.len(), 3);
+    }
+
+    #[test]
+    fn roots_found() {
+        let mut lib = Library::new();
+        let a = lib.add_cell(leaf("a")).unwrap();
+        let top = lib.add_cell(leaf("top")).unwrap();
+        lib.add_instance(top, Instance::place(a, Transform::IDENTITY))
+            .unwrap();
+        assert_eq!(lib.roots(), vec![top]);
+    }
+
+    #[test]
+    fn import_remaps_hierarchy_and_names() {
+        let mut a = Library::new();
+        let leaf_a = a.add_cell(leaf("bit")).unwrap();
+        let mut row = leaf("row");
+        row.push_instance(Instance::place(leaf_a, Transform::IDENTITY));
+        let row_a = a.add_cell(row).unwrap();
+
+        let mut b = Library::new();
+        b.add_cell(leaf("bit")).unwrap(); // collision with the import
+        let mapping = b.import(&a);
+
+        // Hierarchy preserved under new ids.
+        let new_row = mapping[row_a.raw() as usize];
+        let row_cell = b.cell(new_row).unwrap();
+        assert_eq!(row_cell.instances().len(), 1);
+        assert_eq!(row_cell.instances()[0].cell, mapping[leaf_a.raw() as usize]);
+        // Collision renamed.
+        assert!(b.cell_by_name("bit$imp1").is_some());
+        assert_eq!(b.len(), 3);
+    }
+
+    #[test]
+    fn import_into_empty_library_is_identity_shaped() {
+        let mut a = Library::new();
+        let x = a.add_cell(leaf("x")).unwrap();
+        let mut b = Library::new();
+        let mapping = b.import(&a);
+        assert_eq!(b.cell(mapping[x.raw() as usize]).unwrap().name(), "x");
+    }
+
+    #[test]
+    fn iter_yields_all() {
+        let mut lib = Library::new();
+        lib.add_cell(leaf("a")).unwrap();
+        lib.add_cell(leaf("b")).unwrap();
+        let names: Vec<_> = lib.iter().map(|(_, c)| c.name().to_string()).collect();
+        assert_eq!(names, vec!["a", "b"]);
+    }
+}

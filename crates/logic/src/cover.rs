@@ -1,0 +1,406 @@
+use crate::{Cube, Lit, LogicError};
+use std::fmt;
+
+/// A sum of products: a set of [`Cube`]s over a fixed number of inputs.
+///
+/// Covers are the function representation the PLA generator programs into
+/// silicon, and the object the minimizers shrink. All cubes in a cover
+/// share the cover's width (validated at construction).
+///
+/// # Example
+///
+/// ```
+/// use silc_logic::{Cover, Cube};
+/// let f = Cover::from_cubes(2, vec![Cube::parse("1-")?, Cube::parse("-1")?])?;
+/// assert!(f.eval(0b10));
+/// assert!(f.eval(0b01));
+/// assert!(!f.eval(0b00));
+/// # Ok::<(), silc_logic::LogicError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Cover {
+    num_inputs: usize,
+    cubes: Vec<Cube>,
+}
+
+impl Cover {
+    /// The empty cover (constant false) over `n` inputs.
+    pub fn empty(n: usize) -> Cover {
+        Cover {
+            num_inputs: n,
+            cubes: Vec::new(),
+        }
+    }
+
+    /// The universal cover (constant true) over `n` inputs.
+    pub fn tautology_cover(n: usize) -> Cover {
+        Cover {
+            num_inputs: n,
+            cubes: vec![Cube::universe(n)],
+        }
+    }
+
+    /// Creates a cover from cubes, validating widths.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LogicError::WidthMismatch`] if any cube's width differs
+    /// from `n`.
+    pub fn from_cubes(n: usize, cubes: Vec<Cube>) -> Result<Cover, LogicError> {
+        for c in &cubes {
+            if c.width() != n {
+                return Err(LogicError::WidthMismatch {
+                    expected: n,
+                    found: c.width(),
+                });
+            }
+        }
+        Ok(Cover {
+            num_inputs: n,
+            cubes,
+        })
+    }
+
+    /// Builds a cover from a list of minterms.
+    pub fn from_minterms(n: usize, minterms: &[u64]) -> Cover {
+        Cover {
+            num_inputs: n,
+            cubes: minterms.iter().map(|&m| Cube::from_minterm(n, m)).collect(),
+        }
+    }
+
+    /// Number of inputs.
+    pub fn num_inputs(&self) -> usize {
+        self.num_inputs
+    }
+
+    /// Number of product terms.
+    pub fn len(&self) -> usize {
+        self.cubes.len()
+    }
+
+    /// True for the constant-false cover.
+    pub fn is_empty(&self) -> bool {
+        self.cubes.is_empty()
+    }
+
+    /// The product terms.
+    pub fn cubes(&self) -> &[Cube] {
+        &self.cubes
+    }
+
+    /// Adds a cube.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LogicError::WidthMismatch`] on width disagreement.
+    pub fn push(&mut self, cube: Cube) -> Result<(), LogicError> {
+        if cube.width() != self.num_inputs {
+            return Err(LogicError::WidthMismatch {
+                expected: self.num_inputs,
+                found: cube.width(),
+            });
+        }
+        self.cubes.push(cube);
+        Ok(())
+    }
+
+    /// Total specified literals across all cubes — proportional to PLA
+    /// AND-plane transistor count.
+    pub fn literal_count(&self) -> usize {
+        self.cubes.iter().map(Cube::literal_count).sum()
+    }
+
+    /// Evaluates the function on a minterm.
+    pub fn eval(&self, minterm: u64) -> bool {
+        self.cubes.iter().any(|c| c.covers_minterm(minterm))
+    }
+
+    /// The cofactor of the cover with respect to `cube`: the function
+    /// restricted to the subspace where `cube`'s literals hold, expressed
+    /// over the remaining (freed) inputs.
+    pub fn cofactor(&self, cube: &Cube) -> Cover {
+        let mut out = Vec::new();
+        'next: for c in &self.cubes {
+            let mut lits = Vec::with_capacity(self.num_inputs);
+            for i in 0..self.num_inputs {
+                let (a, b) = (c.lit(i), cube.lit(i));
+                match (a, b) {
+                    (Lit::Zero, Lit::One) | (Lit::One, Lit::Zero) => continue 'next,
+                    (_, Lit::Zero) | (_, Lit::One) => lits.push(Lit::DontCare),
+                    (x, Lit::DontCare) => lits.push(x),
+                }
+            }
+            out.push(Cube::from_lits(lits));
+        }
+        Cover {
+            num_inputs: self.num_inputs,
+            cubes: out,
+        }
+    }
+
+    /// True when the cover is a tautology (covers every minterm), by
+    /// recursive Shannon expansion on the most binate variable with unate
+    /// short-cuts.
+    pub fn is_tautology(&self) -> bool {
+        // Quick exits.
+        if self.cubes.iter().any(|c| c.literal_count() == 0) {
+            return true;
+        }
+        if self.cubes.is_empty() {
+            return false;
+        }
+        match self.most_binate_variable() {
+            Some(i) => {
+                let one = self.cofactor(&Cube::universe(self.num_inputs).with_lit(i, Lit::One));
+                if !one.is_tautology() {
+                    return false;
+                }
+                let zero = self.cofactor(&Cube::universe(self.num_inputs).with_lit(i, Lit::Zero));
+                zero.is_tautology()
+            }
+            None => {
+                // Unate cover: tautology iff it contains the universal
+                // cube, which the quick exit above already checked.
+                false
+            }
+        }
+    }
+
+    /// The variable appearing most often in both polarities, if any.
+    fn most_binate_variable(&self) -> Option<usize> {
+        let mut best: Option<(usize, usize)> = None; // (count, index)
+        for i in 0..self.num_inputs {
+            let zeros = self.cubes.iter().filter(|c| c.lit(i) == Lit::Zero).count();
+            let ones = self.cubes.iter().filter(|c| c.lit(i) == Lit::One).count();
+            if zeros > 0 && ones > 0 {
+                let count = zeros + ones;
+                if best.is_none_or(|(c, _)| count > c) {
+                    best = Some((count, i));
+                }
+            }
+        }
+        best.map(|(_, i)| i)
+    }
+
+    /// True when the cover covers every minterm of `cube` (single-cube
+    /// containment): the cofactor with respect to the cube is a tautology.
+    pub fn covers_cube(&self, cube: &Cube) -> bool {
+        self.cofactor(cube).is_tautology()
+    }
+
+    /// True when `self` covers every minterm of `other`.
+    pub fn covers(&self, other: &Cover) -> bool {
+        other.cubes.iter().all(|c| self.covers_cube(c))
+    }
+
+    /// Functional equivalence.
+    pub fn equivalent(&self, other: &Cover) -> bool {
+        self.covers(other) && other.covers(self)
+    }
+
+    /// Removes cubes contained in a single other cube (cheap cleanup, not
+    /// full irredundancy).
+    pub fn remove_single_cube_contained(&mut self) {
+        let cubes = std::mem::take(&mut self.cubes);
+        let mut kept: Vec<Cube> = Vec::with_capacity(cubes.len());
+        // Larger cubes first so small ones get absorbed.
+        let mut sorted = cubes;
+        sorted.sort_by_key(|c| c.literal_count());
+        for c in sorted {
+            if !kept.iter().any(|k| k.covers_cube(&c)) {
+                kept.push(c);
+            }
+        }
+        self.cubes = kept;
+    }
+
+    /// All minterms of the function, for small `n`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `num_inputs > 24` (4 M minterm scan) to protect callers
+    /// from accidental exponential blowups.
+    pub fn minterms(&self) -> Vec<u64> {
+        assert!(
+            self.num_inputs <= 24,
+            "minterm enumeration is limited to 24 inputs"
+        );
+        (0..(1u64 << self.num_inputs))
+            .filter(|&m| self.eval(m))
+            .collect()
+    }
+}
+
+impl fmt::Display for Cover {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.cubes.is_empty() {
+            return write!(f, "0");
+        }
+        for (i, c) in self.cubes.iter().enumerate() {
+            if i > 0 {
+                write!(f, " + ")?;
+            }
+            write!(f, "{c}")?;
+        }
+        Ok(())
+    }
+}
+
+impl FromIterator<Cube> for Cover {
+    /// Collects cubes into a cover, taking the width from the first cube
+    /// (an empty iterator gives a zero-input constant-false cover).
+    fn from_iter<I: IntoIterator<Item = Cube>>(iter: I) -> Self {
+        let cubes: Vec<Cube> = iter.into_iter().collect();
+        let n = cubes.first().map_or(0, Cube::width);
+        Cover {
+            num_inputs: n,
+            cubes,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn cover(n: usize, cubes: &[&str]) -> Cover {
+        Cover::from_cubes(n, cubes.iter().map(|s| Cube::parse(s).unwrap()).collect()).unwrap()
+    }
+
+    #[test]
+    fn width_validation() {
+        assert!(Cover::from_cubes(3, vec![Cube::parse("10").unwrap()]).is_err());
+        let mut c = Cover::empty(2);
+        assert!(c.push(Cube::parse("101").unwrap()).is_err());
+        assert!(c.push(Cube::parse("10").unwrap()).is_ok());
+    }
+
+    #[test]
+    fn eval_matches_cubes() {
+        let f = cover(3, &["1--", "-11"]);
+        assert!(f.eval(0b100));
+        assert!(f.eval(0b011));
+        assert!(!f.eval(0b010));
+    }
+
+    #[test]
+    fn tautology_base_cases() {
+        assert!(Cover::tautology_cover(3).is_tautology());
+        assert!(!Cover::empty(3).is_tautology());
+        // x + x' is a tautology.
+        assert!(cover(1, &["0", "1"]).is_tautology());
+        // x + y is not.
+        assert!(!cover(2, &["1-", "-1"]).is_tautology());
+    }
+
+    #[test]
+    fn tautology_needs_shannon() {
+        // a'b' + a'b + ab' + ab = 1 : requires recursion, no universal cube.
+        assert!(cover(2, &["00", "01", "10", "11"]).is_tautology());
+        // Missing one minterm: not a tautology.
+        assert!(!cover(2, &["00", "01", "10"]).is_tautology());
+        // Classic 3-var: a + a'b + a'b' = 1.
+        assert!(cover(3, &["1--", "01-", "00-"]).is_tautology());
+    }
+
+    #[test]
+    fn cofactor_restricts() {
+        let f = cover(3, &["1-0", "01-"]);
+        // Cofactor by a=1: first cube survives with a freed; second drops.
+        let fa = f.cofactor(&Cube::parse("1--").unwrap());
+        assert_eq!(fa.len(), 1);
+        assert_eq!(fa.cubes()[0].to_string(), "--0");
+    }
+
+    #[test]
+    fn covers_cube_by_multiple_cubes() {
+        // f = ab + ab' covers the cube a (no single cube does).
+        let f = cover(2, &["11", "10"]);
+        assert!(f.covers_cube(&Cube::parse("1-").unwrap()));
+        assert!(!f.covers_cube(&Cube::parse("-1").unwrap()));
+    }
+
+    #[test]
+    fn equivalence() {
+        let f = cover(2, &["11", "10"]);
+        let g = cover(2, &["1-"]);
+        assert!(f.equivalent(&g));
+        let h = cover(2, &["-1"]);
+        assert!(!f.equivalent(&h));
+    }
+
+    #[test]
+    fn single_cube_containment_cleanup() {
+        let mut f = cover(3, &["1--", "110", "101", "0-1"]);
+        f.remove_single_cube_contained();
+        assert_eq!(f.len(), 2);
+    }
+
+    #[test]
+    fn minterm_listing() {
+        let f = cover(2, &["1-"]);
+        assert_eq!(f.minterms(), vec![0b10, 0b11]);
+        assert_eq!(Cover::empty(2).minterms(), Vec::<u64>::new());
+    }
+
+    #[test]
+    fn from_minterms_roundtrip() {
+        let f = Cover::from_minterms(3, &[0b000, 0b101, 0b111]);
+        assert_eq!(f.minterms(), vec![0b000, 0b101, 0b111]);
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(cover(2, &["1-", "01"]).to_string(), "1- + 01");
+        assert_eq!(Cover::empty(2).to_string(), "0");
+    }
+
+    fn arb_cover(n: usize, max_cubes: usize) -> impl Strategy<Value = Cover> {
+        prop::collection::vec(prop::collection::vec(0u8..3, n), 0..max_cubes).prop_map(
+            move |cubes| {
+                Cover::from_cubes(
+                    n,
+                    cubes
+                        .into_iter()
+                        .map(|v| {
+                            Cube::from_lits(
+                                v.into_iter()
+                                    .map(|x| match x {
+                                        0 => Lit::Zero,
+                                        1 => Lit::One,
+                                        _ => Lit::DontCare,
+                                    })
+                                    .collect(),
+                            )
+                        })
+                        .collect(),
+                )
+                .unwrap()
+            },
+        )
+    }
+
+    proptest! {
+        #[test]
+        fn tautology_matches_enumeration(f in arb_cover(4, 8)) {
+            let brute = (0..16u64).all(|m| f.eval(m));
+            prop_assert_eq!(f.is_tautology(), brute);
+        }
+
+        #[test]
+        fn covers_matches_enumeration(f in arb_cover(4, 6), g in arb_cover(4, 6)) {
+            let brute = (0..16u64).all(|m| !g.eval(m) || f.eval(m));
+            prop_assert_eq!(f.covers(&g), brute);
+        }
+
+        #[test]
+        fn containment_cleanup_preserves_function(f in arb_cover(4, 8)) {
+            let mut g = f.clone();
+            g.remove_single_cube_contained();
+            prop_assert!(f.equivalent(&g));
+            prop_assert!(g.len() <= f.len());
+        }
+    }
+}

@@ -1,0 +1,396 @@
+use crate::LogicError;
+use std::fmt;
+
+/// One position of a cube: the literal of a single input variable.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Lit {
+    /// The variable appears complemented (input must be 0).
+    Zero,
+    /// The variable appears uncomplemented (input must be 1).
+    One,
+    /// The variable does not appear (either value accepted).
+    DontCare,
+}
+
+impl Lit {
+    /// The text form used by the PLA format.
+    pub const fn to_char(self) -> char {
+        match self {
+            Lit::Zero => '0',
+            Lit::One => '1',
+            Lit::DontCare => '-',
+        }
+    }
+
+    /// Parses a PLA-format literal character.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LogicError::ParseCube`] for anything but `0`, `1`, `-`.
+    pub fn from_char(c: char) -> Result<Lit, LogicError> {
+        match c {
+            '0' => Ok(Lit::Zero),
+            '1' => Ok(Lit::One),
+            '-' | '2' => Ok(Lit::DontCare),
+            _ => Err(LogicError::ParseCube { found: c }),
+        }
+    }
+}
+
+/// A product term over `n` inputs: a conjunction of literals.
+///
+/// Cubes are the atoms of two-level logic: a PLA row is a cube, and a
+/// cover (sum of products) is a set of cubes.
+///
+/// # Example
+///
+/// ```
+/// use silc_logic::Cube;
+/// let c = Cube::parse("1-0")?;   // a AND NOT c
+/// assert!(c.covers_minterm(0b100));
+/// assert!(c.covers_minterm(0b110));
+/// assert!(!c.covers_minterm(0b101));
+/// # Ok::<(), silc_logic::LogicError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Cube {
+    lits: Vec<Lit>,
+}
+
+impl Cube {
+    /// The universal cube (all don't-cares) over `n` inputs.
+    pub fn universe(n: usize) -> Cube {
+        Cube {
+            lits: vec![Lit::DontCare; n],
+        }
+    }
+
+    /// Creates a cube from explicit literals.
+    pub fn from_lits(lits: Vec<Lit>) -> Cube {
+        Cube { lits }
+    }
+
+    /// The cube matching exactly one minterm. Bit `n-1-i` of `minterm`...
+    /// no: input 0 is the **most significant** bit, matching the PLA text
+    /// convention where the leftmost column is input 0.
+    pub fn from_minterm(n: usize, minterm: u64) -> Cube {
+        let lits = (0..n)
+            .map(|i| {
+                if (minterm >> (n - 1 - i)) & 1 == 1 {
+                    Lit::One
+                } else {
+                    Lit::Zero
+                }
+            })
+            .collect();
+        Cube { lits }
+    }
+
+    /// Parses the PLA text form, e.g. `"1-0"`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LogicError::ParseCube`] for invalid characters.
+    pub fn parse(s: &str) -> Result<Cube, LogicError> {
+        let lits = s.chars().map(Lit::from_char).collect::<Result<_, _>>()?;
+        Ok(Cube { lits })
+    }
+
+    /// Number of inputs.
+    pub fn width(&self) -> usize {
+        self.lits.len()
+    }
+
+    /// The literal at input `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= width()`.
+    pub fn lit(&self, i: usize) -> Lit {
+        self.lits[i]
+    }
+
+    /// All literals.
+    pub fn lits(&self) -> &[Lit] {
+        &self.lits
+    }
+
+    /// Returns a copy with input `i` set to `lit`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= width()`.
+    pub fn with_lit(&self, i: usize, lit: Lit) -> Cube {
+        let mut lits = self.lits.clone();
+        lits[i] = lit;
+        Cube { lits }
+    }
+
+    /// Number of specified (non-don't-care) literals — the number of
+    /// transistors the term costs in a PLA AND plane.
+    pub fn literal_count(&self) -> usize {
+        self.lits.iter().filter(|&&l| l != Lit::DontCare).count()
+    }
+
+    /// True when the cube accepts the given minterm (input 0 = MSB).
+    pub fn covers_minterm(&self, minterm: u64) -> bool {
+        let n = self.lits.len();
+        self.lits.iter().enumerate().all(|(i, &l)| {
+            let bit = (minterm >> (n - 1 - i)) & 1;
+            match l {
+                Lit::Zero => bit == 0,
+                Lit::One => bit == 1,
+                Lit::DontCare => true,
+            }
+        })
+    }
+
+    /// True when every minterm of `other` is also in `self`.
+    pub fn covers_cube(&self, other: &Cube) -> bool {
+        debug_assert_eq!(self.width(), other.width());
+        self.lits
+            .iter()
+            .zip(&other.lits)
+            .all(|(&a, &b)| a == Lit::DontCare || a == b)
+    }
+
+    /// Intersection of two cubes, or `None` when they conflict in some
+    /// literal.
+    pub fn intersect(&self, other: &Cube) -> Option<Cube> {
+        debug_assert_eq!(self.width(), other.width());
+        let mut lits = Vec::with_capacity(self.lits.len());
+        for (&a, &b) in self.lits.iter().zip(&other.lits) {
+            let l = match (a, b) {
+                (Lit::DontCare, x) => x,
+                (x, Lit::DontCare) => x,
+                (x, y) if x == y => x,
+                _ => return None,
+            };
+            lits.push(l);
+        }
+        Some(Cube { lits })
+    }
+
+    /// The number of inputs where the cubes require opposite values.
+    pub fn conflict_count(&self, other: &Cube) -> usize {
+        debug_assert_eq!(self.width(), other.width());
+        self.lits
+            .iter()
+            .zip(&other.lits)
+            .filter(|(&a, &b)| matches!((a, b), (Lit::Zero, Lit::One) | (Lit::One, Lit::Zero)))
+            .count()
+    }
+
+    /// Quine–McCluskey merge: if the cubes differ in exactly one input
+    /// where both are specified and opposite, and agree everywhere else,
+    /// returns the merged cube with that input freed.
+    pub fn merge_adjacent(&self, other: &Cube) -> Option<Cube> {
+        debug_assert_eq!(self.width(), other.width());
+        let mut diff = None;
+        for (i, (&a, &b)) in self.lits.iter().zip(&other.lits).enumerate() {
+            if a == b {
+                continue;
+            }
+            match (a, b) {
+                (Lit::Zero, Lit::One) | (Lit::One, Lit::Zero) => {
+                    if diff.is_some() {
+                        return None;
+                    }
+                    diff = Some(i);
+                }
+                _ => return None, // one specified, one don't-care: no merge
+            }
+        }
+        diff.map(|i| self.with_lit(i, Lit::DontCare))
+    }
+
+    /// Smallest cube containing both (the supercube).
+    pub fn supercube(&self, other: &Cube) -> Cube {
+        debug_assert_eq!(self.width(), other.width());
+        let lits = self
+            .lits
+            .iter()
+            .zip(&other.lits)
+            .map(|(&a, &b)| if a == b { a } else { Lit::DontCare })
+            .collect();
+        Cube { lits }
+    }
+
+    /// Iterates over every minterm the cube covers (exponential in free
+    /// literals; callers gate on width).
+    pub fn minterms(&self) -> Vec<u64> {
+        let n = self.lits.len();
+        let free: Vec<usize> = (0..n).filter(|&i| self.lits[i] == Lit::DontCare).collect();
+        let base: u64 = (0..n)
+            .filter(|&i| self.lits[i] == Lit::One)
+            .map(|i| 1u64 << (n - 1 - i))
+            .sum();
+        (0..(1u64 << free.len()))
+            .map(|mask| {
+                let mut m = base;
+                for (j, &i) in free.iter().enumerate() {
+                    if (mask >> j) & 1 == 1 {
+                        m |= 1u64 << (n - 1 - i);
+                    }
+                }
+                m
+            })
+            .collect()
+    }
+}
+
+impl fmt::Display for Cube {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for &l in &self.lits {
+            write!(f, "{}", l.to_char())?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn parse_display_roundtrip() {
+        for s in ["", "0", "1", "-", "10-1", "----"] {
+            assert_eq!(Cube::parse(s).unwrap().to_string(), s);
+        }
+        assert!(Cube::parse("10x").is_err());
+    }
+
+    #[test]
+    fn minterm_cube_msb_convention() {
+        // Input 0 is leftmost / MSB: minterm 0b10 over 2 inputs is "10".
+        assert_eq!(Cube::from_minterm(2, 0b10).to_string(), "10");
+        assert_eq!(Cube::from_minterm(3, 0b001).to_string(), "001");
+    }
+
+    #[test]
+    fn covers_minterm_matches_parse() {
+        let c = Cube::parse("1-0").unwrap();
+        assert!(c.covers_minterm(0b100));
+        assert!(c.covers_minterm(0b110));
+        assert!(!c.covers_minterm(0b000));
+        assert!(!c.covers_minterm(0b101));
+    }
+
+    #[test]
+    fn cube_containment() {
+        let big = Cube::parse("1--").unwrap();
+        let small = Cube::parse("101").unwrap();
+        assert!(big.covers_cube(&small));
+        assert!(!small.covers_cube(&big));
+        assert!(big.covers_cube(&big));
+    }
+
+    #[test]
+    fn intersection() {
+        let a = Cube::parse("1-0").unwrap();
+        let b = Cube::parse("-10").unwrap();
+        assert_eq!(a.intersect(&b).unwrap().to_string(), "110");
+        let c = Cube::parse("0--").unwrap();
+        assert!(a.intersect(&c).is_none());
+    }
+
+    #[test]
+    fn merge_adjacent_rules() {
+        let a = Cube::parse("101").unwrap();
+        let b = Cube::parse("100").unwrap();
+        assert_eq!(a.merge_adjacent(&b).unwrap().to_string(), "10-");
+        // Two differences: no merge.
+        let c = Cube::parse("110").unwrap();
+        assert!(a.merge_adjacent(&c).is_none());
+        // Difference against a don't-care: no merge.
+        let d = Cube::parse("10-").unwrap();
+        assert!(a.merge_adjacent(&d).is_none());
+    }
+
+    #[test]
+    fn supercube_contains_both() {
+        let a = Cube::parse("101").unwrap();
+        let b = Cube::parse("001").unwrap();
+        let s = a.supercube(&b);
+        assert_eq!(s.to_string(), "-01");
+        assert!(s.covers_cube(&a));
+        assert!(s.covers_cube(&b));
+    }
+
+    #[test]
+    fn minterm_expansion() {
+        let c = Cube::parse("1-").unwrap();
+        let mut m = c.minterms();
+        m.sort_unstable();
+        assert_eq!(m, vec![0b10, 0b11]);
+        assert_eq!(Cube::universe(3).minterms().len(), 8);
+        assert_eq!(Cube::parse("101").unwrap().minterms(), vec![0b101]);
+    }
+
+    #[test]
+    fn literal_count() {
+        assert_eq!(Cube::parse("1-0-").unwrap().literal_count(), 2);
+        assert_eq!(Cube::universe(5).literal_count(), 0);
+    }
+
+    #[test]
+    fn conflicts() {
+        let a = Cube::parse("10-").unwrap();
+        let b = Cube::parse("01-").unwrap();
+        assert_eq!(a.conflict_count(&b), 2);
+        assert_eq!(a.conflict_count(&a), 0);
+    }
+
+    fn arb_cube(n: usize) -> impl Strategy<Value = Cube> {
+        prop::collection::vec(0u8..3, n).prop_map(|v| {
+            Cube::from_lits(
+                v.into_iter()
+                    .map(|x| match x {
+                        0 => Lit::Zero,
+                        1 => Lit::One,
+                        _ => Lit::DontCare,
+                    })
+                    .collect(),
+            )
+        })
+    }
+
+    proptest! {
+        #[test]
+        fn intersect_agrees_with_minterms(a in arb_cube(5), b in arb_cube(5)) {
+            let am: std::collections::HashSet<_> = a.minterms().into_iter().collect();
+            let bm: std::collections::HashSet<_> = b.minterms().into_iter().collect();
+            let expected: std::collections::HashSet<_> = am.intersection(&bm).copied().collect();
+            match a.intersect(&b) {
+                Some(c) => {
+                    let cm: std::collections::HashSet<_> = c.minterms().into_iter().collect();
+                    prop_assert_eq!(cm, expected);
+                }
+                None => prop_assert!(expected.is_empty()),
+            }
+        }
+
+        #[test]
+        fn covers_cube_agrees_with_minterms(a in arb_cube(4), b in arb_cube(4)) {
+            let am: std::collections::HashSet<_> = a.minterms().into_iter().collect();
+            let covers = b.minterms().iter().all(|m| am.contains(m));
+            prop_assert_eq!(a.covers_cube(&b), covers);
+        }
+
+        #[test]
+        fn supercube_is_minimal_in_size(a in arb_cube(4), b in arb_cube(4)) {
+            let s = a.supercube(&b);
+            prop_assert!(s.covers_cube(&a) && s.covers_cube(&b));
+            // Every specified literal of s is forced: freeing it must stay
+            // a cover, specialization must not.
+            for i in 0..4 {
+                if s.lit(i) != Lit::DontCare {
+                    // s is as specified as possible: both a and b agree there.
+                    prop_assert_eq!(a.lit(i), s.lit(i));
+                    prop_assert_eq!(b.lit(i), s.lit(i));
+                }
+            }
+        }
+    }
+}

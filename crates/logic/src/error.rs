@@ -1,0 +1,92 @@
+use std::error::Error;
+use std::fmt;
+
+/// Error produced by logic-manipulation operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum LogicError {
+    /// A cube's width did not match the cover it was used with.
+    WidthMismatch {
+        /// Width the cover expects.
+        expected: usize,
+        /// Width that was supplied.
+        found: usize,
+    },
+    /// A cube string contained a character other than `0`, `1`, `-`.
+    ParseCube {
+        /// The offending character.
+        found: char,
+    },
+    /// A PLA-format file was malformed.
+    ParsePla {
+        /// 1-based line number.
+        line: usize,
+        /// What went wrong.
+        message: String,
+    },
+    /// Exact minimization was asked for a function too wide to enumerate.
+    TooWideForExact {
+        /// Number of inputs requested.
+        inputs: usize,
+        /// Maximum supported.
+        max: usize,
+    },
+    /// An input index was out of range.
+    BadInputIndex {
+        /// The index used.
+        index: usize,
+        /// Number of inputs available.
+        inputs: usize,
+    },
+}
+
+impl fmt::Display for LogicError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LogicError::WidthMismatch { expected, found } => {
+                write!(
+                    f,
+                    "cube width {found} does not match cover width {expected}"
+                )
+            }
+            LogicError::ParseCube { found } => {
+                write!(f, "invalid cube character `{found}` (expected 0, 1 or -)")
+            }
+            LogicError::ParsePla { line, message } => {
+                write!(f, "PLA parse error on line {line}: {message}")
+            }
+            LogicError::TooWideForExact { inputs, max } => {
+                write!(
+                    f,
+                    "exact minimization supports at most {max} inputs, got {inputs}"
+                )
+            }
+            LogicError::BadInputIndex { index, inputs } => {
+                write!(f, "input index {index} out of range for {inputs} inputs")
+            }
+        }
+    }
+}
+
+impl Error for LogicError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages_have_detail() {
+        let e = LogicError::WidthMismatch {
+            expected: 4,
+            found: 3,
+        };
+        assert!(e.to_string().contains('4'));
+        assert!(e.to_string().contains('3'));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<LogicError>();
+    }
+}

@@ -1,0 +1,322 @@
+//! Benchmark functions for the PLA-programming experiments (E4/E5).
+//!
+//! These are the kinds of "regular blocks programmed for specific
+//! functions" the paper describes: combinational utility functions, code
+//! converters and the next-state logic of a small controller — the
+//! Mead–Conway traffic-light machine, the canonical 1978 PLA example.
+
+use crate::{OutBit, TruthTable};
+
+fn bit(b: bool) -> OutBit {
+    if b {
+        OutBit::On
+    } else {
+        OutBit::Off
+    }
+}
+
+/// Extracts input `i` (0 = MSB) of an `n`-input minterm.
+fn input(m: u64, n: usize, i: usize) -> bool {
+    (m >> (n - 1 - i)) & 1 == 1
+}
+
+/// Majority function of `n` inputs: high when more than half are high.
+///
+/// # Panics
+///
+/// Panics when `n == 0` or `n > 16`.
+pub fn majority(n: usize) -> TruthTable {
+    assert!(n > 0 && n <= 16);
+    TruthTable::from_fn(n, 1, |m| vec![bit(m.count_ones() as usize * 2 > n)]).with_names(
+        &(0..n)
+            .map(|i| format!("a{i}"))
+            .collect::<Vec<_>>()
+            .iter()
+            .map(String::as_str)
+            .collect::<Vec<_>>(),
+        &["maj"],
+    )
+}
+
+/// Odd-parity function of `n` inputs.
+///
+/// # Panics
+///
+/// Panics when `n == 0` or `n > 16`.
+pub fn parity(n: usize) -> TruthTable {
+    assert!(n > 0 && n <= 16);
+    TruthTable::from_fn(n, 1, |m| vec![bit(m.count_ones() % 2 == 1)])
+}
+
+/// Full `n`-to-2ⁿ one-hot decoder.
+///
+/// # Panics
+///
+/// Panics when `n == 0` or `n > 8`.
+pub fn decoder(n: usize) -> TruthTable {
+    assert!(n > 0 && n <= 8);
+    let outs = 1usize << n;
+    TruthTable::from_fn(n, outs, move |m| {
+        (0..outs).map(|o| bit(o as u64 == m)).collect()
+    })
+}
+
+/// BCD to seven-segment decoder (segments `a`..`g`, active high), with the
+/// six unused codes 10–15 as don't-cares — the textbook don't-care
+/// exploitation example.
+pub fn bcd_to_seven_segment() -> TruthTable {
+    // Segment patterns for digits 0-9: (a, b, c, d, e, f, g).
+    const SEGMENTS: [u8; 10] = [
+        0b1111110, // 0
+        0b0110000, // 1
+        0b1101101, // 2
+        0b1111001, // 3
+        0b0110011, // 4
+        0b1011011, // 5
+        0b1011111, // 6
+        0b1110000, // 7
+        0b1111111, // 8
+        0b1111011, // 9
+    ];
+    TruthTable::from_fn(4, 7, |m| {
+        if m < 10 {
+            let pat = SEGMENTS[m as usize];
+            (0..7).map(|s| bit((pat >> (6 - s)) & 1 == 1)).collect()
+        } else {
+            vec![OutBit::DontCare; 7]
+        }
+    })
+    .with_names(
+        &["b3", "b2", "b1", "b0"],
+        &["sa", "sb", "sc", "sd", "se", "sf", "sg"],
+    )
+}
+
+/// Ripple-carry adder slice array flattened into two-level logic:
+/// `2n + 1` inputs (`a[n-1..0]`, `b[n-1..0]`, `cin`) and `n + 1` outputs
+/// (`cout`, `sum[n-1..0]`).
+///
+/// # Panics
+///
+/// Panics when `n == 0` or `2n + 1 > 16`.
+pub fn adder(n: usize) -> TruthTable {
+    assert!(n > 0 && 2 * n < 16);
+    let ni = 2 * n + 1;
+    TruthTable::from_fn(ni, n + 1, move |m| {
+        // Inputs (MSB first): a[n-1] .. a[0], b[n-1] .. b[0], cin.
+        let mut a = 0u64;
+        let mut b = 0u64;
+        for i in 0..n {
+            if input(m, ni, i) {
+                a |= 1 << (n - 1 - i);
+            }
+            if input(m, ni, n + i) {
+                b |= 1 << (n - 1 - i);
+            }
+        }
+        let cin = u64::from(input(m, ni, 2 * n));
+        let total = a + b + cin;
+        let mut outs = Vec::with_capacity(n + 1);
+        outs.push(bit(total >> n & 1 == 1)); // cout
+        for i in (0..n).rev() {
+            outs.push(bit(total >> i & 1 == 1));
+        }
+        outs
+    })
+}
+
+/// The Mead–Conway traffic-light controller: next-state and output logic
+/// of a four-state Moore/Mealy hybrid FSM for a highway/farm-road
+/// intersection.
+///
+/// Inputs (MSB first): `c` (car on farm road), `tl` (long-timer expired),
+/// `ts` (short-timer expired), `s1 s0` (current state).
+/// Outputs: `ns1 ns0` (next state), `st` (start timer), `h1 h0` (highway
+/// light), `f1 f0` (farm light). Light encoding: green 00, yellow 01,
+/// red 10. States: HG=00, HY=01, FG=11, FY=10.
+pub fn traffic_light() -> TruthTable {
+    const GREEN: u64 = 0b00;
+    const YELLOW: u64 = 0b01;
+    const RED: u64 = 0b10;
+    const HG: u64 = 0b00;
+    const HY: u64 = 0b01;
+    const FG: u64 = 0b11;
+    const FY: u64 = 0b10;
+    TruthTable::from_fn(5, 7, |m| {
+        let c = input(m, 5, 0);
+        let tl = input(m, 5, 1);
+        let ts = input(m, 5, 2);
+        let state = (u64::from(input(m, 5, 3)) << 1) | u64::from(input(m, 5, 4));
+        let (next, st) = match state {
+            HG => {
+                if c && tl {
+                    (HY, true)
+                } else {
+                    (HG, false)
+                }
+            }
+            HY => {
+                if ts {
+                    (FG, true)
+                } else {
+                    (HY, false)
+                }
+            }
+            FG => {
+                if !c || tl {
+                    (FY, true)
+                } else {
+                    (FG, false)
+                }
+            }
+            FY => {
+                if ts {
+                    (HG, true)
+                } else {
+                    (FY, false)
+                }
+            }
+            _ => unreachable!(),
+        };
+        let (h, f) = match state {
+            HG => (GREEN, RED),
+            HY => (YELLOW, RED),
+            FG => (RED, GREEN),
+            FY => (RED, YELLOW),
+            _ => unreachable!(),
+        };
+        vec![
+            bit(next >> 1 & 1 == 1),
+            bit(next & 1 == 1),
+            bit(st),
+            bit(h >> 1 & 1 == 1),
+            bit(h & 1 == 1),
+            bit(f >> 1 & 1 == 1),
+            bit(f & 1 == 1),
+        ]
+    })
+    .with_names(
+        &["c", "tl", "ts", "s1", "s0"],
+        &["ns1", "ns0", "st", "h1", "h0", "f1", "f0"],
+    )
+}
+
+/// The standard benchmark suite swept by experiment E4, as
+/// `(name, table)` pairs.
+pub fn benchmark_suite() -> Vec<(&'static str, TruthTable)> {
+    vec![
+        ("maj5", majority(5)),
+        ("parity4", parity(4)),
+        ("decoder3", decoder(3)),
+        ("bcd7seg", bcd_to_seven_segment()),
+        ("adder2", adder(2)),
+        ("traffic", traffic_light()),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::minimize_exact;
+
+    #[test]
+    fn majority_is_symmetric() {
+        let t = majority(3);
+        assert_eq!(t.eval(0, 0b110).unwrap(), Some(true));
+        assert_eq!(t.eval(0, 0b101).unwrap(), Some(true));
+        assert_eq!(t.eval(0, 0b011).unwrap(), Some(true));
+        assert_eq!(t.eval(0, 0b100).unwrap(), Some(false));
+        assert_eq!(t.eval(0, 0b111).unwrap(), Some(true));
+        assert_eq!(t.eval(0, 0b000).unwrap(), Some(false));
+    }
+
+    #[test]
+    fn majority3_minimizes_to_three_terms() {
+        let t = majority(3);
+        let min = minimize_exact(&t.on_cover(0).unwrap(), &t.dc_cover(0).unwrap()).unwrap();
+        assert_eq!(min.len(), 3); // ab + ac + bc
+    }
+
+    #[test]
+    fn parity_has_no_minimization() {
+        // Parity is the worst case for two-level logic: already minimal.
+        let t = parity(4);
+        let on = t.on_cover(0).unwrap();
+        let min = minimize_exact(&on, &t.dc_cover(0).unwrap()).unwrap();
+        assert_eq!(min.len(), 8);
+        assert_eq!(on.len(), 8);
+    }
+
+    #[test]
+    fn decoder_outputs_are_one_hot() {
+        let t = decoder(3);
+        assert_eq!(t.num_outputs(), 8);
+        for m in 0..8u64 {
+            for o in 0..8usize {
+                assert_eq!(
+                    t.eval(o, m).unwrap(),
+                    Some(o as u64 == m),
+                    "decoder({o}) at {m}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn bcd7seg_has_dont_cares() {
+        let t = bcd_to_seven_segment();
+        // Digit 8 lights all segments.
+        for s in 0..7usize {
+            assert_eq!(t.eval(s, 8).unwrap(), Some(true));
+        }
+        // Digit 1 lights only b and c.
+        assert_eq!(t.eval(0, 1).unwrap(), Some(false));
+        assert_eq!(t.eval(1, 1).unwrap(), Some(true));
+        assert_eq!(t.eval(2, 1).unwrap(), Some(true));
+        // Codes above 9 are unconstrained.
+        assert_eq!(t.eval(0, 12).unwrap(), None);
+    }
+
+    #[test]
+    fn adder_is_correct() {
+        let t = adder(2);
+        // a=3 (11), b=1 (01), cin=1 -> 5 = cout 1, sum 01.
+        #[allow(clippy::unusual_byte_groupings)] // grouped as a|b|cin fields
+        let m = 0b11_01_1u64;
+        assert_eq!(t.eval(0, m).unwrap(), Some(true)); // cout
+        assert_eq!(t.eval(1, m).unwrap(), Some(false)); // sum1
+        assert_eq!(t.eval(2, m).unwrap(), Some(true)); // sum0
+    }
+
+    #[test]
+    fn traffic_light_transitions() {
+        let t = traffic_light();
+        // In HG with car and long timer: go to HY, start timer.
+        // Inputs c=1 tl=1 ts=0 s=00 -> minterm 11000.
+        let m = 0b11000u64;
+        assert_eq!(t.eval(0, m).unwrap(), Some(false)); // ns1
+        assert_eq!(t.eval(1, m).unwrap(), Some(true)); // ns0 -> HY
+        assert_eq!(t.eval(2, m).unwrap(), Some(true)); // st
+                                                       // Highway green (00), farm red (10) while in HG.
+        assert_eq!(t.eval(3, m).unwrap(), Some(false));
+        assert_eq!(t.eval(4, m).unwrap(), Some(false));
+        assert_eq!(t.eval(5, m).unwrap(), Some(true));
+        assert_eq!(t.eval(6, m).unwrap(), Some(false));
+        // In HG without car: stay.
+        let m = 0b01000u64;
+        assert_eq!(t.eval(0, m).unwrap(), Some(false));
+        assert_eq!(t.eval(1, m).unwrap(), Some(false));
+        assert_eq!(t.eval(2, m).unwrap(), Some(false));
+    }
+
+    #[test]
+    fn suite_is_nonempty_and_named() {
+        let suite = benchmark_suite();
+        assert!(suite.len() >= 6);
+        for (name, t) in &suite {
+            assert!(!name.is_empty());
+            assert!(t.num_inputs() > 0);
+            assert!(!t.rows().is_empty());
+        }
+    }
+}

@@ -1,0 +1,438 @@
+use crate::{Cover, Cube, LogicError};
+use std::fmt;
+use std::fmt::Write as _;
+
+/// One output position of a truth-table row.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OutBit {
+    /// The row forces this output low (`0` in PLA format).
+    Off,
+    /// The row forces this output high (`1`).
+    On,
+    /// The row leaves this output unconstrained (`-` / `~`).
+    DontCare,
+}
+
+impl OutBit {
+    /// PLA text character.
+    pub const fn to_char(self) -> char {
+        match self {
+            OutBit::Off => '0',
+            OutBit::On => '1',
+            OutBit::DontCare => '-',
+        }
+    }
+
+    /// Parses a PLA output character.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LogicError::ParseCube`] on an unknown character.
+    pub fn from_char(c: char) -> Result<OutBit, LogicError> {
+        match c {
+            '0' => Ok(OutBit::Off),
+            '1' | '4' => Ok(OutBit::On),
+            '-' | '~' | '2' | '3' => Ok(OutBit::DontCare),
+            _ => Err(LogicError::ParseCube { found: c }),
+        }
+    }
+}
+
+/// A multi-output function specification: the programming document for a
+/// PLA or ROM.
+///
+/// Rows pair an input [`Cube`] with one [`OutBit`] per output, exactly as
+/// in the Berkeley PLA text format that [`TruthTable::parse_pla`] reads
+/// and [`TruthTable::to_pla_string`] writes.
+///
+/// # Example
+///
+/// ```
+/// use silc_logic::TruthTable;
+/// let t = TruthTable::parse_pla(".i 2\n.o 1\n11 1\n10 1\n.e\n")?;
+/// assert_eq!(t.num_inputs(), 2);
+/// let on = t.on_cover(0)?;
+/// assert!(on.eval(0b10) && on.eval(0b11) && !on.eval(0b01));
+/// # Ok::<(), silc_logic::LogicError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TruthTable {
+    num_inputs: usize,
+    num_outputs: usize,
+    input_names: Vec<String>,
+    output_names: Vec<String>,
+    rows: Vec<(Cube, Vec<OutBit>)>,
+}
+
+impl TruthTable {
+    /// Creates an empty table with default signal names (`x0…`, `y0…`).
+    pub fn new(num_inputs: usize, num_outputs: usize) -> TruthTable {
+        TruthTable {
+            num_inputs,
+            num_outputs,
+            input_names: (0..num_inputs).map(|i| format!("x{i}")).collect(),
+            output_names: (0..num_outputs).map(|i| format!("y{i}")).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Builds a fully specified table by evaluating `f` on every minterm.
+    /// `f` returns one [`OutBit`] per output. Rows whose outputs are all
+    /// `Off` are omitted (they are the implicit default).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `num_inputs > 24` or `f` returns the wrong arity.
+    pub fn from_fn(
+        num_inputs: usize,
+        num_outputs: usize,
+        f: impl Fn(u64) -> Vec<OutBit>,
+    ) -> TruthTable {
+        assert!(num_inputs <= 24, "from_fn enumerates all minterms");
+        let mut t = TruthTable::new(num_inputs, num_outputs);
+        for m in 0..(1u64 << num_inputs) {
+            let outs = f(m);
+            assert_eq!(outs.len(), num_outputs, "output arity mismatch");
+            if outs.iter().any(|&o| o != OutBit::Off) {
+                t.rows.push((Cube::from_minterm(num_inputs, m), outs));
+            }
+        }
+        t
+    }
+
+    /// Renames the signals (for readable PLA files and generated layouts).
+    ///
+    /// # Panics
+    ///
+    /// Panics if either slice length mismatches the table arity.
+    pub fn with_names(mut self, inputs: &[&str], outputs: &[&str]) -> TruthTable {
+        assert_eq!(inputs.len(), self.num_inputs);
+        assert_eq!(outputs.len(), self.num_outputs);
+        self.input_names = inputs.iter().map(|s| s.to_string()).collect();
+        self.output_names = outputs.iter().map(|s| s.to_string()).collect();
+        self
+    }
+
+    /// Number of inputs.
+    pub fn num_inputs(&self) -> usize {
+        self.num_inputs
+    }
+
+    /// Number of outputs.
+    pub fn num_outputs(&self) -> usize {
+        self.num_outputs
+    }
+
+    /// Input signal names.
+    pub fn input_names(&self) -> &[String] {
+        &self.input_names
+    }
+
+    /// Output signal names.
+    pub fn output_names(&self) -> &[String] {
+        &self.output_names
+    }
+
+    /// The rows.
+    pub fn rows(&self) -> &[(Cube, Vec<OutBit>)] {
+        &self.rows
+    }
+
+    /// Appends a row.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LogicError::WidthMismatch`] if the cube or output vector
+    /// has the wrong arity.
+    pub fn push_row(&mut self, cube: Cube, outs: Vec<OutBit>) -> Result<(), LogicError> {
+        if cube.width() != self.num_inputs {
+            return Err(LogicError::WidthMismatch {
+                expected: self.num_inputs,
+                found: cube.width(),
+            });
+        }
+        if outs.len() != self.num_outputs {
+            return Err(LogicError::WidthMismatch {
+                expected: self.num_outputs,
+                found: outs.len(),
+            });
+        }
+        self.rows.push((cube, outs));
+        Ok(())
+    }
+
+    /// The ON-set cover of output `o`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LogicError::BadInputIndex`] for an out-of-range output.
+    pub fn on_cover(&self, o: usize) -> Result<Cover, LogicError> {
+        self.select(o, OutBit::On)
+    }
+
+    /// The don't-care cover of output `o`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LogicError::BadInputIndex`] for an out-of-range output.
+    pub fn dc_cover(&self, o: usize) -> Result<Cover, LogicError> {
+        self.select(o, OutBit::DontCare)
+    }
+
+    fn select(&self, o: usize, want: OutBit) -> Result<Cover, LogicError> {
+        if o >= self.num_outputs {
+            return Err(LogicError::BadInputIndex {
+                index: o,
+                inputs: self.num_outputs,
+            });
+        }
+        let cubes = self
+            .rows
+            .iter()
+            .filter(|(_, outs)| outs[o] == want)
+            .map(|(c, _)| c.clone())
+            .collect();
+        Cover::from_cubes(self.num_inputs, cubes)
+    }
+
+    /// Evaluates output `o` on a minterm: `Some(true)` if an ON row
+    /// matches, `None` if only don't-care rows match, `Some(false)`
+    /// otherwise.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LogicError::BadInputIndex`] for an out-of-range output.
+    pub fn eval(&self, o: usize, minterm: u64) -> Result<Option<bool>, LogicError> {
+        let on = self.on_cover(o)?;
+        if on.eval(minterm) {
+            return Ok(Some(true));
+        }
+        if self.dc_cover(o)?.eval(minterm) {
+            return Ok(None);
+        }
+        Ok(Some(false))
+    }
+
+    /// Parses the Berkeley PLA text format (`.i`, `.o`, `.ilb`, `.ob`,
+    /// `.p`, term rows, `.e`).
+    ///
+    /// # Errors
+    ///
+    /// [`LogicError::ParsePla`] with the offending line number.
+    pub fn parse_pla(text: &str) -> Result<TruthTable, LogicError> {
+        let mut num_inputs: Option<usize> = None;
+        let mut num_outputs: Option<usize> = None;
+        let mut input_names: Option<Vec<String>> = None;
+        let mut output_names: Option<Vec<String>> = None;
+        let mut rows: Vec<(Cube, Vec<OutBit>)> = Vec::new();
+
+        for (lineno, raw) in text.lines().enumerate() {
+            let line = raw.split('#').next().unwrap_or("").trim();
+            if line.is_empty() {
+                continue;
+            }
+            let err = |message: &str| LogicError::ParsePla {
+                line: lineno + 1,
+                message: message.to_string(),
+            };
+            if let Some(rest) = line.strip_prefix('.') {
+                let mut parts = rest.split_whitespace();
+                match parts.next() {
+                    Some("i") => {
+                        num_inputs = Some(
+                            parts
+                                .next()
+                                .and_then(|s| s.parse().ok())
+                                .ok_or_else(|| err("bad .i directive"))?,
+                        );
+                    }
+                    Some("o") => {
+                        num_outputs = Some(
+                            parts
+                                .next()
+                                .and_then(|s| s.parse().ok())
+                                .ok_or_else(|| err("bad .o directive"))?,
+                        );
+                    }
+                    Some("ilb") => {
+                        input_names = Some(parts.map(str::to_string).collect());
+                    }
+                    Some("ob") => {
+                        output_names = Some(parts.map(str::to_string).collect());
+                    }
+                    Some("p") | Some("e") | Some("end") => {}
+                    Some(other) => {
+                        return Err(err(&format!("unknown directive .{other}")));
+                    }
+                    None => return Err(err("empty directive")),
+                }
+                continue;
+            }
+            // A term row: input part then output part.
+            let ni = num_inputs.ok_or_else(|| err("term row before .i"))?;
+            let no = num_outputs.ok_or_else(|| err("term row before .o"))?;
+            let compact: String = line.split_whitespace().collect();
+            if compact.len() != ni + no {
+                return Err(err(&format!(
+                    "row has {} characters, expected {}",
+                    compact.len(),
+                    ni + no
+                )));
+            }
+            let cube = Cube::parse(&compact[..ni]).map_err(|e| err(&e.to_string()))?;
+            let outs = compact[ni..]
+                .chars()
+                .map(OutBit::from_char)
+                .collect::<Result<Vec<_>, _>>()
+                .map_err(|e| err(&e.to_string()))?;
+            rows.push((cube, outs));
+        }
+
+        let ni = num_inputs.ok_or(LogicError::ParsePla {
+            line: 0,
+            message: "missing .i directive".into(),
+        })?;
+        let no = num_outputs.ok_or(LogicError::ParsePla {
+            line: 0,
+            message: "missing .o directive".into(),
+        })?;
+        let mut t = TruthTable::new(ni, no);
+        if let Some(names) = input_names {
+            if names.len() == ni {
+                t.input_names = names;
+            }
+        }
+        if let Some(names) = output_names {
+            if names.len() == no {
+                t.output_names = names;
+            }
+        }
+        t.rows = rows;
+        Ok(t)
+    }
+
+    /// Writes the table in PLA text format.
+    pub fn to_pla_string(&self) -> String {
+        let mut s = String::new();
+        let _ = writeln!(s, ".i {}", self.num_inputs);
+        let _ = writeln!(s, ".o {}", self.num_outputs);
+        let _ = writeln!(s, ".ilb {}", self.input_names.join(" "));
+        let _ = writeln!(s, ".ob {}", self.output_names.join(" "));
+        let _ = writeln!(s, ".p {}", self.rows.len());
+        for (cube, outs) in &self.rows {
+            let o: String = outs.iter().map(|b| b.to_char()).collect();
+            let _ = writeln!(s, "{cube} {o}");
+        }
+        s.push_str(".e\n");
+        s
+    }
+}
+
+impl fmt::Display for TruthTable {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "truth table ({} in, {} out, {} rows)",
+            self.num_inputs,
+            self.num_outputs,
+            self.rows.len()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pla_roundtrip() {
+        let text = ".i 3\n.o 2\n.ilb a b c\n.ob f g\n.p 2\n1-0 10\n-11 01\n.e\n";
+        let t = TruthTable::parse_pla(text).unwrap();
+        assert_eq!(t.num_inputs(), 3);
+        assert_eq!(t.num_outputs(), 2);
+        assert_eq!(t.input_names(), ["a", "b", "c"]);
+        assert_eq!(t.rows().len(), 2);
+        let again = TruthTable::parse_pla(&t.to_pla_string()).unwrap();
+        assert_eq!(t, again);
+    }
+
+    #[test]
+    fn comments_and_blanks_skipped() {
+        let text = "# header\n.i 1\n.o 1\n\n1 1  # term\n.e\n";
+        let t = TruthTable::parse_pla(text).unwrap();
+        assert_eq!(t.rows().len(), 1);
+    }
+
+    #[test]
+    fn bad_rows_diagnosed_with_line() {
+        let text = ".i 2\n.o 1\n111 1\n";
+        let err = TruthTable::parse_pla(text).unwrap_err();
+        assert!(matches!(err, LogicError::ParsePla { line: 3, .. }), "{err}");
+    }
+
+    #[test]
+    fn missing_directives_rejected() {
+        assert!(TruthTable::parse_pla("11 1\n").is_err());
+        assert!(TruthTable::parse_pla(".i 2\n").is_err());
+    }
+
+    #[test]
+    fn covers_by_output() {
+        let text = ".i 2\n.o 2\n11 10\n10 -1\n01 01\n.e\n";
+        let t = TruthTable::parse_pla(text).unwrap();
+        let on0 = t.on_cover(0).unwrap();
+        assert_eq!(on0.len(), 1);
+        // Output 1 is On in rows 2 and 3; output 0 is DontCare in row 2.
+        let on1 = t.on_cover(1).unwrap();
+        assert_eq!(on1.len(), 2);
+        let dc0 = t.dc_cover(0).unwrap();
+        assert_eq!(dc0.len(), 1);
+        assert!(t.dc_cover(1).unwrap().is_empty());
+        assert!(t.on_cover(2).is_err());
+    }
+
+    #[test]
+    fn eval_three_states() {
+        let text = ".i 2\n.o 1\n11 1\n10 -\n.e\n";
+        let t = TruthTable::parse_pla(text).unwrap();
+        assert_eq!(t.eval(0, 0b11).unwrap(), Some(true));
+        assert_eq!(t.eval(0, 0b10).unwrap(), None);
+        assert_eq!(t.eval(0, 0b00).unwrap(), Some(false));
+    }
+
+    #[test]
+    fn from_fn_builds_parity() {
+        let t = TruthTable::from_fn(3, 1, |m| {
+            vec![if m.count_ones() % 2 == 1 {
+                OutBit::On
+            } else {
+                OutBit::Off
+            }]
+        });
+        // Odd-parity of 3 inputs has 4 ON minterms.
+        assert_eq!(t.rows().len(), 4);
+        assert_eq!(t.eval(0, 0b111).unwrap(), Some(true));
+        assert_eq!(t.eval(0, 0b110).unwrap(), Some(false));
+    }
+
+    #[test]
+    fn push_row_validates() {
+        let mut t = TruthTable::new(2, 1);
+        assert!(t
+            .push_row(Cube::parse("111").unwrap(), vec![OutBit::On])
+            .is_err());
+        assert!(t
+            .push_row(Cube::parse("11").unwrap(), vec![OutBit::On, OutBit::On])
+            .is_err());
+        assert!(t
+            .push_row(Cube::parse("11").unwrap(), vec![OutBit::On])
+            .is_ok());
+    }
+
+    #[test]
+    fn names_applied() {
+        let t = TruthTable::new(2, 1).with_names(&["a", "b"], &["f"]);
+        assert_eq!(t.output_names(), ["f"]);
+        assert!(t.to_pla_string().contains(".ilb a b"));
+    }
+}

@@ -1,0 +1,85 @@
+//! Exhaustive guarantees on small function spaces: for *every* 3-input
+//! boolean function, the exact minimizer's cover is truly minimum (checked
+//! against brute-force search over prime subsets), and the heuristic's is
+//! valid.
+
+use silc_logic::{minimize_exact, minimize_heuristic, prime_implicants, Cover};
+
+/// Brute-force minimum cover size: try all subsets of primes by
+/// increasing size until one covers the ON-set.
+fn brute_minimum(on: &Cover) -> usize {
+    let primes = prime_implicants(on, &Cover::empty(on.num_inputs())).unwrap();
+    let minterms = on.minterms();
+    if minterms.is_empty() {
+        return 0;
+    }
+    let n = primes.len();
+    for k in 1..=n {
+        // Iterate all k-subsets via bitmasks (n is small for 3 vars).
+        for mask in 0u32..(1 << n) {
+            if mask.count_ones() as usize != k {
+                continue;
+            }
+            let covers_all = minterms
+                .iter()
+                .all(|&m| (0..n).any(|p| mask >> p & 1 == 1 && primes[p].covers_minterm(m)));
+            if covers_all {
+                return k;
+            }
+        }
+    }
+    n
+}
+
+#[test]
+fn every_three_variable_function_minimizes_exactly() {
+    for truth in 0u32..256 {
+        let minterms: Vec<u64> = (0..8u64).filter(|&m| truth >> m & 1 == 1).collect();
+        let on = Cover::from_minterms(3, &minterms);
+        let exact = minimize_exact(&on, &Cover::empty(3)).unwrap();
+        assert!(
+            exact.equivalent(&on),
+            "function {truth:08b}: exact cover wrong"
+        );
+        let best = brute_minimum(&on);
+        assert_eq!(
+            exact.len(),
+            best,
+            "function {truth:08b}: exact found {} terms, minimum is {best}",
+            exact.len()
+        );
+        let heur = minimize_heuristic(&on, &Cover::empty(3)).unwrap();
+        assert!(
+            heur.equivalent(&on),
+            "function {truth:08b}: heuristic wrong"
+        );
+        assert!(heur.len() >= best, "function {truth:08b}");
+    }
+}
+
+#[test]
+fn four_variable_sample_with_dont_cares() {
+    // A structured sample of 4-variable functions with don't-care sets:
+    // exact must stay within on ∪ dc and cover on, and never exceed the
+    // heuristic.
+    for seed in 0u64..40 {
+        let on_mask = seed.wrapping_mul(0x9E3779B97F4A7C15) & 0xFFFF;
+        let dc_mask = (seed.wrapping_mul(0xBF58476D1CE4E5B9) >> 16) & 0xFFFF & !on_mask;
+        let on: Vec<u64> = (0..16).filter(|&m| on_mask >> m & 1 == 1).collect();
+        let dc: Vec<u64> = (0..16).filter(|&m| dc_mask >> m & 1 == 1).collect();
+        let on = Cover::from_minterms(4, &on);
+        let dc = Cover::from_minterms(4, &dc);
+        let exact = minimize_exact(&on, &dc).unwrap();
+        let heur = minimize_heuristic(&on, &dc).unwrap();
+        for m in 0..16u64 {
+            if on.eval(m) {
+                assert!(exact.eval(m), "seed {seed} minterm {m}");
+                assert!(heur.eval(m), "seed {seed} minterm {m}");
+            } else if !dc.eval(m) {
+                assert!(!exact.eval(m), "seed {seed} minterm {m} invented");
+                assert!(!heur.eval(m), "seed {seed} minterm {m} invented");
+            }
+        }
+        assert!(exact.len() <= heur.len(), "seed {seed}");
+    }
+}

@@ -1,0 +1,123 @@
+use silc_synth::ModuleClass;
+
+/// Rationale recorded alongside the baseline numbers in EXPERIMENTS.md.
+pub const BASELINE_NOTES: &str = "Hand allocation of a straight-8 class datapath: \
+six dedicated registers (AC, PC, MA, MB, IR, L), one shared 12-bit \
+adder + logic unit + single-position shifter, steering multiplexers on \
+PC/MA/MB and a 3-way AC mux, 4K x 12 memory from 1K x 1 static RAM \
+chips, PLA-based control. Costed with the same module catalogue as the \
+synthesized design so the E1 ratio isolates the allocation quality, \
+exactly as reference [6] compared module counts.";
+
+/// The hand-designed ("commercial") PDP-8 module list used as the
+/// baseline of experiment E1.
+///
+/// A skilled designer shares one ALU among all transfers, keeps mux ways
+/// minimal, and wastes no width. The automatic compiler is allowed to be
+/// up to 50% worse — the paper's headline claim.
+pub fn commercial_baseline() -> Vec<ModuleClass> {
+    vec![
+        // Datapath registers.
+        ModuleClass::Register { width: 12 }, // AC
+        ModuleClass::Register { width: 12 }, // PC
+        ModuleClass::Register { width: 12 }, // MA
+        ModuleClass::Register { width: 12 }, // MB
+        ModuleClass::Register { width: 12 }, // IR
+        ModuleClass::Register { width: 1 },  // L
+        // One shared arithmetic/logic section.
+        ModuleClass::Adder { width: 12 },
+        ModuleClass::BitLogic { width: 12 },
+        ModuleClass::Shifter { width: 12 },
+        // Steering.
+        ModuleClass::Mux { ways: 2, width: 12 }, // PC source
+        ModuleClass::Mux { ways: 2, width: 12 }, // MA source
+        ModuleClass::Mux { ways: 3, width: 12 }, // AC source
+        ModuleClass::Mux { ways: 2, width: 12 }, // MB source
+        // Main memory: 4K x 12 from 1K x 1 parts.
+        ModuleClass::Memory {
+            words: 4096,
+            width: 12,
+        },
+        // Control: timing/IR decode PLA plus major-state register.
+        ModuleClass::ControlPla {
+            inputs: 10,
+            outputs: 24,
+            terms: 45,
+        },
+        ModuleClass::StateRegister { bits: 3 },
+    ]
+}
+
+/// Total package count of the baseline.
+pub fn baseline_packages() -> u64 {
+    commercial_baseline()
+        .iter()
+        .map(ModuleClass::packages)
+        .sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::isp_machine;
+    use silc_synth::{synthesize, Sharing, SynthOptions};
+
+    #[test]
+    fn baseline_is_dominated_by_memory() {
+        let total = baseline_packages();
+        let memory = ModuleClass::Memory {
+            words: 4096,
+            width: 12,
+        }
+        .packages();
+        assert_eq!(memory, 48);
+        assert!(total > memory, "total {total}");
+        assert!(
+            total < 120,
+            "hand design stays under 120 packages, got {total}"
+        );
+    }
+
+    #[test]
+    fn synthesized_pdp8_is_within_fifty_percent() {
+        // The E1 headline: compile the ISP description, compare package
+        // counts with the hand design.
+        let machine = isp_machine().unwrap();
+        let alloc = synthesize(
+            &machine,
+            &SynthOptions {
+                sharing: Sharing::Shared,
+            },
+        );
+        let ratio = alloc.estimate.package_ratio(baseline_packages());
+        assert!(
+            ratio <= 1.5,
+            "automatic allocation must be within 50% of the {} baseline packages, got {} (ratio {ratio:.2})",
+            baseline_packages(),
+            alloc.estimate.packages
+        );
+        assert!(
+            ratio >= 1.0,
+            "automatic allocation should not beat the hand design, got ratio {ratio:.2}"
+        );
+    }
+
+    #[test]
+    fn per_operation_allocation_is_worse() {
+        let machine = isp_machine().unwrap();
+        let shared = synthesize(
+            &machine,
+            &SynthOptions {
+                sharing: Sharing::Shared,
+            },
+        );
+        let per_op = synthesize(
+            &machine,
+            &SynthOptions {
+                sharing: Sharing::PerOperation,
+            },
+        );
+        assert!(per_op.estimate.packages > shared.estimate.packages);
+        assert!(per_op.estimate.area_lambda2 > shared.estimate.area_lambda2);
+    }
+}

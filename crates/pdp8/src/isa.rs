@@ -1,0 +1,435 @@
+use crate::Program;
+
+/// A reference PDP-8 instruction-set simulator.
+///
+/// Implements the straight PDP-8 subset the reproduction targets:
+///
+/// * memory-reference instructions `AND`/`TAD`/`ISZ`/`DCA`/`JMS`/`JMP`
+///   with page-0/current-page addressing and single-level indirection;
+/// * operate group 1 (`CLA CLL CMA CML IAC RAR RAL RTR RTL`) with the
+///   documented micro-order sequencing;
+/// * operate group 2 skip logic (`SMA SZA SNL` / `SPA SNA SZL SKP`),
+///   `CLA`, `OSR`, `HLT`.
+///
+/// Not modelled (consistently absent from the ISL description too, so the
+/// cross-check is exact): IOT devices, interrupts, auto-index registers
+/// 010–017, `BSW`, and `EAE` options.
+#[derive(Debug, Clone)]
+pub struct Pdp8 {
+    /// Program counter (12 bits).
+    pub pc: u16,
+    /// Accumulator (12 bits).
+    pub ac: u16,
+    /// Link bit.
+    pub link: u16,
+    /// Switch register (read by `OSR`).
+    pub sr: u16,
+    /// 4K words of 12-bit memory.
+    pub mem: Vec<u16>,
+    /// True after `HLT`.
+    pub halted: bool,
+    cycles: u64,
+}
+
+const W: u16 = 0o7777;
+
+impl Default for Pdp8 {
+    fn default() -> Self {
+        Pdp8::new()
+    }
+}
+
+impl Pdp8 {
+    /// A machine with zeroed memory, PC at 0200 (the conventional start).
+    pub fn new() -> Pdp8 {
+        Pdp8 {
+            pc: 0o200,
+            ac: 0,
+            link: 0,
+            sr: 0,
+            mem: vec![0; 4096],
+            halted: false,
+            cycles: 0,
+        }
+    }
+
+    /// Loads an assembled program and sets the PC to its start address.
+    pub fn load(&mut self, program: &Program) {
+        for (addr, word) in &program.words {
+            self.mem[*addr as usize] = *word;
+        }
+        self.pc = program.start;
+        self.halted = false;
+    }
+
+    /// Instructions executed so far.
+    pub fn cycles(&self) -> u64 {
+        self.cycles
+    }
+
+    /// Executes one instruction. A halted machine does nothing.
+    pub fn step(&mut self) {
+        if self.halted {
+            return;
+        }
+        let ir = self.mem[self.pc as usize];
+        let ipc = self.pc; // address of this instruction (for paging)
+        self.pc = (self.pc + 1) & W;
+        self.cycles += 1;
+
+        let opcode = ir >> 9;
+        if opcode <= 5 {
+            // Effective address.
+            let offset = ir & 0o177;
+            let mut ea = if ir & 0o200 != 0 {
+                (ipc & 0o7600) | offset // current page
+            } else {
+                offset // page zero
+            };
+            if ir & 0o400 != 0 {
+                ea = self.mem[ea as usize]; // indirect
+            }
+            match opcode {
+                0 => self.ac &= self.mem[ea as usize],
+                1 => {
+                    // TAD: 13-bit add, link complements on carry.
+                    let sum =
+                        ((self.link << 12) | self.ac) as u32 + u32::from(self.mem[ea as usize]);
+                    self.link = ((sum >> 12) & 1) as u16;
+                    self.ac = (sum as u16) & W;
+                }
+                2 => {
+                    let v = (self.mem[ea as usize] + 1) & W;
+                    self.mem[ea as usize] = v;
+                    if v == 0 {
+                        self.pc = (self.pc + 1) & W;
+                    }
+                }
+                3 => {
+                    self.mem[ea as usize] = self.ac;
+                    self.ac = 0;
+                }
+                4 => {
+                    self.mem[ea as usize] = self.pc;
+                    self.pc = (ea + 1) & W;
+                }
+                5 => self.pc = ea,
+                _ => unreachable!(),
+            }
+        } else if opcode == 6 {
+            // IOT: not modelled; executes as a no-op.
+        } else if ir & 0o400 == 0 {
+            // Operate group 1, micro-order sequence:
+            // 1: CLA, CLL; 2: CMA, CML; 3: IAC; 4: rotates.
+            if ir & 0o200 != 0 {
+                self.ac = 0;
+            }
+            if ir & 0o100 != 0 {
+                self.link = 0;
+            }
+            if ir & 0o040 != 0 {
+                self.ac = !self.ac & W;
+            }
+            if ir & 0o020 != 0 {
+                self.link ^= 1;
+            }
+            if ir & 0o001 != 0 {
+                let sum = ((self.link << 12) | self.ac) + 1;
+                self.link = (sum >> 12) & 1;
+                self.ac = sum & W;
+            }
+            let twice = ir & 0o002 != 0;
+            if ir & 0o010 != 0 {
+                self.rar();
+                if twice {
+                    self.rar();
+                }
+            }
+            if ir & 0o004 != 0 {
+                self.ral();
+                if twice {
+                    self.ral();
+                }
+            }
+        } else if ir & 0o001 == 0 {
+            // Operate group 2: skip sense first, then CLA, OSR, HLT.
+            let mut skip = (ir & 0o100 != 0 && self.ac & 0o4000 != 0)
+                || (ir & 0o040 != 0 && self.ac == 0)
+                || (ir & 0o020 != 0 && self.link == 1);
+            if ir & 0o010 != 0 {
+                skip = !skip;
+            }
+            if skip {
+                self.pc = (self.pc + 1) & W;
+            }
+            if ir & 0o200 != 0 {
+                self.ac = 0;
+            }
+            if ir & 0o004 != 0 {
+                self.ac |= self.sr;
+            }
+            if ir & 0o002 != 0 {
+                self.halted = true;
+            }
+        }
+        // Group 3 (EAE) not modelled: no-op.
+    }
+
+    /// Runs until `HLT` or until `max` instructions have executed.
+    /// Returns true if the machine halted.
+    pub fn run(&mut self, max: u64) -> bool {
+        let mut n = 0;
+        while !self.halted && n < max {
+            self.step();
+            n += 1;
+        }
+        self.halted
+    }
+
+    fn rar(&mut self) {
+        let out = self.ac & 1;
+        self.ac = (self.ac >> 1) | (self.link << 11);
+        self.link = out;
+    }
+
+    fn ral(&mut self) {
+        let out = (self.ac >> 11) & 1;
+        self.ac = ((self.ac << 1) & W) | self.link;
+        self.link = out;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run_words(words: &[(u16, u16)], start: u16, max: u64) -> Pdp8 {
+        let mut cpu = Pdp8::new();
+        for &(a, w) in words {
+            cpu.mem[a as usize] = w;
+        }
+        cpu.pc = start;
+        cpu.run(max);
+        cpu
+    }
+
+    #[test]
+    fn tad_adds_and_sets_link_on_carry() {
+        // TAD 0100 (page 0, addr 100 holds 7777), AC starts 1 via IAC.
+        let cpu = run_words(
+            &[
+                (0o200, 0o7001), // IAC
+                (0o201, 0o1100), // TAD 100
+                (0o202, 0o7402), // HLT
+                (0o100, 0o7777),
+            ],
+            0o200,
+            10,
+        );
+        assert_eq!(cpu.ac, 0); // 1 + 7777 wraps
+        assert_eq!(cpu.link, 1); // carry complements link
+        assert!(cpu.halted);
+    }
+
+    #[test]
+    fn and_masks() {
+        let cpu = run_words(
+            &[
+                (0o200, 0o7001), // IAC -> AC=1... need richer value
+                (0o201, 0o1101), // TAD 101 (0o0776) -> AC=0777
+                (0o202, 0o0100), // AND 100 (0o0707)
+                (0o203, 0o7402),
+                (0o100, 0o0707),
+                (0o101, 0o0776),
+            ],
+            0o200,
+            10,
+        );
+        assert_eq!(cpu.ac, 0o0707);
+    }
+
+    #[test]
+    fn isz_skips_on_zero() {
+        let cpu = run_words(
+            &[
+                (0o200, 0o2100), // ISZ 100 (holds 7777 -> becomes 0, skip)
+                (0o201, 0o7001), // IAC (skipped)
+                (0o202, 0o7402), // HLT
+                (0o100, 0o7777),
+            ],
+            0o200,
+            10,
+        );
+        assert_eq!(cpu.ac, 0);
+        assert_eq!(cpu.mem[0o100], 0);
+    }
+
+    #[test]
+    fn dca_deposits_and_clears() {
+        let cpu = run_words(
+            &[
+                (0o200, 0o7001), // IAC
+                (0o201, 0o3100), // DCA 100
+                (0o202, 0o7402),
+            ],
+            0o200,
+            10,
+        );
+        assert_eq!(cpu.mem[0o100], 1);
+        assert_eq!(cpu.ac, 0);
+    }
+
+    #[test]
+    fn jms_saves_return_address() {
+        let cpu = run_words(
+            &[
+                (0o200, 0o4210), // JMS 210 (current page)
+                (0o201, 0o7402), // HLT (returned here)
+                (0o210, 0o0000), // subroutine entry (return slot)
+                (0o211, 0o7001), // IAC
+                (0o212, 0o5610), // JMP I 210 (return)
+            ],
+            0o200,
+            20,
+        );
+        assert_eq!(cpu.mem[0o210], 0o201);
+        assert_eq!(cpu.ac, 1);
+        assert!(cpu.halted);
+    }
+
+    #[test]
+    fn indirect_addressing() {
+        let cpu = run_words(
+            &[
+                (0o200, 0o1500), // TAD I 100
+                (0o201, 0o7402),
+                (0o100, 0o0300), // pointer
+                (0o300, 0o0042),
+            ],
+            0o200,
+            10,
+        );
+        assert_eq!(cpu.ac, 0o42);
+    }
+
+    #[test]
+    fn current_page_addressing() {
+        // Instruction at 0400 referencing offset 020 on its own page
+        // (0420).
+        let cpu = run_words(
+            &[
+                (0o400, 0o1220), // TAD 420 (page bit set)
+                (0o401, 0o7402),
+                (0o420, 0o0055),
+            ],
+            0o400,
+            10,
+        );
+        assert_eq!(cpu.ac, 0o55);
+    }
+
+    #[test]
+    fn group1_micro_order() {
+        // CLA CMA IAC = 7241 -> AC = -0 complemented... CLA then CMA gives
+        // 7777, IAC carries to 0 and flips link.
+        let cpu = run_words(&[(0o200, 0o7241), (0o201, 0o7402)], 0o200, 10);
+        assert_eq!(cpu.ac, 0);
+        assert_eq!(cpu.link, 1);
+    }
+
+    #[test]
+    fn rotates() {
+        // AC = 1 via IAC, then RAR: bit 0 -> link, link(0) -> bit 11.
+        let cpu = run_words(
+            &[(0o200, 0o7001), (0o201, 0o7010), (0o202, 0o7402)],
+            0o200,
+            10,
+        );
+        assert_eq!(cpu.ac, 0);
+        assert_eq!(cpu.link, 1);
+        // RAL brings it back.
+        let cpu = run_words(
+            &[
+                (0o200, 0o7001),
+                (0o201, 0o7010), // RAR
+                (0o202, 0o7004), // RAL
+                (0o203, 0o7402),
+            ],
+            0o200,
+            10,
+        );
+        assert_eq!(cpu.ac, 1);
+        assert_eq!(cpu.link, 0);
+    }
+
+    #[test]
+    fn double_rotates() {
+        // AC=2: RTR moves bit1->link? RAR twice: 2 -> 1 -> link=1,ac=0...
+        let cpu = run_words(
+            &[
+                (0o200, 0o7001), // IAC (AC=1)
+                (0o201, 0o7004), // RAL (AC=2)
+                (0o202, 0o7012), // RTR (AC=2 -> rar: 1 -> rar: 0, link 1)
+                (0o203, 0o7402),
+            ],
+            0o200,
+            10,
+        );
+        assert_eq!(cpu.ac, 0);
+        assert_eq!(cpu.link, 1);
+    }
+
+    #[test]
+    fn group2_skips() {
+        // SZA with AC=0 skips.
+        let cpu = run_words(
+            &[
+                (0o200, 0o7440), // SZA
+                (0o201, 0o7001), // IAC (skipped)
+                (0o202, 0o7402),
+            ],
+            0o200,
+            10,
+        );
+        assert_eq!(cpu.ac, 0);
+        // SPA with negative AC does not skip; reversed sense.
+        let cpu = run_words(
+            &[
+                (0o200, 0o7040), // CMA -> AC = 7777 (negative)
+                (0o201, 0o7510), // SPA
+                (0o202, 0o7402), // HLT (not skipped)
+                (0o203, 0o7001),
+            ],
+            0o200,
+            10,
+        );
+        assert!(cpu.halted);
+        assert_eq!(cpu.ac, 0o7777);
+    }
+
+    #[test]
+    fn osr_ors_switches() {
+        let mut cpu = Pdp8::new();
+        cpu.sr = 0o1234;
+        cpu.mem[0o200] = 0o7404; // OSR
+        cpu.mem[0o201] = 0o7402;
+        cpu.pc = 0o200;
+        cpu.run(10);
+        assert_eq!(cpu.ac, 0o1234);
+    }
+
+    #[test]
+    fn iot_is_noop() {
+        let cpu = run_words(&[(0o200, 0o6046), (0o201, 0o7402)], 0o200, 10);
+        assert!(cpu.halted);
+        assert_eq!(cpu.ac, 0);
+    }
+
+    #[test]
+    fn halted_machine_is_inert() {
+        let mut cpu = run_words(&[(0o200, 0o7402)], 0o200, 10);
+        let cycles = cpu.cycles();
+        cpu.step();
+        assert_eq!(cpu.cycles(), cycles);
+    }
+}

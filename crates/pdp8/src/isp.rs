@@ -1,0 +1,360 @@
+use crate::{Pdp8, Program};
+use silc_rtl::{parse, Machine, RtlError, Simulator};
+
+/// The PDP-8 written as an ISL behavioral description — the input to the
+/// paper's "second definition" of silicon compilation.
+///
+/// The description is instruction-set equivalent to [`Pdp8`] (same subset,
+/// same micro-order semantics), organised as a small state machine:
+/// fetch → decode → (defer) → execute for memory-reference instructions,
+/// and a four-step micro-sequence for operate group 1.
+pub fn isp_source() -> &'static str {
+    r#"
+machine pdp8 {
+    reg pc[12];
+    reg ac[12];
+    reg l[1];
+    reg ir[12];
+    reg ma[12];
+    reg page[5];
+    mem m[4096][12];
+    port input sr[12];
+
+    state fetch {
+        ir := m[pc];
+        page := pc[11:7];
+        pc := pc + 1;
+        goto decode;
+    }
+
+    state decode {
+        if ir[11:9] <= 5 {
+            if ir[7] == 1 {
+                ma := {page, ir[6:0]};
+            } else {
+                ma := {5'd0, ir[6:0]};
+            }
+            if ir[8] == 1 { goto defer; } else { goto execute; }
+        } else {
+            if ir[11:9] == 6 {
+                goto fetch;                    // IOT: not modelled
+            } else {
+                if ir[8] == 0 { goto op1a; } else { goto op2; }
+            }
+        }
+    }
+
+    state defer {
+        ma := m[ma];
+        goto execute;
+    }
+
+    state execute {
+        if ir[11:9] == 0 { ac := ac & m[ma]; }
+        if ir[11:9] == 1 {
+            l := ({l, ac} + m[ma])[12];
+            ac := ({l, ac} + m[ma])[11:0];
+        }
+        if ir[11:9] == 2 {
+            m[ma] := m[ma] + 1;
+            if (m[ma] + 1)[11:0] == 0 { pc := pc + 1; }
+        }
+        if ir[11:9] == 3 { m[ma] := ac; ac := 0; }
+        if ir[11:9] == 4 { m[ma] := pc; pc := ma + 1; }
+        if ir[11:9] == 5 { pc := ma; }
+        goto fetch;
+    }
+
+    // Operate group 1 micro-orders, in hardware event order:
+    // 1 CLA/CLL, 2 CMA/CML, 3 IAC, 4 rotates.
+    state op1a {
+        if ir[7] == 1 { ac := 0; }
+        if ir[6] == 1 { l := 0; }
+        goto op1b;
+    }
+    state op1b {
+        if ir[5] == 1 { ac := ~ac; }
+        if ir[4] == 1 { l := ~l; }
+        goto op1c;
+    }
+    state op1c {
+        if ir[0] == 1 {
+            l := ({l, ac} + 1)[12];
+            ac := ({l, ac} + 1)[11:0];
+        }
+        goto op1rot;
+    }
+    state op1rot {
+        if ir[3] == 1 {
+            if ir[1] == 1 {
+                l := ac[1];
+                ac := {ac[0], l, ac[11:2]};     // RTR
+            } else {
+                l := ac[0];
+                ac := {l, ac[11:1]};            // RAR
+            }
+        }
+        if ir[2] == 1 {
+            if ir[1] == 1 {
+                l := ac[10];
+                ac := {ac[9:0], l, ac[11]};     // RTL
+            } else {
+                l := ac[11];
+                ac := {ac[10:0], l};            // RAL
+            }
+        }
+        goto fetch;
+    }
+
+    // Operate group 2: skip sense on pre-cycle AC/L, then CLA, OSR, HLT.
+    state op2 {
+        if ((ir[6] & ac[11]) | (ir[5] & (ac == 0)) | (ir[4] & l)) != ir[3] {
+            pc := pc + 1;
+        }
+        if ir[7] == 1 {
+            if ir[2] == 1 { ac := sr; } else { ac := 0; }
+        } else {
+            if ir[2] == 1 { ac := ac | sr; }
+        }
+        if ir[1] == 1 { halt; }
+        goto fetch;
+    }
+}
+"#
+}
+
+/// Parses [`isp_source`] into a validated [`Machine`].
+///
+/// # Errors
+///
+/// Never fails in practice (the source is a compile-time constant covered
+/// by tests); the `Result` mirrors [`parse`].
+pub fn isp_machine() -> Result<Machine, RtlError> {
+    parse(isp_source())
+}
+
+/// Loads an assembled program into an ISL simulator of the PDP-8 machine
+/// (memory image plus start address).
+pub fn load_program_into_isl(sim: &mut Simulator, program: &Program) {
+    // Build the full 4K image so load_mem can place the words.
+    let mut image = vec![0u64; 4096];
+    for &(addr, word) in &program.words {
+        image[addr as usize] = u64::from(word);
+    }
+    assert!(sim.load_mem("m", &image));
+    assert!(sim.set_reg("pc", u64::from(program.start)));
+}
+
+/// The outcome of running the same program on the ISA reference simulator
+/// and the ISP behavioral description (experiment E7's behavioral
+/// verification row).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct IspCrossCheck {
+    /// True when every compared architectural element matched.
+    pub matches: bool,
+    /// (isa, isl) accumulator values.
+    pub ac: (u16, u64),
+    /// (isa, isl) link values.
+    pub link: (u16, u64),
+    /// (isa, isl) program counters.
+    pub pc: (u16, u64),
+    /// Addresses whose memory contents diverged.
+    pub mem_mismatches: Vec<u16>,
+    /// ISL cycles consumed (several per instruction).
+    pub isl_cycles: u64,
+}
+
+impl IspCrossCheck {
+    /// Runs `program` on both models until halt (or the instruction
+    /// budget) and compares AC, L, PC and all of memory.
+    ///
+    /// # Errors
+    ///
+    /// Propagates ISL parse/simulation errors.
+    pub fn run(program: &Program, max_instructions: u64) -> Result<IspCrossCheck, RtlError> {
+        let mut isa = Pdp8::new();
+        isa.load(program);
+        isa.run(max_instructions);
+
+        let machine = isp_machine()?;
+        let mut isl = Simulator::new(&machine);
+        load_program_into_isl(&mut isl, program);
+        // Each instruction takes at most 6 ISL states.
+        let report = isl.run(max_instructions * 8)?;
+
+        let mut mem_mismatches = Vec::new();
+        for addr in 0..4096u16 {
+            let a = u64::from(isa.mem[addr as usize]);
+            let b = isl.mem_word("m", u64::from(addr)).expect("4K memory");
+            if a != b {
+                mem_mismatches.push(addr);
+            }
+        }
+        let ac = (isa.ac, isl.reg("ac").expect("ac exists"));
+        let link = (isa.link, isl.reg("l").expect("l exists"));
+        let pc = (isa.pc, isl.reg("pc").expect("pc exists"));
+        let matches = u64::from(ac.0) == ac.1
+            && u64::from(link.0) == link.1
+            && u64::from(pc.0) == pc.1
+            && mem_mismatches.is_empty()
+            && isa.halted;
+        Ok(IspCrossCheck {
+            matches,
+            ac,
+            link,
+            pc,
+            mem_mismatches,
+            isl_cycles: report.cycles,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::assemble;
+
+    #[test]
+    fn isp_source_parses() {
+        let m = isp_machine().unwrap();
+        assert_eq!(m.name, "pdp8");
+        assert_eq!(m.state_count(), 9);
+        assert_eq!(m.register_bits(), 12 + 12 + 1 + 12 + 12 + 5);
+        assert_eq!(m.memory_bits(), 4096 * 12);
+    }
+
+    fn check(src: &str) -> IspCrossCheck {
+        let program = assemble(src).unwrap();
+        let result = IspCrossCheck::run(&program, 500).unwrap();
+        assert!(
+            result.matches,
+            "cross-check failed: ac {:?} link {:?} pc {:?} mem {:?}",
+            result.ac, result.link, result.pc, result.mem_mismatches
+        );
+        result
+    }
+
+    #[test]
+    fn arithmetic_program_agrees() {
+        check(
+            "*200
+             cla cll
+             tad a
+             tad b
+             dca sum
+             hlt
+             a,   0025
+             b,   0031
+             sum, 0000",
+        );
+    }
+
+    #[test]
+    fn loop_program_agrees() {
+        // Sum 1..5 with an ISZ-driven loop.
+        check(
+            "*200
+                     cla cll
+             loop,   tad count
+                     dca acc2      / acc2 accumulates? no - recompute
+                     tad acc2
+                     tad total
+                     dca total
+                     isz count
+                     jmp loop
+                     hlt
+             count,  7773          / -5
+             acc2,   0000
+             total,  0000",
+        );
+    }
+
+    #[test]
+    fn rotate_and_complement_agree() {
+        check(
+            "*200
+             cla cll
+             tad v
+             cma cml
+             rtl
+             rar
+             iac
+             hlt
+             v, 2525",
+        );
+    }
+
+    #[test]
+    fn subroutine_agrees() {
+        check(
+            "*200
+                    cla
+                    jms sub
+                    tad x
+                    hlt
+             sub,   0000
+                    tad y
+                    jmp i sub
+             x,     0003
+             y,     0010",
+        );
+    }
+
+    #[test]
+    fn skip_chains_agree() {
+        check(
+            "*200
+             cla cll
+             sza          / AC==0: skip
+             hlt          / skipped
+             cma          / AC=7777 (negative)
+             spa          / not skipped
+             iac          / executes: AC=0, link flips
+             sna          / AC==0 -> no skip (sna skips when nonzero)
+             tad k
+             hlt
+             k, 0007",
+        );
+    }
+
+    #[test]
+    fn indirect_and_isz_agree() {
+        check(
+            "*200
+             start, isz n
+                    jmp start
+                    tad i ptr
+                    hlt
+             n,     7775
+             ptr,   0300
+             *300
+             0042",
+        );
+    }
+
+    #[test]
+    fn osr_reads_switches_in_both() {
+        let program = assemble("*200\ncla\nosr\nhlt\n").unwrap();
+        let mut isa = Pdp8::new();
+        isa.sr = 0o1234;
+        isa.load(&program);
+        isa.run(100);
+
+        let machine = isp_machine().unwrap();
+        let mut isl = Simulator::new(&machine);
+        load_program_into_isl(&mut isl, &program);
+        isl.set_input("sr", 0o1234);
+        isl.run(100).unwrap();
+
+        assert_eq!(u64::from(isa.ac), isl.reg("ac").unwrap());
+        assert_eq!(isa.ac, 0o1234);
+    }
+
+    #[test]
+    fn isl_takes_multiple_cycles_per_instruction() {
+        let program = assemble("*200\nhlt\n").unwrap();
+        let result = IspCrossCheck::run(&program, 10).unwrap();
+        // fetch + decode + op2 = 3 cycles for one instruction.
+        assert_eq!(result.isl_cycles, 3);
+    }
+}

@@ -1,0 +1,48 @@
+//! # silc-pdp8 — the PDP-8 reproduction target
+//!
+//! The paper's reference \[6\] reports compiling "a PDP-8 from an ISP
+//! behavioral description using standard modules with a chip count within
+//! 50% of a commercial design". This crate rebuilds everything that claim
+//! needs:
+//!
+//! * [`Pdp8`] — a reference instruction-set simulator for the PDP-8
+//!   subset (memory-reference instructions with paging and indirection,
+//!   both operate groups; no IOT devices, interrupts or auto-indexing);
+//! * [`assemble`] — a PAL-style assembler (labels, `*org`, microcoded
+//!   operate combinations) for writing test programs;
+//! * [`isp_source`] / [`isp_machine`] — the same processor written as an
+//!   ISL behavioral description, simulable with [`silc_rtl::Simulator`]
+//!   and compilable with [`silc_synth::synthesize`];
+//! * [`commercial_baseline`] — a hand-allocated module list standing in
+//!   for the commercial design, costed with the *same* module catalogue,
+//!   so the E1 package-count ratio is apples-to-apples.
+//!
+//! # Example
+//!
+//! ```
+//! use silc_pdp8::{assemble, Pdp8};
+//!
+//! let program = assemble("
+//!     *200
+//!     start,  cla cll
+//!             tad val
+//!             iac
+//!             hlt
+//!     val,    0025
+//! ")?;
+//! let mut cpu = Pdp8::new();
+//! cpu.load(&program);
+//! cpu.run(100);
+//! assert_eq!(cpu.ac, 0o26);
+//! # Ok::<(), silc_pdp8::AsmError>(())
+//! ```
+
+mod asm;
+mod baseline;
+mod isa;
+mod isp;
+
+pub use asm::{assemble, AsmError, Program};
+pub use baseline::{baseline_packages, commercial_baseline, BASELINE_NOTES};
+pub use isa::Pdp8;
+pub use isp::{isp_machine, isp_source, load_program_into_isl, IspCrossCheck};

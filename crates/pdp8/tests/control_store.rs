@@ -1,0 +1,83 @@
+//! The compiled PDP-8's control unit as silicon: derive the exact
+//! control-store personality from the ISP description, replay a program
+//! to prove it predicts every micro-state transition, then program it
+//! into a PLA, lay it out and design-rule check it.
+
+use silc_pdp8::isp_machine;
+use silc_rtl::Simulator;
+use silc_synth::{control_conditions, control_table};
+
+#[test]
+fn control_store_predicts_every_microstep() {
+    let machine = isp_machine().expect("parses");
+    let cs = control_table(&machine);
+    let conditions = control_conditions(&machine);
+
+    // A program touching every instruction class: memory reference with
+    // indirection, ISZ skip, JMS/JMP, both operate groups.
+    let mut image = vec![0u64; 4096];
+    let words: [(usize, u64); 12] = [
+        (0o200, 0o7300), // CLA CLL
+        (0o201, 0o1100), // TAD 100
+        (0o202, 0o3101), // DCA 101
+        (0o203, 0o2102), // ISZ 102 (7777 -> skip)
+        (0o204, 0o7402), // HLT (skipped)
+        (0o205, 0o4210), // JMS 210
+        (0o206, 0o1501), // TAD I 101
+        (0o207, 0o7402), // HLT
+        (0o210, 0o0000), // subroutine return slot
+        (0o211, 0o7041), // CMA IAC
+        (0o212, 0o5610), // JMP I 210
+        (0o100, 0o0025),
+    ];
+    for (a, w) in words {
+        image[a] = w;
+    }
+    image[0o102] = 0o7777;
+    image[0o101] = 0;
+
+    let mut sim = Simulator::new(&machine);
+    assert!(sim.load_mem("m", &image));
+    assert!(sim.set_reg("pc", 0o200));
+
+    let mut steps = 0;
+    while !sim.is_halted() && steps < 400 {
+        let state = machine.state_index(sim.state_name()).unwrap() as u64;
+        let nc = conditions.len();
+        let mut minterm = state << nc;
+        for (i, cond) in conditions.iter().enumerate() {
+            if sim.eval_expr(cond).expect("evaluates") != 0 {
+                minterm |= 1 << (nc - 1 - i);
+            }
+        }
+        let mut predicted = 0u64;
+        for b in 0..cs.state_bits as usize {
+            if cs.table.eval(b, minterm).expect("in range") == Some(true) {
+                predicted |= 1 << (cs.state_bits as usize - 1 - b);
+            }
+        }
+        sim.step().expect("steps");
+        let actual = machine.state_index(sim.state_name()).unwrap() as u64;
+        assert_eq!(predicted, actual, "microstep {steps}");
+        steps += 1;
+    }
+    assert!(sim.is_halted(), "program must reach HLT");
+}
+
+#[test]
+fn control_store_lays_out_drc_clean() {
+    let machine = isp_machine().expect("parses");
+    let cs = control_table(&machine);
+    // Wide personality: the heuristic minimizer handles any width.
+    let spec = silc_pla::PlaSpec::from_truth_table(&cs.table, silc_pla::Minimize::Heuristic)
+        .expect("personality");
+    assert!(spec.num_terms() > 0);
+    let mut lib = silc_layout::Library::new();
+    let id = silc_pla::generate_layout(&spec, &mut lib, "pdp8_control").expect("layout");
+    let report =
+        silc_drc::check(&lib, id, &silc_drc::RuleSet::mead_conway_nmos()).expect("root exists");
+    assert!(report.is_clean(), "{report}");
+    // The control store is a real chunk of silicon.
+    let (w, h) = spec.area_estimate();
+    assert!(w > 100 && h > 100, "control store is {w}x{h} lambda");
+}

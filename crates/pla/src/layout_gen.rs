@@ -1,0 +1,334 @@
+use crate::PlaSpec;
+use silc_geom::{Coord, Point, Rect, Transform};
+use silc_layout::{Cell, CellId, Element, Instance, Layer, LayoutError, Library, Port};
+use silc_logic::Lit;
+use std::error::Error;
+use std::fmt;
+
+/// Column pitch in lambda (per input polarity column / output column).
+pub const COL_PITCH: Coord = 12;
+/// Row pitch in lambda (per product term).
+pub const ROW_PITCH: Coord = 12;
+
+/// Error produced by PLA layout generation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum PlaError {
+    /// The personality has no terms, inputs or outputs.
+    EmptyPla,
+    /// The layout database rejected the generated cells.
+    Layout(String),
+}
+
+impl fmt::Display for PlaError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PlaError::EmptyPla => write!(f, "cannot generate an empty PLA"),
+            PlaError::Layout(m) => write!(f, "layout construction failed: {m}"),
+        }
+    }
+}
+
+impl Error for PlaError {}
+
+impl From<LayoutError> for PlaError {
+    fn from(e: LayoutError) -> PlaError {
+        PlaError::Layout(e.to_string())
+    }
+}
+
+fn rect(x0: Coord, y0: Coord, x1: Coord, y1: Coord) -> Rect {
+    Rect::new(Point::new(x0, y0), Point::new(x1, y1)).expect("generator geometry is non-empty")
+}
+
+/// Geometry of the PLA floorplan for a given personality.
+struct Plan {
+    n_in: usize,
+    /// x of poly input column `k` (two per input: true, complement).
+    col_x: Vec<Coord>,
+    /// x of the AND/OR seam connector.
+    seam_x: Coord,
+    /// x of output metal column `j`.
+    out_x: Vec<Coord>,
+    /// y of product row `r`.
+    row_y: Vec<Coord>,
+    /// x of the pullup column (left of the AND plane).
+    pullup_x: Coord,
+    y_bot: Coord,
+    y_top: Coord,
+}
+
+impl Plan {
+    fn of(spec: &PlaSpec) -> Plan {
+        let n_in = spec.num_inputs();
+        let n_out = spec.num_outputs();
+        let n_terms = spec.num_terms();
+        let col_x: Vec<Coord> = (0..2 * n_in).map(|k| k as Coord * COL_PITCH).collect();
+        let last_col = *col_x.last().unwrap_or(&0);
+        let seam_x = last_col + COL_PITCH;
+        let out_x: Vec<Coord> = (0..n_out)
+            .map(|j| seam_x + COL_PITCH + j as Coord * COL_PITCH)
+            .collect();
+        let row_y: Vec<Coord> = (0..n_terms).map(|r| r as Coord * ROW_PITCH).collect();
+        Plan {
+            n_in,
+            col_x,
+            seam_x,
+            out_x,
+            row_y,
+            pullup_x: -COL_PITCH,
+            y_bot: -6,
+            y_top: (n_terms.max(1) as Coord - 1) * ROW_PITCH + 6,
+        }
+    }
+}
+
+/// The layout dimensions `(width, height)` in lambda that
+/// [`generate_layout`] will produce for `spec`.
+pub(crate) fn dimensions(spec: &PlaSpec) -> (Coord, Coord) {
+    let plan = Plan::of(spec);
+    let left = plan.pullup_x - 4; // pullup implant is the leftmost feature
+    let right = plan.out_x.last().map_or(plan.seam_x + 2, |x| x + 4);
+    (right - left, plan.y_top - plan.y_bot)
+}
+
+/// Generates the stylized nMOS PLA layout for `spec` into `lib`,
+/// returning the new top cell.
+///
+/// The produced hierarchy: one `<name>_and` crosspoint cell, one
+/// `<name>_or` crosspoint cell, one `<name>_pullup` and one `<name>_seam`
+/// cell, instanced once per programmed site — the regular-block structure
+/// that makes PLAs compile so compactly.
+///
+/// Ports: one poly port per input (true column, at the bottom edge) and
+/// one metal port per output (at the bottom edge).
+///
+/// # Errors
+///
+/// * [`PlaError::EmptyPla`] for a personality with no terms, inputs or
+///   outputs.
+/// * [`PlaError::Layout`] if cell names collide in `lib`.
+pub fn generate_layout(spec: &PlaSpec, lib: &mut Library, name: &str) -> Result<CellId, PlaError> {
+    if spec.num_terms() == 0 || spec.num_inputs() == 0 || spec.num_outputs() == 0 {
+        return Err(PlaError::EmptyPla);
+    }
+    let plan = Plan::of(spec);
+
+    // --- Leaf cells (local coordinates centred on the crosspoint). ---
+
+    // AND-plane crosspoint: poly column runs vertically through (0,0);
+    // the cell adds the pulldown diffusion and its contact to the metal
+    // row.
+    let mut and_cell = Cell::new(format!("{name}_and"));
+    and_cell.push_element(Element::rect(Layer::Diffusion, rect(-3, -2, 6, 2)));
+    and_cell.push_element(Element::rect(Layer::Contact, rect(3, -1, 5, 1)));
+    let and_id = lib.add_cell(and_cell)?;
+
+    // OR-plane crosspoint: poly row runs horizontally through (0,0); the
+    // diffusion hangs below with its contact to the metal output column.
+    let mut or_cell = Cell::new(format!("{name}_or"));
+    or_cell.push_element(Element::rect(Layer::Diffusion, rect(-2, -6, 2, 3)));
+    or_cell.push_element(Element::rect(Layer::Contact, rect(-1, -5, 1, -3)));
+    let or_id = lib.add_cell(or_cell)?;
+
+    // Row pullup: depletion transistor at the left end of the row.
+    let mut pullup = Cell::new(format!("{name}_pullup"));
+    pullup.push_element(Element::rect(Layer::Implant, rect(-4, -4, 8, 4)));
+    pullup.push_element(Element::rect(Layer::Diffusion, rect(-3, -2, 6, 2)));
+    pullup.push_element(Element::rect(Layer::Poly, rect(-1, -4, 1, 4)));
+    pullup.push_element(Element::rect(Layer::Contact, rect(3, -1, 5, 1)));
+    let pullup_id = lib.add_cell(pullup)?;
+
+    // Seam: butting contact joining the metal product row (AND side) to
+    // the poly product row (OR side).
+    let mut seam = Cell::new(format!("{name}_seam"));
+    seam.push_element(Element::rect(Layer::Poly, rect(-2, -2, 2, 2)));
+    seam.push_element(Element::rect(Layer::Contact, rect(-1, -1, 1, 1)));
+    let seam_id = lib.add_cell(seam)?;
+
+    // --- Top cell. ---
+    let mut top = Cell::new(name);
+
+    // Input poly columns (true and complement per input).
+    for &x in &plan.col_x {
+        top.push_element(Element::rect(
+            Layer::Poly,
+            rect(x - 1, plan.y_bot, x + 1, plan.y_top),
+        ));
+    }
+    // Product rows: metal across the AND plane (covering the pullup
+    // contact on the left and the seam contact on the right).
+    for &y in &plan.row_y {
+        top.push_element(Element::rect(
+            Layer::Metal,
+            rect(plan.pullup_x + 2, y - 2, plan.seam_x + 2, y + 2),
+        ));
+        // Poly row across the OR plane, from the seam pad to 2 lambda
+        // beyond the last output column's gate (gate overhang rule).
+        let or_right = plan.out_x.last().expect("outputs checked") + 4;
+        top.push_element(Element::rect(
+            Layer::Poly,
+            rect(plan.seam_x + 2, y - 1, or_right, y + 1),
+        ));
+        top.push_instance(Instance::place(
+            pullup_id,
+            Transform::translate(Point::new(plan.pullup_x, y)),
+        ));
+        top.push_instance(Instance::place(
+            seam_id,
+            Transform::translate(Point::new(plan.seam_x, y)),
+        ));
+    }
+    // Output metal columns.
+    for &x in &plan.out_x {
+        top.push_element(Element::rect(
+            Layer::Metal,
+            rect(x - 2, plan.y_bot, x + 2, plan.y_top),
+        ));
+    }
+
+    // Programmed crosspoints.
+    for (r, (cube, taps)) in spec.terms().iter().enumerate() {
+        let y = plan.row_y[r];
+        for i in 0..plan.n_in {
+            let col = match cube.lit(i) {
+                Lit::One => Some(plan.col_x[2 * i]),
+                Lit::Zero => Some(plan.col_x[2 * i + 1]),
+                Lit::DontCare => None,
+            };
+            if let Some(x) = col {
+                top.push_instance(Instance::place(
+                    and_id,
+                    Transform::translate(Point::new(x, y)),
+                ));
+            }
+        }
+        for (j, &tap) in taps.iter().enumerate() {
+            if tap {
+                top.push_instance(Instance::place(
+                    or_id,
+                    Transform::translate(Point::new(plan.out_x[j], y)),
+                ));
+            }
+        }
+    }
+
+    // Ports: inputs on the true columns, outputs on the metal columns.
+    for (i, input) in spec.input_names().iter().enumerate() {
+        top.push_port(Port::new(
+            input.clone(),
+            Layer::Poly,
+            Point::new(plan.col_x[2 * i], plan.y_bot),
+        ));
+    }
+    for (j, output) in spec.output_names().iter().enumerate() {
+        top.push_port(Port::new(
+            output.clone(),
+            Layer::Metal,
+            Point::new(plan.out_x[j], plan.y_bot),
+        ));
+    }
+
+    Ok(lib.add_cell(top)?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Minimize, PlaSpec};
+    use silc_drc::{check, RuleSet};
+    use silc_layout::CellStats;
+    use silc_logic::functions::{benchmark_suite, majority, traffic_light};
+
+    fn spec(table: &silc_logic::TruthTable) -> PlaSpec {
+        PlaSpec::from_truth_table(table, Minimize::Exact).unwrap()
+    }
+
+    #[test]
+    fn majority_layout_is_drc_clean() {
+        let mut lib = Library::new();
+        let id = generate_layout(&spec(&majority(3)), &mut lib, "maj3").unwrap();
+        let report = check(&lib, id, &RuleSet::mead_conway_nmos()).unwrap();
+        assert!(report.is_clean(), "{report}");
+    }
+
+    #[test]
+    fn whole_benchmark_suite_is_drc_clean() {
+        for (name, table) in benchmark_suite() {
+            let mut lib = Library::new();
+            let s = PlaSpec::from_truth_table(&table, Minimize::Heuristic).unwrap();
+            let id = generate_layout(&s, &mut lib, name).unwrap();
+            let report = check(&lib, id, &RuleSet::mead_conway_nmos()).unwrap();
+            assert!(report.is_clean(), "{name}: {report}");
+        }
+    }
+
+    #[test]
+    fn dimensions_match_bbox() {
+        let s = spec(&traffic_light());
+        let mut lib = Library::new();
+        let id = generate_layout(&s, &mut lib, "traffic").unwrap();
+        let stats = CellStats::compute(&lib, id).unwrap();
+        let bbox = stats.bbox.unwrap();
+        let (w, h) = s.area_estimate();
+        assert_eq!(bbox.width(), w, "width");
+        assert_eq!(bbox.height(), h, "height");
+    }
+
+    #[test]
+    fn device_counts_match_instances() {
+        let s = spec(&traffic_light());
+        let mut lib = Library::new();
+        let id = generate_layout(&s, &mut lib, "traffic").unwrap();
+        let top = lib.cell(id).unwrap();
+        let and_id = lib.cell_by_name("traffic_and").unwrap();
+        let or_id = lib.cell_by_name("traffic_or").unwrap();
+        let and_count: usize = top.instances().iter().filter(|i| i.cell == and_id).count();
+        let or_count: usize = top.instances().iter().filter(|i| i.cell == or_id).count();
+        assert_eq!(and_count, s.and_plane_devices());
+        assert_eq!(or_count, s.or_plane_devices());
+    }
+
+    #[test]
+    fn ports_present_for_every_signal() {
+        let s = spec(&traffic_light());
+        let mut lib = Library::new();
+        let id = generate_layout(&s, &mut lib, "traffic").unwrap();
+        let top = lib.cell(id).unwrap();
+        for name in s.input_names().iter().chain(s.output_names()) {
+            assert!(top.port(name).is_some(), "missing port {name}");
+        }
+    }
+
+    #[test]
+    fn minimization_shrinks_layout() {
+        let t = majority(4);
+        let raw = PlaSpec::from_truth_table(&t, Minimize::None).unwrap();
+        let min = PlaSpec::from_truth_table(&t, Minimize::Exact).unwrap();
+        let (_, raw_h) = raw.area_estimate();
+        let (_, min_h) = min.area_estimate();
+        assert!(min_h < raw_h);
+    }
+
+    #[test]
+    fn empty_pla_rejected() {
+        let t = silc_logic::TruthTable::new(2, 1);
+        let s = PlaSpec::from_truth_table(&t, Minimize::None).unwrap();
+        let mut lib = Library::new();
+        assert!(matches!(
+            generate_layout(&s, &mut lib, "void"),
+            Err(PlaError::EmptyPla)
+        ));
+    }
+
+    #[test]
+    fn name_collision_diagnosed() {
+        let s = spec(&majority(3));
+        let mut lib = Library::new();
+        generate_layout(&s, &mut lib, "m").unwrap();
+        assert!(matches!(
+            generate_layout(&s, &mut lib, "m"),
+            Err(PlaError::Layout(_))
+        ));
+    }
+}

@@ -1,0 +1,47 @@
+//! # silc-pla — programmed logic array generation
+//!
+//! "There is also an increasing necessity for program descriptions of
+//! sub-structures. This occurs when regular blocks, such as memories and
+//! PLAs, are programmed for specific functions." — this crate is that
+//! program-to-silicon path for PLAs:
+//!
+//! * [`PlaSpec`] — the personality matrix: product terms (input cubes)
+//!   and the outputs each term drives, built from a
+//!   [`silc_logic::TruthTable`] with selectable minimization
+//!   ([`Minimize`]) and cross-output **term sharing** (identical cubes
+//!   from different outputs occupy one row);
+//! * [`generate_layout`] — a stylized Mead–Conway nMOS PLA layout: poly
+//!   input columns and metal product rows in the AND plane, the
+//!   transpose in the OR plane, depletion pullups on the row ends, a
+//!   butting-contact seam between the planes, and ports for every input
+//!   and output. The artwork is DRC-clean under
+//!   `RuleSet::mead_conway_nmos` (experiment E7 checks exactly that).
+//!
+//! The layout is *stylistically* faithful (layers, transistor formation,
+//! contact discipline, pitches) rather than a transistor-complete
+//! electrical PLA — ground diffusion returns are omitted; DESIGN.md
+//! documents the substitution.
+//!
+//! # Example
+//!
+//! ```
+//! use silc_logic::functions::traffic_light;
+//! use silc_pla::{generate_layout, Minimize, PlaSpec};
+//! use silc_layout::Library;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let spec = PlaSpec::from_truth_table(&traffic_light(), Minimize::Exact)?;
+//! let mut lib = Library::new();
+//! let id = generate_layout(&spec, &mut lib, "traffic")?;
+//! assert!(lib.cell(id).is_some());
+//! # Ok(())
+//! # }
+//! ```
+
+mod folding;
+mod layout_gen;
+mod spec;
+
+pub use folding::{fold_plan, FoldPlan};
+pub use layout_gen::{generate_layout, PlaError};
+pub use spec::{Minimize, PlaSpec};

@@ -1,0 +1,371 @@
+use crate::RouteError;
+use silc_geom::{Coord, Interval, IntervalSet, Point};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// A channel routing problem: two facing rows of pins on a common column
+/// grid. `top[c]` / `bottom[c]` give the net id at column `c`, with `0`
+/// meaning no pin there. Net ids are otherwise arbitrary.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ChannelProblem {
+    /// Net ids along the top edge.
+    pub top: Vec<u32>,
+    /// Net ids along the bottom edge.
+    pub bottom: Vec<u32>,
+    /// Column pitch in lambda.
+    pub pitch: Coord,
+}
+
+/// The result of channel routing.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ChannelRoute {
+    /// Track index (0 = nearest the top) per net id.
+    pub track_of_net: BTreeMap<u32, usize>,
+    /// Number of horizontal tracks used.
+    pub tracks: usize,
+    /// Channel height in lambda.
+    pub height: Coord,
+    /// Total wire length (trunks plus branches).
+    pub wire_length: Coord,
+    /// Centre-line polylines per net (trunk plus one branch per pin).
+    pub segments: Vec<(u32, Vec<Point>)>,
+}
+
+/// Lower bound on any routing: the maximum number of distinct nets whose
+/// horizontal spans cross a single column boundary.
+pub fn channel_density(problem: &ChannelProblem) -> usize {
+    let spans = net_spans(problem);
+    let cols = problem.top.len().max(problem.bottom.len());
+    let mut best = 0;
+    for c in 0..cols {
+        let crossing = spans
+            .values()
+            .filter(|&&(lo, hi)| lo <= c && c <= hi && lo != hi)
+            .count();
+        best = best.max(crossing);
+    }
+    // Columns where a net has both pins also occupy the channel.
+    best.max(usize::from(spans.values().any(|&(lo, hi)| lo == hi)))
+}
+
+fn net_spans(problem: &ChannelProblem) -> BTreeMap<u32, (usize, usize)> {
+    let mut spans: BTreeMap<u32, (usize, usize)> = BTreeMap::new();
+    for (c, &net) in problem.top.iter().enumerate() {
+        if net != 0 {
+            let e = spans.entry(net).or_insert((c, c));
+            e.0 = e.0.min(c);
+            e.1 = e.1.max(c);
+        }
+    }
+    for (c, &net) in problem.bottom.iter().enumerate() {
+        if net != 0 {
+            let e = spans.entry(net).or_insert((c, c));
+            e.0 = e.0.min(c);
+            e.1 = e.1.max(c);
+        }
+    }
+    spans
+}
+
+/// Routes a channel with the classic constrained left-edge algorithm:
+///
+/// 1. build the **vertical constraint graph** — at any column with both a
+///    top pin and a bottom pin of different nets, the top net's trunk
+///    must lie above the bottom net's;
+/// 2. repeatedly fill tracks top-to-bottom: a net is eligible for the
+///    current track when all nets that must be above it are already
+///    placed; eligible nets pack left-to-right (left-edge greedy) without
+///    span overlap.
+///
+/// Dogleg-free routing cannot break VCG cycles; those return
+/// [`RouteError::VerticalConstraintCycle`], faithfully reproducing the
+/// historical limitation.
+///
+/// # Errors
+///
+/// * [`RouteError::ReservedNetId`] — id 0 used as a real net;
+/// * [`RouteError::VerticalConstraintCycle`] — see above.
+///
+/// # Example
+///
+/// ```
+/// use silc_route::{channel_route, ChannelProblem};
+/// let problem = ChannelProblem {
+///     top:    vec![1, 2, 0, 3],
+///     bottom: vec![0, 1, 2, 3],
+///     pitch: 7,
+/// };
+/// let route = channel_route(&problem)?;
+/// assert!(route.tracks >= 2);
+/// # Ok::<(), silc_route::RouteError>(())
+/// ```
+pub fn channel_route(problem: &ChannelProblem) -> Result<ChannelRoute, RouteError> {
+    let spans = net_spans(problem);
+    let pitch = problem.pitch.max(1);
+    if spans.is_empty() {
+        return Ok(ChannelRoute {
+            track_of_net: BTreeMap::new(),
+            tracks: 0,
+            height: pitch,
+            wire_length: 0,
+            segments: Vec::new(),
+        });
+    }
+
+    // Vertical constraints: above -> below.
+    let mut below: BTreeMap<u32, BTreeSet<u32>> = BTreeMap::new(); // net -> nets that must be below it
+    let mut blockers: BTreeMap<u32, usize> = BTreeMap::new(); // net -> count of nets that must be above it
+    for net in spans.keys() {
+        below.entry(*net).or_default();
+        blockers.entry(*net).or_insert(0);
+    }
+    let cols = problem.top.len().max(problem.bottom.len());
+    for c in 0..cols {
+        let t = problem.top.get(c).copied().unwrap_or(0);
+        let b = problem.bottom.get(c).copied().unwrap_or(0);
+        if t != 0 && b != 0 && t != b && below.get_mut(&t).expect("seen").insert(b) {
+            *blockers.get_mut(&b).expect("seen") += 1;
+        }
+    }
+
+    // Left-edge with VCG, tracks from the top.
+    let mut track_of_net: BTreeMap<u32, usize> = BTreeMap::new();
+    let mut placed: BTreeSet<u32> = BTreeSet::new();
+    let mut track = 0usize;
+    while placed.len() < spans.len() {
+        // Eligible: unplaced nets with no unplaced net required above.
+        let mut eligible: Vec<u32> = spans
+            .keys()
+            .filter(|n| !placed.contains(n) && blockers[n] == 0)
+            .copied()
+            .collect();
+        if eligible.is_empty() {
+            // Cycle: report the remaining nets.
+            let nets: Vec<u32> = spans
+                .keys()
+                .filter(|n| !placed.contains(n))
+                .copied()
+                .collect();
+            return Err(RouteError::VerticalConstraintCycle { nets });
+        }
+        // Left-edge: sort by left end, pack greedily without overlap.
+        eligible.sort_by_key(|n| spans[n].0);
+        let mut occupied = IntervalSet::new();
+        let mut put_this_track: Vec<u32> = Vec::new();
+        for net in eligible {
+            let (lo, hi) = spans[&net];
+            let iv = Interval::new(lo as Coord, hi as Coord).expect("lo <= hi");
+            if !occupied.overlaps(iv) {
+                occupied.insert(Interval::new(lo as Coord, (hi + 1) as Coord).expect("non-empty"));
+                put_this_track.push(net);
+            }
+        }
+        for net in put_this_track {
+            track_of_net.insert(net, track);
+            placed.insert(net);
+            for &b in &below[&net] {
+                if !placed.contains(&b) {
+                    *blockers.get_mut(&b).expect("seen") -= 1;
+                }
+            }
+        }
+        track += 1;
+    }
+
+    let tracks = track;
+    let height = (tracks as Coord + 1) * pitch;
+    let track_y = |t: usize| height - (t as Coord + 1) * pitch;
+
+    // Geometry and wire length.
+    let mut segments: Vec<(u32, Vec<Point>)> = Vec::new();
+    let mut wire_length = 0;
+    for (&net, &(lo, hi)) in &spans {
+        let y = track_y(track_of_net[&net]);
+        let x0 = lo as Coord * pitch;
+        let x1 = hi as Coord * pitch;
+        if x1 > x0 {
+            segments.push((net, vec![Point::new(x0, y), Point::new(x1, y)]));
+            wire_length += x1 - x0;
+        }
+        for c in 0..cols {
+            let x = c as Coord * pitch;
+            if problem.top.get(c).copied().unwrap_or(0) == net {
+                segments.push((net, vec![Point::new(x, y), Point::new(x, height)]));
+                wire_length += height - y;
+            }
+            if problem.bottom.get(c).copied().unwrap_or(0) == net {
+                segments.push((net, vec![Point::new(x, y), Point::new(x, 0)]));
+                wire_length += y;
+            }
+        }
+    }
+
+    Ok(ChannelRoute {
+        track_of_net,
+        tracks,
+        height,
+        wire_length,
+        segments,
+    })
+}
+
+impl ChannelProblem {
+    /// Validates that net ids avoid the reserved 0... this is implicit in
+    /// the encoding (0 *is* the empty marker), so this helper only checks
+    /// the grid is non-degenerate; it exists for symmetry with the other
+    /// routers' validation.
+    pub fn net_count(&self) -> usize {
+        net_spans(self).len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn trivial_channel() {
+        let p = ChannelProblem {
+            top: vec![1, 0],
+            bottom: vec![0, 1],
+            pitch: 7,
+        };
+        let r = channel_route(&p).unwrap();
+        assert_eq!(r.tracks, 1);
+        assert_eq!(r.track_of_net[&1], 0);
+    }
+
+    #[test]
+    fn independent_nets_share_a_track() {
+        // Nets 1 and 2 occupy disjoint column ranges.
+        let p = ChannelProblem {
+            top: vec![1, 1, 0, 2, 2],
+            bottom: vec![0, 0, 0, 0, 0],
+            pitch: 7,
+        };
+        let r = channel_route(&p).unwrap();
+        assert_eq!(r.tracks, 1);
+        assert_eq!(r.track_of_net[&1], r.track_of_net[&2]);
+    }
+
+    #[test]
+    fn overlapping_nets_stack() {
+        let p = ChannelProblem {
+            top: vec![1, 2, 0, 0],
+            bottom: vec![0, 0, 1, 2],
+            pitch: 7,
+        };
+        let r = channel_route(&p).unwrap();
+        assert_eq!(r.tracks, 2);
+    }
+
+    #[test]
+    fn vertical_constraints_respected() {
+        // Column 1: top pin of net 2 above bottom pin of net 1 -> track(2)
+        // above track(1).
+        let p = ChannelProblem {
+            top: vec![2, 2, 0],
+            bottom: vec![0, 1, 1],
+            pitch: 7,
+        };
+        let r = channel_route(&p).unwrap();
+        assert!(r.track_of_net[&2] < r.track_of_net[&1]);
+    }
+
+    #[test]
+    fn classic_cycle_detected() {
+        // Net 1 above 2 at column 0; net 2 above 1 at column 1.
+        let p = ChannelProblem {
+            top: vec![1, 2],
+            bottom: vec![2, 1],
+            pitch: 7,
+        };
+        assert!(matches!(
+            channel_route(&p),
+            Err(RouteError::VerticalConstraintCycle { .. })
+        ));
+    }
+
+    #[test]
+    fn density_lower_bound_holds() {
+        let p = ChannelProblem {
+            top: vec![1, 2, 3, 0, 0, 0],
+            bottom: vec![0, 0, 0, 1, 2, 3],
+            pitch: 7,
+        };
+        let d = channel_density(&p);
+        let r = channel_route(&p).unwrap();
+        assert!(r.tracks >= d);
+        assert_eq!(d, 3);
+    }
+
+    #[test]
+    fn empty_channel() {
+        let p = ChannelProblem {
+            top: vec![0, 0],
+            bottom: vec![0, 0],
+            pitch: 7,
+        };
+        let r = channel_route(&p).unwrap();
+        assert_eq!(r.tracks, 0);
+        assert_eq!(p.net_count(), 0);
+    }
+
+    #[test]
+    fn branches_reach_pins() {
+        let p = ChannelProblem {
+            top: vec![1, 0, 1],
+            bottom: vec![0, 1, 0],
+            pitch: 5,
+        };
+        let r = channel_route(&p).unwrap();
+        // Trunk from column 0 to 2 plus three branches.
+        let segs: Vec<_> = r.segments.iter().filter(|(n, _)| *n == 1).collect();
+        assert_eq!(segs.len(), 4);
+        // One branch reaches the bottom edge, two the top.
+        let to_bottom = segs
+            .iter()
+            .filter(|(_, pts)| pts.iter().any(|p| p.y == 0))
+            .count();
+        assert_eq!(to_bottom, 1);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(48))]
+        #[test]
+        fn routed_channels_respect_constraints(
+            top in prop::collection::vec(0u32..5, 2..14),
+            bottom in prop::collection::vec(0u32..5, 2..14),
+        ) {
+            let p = ChannelProblem { top, bottom, pitch: 7 };
+            match channel_route(&p) {
+                Ok(r) => {
+                    // Tracks at least density.
+                    prop_assert!(r.tracks >= channel_density(&p)
+                        || p.net_count() == 0);
+                    // No two nets on one track overlap in span.
+                    let spans = net_spans(&p);
+                    for (a, &(alo, ahi)) in &spans {
+                        for (b, &(blo, bhi)) in &spans {
+                            if a < b && r.track_of_net[a] == r.track_of_net[b] {
+                                prop_assert!(ahi < blo || bhi < alo,
+                                    "nets {a} and {b} overlap on track");
+                            }
+                        }
+                    }
+                    // Vertical constraints hold.
+                    let cols = p.top.len().max(p.bottom.len());
+                    for c in 0..cols {
+                        let t = p.top.get(c).copied().unwrap_or(0);
+                        let b = p.bottom.get(c).copied().unwrap_or(0);
+                        if t != 0 && b != 0 && t != b {
+                            prop_assert!(r.track_of_net[&t] < r.track_of_net[&b]);
+                        }
+                    }
+                }
+                Err(RouteError::VerticalConstraintCycle { .. }) => {} // legal outcome
+                Err(other) => return Err(TestCaseError::fail(other.to_string())),
+            }
+        }
+    }
+}

@@ -1,0 +1,83 @@
+use std::error::Error;
+use std::fmt;
+
+/// Error produced by the routers and the assembler.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum RouteError {
+    /// River routing needs the same number of terminals on both sides.
+    TerminalCountMismatch {
+        /// Terminals on the bottom edge.
+        bottom: usize,
+        /// Terminals on the top edge.
+        top: usize,
+    },
+    /// River routing needs terminals in strictly increasing order with at
+    /// least one pitch of separation.
+    TerminalsNotOrdered {
+        /// Which side violates (`"bottom"` or `"top"`).
+        side: &'static str,
+        /// Index of the offending terminal.
+        index: usize,
+    },
+    /// The channel router's vertical constraint graph has a cycle, which
+    /// a dogleg-free router cannot resolve.
+    VerticalConstraintCycle {
+        /// Nets on the cycle.
+        nets: Vec<u32>,
+    },
+    /// A channel column referenced net id 0 reserved for "no pin".
+    ReservedNetId,
+    /// Assembly could not match a port between two facing edges.
+    PortMismatch {
+        /// The unmatched port name.
+        port: String,
+    },
+    /// The layout database rejected generated geometry.
+    Layout(String),
+}
+
+impl fmt::Display for RouteError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RouteError::TerminalCountMismatch { bottom, top } => {
+                write!(
+                    f,
+                    "river channel has {bottom} bottom vs {top} top terminals"
+                )
+            }
+            RouteError::TerminalsNotOrdered { side, index } => {
+                write!(f, "{side} terminal {index} is out of order or too close")
+            }
+            RouteError::VerticalConstraintCycle { nets } => {
+                write!(f, "vertical constraint cycle through nets {nets:?}")
+            }
+            RouteError::ReservedNetId => write!(f, "net id 0 is reserved for empty pins"),
+            RouteError::PortMismatch { port } => {
+                write!(f, "port `{port}` has no partner on the facing edge")
+            }
+            RouteError::Layout(m) => write!(f, "layout construction failed: {m}"),
+        }
+    }
+}
+
+impl Error for RouteError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages_carry_detail() {
+        let e = RouteError::VerticalConstraintCycle { nets: vec![3, 7] };
+        assert!(e.to_string().contains('3'));
+        let e = RouteError::PortMismatch { port: "clk".into() };
+        assert!(e.to_string().contains("clk"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<RouteError>();
+    }
+}

@@ -1,0 +1,294 @@
+use std::fmt;
+
+/// A register declaration: `reg name[width];`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RegDecl {
+    /// Register name.
+    pub name: String,
+    /// Width in bits (1..=64).
+    pub width: u32,
+    /// Initial value (defaults to 0).
+    pub init: u64,
+}
+
+/// A memory declaration: `mem name[words][width];`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MemDecl {
+    /// Memory name.
+    pub name: String,
+    /// Number of words.
+    pub words: u64,
+    /// Word width in bits (1..=64).
+    pub width: u32,
+}
+
+/// A port declaration: `port input name[width];` or `port output ...`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PortDecl {
+    /// Port name.
+    pub name: String,
+    /// Width in bits (1..=64).
+    pub width: u32,
+}
+
+/// One control state and its register-transfer body.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct State {
+    /// State name (unique).
+    pub name: String,
+    /// Statements executed each cycle spent in this state.
+    pub body: Vec<Stmt>,
+}
+
+/// An assignment destination.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Target {
+    /// A register or output port, optionally a bit slice of it:
+    /// `name[hi:lo] := ...`.
+    Signal {
+        /// Register or output name.
+        name: String,
+        /// Slice bounds (inclusive, `hi >= lo`); `None` writes the whole
+        /// signal.
+        slice: Option<(u32, u32)>,
+    },
+    /// A memory word: `name[addr] := ...`.
+    MemWord {
+        /// Memory name.
+        name: String,
+        /// Address expression.
+        addr: Expr,
+    },
+}
+
+/// A statement.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Stmt {
+    /// `target := expr;` — a register transfer (committed at end of
+    /// cycle).
+    Assign {
+        /// Destination.
+        target: Target,
+        /// Source expression (evaluated on pre-cycle values).
+        value: Expr,
+    },
+    /// `if cond { ... } else { ... }` — `else` optional.
+    If {
+        /// Condition (non-zero = true).
+        cond: Expr,
+        /// Taken branch.
+        then_body: Vec<Stmt>,
+        /// Not-taken branch.
+        else_body: Vec<Stmt>,
+    },
+    /// `goto state;` — selects the next state.
+    Goto(String),
+    /// `halt;` — stops the machine at the end of this cycle.
+    Halt,
+}
+
+/// Unary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum UnaryOp {
+    /// Bitwise complement `~` (masked to operand width).
+    Not,
+    /// Arithmetic negation `-` (two's complement in operand width).
+    Neg,
+    /// Logical not `!` (1-bit result).
+    LogicalNot,
+}
+
+/// Binary operators, loosest-binding first.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BinaryOp {
+    /// `||` — logical or (1-bit).
+    LogicalOr,
+    /// `&&` — logical and (1-bit).
+    LogicalAnd,
+    /// `|` — bitwise or.
+    Or,
+    /// `^` — bitwise xor.
+    Xor,
+    /// `&` — bitwise and.
+    And,
+    /// `==` (1-bit).
+    Eq,
+    /// `!=` (1-bit).
+    Ne,
+    /// `<` unsigned (1-bit).
+    Lt,
+    /// `<=` unsigned (1-bit).
+    Le,
+    /// `>` unsigned (1-bit).
+    Gt,
+    /// `>=` unsigned (1-bit).
+    Ge,
+    /// `<<` — left shift.
+    Shl,
+    /// `>>` — logical right shift.
+    Shr,
+    /// `+` — addition (wraps to result width).
+    Add,
+    /// `-` — subtraction (wraps).
+    Sub,
+}
+
+/// An expression.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Expr {
+    /// A literal; `width` is `Some` for sized literals like `12'o7777`.
+    Const {
+        /// The value.
+        value: u64,
+        /// Declared width, if sized.
+        width: Option<u32>,
+    },
+    /// A register, input port, or output port read.
+    Ident(String),
+    /// `base[hi:lo]` or `base[bit]` (hi == lo).
+    Slice {
+        /// The sliced expression.
+        base: Box<Expr>,
+        /// High bit (inclusive).
+        hi: u32,
+        /// Low bit (inclusive).
+        lo: u32,
+    },
+    /// `mem[addr]`.
+    MemRead {
+        /// Memory name.
+        name: String,
+        /// Address expression.
+        addr: Box<Expr>,
+    },
+    /// Unary operation.
+    Unary {
+        /// Operator.
+        op: UnaryOp,
+        /// Operand.
+        expr: Box<Expr>,
+    },
+    /// Binary operation.
+    Binary {
+        /// Operator.
+        op: BinaryOp,
+        /// Left operand.
+        lhs: Box<Expr>,
+        /// Right operand.
+        rhs: Box<Expr>,
+    },
+    /// Bit concatenation `{ a, b, c }` — first element is most
+    /// significant.
+    Concat(Vec<Expr>),
+}
+
+/// A complete behavioral machine description.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Machine {
+    /// Machine name.
+    pub name: String,
+    /// Register declarations.
+    pub regs: Vec<RegDecl>,
+    /// Memory declarations.
+    pub mems: Vec<MemDecl>,
+    /// Input ports.
+    pub inputs: Vec<PortDecl>,
+    /// Output ports.
+    pub outputs: Vec<PortDecl>,
+    /// Control states; the first is the reset state.
+    pub states: Vec<State>,
+}
+
+impl Machine {
+    /// Finds a register by name.
+    pub fn reg(&self, name: &str) -> Option<&RegDecl> {
+        self.regs.iter().find(|r| r.name == name)
+    }
+
+    /// Finds a memory by name.
+    pub fn mem(&self, name: &str) -> Option<&MemDecl> {
+        self.mems.iter().find(|m| m.name == name)
+    }
+
+    /// Finds a state index by name.
+    pub fn state_index(&self, name: &str) -> Option<usize> {
+        self.states.iter().position(|s| s.name == name)
+    }
+
+    /// Total state count.
+    pub fn state_count(&self) -> usize {
+        self.states.len()
+    }
+
+    /// Sum of register widths — the machine's storage bit count.
+    pub fn register_bits(&self) -> u64 {
+        self.regs.iter().map(|r| u64::from(r.width)).sum()
+    }
+
+    /// Total memory bits.
+    pub fn memory_bits(&self) -> u64 {
+        self.mems.iter().map(|m| m.words * u64::from(m.width)).sum()
+    }
+}
+
+impl fmt::Display for Machine {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "machine {} ({} regs, {} mems, {} states)",
+            self.name,
+            self.regs.len(),
+            self.mems.len(),
+            self.states.len()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> Machine {
+        Machine {
+            name: "t".into(),
+            regs: vec![RegDecl {
+                name: "a".into(),
+                width: 8,
+                init: 0,
+            }],
+            mems: vec![MemDecl {
+                name: "m".into(),
+                words: 16,
+                width: 4,
+            }],
+            inputs: vec![],
+            outputs: vec![],
+            states: vec![State {
+                name: "s0".into(),
+                body: vec![],
+            }],
+        }
+    }
+
+    #[test]
+    fn lookups() {
+        let m = tiny();
+        assert_eq!(m.reg("a").unwrap().width, 8);
+        assert!(m.reg("b").is_none());
+        assert_eq!(m.mem("m").unwrap().words, 16);
+        assert_eq!(m.state_index("s0"), Some(0));
+        assert_eq!(m.state_index("s9"), None);
+    }
+
+    #[test]
+    fn bit_accounting() {
+        let m = tiny();
+        assert_eq!(m.register_bits(), 8);
+        assert_eq!(m.memory_bits(), 64);
+    }
+
+    #[test]
+    fn display_summarises() {
+        assert_eq!(tiny().to_string(), "machine t (1 regs, 1 mems, 1 states)");
+    }
+}

@@ -1,0 +1,440 @@
+use crate::RtlError;
+
+/// A lexical token with its source position.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Token {
+    pub kind: TokenKind,
+    pub line: usize,
+    pub col: usize,
+}
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TokenKind {
+    Ident(String),
+    /// A literal, with optional declared width (`12'o7777`).
+    Number {
+        value: u64,
+        width: Option<u32>,
+    },
+    // Keywords.
+    Machine,
+    Reg,
+    Mem,
+    Port,
+    Input,
+    Output,
+    StateKw,
+    If,
+    Else,
+    Goto,
+    Halt,
+    Init,
+    // Punctuation and operators.
+    LBrace,
+    RBrace,
+    LBracket,
+    RBracket,
+    LParen,
+    RParen,
+    Semi,
+    Comma,
+    Colon,
+    Assign, // :=
+    Plus,
+    Minus,
+    Amp,
+    Pipe,
+    Caret,
+    Tilde,
+    Bang,
+    Shl,
+    Shr,
+    EqEq,
+    NotEq,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+    AndAnd,
+    OrOr,
+    Eof,
+}
+
+impl TokenKind {
+    /// Human-readable description for diagnostics.
+    pub fn describe(&self) -> String {
+        match self {
+            TokenKind::Ident(s) => format!("identifier `{s}`"),
+            TokenKind::Number { value, .. } => format!("number {value}"),
+            TokenKind::Eof => "end of input".into(),
+            other => format!("`{}`", other.symbol()),
+        }
+    }
+
+    fn symbol(&self) -> &'static str {
+        match self {
+            TokenKind::Machine => "machine",
+            TokenKind::Reg => "reg",
+            TokenKind::Mem => "mem",
+            TokenKind::Port => "port",
+            TokenKind::Input => "input",
+            TokenKind::Output => "output",
+            TokenKind::StateKw => "state",
+            TokenKind::If => "if",
+            TokenKind::Else => "else",
+            TokenKind::Goto => "goto",
+            TokenKind::Halt => "halt",
+            TokenKind::Init => "init",
+            TokenKind::LBrace => "{",
+            TokenKind::RBrace => "}",
+            TokenKind::LBracket => "[",
+            TokenKind::RBracket => "]",
+            TokenKind::LParen => "(",
+            TokenKind::RParen => ")",
+            TokenKind::Semi => ";",
+            TokenKind::Comma => ",",
+            TokenKind::Colon => ":",
+            TokenKind::Assign => ":=",
+            TokenKind::Plus => "+",
+            TokenKind::Minus => "-",
+            TokenKind::Amp => "&",
+            TokenKind::Pipe => "|",
+            TokenKind::Caret => "^",
+            TokenKind::Tilde => "~",
+            TokenKind::Bang => "!",
+            TokenKind::Shl => "<<",
+            TokenKind::Shr => ">>",
+            TokenKind::EqEq => "==",
+            TokenKind::NotEq => "!=",
+            TokenKind::Lt => "<",
+            TokenKind::Le => "<=",
+            TokenKind::Gt => ">",
+            TokenKind::Ge => ">=",
+            TokenKind::AndAnd => "&&",
+            TokenKind::OrOr => "||",
+            TokenKind::Ident(_) | TokenKind::Number { .. } | TokenKind::Eof => unreachable!(),
+        }
+    }
+}
+
+/// Tokenizes ISL source. Comments run from `//` to end of line.
+pub fn lex(source: &str) -> Result<Vec<Token>, RtlError> {
+    let mut tokens = Vec::new();
+    let bytes = source.as_bytes();
+    let mut i = 0;
+    let mut line = 1;
+    let mut col = 1;
+
+    macro_rules! push {
+        ($kind:expr, $len:expr) => {{
+            tokens.push(Token {
+                kind: $kind,
+                line,
+                col,
+            });
+            i += $len;
+            col += $len;
+        }};
+    }
+
+    while i < bytes.len() {
+        let c = bytes[i];
+        let next = bytes.get(i + 1).copied().unwrap_or(0);
+        match c {
+            b'\n' => {
+                i += 1;
+                line += 1;
+                col = 1;
+            }
+            c if c.is_ascii_whitespace() => {
+                i += 1;
+                col += 1;
+            }
+            b'/' if next == b'/' => {
+                while i < bytes.len() && bytes[i] != b'\n' {
+                    i += 1;
+                }
+            }
+            b'{' => push!(TokenKind::LBrace, 1),
+            b'}' => push!(TokenKind::RBrace, 1),
+            b'[' => push!(TokenKind::LBracket, 1),
+            b']' => push!(TokenKind::RBracket, 1),
+            b'(' => push!(TokenKind::LParen, 1),
+            b')' => push!(TokenKind::RParen, 1),
+            b';' => push!(TokenKind::Semi, 1),
+            b',' => push!(TokenKind::Comma, 1),
+            b'+' => push!(TokenKind::Plus, 1),
+            b'-' => push!(TokenKind::Minus, 1),
+            b'^' => push!(TokenKind::Caret, 1),
+            b'~' => push!(TokenKind::Tilde, 1),
+            b':' if next == b'=' => push!(TokenKind::Assign, 2),
+            b':' => push!(TokenKind::Colon, 1),
+            b'&' if next == b'&' => push!(TokenKind::AndAnd, 2),
+            b'&' => push!(TokenKind::Amp, 1),
+            b'|' if next == b'|' => push!(TokenKind::OrOr, 2),
+            b'|' => push!(TokenKind::Pipe, 1),
+            b'=' if next == b'=' => push!(TokenKind::EqEq, 2),
+            b'!' if next == b'=' => push!(TokenKind::NotEq, 2),
+            b'!' => push!(TokenKind::Bang, 1),
+            b'<' if next == b'<' => push!(TokenKind::Shl, 2),
+            b'<' if next == b'=' => push!(TokenKind::Le, 2),
+            b'<' => push!(TokenKind::Lt, 1),
+            b'>' if next == b'>' => push!(TokenKind::Shr, 2),
+            b'>' if next == b'=' => push!(TokenKind::Ge, 2),
+            b'>' => push!(TokenKind::Gt, 1),
+            c if c.is_ascii_digit() => {
+                let (tok, len) = lex_number(&source[i..], line, col)?;
+                tokens.push(Token {
+                    kind: tok,
+                    line,
+                    col,
+                });
+                i += len;
+                col += len;
+            }
+            c if c.is_ascii_alphabetic() || c == b'_' => {
+                let start = i;
+                while i < bytes.len() && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_') {
+                    i += 1;
+                }
+                let word = &source[start..i];
+                let kind = match word {
+                    "machine" => TokenKind::Machine,
+                    "reg" => TokenKind::Reg,
+                    "mem" => TokenKind::Mem,
+                    "port" => TokenKind::Port,
+                    "input" => TokenKind::Input,
+                    "output" => TokenKind::Output,
+                    "state" => TokenKind::StateKw,
+                    "if" => TokenKind::If,
+                    "else" => TokenKind::Else,
+                    "goto" => TokenKind::Goto,
+                    "halt" => TokenKind::Halt,
+                    "init" => TokenKind::Init,
+                    _ => TokenKind::Ident(word.to_string()),
+                };
+                tokens.push(Token { kind, line, col });
+                col += i - start;
+            }
+            other => {
+                return Err(RtlError::Syntax {
+                    line,
+                    col,
+                    message: format!("unexpected character `{}`", other as char),
+                });
+            }
+        }
+    }
+    tokens.push(Token {
+        kind: TokenKind::Eof,
+        line,
+        col,
+    });
+    Ok(tokens)
+}
+
+/// Lexes a number starting at `text`, returning the token and consumed
+/// byte count. Supports decimal, `0x`/`0o`/`0b` prefixes, and Verilog-ish
+/// sized literals `12'o7777`, `4'b1010`, `8'd255`, `8'hff`.
+fn lex_number(text: &str, line: usize, col: usize) -> Result<(TokenKind, usize), RtlError> {
+    let bytes = text.as_bytes();
+    let syntax = |message: String| RtlError::Syntax { line, col, message };
+
+    let mut i = 0;
+    while i < bytes.len() && bytes[i].is_ascii_digit() {
+        i += 1;
+    }
+    let lead: u64 = text[..i]
+        .parse()
+        .map_err(|_| syntax("number too large".into()))?;
+
+    // Sized literal?
+    if i < bytes.len() && bytes[i] == b'\'' {
+        let width = u32::try_from(lead).map_err(|_| syntax("width too large".into()))?;
+        i += 1;
+        let base = match bytes.get(i) {
+            Some(b'b') => 2,
+            Some(b'o') => 8,
+            Some(b'd') => 10,
+            Some(b'h') => 16,
+            _ => return Err(syntax("expected base letter b/o/d/h after '".into())),
+        };
+        i += 1;
+        let start = i;
+        while i < bytes.len() && bytes[i].is_ascii_alphanumeric() {
+            i += 1;
+        }
+        let value = u64::from_str_radix(&text[start..i], base)
+            .map_err(|_| syntax(format!("bad base-{base} digits")))?;
+        return Ok((
+            TokenKind::Number {
+                value,
+                width: Some(width),
+            },
+            i,
+        ));
+    }
+
+    // Prefixed radix?
+    if lead == 0 && i == 1 {
+        let radix = match bytes.get(1) {
+            Some(b'x') | Some(b'X') => Some(16),
+            Some(b'o') | Some(b'O') => Some(8),
+            Some(b'b') | Some(b'B') => Some(2),
+            _ => None,
+        };
+        if let Some(radix) = radix {
+            let start = 2;
+            let mut j = start;
+            while j < bytes.len() && bytes[j].is_ascii_alphanumeric() {
+                j += 1;
+            }
+            let value = u64::from_str_radix(&text[start..j], radix)
+                .map_err(|_| syntax(format!("bad base-{radix} digits")))?;
+            return Ok((TokenKind::Number { value, width: None }, j));
+        }
+    }
+
+    Ok((
+        TokenKind::Number {
+            value: lead,
+            width: None,
+        },
+        i,
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<TokenKind> {
+        lex(src).unwrap().into_iter().map(|t| t.kind).collect()
+    }
+
+    #[test]
+    fn keywords_and_idents() {
+        let k = kinds("machine m reg counter");
+        assert_eq!(
+            k,
+            vec![
+                TokenKind::Machine,
+                TokenKind::Ident("m".into()),
+                TokenKind::Reg,
+                TokenKind::Ident("counter".into()),
+                TokenKind::Eof,
+            ]
+        );
+    }
+
+    #[test]
+    fn numbers_all_forms() {
+        assert_eq!(
+            kinds("42 0x2A 0o52 0b101010"),
+            vec![
+                TokenKind::Number {
+                    value: 42,
+                    width: None
+                };
+                4
+            ]
+            .into_iter()
+            .chain([TokenKind::Eof])
+            .collect::<Vec<_>>()
+        );
+        assert_eq!(
+            kinds("12'o7777"),
+            vec![
+                TokenKind::Number {
+                    value: 0o7777,
+                    width: Some(12)
+                },
+                TokenKind::Eof
+            ]
+        );
+        assert_eq!(
+            kinds("4'b1010"),
+            vec![
+                TokenKind::Number {
+                    value: 10,
+                    width: Some(4)
+                },
+                TokenKind::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn two_char_operators() {
+        assert_eq!(
+            kinds(":= == != <= >= << >> && ||"),
+            vec![
+                TokenKind::Assign,
+                TokenKind::EqEq,
+                TokenKind::NotEq,
+                TokenKind::Le,
+                TokenKind::Ge,
+                TokenKind::Shl,
+                TokenKind::Shr,
+                TokenKind::AndAnd,
+                TokenKind::OrOr,
+                TokenKind::Eof,
+            ]
+        );
+    }
+
+    #[test]
+    fn slice_colon_vs_assign() {
+        assert_eq!(
+            kinds("a[3:0] := 1"),
+            vec![
+                TokenKind::Ident("a".into()),
+                TokenKind::LBracket,
+                TokenKind::Number {
+                    value: 3,
+                    width: None
+                },
+                TokenKind::Colon,
+                TokenKind::Number {
+                    value: 0,
+                    width: None
+                },
+                TokenKind::RBracket,
+                TokenKind::Assign,
+                TokenKind::Number {
+                    value: 1,
+                    width: None
+                },
+                TokenKind::Eof,
+            ]
+        );
+    }
+
+    #[test]
+    fn comments_skipped_and_positions_tracked() {
+        let toks = lex("a // comment\n  b").unwrap();
+        assert_eq!(toks[0].line, 1);
+        assert_eq!(toks[1].kind, TokenKind::Ident("b".into()));
+        assert_eq!(toks[1].line, 2);
+        assert_eq!(toks[1].col, 3);
+    }
+
+    #[test]
+    fn bad_character_diagnosed() {
+        let err = lex("a $ b").unwrap_err();
+        assert!(matches!(
+            err,
+            RtlError::Syntax {
+                line: 1,
+                col: 3,
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn bad_sized_literal() {
+        assert!(lex("8'q12").is_err());
+        assert!(lex("8'hzz").is_err());
+    }
+}

@@ -1,0 +1,19 @@
+//! Robustness: the ISL parser returns diagnostics, never panics.
+
+use proptest::prelude::*;
+use silc_rtl::parse;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+    #[test]
+    fn parser_never_panics_on_ascii(input in "[ -~\n]{0,200}") {
+        let _ = parse(&input);
+    }
+
+    #[test]
+    fn parser_never_panics_on_isl_like_soup(
+        input in "(machine|reg|mem|state|if|else|goto|halt|:=|==|\\[|\\]|\\{|\\}|;|[a-z]{1,4}|[0-9]{1,4}| |\n){0,60}",
+    ) {
+        let _ = parse(&input);
+    }
+}

@@ -1,0 +1,834 @@
+use crate::{Estimate, ModuleClass};
+use silc_netlist::Netlist;
+use silc_rtl::{BinaryOp, Expr, Machine, Stmt, Target, UnaryOp};
+use std::collections::{BTreeMap, HashMap};
+use std::fmt;
+
+/// Functional-unit allocation policy — the design choice ablated in
+/// experiment E5.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Sharing {
+    /// One functional unit per (operation class, width); registers that
+    /// need a shared unit reach it through multiplexers. Smaller, slower.
+    #[default]
+    Shared,
+    /// One functional unit per textual operation. Larger, faster (no mux
+    /// levels in front of units).
+    PerOperation,
+}
+
+/// Options controlling synthesis.
+#[derive(Debug, Clone, Default)]
+pub struct SynthOptions {
+    /// Functional-unit sharing policy.
+    pub sharing: Sharing,
+}
+
+/// One allocated standard module.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AllocatedModule {
+    /// Instance name.
+    pub name: String,
+    /// What it is.
+    pub class: ModuleClass,
+}
+
+/// The result of behavioral synthesis.
+#[derive(Debug, Clone)]
+pub struct Allocation {
+    /// Every allocated module.
+    pub modules: Vec<AllocatedModule>,
+    /// A structural netlist wiring the modules.
+    pub netlist: Netlist,
+    /// Cost roll-up.
+    pub estimate: Estimate,
+    /// Control-unit shape: (state bits, PLA inputs, PLA outputs, terms).
+    pub control: (u32, u32, u32, u32),
+}
+
+impl fmt::Display for Allocation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "allocation of {} modules", self.modules.len())?;
+        write!(f, "{}", self.estimate)
+    }
+}
+
+/// Compiles a behavioral machine onto standard modules.
+///
+/// The allocation follows the classic module-set flow of the paper's
+/// reference \[6\]:
+///
+/// 1. every declared register/memory becomes a storage module;
+/// 2. every operation in the register-transfer bodies becomes (or shares)
+///    a functional unit;
+/// 3. registers written from several distinct sources get input
+///    multiplexers;
+/// 4. the state machine becomes a state register plus a control PLA whose
+///    product terms come from the states' branch structure.
+///
+/// # Example
+///
+/// ```
+/// use silc_rtl::parse;
+/// use silc_synth::{synthesize, Sharing, SynthOptions};
+/// let m = parse("machine m { reg a[8]; reg b[8];
+///     state s { a := a + b; b := a - b; } }")?;
+/// let shared = synthesize(&m, &SynthOptions { sharing: Sharing::Shared });
+/// let fast = synthesize(&m, &SynthOptions { sharing: Sharing::PerOperation });
+/// // The shared design needs no more functional packages.
+/// assert!(shared.estimate.packages <= fast.estimate.packages);
+/// # Ok::<(), silc_rtl::RtlError>(())
+/// ```
+pub fn synthesize(machine: &Machine, options: &SynthOptions) -> Allocation {
+    let widths = SignalWidths::gather(machine);
+    let mut modules: Vec<AllocatedModule> = Vec::new();
+
+    // 1. Storage.
+    for r in &machine.regs {
+        modules.push(AllocatedModule {
+            name: format!("reg_{}", r.name),
+            class: ModuleClass::Register { width: r.width },
+        });
+    }
+    for m in &machine.mems {
+        modules.push(AllocatedModule {
+            name: format!("mem_{}", m.name),
+            class: ModuleClass::Memory {
+                words: m.words,
+                width: m.width,
+            },
+        });
+    }
+
+    // 2. Gather distinct transfers and conditions.
+    let mut sources: BTreeMap<String, Vec<Expr>> = BTreeMap::new();
+    let mut mem_writes: BTreeMap<String, usize> = BTreeMap::new();
+    let mut conditions: Vec<Expr> = Vec::new();
+    let mut ops: Vec<(OpClass, u32)> = Vec::new();
+    let mut term_count: u32 = 0;
+
+    // Identical expressions share hardware wherever they appear: the same
+    // source registers feed the same unit through the same wiring, whether
+    // the reuse is within a state (TAD slicing its 13-bit sum twice) or
+    // across states (PC+1 in fetch and in the ISZ skip).
+    let mut seen_exprs: Vec<Expr> = Vec::new();
+    for state in &machine.states {
+        term_count += count_leaves(&state.body);
+        collect_block(
+            &state.body,
+            machine,
+            &widths,
+            &mut sources,
+            &mut mem_writes,
+            &mut conditions,
+            &mut ops,
+            &mut seen_exprs,
+        );
+    }
+
+    // 3. Functional units.
+    match options.sharing {
+        Sharing::Shared => {
+            let mut uses: BTreeMap<(OpClass, u32), u32> = BTreeMap::new();
+            for &(class, width) in &ops {
+                *uses.entry((class, width)).or_insert(0) += 1;
+            }
+            for (i, (&(class, width), &count)) in uses.iter().enumerate() {
+                modules.push(AllocatedModule {
+                    name: format!("fu{i}_{}", class.stem()),
+                    class: class.module(width),
+                });
+                if count > 1 {
+                    // Operand steering mux in front of the shared unit.
+                    modules.push(AllocatedModule {
+                        name: format!("fu{i}_inmux"),
+                        class: ModuleClass::Mux { ways: count, width },
+                    });
+                }
+            }
+        }
+        Sharing::PerOperation => {
+            for (i, &(class, width)) in ops.iter().enumerate() {
+                modules.push(AllocatedModule {
+                    name: format!("op{i}_{}", class.stem()),
+                    class: class.module(width),
+                });
+            }
+        }
+    }
+
+    // 4. Register input multiplexers. Under shared allocation the machine
+    // is bus-organised: the mux selects among unit output buses, so
+    // sources with the same signature share a way.
+    let mux_ways = |srcs: &Vec<Expr>| -> u32 {
+        match options.sharing {
+            Sharing::Shared => {
+                let mut sigs: Vec<&'static str> = srcs.iter().map(source_signature).collect();
+                sigs.sort_unstable();
+                sigs.dedup();
+                sigs.len() as u32
+            }
+            Sharing::PerOperation => srcs.len() as u32,
+        }
+    };
+    let mut select_bits_total: u32 = 0;
+    for (name, srcs) in &sources {
+        let ways = mux_ways(srcs);
+        if ways > 1 {
+            let width = widths.of(name);
+            modules.push(AllocatedModule {
+                name: format!("mux_{name}"),
+                class: ModuleClass::Mux { ways, width },
+            });
+            select_bits_total += 32 - (ways - 1).leading_zeros();
+        }
+    }
+
+    // 5. Control unit.
+    let state_bits = (usize::BITS - (machine.states.len().max(1) - 1).leading_zeros()).max(1);
+    let distinct_conditions = {
+        let mut seen: Vec<&Expr> = Vec::new();
+        for c in &conditions {
+            if !seen.contains(&c) {
+                seen.push(c);
+            }
+        }
+        seen.len() as u32
+    };
+    let pla_inputs = state_bits + distinct_conditions;
+    let load_enables = sources.len() as u32;
+    let mem_write_enables = mem_writes.len() as u32;
+    let pla_outputs = state_bits + load_enables + mem_write_enables + select_bits_total + 1;
+    let terms = term_count.max(machine.states.len() as u32);
+    modules.push(AllocatedModule {
+        name: "control".into(),
+        class: ModuleClass::ControlPla {
+            inputs: pla_inputs,
+            outputs: pla_outputs,
+            terms,
+        },
+    });
+    modules.push(AllocatedModule {
+        name: "state".into(),
+        class: ModuleClass::StateRegister { bits: state_bits },
+    });
+
+    // 6. Critical path: worst assignment expression, plus the register
+    // mux it feeds.
+    let mut worst_path = 0;
+    for (name, srcs) in &sources {
+        let ways = mux_ways(srcs);
+        let mux = if ways > 1 {
+            ModuleClass::Mux {
+                ways,
+                width: widths.of(name),
+            }
+            .delay_ns()
+        } else {
+            0
+        };
+        for s in srcs {
+            worst_path = worst_path.max(expr_delay(s, machine, &widths) + mux);
+        }
+    }
+    for cond in &conditions {
+        worst_path = worst_path.max(expr_delay(cond, machine, &widths));
+    }
+    // Shared units add one mux level on the unit inputs.
+    if options.sharing == Sharing::Shared && !ops.is_empty() {
+        worst_path += ModuleClass::Mux { ways: 2, width: 1 }.delay_ns();
+    }
+
+    let classes: Vec<ModuleClass> = modules.iter().map(|m| m.class).collect();
+    let estimate = Estimate::from_modules(&classes, worst_path);
+    let netlist = emit_netlist(machine, &modules, &sources);
+
+    Allocation {
+        modules,
+        netlist,
+        estimate,
+        control: (state_bits, pla_inputs, pla_outputs, terms),
+    }
+}
+
+// ------------------------------------------------------------------
+// Operation classification
+// ------------------------------------------------------------------
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+enum OpClass {
+    Adder,
+    Incrementer,
+    BitLogic,
+    Shifter,
+    Comparator,
+}
+
+impl OpClass {
+    fn module(self, width: u32) -> ModuleClass {
+        match self {
+            OpClass::Adder => ModuleClass::Adder { width },
+            OpClass::Incrementer => ModuleClass::Incrementer { width },
+            OpClass::BitLogic => ModuleClass::BitLogic { width },
+            OpClass::Shifter => ModuleClass::Shifter { width },
+            OpClass::Comparator => ModuleClass::Comparator { width },
+        }
+    }
+
+    fn stem(self) -> &'static str {
+        match self {
+            OpClass::Adder => "add",
+            OpClass::Incrementer => "inc",
+            OpClass::BitLogic => "log",
+            OpClass::Shifter => "shl",
+            OpClass::Comparator => "cmp",
+        }
+    }
+}
+
+struct SignalWidths {
+    map: HashMap<String, u32>,
+}
+
+impl SignalWidths {
+    fn gather(machine: &Machine) -> SignalWidths {
+        let mut map = HashMap::new();
+        for r in &machine.regs {
+            map.insert(r.name.clone(), r.width);
+        }
+        for p in machine.inputs.iter().chain(&machine.outputs) {
+            map.insert(p.name.clone(), p.width);
+        }
+        SignalWidths { map }
+    }
+
+    fn of(&self, name: &str) -> u32 {
+        self.map.get(name).copied().unwrap_or(1)
+    }
+}
+
+fn expr_width(e: &Expr, machine: &Machine, widths: &SignalWidths) -> u32 {
+    match e {
+        Expr::Const { width, .. } => width.unwrap_or(16),
+        Expr::Ident(name) => widths.of(name),
+        Expr::Slice { hi, lo, .. } => hi - lo + 1,
+        Expr::MemRead { name, .. } => machine.mem(name).map_or(1, |m| m.width),
+        Expr::Unary { op, expr } => {
+            if *op == UnaryOp::LogicalNot {
+                1
+            } else {
+                expr_width(expr, machine, widths)
+            }
+        }
+        Expr::Binary { op, lhs, rhs } => match op {
+            BinaryOp::Eq
+            | BinaryOp::Ne
+            | BinaryOp::Lt
+            | BinaryOp::Le
+            | BinaryOp::Gt
+            | BinaryOp::Ge
+            | BinaryOp::LogicalAnd
+            | BinaryOp::LogicalOr => 1,
+            BinaryOp::Shl | BinaryOp::Shr => expr_width(lhs, machine, widths),
+            _ => expr_width(lhs, machine, widths).max(expr_width(rhs, machine, widths)),
+        },
+        Expr::Concat(parts) => parts.iter().map(|p| expr_width(p, machine, widths)).sum(),
+    }
+}
+
+fn is_const_one(e: &Expr) -> bool {
+    matches!(e, Expr::Const { value: 1, .. })
+}
+
+/// How a comparison is implemented in hardware.
+enum ComparisonRole {
+    /// Instruction decode: a narrow field tested against a constant —
+    /// this is a product-term input of the control PLA, not a datapath
+    /// module.
+    Decode,
+    /// Equality against zero over a wide signal: a NOR-tree zero
+    /// detector, costed as bit logic of that width.
+    ZeroDetect(u32),
+    /// A genuine magnitude/equality comparator module.
+    Datapath(u32),
+}
+
+fn classify_comparison(
+    op: &BinaryOp,
+    lhs: &Expr,
+    rhs: &Expr,
+    machine: &Machine,
+    widths: &SignalWidths,
+) -> ComparisonRole {
+    let (konst, other) = match (lhs, rhs) {
+        (Expr::Const { value, .. }, o) => (Some(*value), o),
+        (o, Expr::Const { value, .. }) => (Some(*value), o),
+        _ => (None, lhs),
+    };
+    let w = expr_width(other, machine, widths);
+    match konst {
+        // Narrow field against a constant: opcode/bit decode.
+        Some(_) if w <= 5 => ComparisonRole::Decode,
+        // Wide equality with zero: a zero detector.
+        Some(0) if matches!(op, BinaryOp::Eq | BinaryOp::Ne) => ComparisonRole::ZeroDetect(w),
+        _ => ComparisonRole::Datapath(
+            expr_width(lhs, machine, widths).max(expr_width(rhs, machine, widths)),
+        ),
+    }
+}
+
+/// The "bus signature" of a transfer source: in a bus-organised machine
+/// (the PDP-8 very much is one) a register's input mux selects among unit
+/// output buses, not among textual expressions. Two sources arriving on
+/// the same unit's output bus share a mux way.
+fn source_signature(e: &Expr) -> &'static str {
+    match e {
+        Expr::Binary { op, lhs, rhs } => match op {
+            BinaryOp::Add | BinaryOp::Sub => {
+                if is_const_one(lhs) || is_const_one(rhs) {
+                    "inc"
+                } else {
+                    "adder"
+                }
+            }
+            BinaryOp::And | BinaryOp::Or | BinaryOp::Xor => "logic",
+            BinaryOp::Shl | BinaryOp::Shr => "shift",
+            _ => "flag",
+        },
+        Expr::Unary { .. } => "logic",
+        Expr::MemRead { .. } => "membus",
+        Expr::Slice { base, .. } => source_signature(base),
+        Expr::Concat(_) => "swizzle",
+        Expr::Const { .. } => "const",
+        Expr::Ident(_) => "direct",
+    }
+}
+
+fn collect_expr_ops(
+    e: &Expr,
+    machine: &Machine,
+    widths: &SignalWidths,
+    ops: &mut Vec<(OpClass, u32)>,
+    seen: &mut Vec<Expr>,
+) {
+    // Common subexpressions within one state share hardware: a Binary
+    // node already collected in this state allocates nothing new.
+    if matches!(e, Expr::Binary { .. }) {
+        if seen.contains(e) {
+            return;
+        }
+        seen.push(e.clone());
+    }
+    match e {
+        Expr::Const { .. } | Expr::Ident(_) => {}
+        Expr::Slice { base, .. } => collect_expr_ops(base, machine, widths, ops, seen),
+        Expr::MemRead { addr, .. } => collect_expr_ops(addr, machine, widths, ops, seen),
+        Expr::Unary { op, expr } => {
+            collect_expr_ops(expr, machine, widths, ops, seen);
+            let w = expr_width(expr, machine, widths);
+            match op {
+                // Single-bit complement is control gating, absorbed into
+                // the PLA planes.
+                UnaryOp::Not | UnaryOp::Neg if w > 1 => {
+                    ops.push((OpClass::BitLogic, w));
+                }
+                _ => {}
+            }
+        }
+        Expr::Binary { op, lhs, rhs } => {
+            collect_expr_ops(lhs, machine, widths, ops, seen);
+            collect_expr_ops(rhs, machine, widths, ops, seen);
+            let w = expr_width(e, machine, widths)
+                .max(expr_width(lhs, machine, widths))
+                .max(expr_width(rhs, machine, widths));
+            match op {
+                BinaryOp::Add | BinaryOp::Sub => {
+                    if is_const_one(lhs) || is_const_one(rhs) {
+                        ops.push((OpClass::Incrementer, w));
+                    } else {
+                        ops.push((OpClass::Adder, w));
+                    }
+                }
+                BinaryOp::And | BinaryOp::Or | BinaryOp::Xor => {
+                    // Single-bit gates combine control signals; that work
+                    // lives in the control PLA's AND/OR planes.
+                    if w > 1 {
+                        ops.push((OpClass::BitLogic, w));
+                    }
+                }
+                BinaryOp::LogicalAnd | BinaryOp::LogicalOr => {}
+                BinaryOp::Shl | BinaryOp::Shr => {
+                    ops.push((OpClass::Shifter, expr_width(lhs, machine, widths)));
+                }
+                BinaryOp::Eq
+                | BinaryOp::Ne
+                | BinaryOp::Lt
+                | BinaryOp::Le
+                | BinaryOp::Gt
+                | BinaryOp::Ge => {
+                    match classify_comparison(op, lhs, rhs, machine, widths) {
+                        ComparisonRole::Decode => {} // absorbed into the control PLA
+                        ComparisonRole::ZeroDetect(w) => ops.push((OpClass::BitLogic, w)),
+                        ComparisonRole::Datapath(w) => ops.push((OpClass::Comparator, w)),
+                    }
+                }
+            }
+        }
+        Expr::Concat(parts) => {
+            for p in parts {
+                collect_expr_ops(p, machine, widths, ops, seen);
+            }
+        }
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn collect_block(
+    body: &[Stmt],
+    machine: &Machine,
+    widths: &SignalWidths,
+    sources: &mut BTreeMap<String, Vec<Expr>>,
+    mem_writes: &mut BTreeMap<String, usize>,
+    conditions: &mut Vec<Expr>,
+    ops: &mut Vec<(OpClass, u32)>,
+    seen: &mut Vec<Expr>,
+) {
+    for stmt in body {
+        match stmt {
+            Stmt::Assign { target, value } => {
+                collect_expr_ops(value, machine, widths, ops, seen);
+                match target {
+                    Target::Signal { name, .. } => {
+                        let entry = sources.entry(name.clone()).or_default();
+                        if !entry.contains(value) {
+                            entry.push(value.clone());
+                        }
+                    }
+                    Target::MemWord { name, addr } => {
+                        collect_expr_ops(addr, machine, widths, ops, seen);
+                        *mem_writes.entry(name.clone()).or_insert(0) += 1;
+                    }
+                }
+            }
+            Stmt::If {
+                cond,
+                then_body,
+                else_body,
+            } => {
+                collect_expr_ops(cond, machine, widths, ops, seen);
+                conditions.push(cond.clone());
+                collect_block(
+                    then_body, machine, widths, sources, mem_writes, conditions, ops, seen,
+                );
+                collect_block(
+                    else_body, machine, widths, sources, mem_writes, conditions, ops, seen,
+                );
+            }
+            Stmt::Goto(_) | Stmt::Halt => {}
+        }
+    }
+}
+
+/// Number of control leaves (distinct condition paths) in a block — the
+/// product-term estimate for the control PLA.
+fn count_leaves(body: &[Stmt]) -> u32 {
+    let mut leaves = 1;
+    for stmt in body {
+        if let Stmt::If {
+            then_body,
+            else_body,
+            ..
+        } = stmt
+        {
+            leaves += count_leaves(then_body) + count_leaves(else_body) - 1;
+        }
+    }
+    leaves
+}
+
+fn expr_delay(e: &Expr, machine: &Machine, widths: &SignalWidths) -> u64 {
+    match e {
+        Expr::Const { .. } | Expr::Ident(_) => 0,
+        Expr::Slice { base, .. } => expr_delay(base, machine, widths),
+        Expr::MemRead { name, addr } => {
+            let mem = machine.mem(name).map_or(450, |m| {
+                ModuleClass::Memory {
+                    words: m.words,
+                    width: m.width,
+                }
+                .delay_ns()
+            });
+            expr_delay(addr, machine, widths) + mem
+        }
+        Expr::Unary { expr, .. } => expr_delay(expr, machine, widths) + 10,
+        Expr::Binary { op, lhs, rhs } => {
+            let w = expr_width(e, machine, widths)
+                .max(expr_width(lhs, machine, widths))
+                .max(expr_width(rhs, machine, widths));
+            let unit = match op {
+                BinaryOp::Add | BinaryOp::Sub => {
+                    if is_const_one(lhs) || is_const_one(rhs) {
+                        ModuleClass::Incrementer { width: w }.delay_ns()
+                    } else {
+                        ModuleClass::Adder { width: w }.delay_ns()
+                    }
+                }
+                BinaryOp::And
+                | BinaryOp::Or
+                | BinaryOp::Xor
+                | BinaryOp::LogicalAnd
+                | BinaryOp::LogicalOr => ModuleClass::BitLogic { width: w }.delay_ns(),
+                BinaryOp::Shl | BinaryOp::Shr => ModuleClass::Shifter { width: w }.delay_ns(),
+                _ => ModuleClass::Comparator { width: w }.delay_ns(),
+            };
+            expr_delay(lhs, machine, widths).max(expr_delay(rhs, machine, widths)) + unit
+        }
+        Expr::Concat(parts) => parts
+            .iter()
+            .map(|p| expr_delay(p, machine, widths))
+            .max()
+            .unwrap_or(0),
+    }
+}
+
+// ------------------------------------------------------------------
+// Netlist emission
+// ------------------------------------------------------------------
+
+fn emit_netlist(
+    machine: &Machine,
+    modules: &[AllocatedModule],
+    sources: &BTreeMap<String, Vec<Expr>>,
+) -> Netlist {
+    let mut n = Netlist::new(machine.name.clone());
+    let clk = n.add_net("clk");
+    // One net per storage output and per port.
+    for r in &machine.regs {
+        n.add_net(format!("q_{}", r.name));
+        n.add_net(format!("d_{}", r.name));
+    }
+    for p in machine.inputs.iter().chain(&machine.outputs) {
+        n.add_net(p.name.clone());
+    }
+    let control_out = n.add_net("control_word");
+    for m in modules {
+        let name = m.name.clone();
+        match &m.class {
+            ModuleClass::Register { .. } => {
+                let reg = name.trim_start_matches("reg_").to_string();
+                let d = n.add_net(format!("d_{reg}"));
+                let q = n.add_net(format!("q_{reg}"));
+                let load = n.add_net(format!("ld_{reg}"));
+                n.add_instance(
+                    name,
+                    "register",
+                    &[("clk", clk), ("d", d), ("q", q), ("ld", load)],
+                )
+                .expect("unique module names");
+            }
+            ModuleClass::Memory { .. } => {
+                let mem = name.trim_start_matches("mem_").to_string();
+                let addr = n.add_net(format!("a_{mem}"));
+                let data = n.add_net(format!("dq_{mem}"));
+                let we = n.add_net(format!("we_{mem}"));
+                n.add_instance(name, "memory", &[("addr", addr), ("dq", data), ("we", we)])
+                    .expect("unique module names");
+            }
+            ModuleClass::Mux { .. } if name.starts_with("mux_") => {
+                let reg = name.trim_start_matches("mux_").to_string();
+                let ways = sources.get(&reg).map_or(0, Vec::len);
+                let d = n.add_net(format!("d_{reg}"));
+                let sel = n.add_net(format!("sel_{reg}"));
+                let mut conns: Vec<(String, silc_netlist::NetId)> =
+                    vec![("y".to_string(), d), ("sel".to_string(), sel)];
+                for i in 0..ways {
+                    conns.push((format!("i{i}"), n.add_net(format!("src_{reg}_{i}"))));
+                }
+                let borrowed: Vec<(&str, silc_netlist::NetId)> =
+                    conns.iter().map(|(p, id)| (p.as_str(), *id)).collect();
+                n.add_instance(name, "mux", &borrowed).expect("unique");
+            }
+            ModuleClass::ControlPla { .. } => {
+                let state_q = n.add_net("state_q");
+                n.add_instance(
+                    name,
+                    "control_pla",
+                    &[("state", state_q), ("out", control_out)],
+                )
+                .expect("unique");
+            }
+            ModuleClass::StateRegister { .. } => {
+                let state_q = n.add_net("state_q");
+                let state_d = n.add_net("state_d");
+                n.add_instance(
+                    name,
+                    "state_register",
+                    &[("clk", clk), ("d", state_d), ("q", state_q)],
+                )
+                .expect("unique");
+            }
+            other => {
+                let y = n.add_net(format!("y_{name}"));
+                let a = n.add_net(format!("a_{name}"));
+                let b = n.add_net(format!("b_{name}"));
+                n.add_instance(name, other.kind_name(), &[("a", a), ("b", b), ("y", y)])
+                    .expect("unique");
+            }
+        }
+    }
+    n
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use silc_rtl::parse;
+
+    fn machine(src: &str) -> Machine {
+        parse(src).unwrap()
+    }
+
+    #[test]
+    fn storage_allocated() {
+        let m = machine("machine s { reg a[8]; mem ram[1024][8]; state z { a := a; } }");
+        let alloc = synthesize(&m, &SynthOptions::default());
+        let kinds = alloc.estimate.count_by_kind.clone();
+        assert_eq!(kinds["register"], 1);
+        assert_eq!(kinds["memory"], 1);
+        assert_eq!(kinds["control_pla"], 1);
+        assert_eq!(kinds["state_register"], 1);
+    }
+
+    #[test]
+    fn incrementer_recognized() {
+        let m = machine("machine i { reg a[8]; state s { a := a + 1; } }");
+        let alloc = synthesize(&m, &SynthOptions::default());
+        assert_eq!(alloc.estimate.count_by_kind["incrementer"], 1);
+        assert!(!alloc.estimate.count_by_kind.contains_key("adder"));
+    }
+
+    #[test]
+    fn full_adds_use_adder() {
+        let m = machine("machine a { reg x[8]; reg y[8]; state s { x := x + y; } }");
+        let alloc = synthesize(&m, &SynthOptions::default());
+        assert_eq!(alloc.estimate.count_by_kind["adder"], 1);
+    }
+
+    #[test]
+    fn multi_source_register_gets_mux() {
+        let m = machine(
+            "machine m { reg a[8]; reg b[8];
+                state s { if b == 0 { a := a + b; } else { a := b; } } }",
+        );
+        let alloc = synthesize(&m, &SynthOptions::default());
+        assert!(alloc.estimate.count_by_kind["mux"] >= 1);
+        assert!(alloc
+            .modules
+            .iter()
+            .any(|md| md.name == "mux_a" && matches!(md.class, ModuleClass::Mux { ways: 2, .. })));
+    }
+
+    #[test]
+    fn sharing_reduces_units() {
+        let m = machine(
+            "machine sh { reg a[8]; reg b[8]; reg c[8];
+                state s { a := a + b; b := b + c; c := c + a; } }",
+        );
+        let shared = synthesize(
+            &m,
+            &SynthOptions {
+                sharing: Sharing::Shared,
+            },
+        );
+        let per_op = synthesize(
+            &m,
+            &SynthOptions {
+                sharing: Sharing::PerOperation,
+            },
+        );
+        assert_eq!(per_op.estimate.count_by_kind["adder"], 3);
+        assert_eq!(shared.estimate.count_by_kind["adder"], 1);
+        // In MSI packages a steering mux costs as much as the adders it
+        // saves (74157 vs 74283 are both one package per 4 bits), so
+        // sharing only ties on chip count — but wins clearly on silicon
+        // area, and pays a mux delay. That is exactly the space/speed
+        // trade experiment E5 charts.
+        assert!(shared.estimate.packages <= per_op.estimate.packages);
+        assert!(shared.estimate.area_lambda2 < per_op.estimate.area_lambda2);
+        assert!(shared.estimate.cycle_ns >= per_op.estimate.cycle_ns);
+    }
+
+    #[test]
+    fn control_terms_follow_branching() {
+        let flat = machine("machine f { reg a[4]; state s { a := a + 1; } }");
+        let branchy = machine(
+            "machine b { reg a[4];
+                state s {
+                    if a == 0 { a := 1; } else if a == 1 { a := 2; } else { a := 3; }
+                } }",
+        );
+        let fa = synthesize(&flat, &SynthOptions::default());
+        let ba = synthesize(&branchy, &SynthOptions::default());
+        assert!(
+            ba.control.3 > fa.control.3,
+            "{:?} vs {:?}",
+            ba.control,
+            fa.control
+        );
+    }
+
+    #[test]
+    fn state_bits_scale() {
+        let m = machine(
+            "machine st { reg a[4];
+                state s0 { goto s1; } state s1 { goto s2; } state s2 { goto s3; }
+                state s3 { goto s4; } state s4 { goto s0; } }",
+        );
+        let alloc = synthesize(&m, &SynthOptions::default());
+        assert_eq!(alloc.control.0, 3); // 5 states -> 3 bits
+    }
+
+    #[test]
+    fn memory_dominates_cycle_time() {
+        let m = machine(
+            "machine mm { reg a[8]; reg d[8]; mem ram[1024][8];
+                state s { d := ram[a]; } }",
+        );
+        let alloc = synthesize(&m, &SynthOptions::default());
+        assert!(alloc.estimate.cycle_ns > 450);
+    }
+
+    #[test]
+    fn netlist_wires_register_to_mux() {
+        let m = machine(
+            "machine nw { reg a[8]; reg b[8];
+                state s { if b == 0 { a := b; } else { a := a + b; } } }",
+        );
+        let alloc = synthesize(&m, &SynthOptions::default());
+        let reg = alloc.netlist.instance_by_name("reg_a").unwrap();
+        let mux = alloc.netlist.instance_by_name("mux_a").unwrap();
+        let d_net = alloc.netlist.net_by_name("d_a").unwrap();
+        let reg_inst = &alloc.netlist.instances()[reg.raw() as usize];
+        let mux_inst = &alloc.netlist.instances()[mux.raw() as usize];
+        assert!(reg_inst
+            .connections
+            .iter()
+            .any(|(p, nid)| p == "d" && *nid == d_net));
+        assert!(mux_inst
+            .connections
+            .iter()
+            .any(|(p, nid)| p == "y" && *nid == d_net));
+    }
+
+    #[test]
+    fn identical_transfers_share_a_source() {
+        let m = machine(
+            "machine dup { reg a[8]; reg b[8];
+                state s0 { a := b; goto s1; }
+                state s1 { a := b; goto s0; } }",
+        );
+        let alloc = synthesize(&m, &SynthOptions::default());
+        // a := b twice is one source: no mux needed.
+        assert!(!alloc.estimate.count_by_kind.contains_key("mux"));
+    }
+}

@@ -1,0 +1,480 @@
+//! Control-store generation: the exact personality matrix of a
+//! behavioral machine's control unit.
+//!
+//! [`synthesize`](crate::synthesize) *estimates* the control PLA's shape;
+//! this module derives the **actual truth table** — one product term per
+//! condition path through each state's body — so the control unit can be
+//! programmed into a real PLA (`silc-pla`), laid out, design-rule checked
+//! and extracted like any other regular block. This is the bridge between
+//! the paper's two definitions: the behavioral compiler's control section
+//! *is* a programmed regular block.
+
+use silc_logic::{Cube, Lit, OutBit, TruthTable};
+use silc_rtl::{Expr, Machine, Stmt, Target};
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// The control store of a machine: a truth table whose inputs are the
+/// state code plus one bit per distinct condition expression, and whose
+/// outputs are the next-state code, one load enable per written signal,
+/// one write enable per memory, and a halt line.
+#[derive(Debug, Clone)]
+pub struct ControlTable {
+    /// The personality (program it into a PLA with `silc-pla`).
+    pub table: TruthTable,
+    /// Number of state-code input bits (the first inputs).
+    pub state_bits: u32,
+    /// For each condition input `c<i>`, the source text of the condition
+    /// it samples.
+    pub condition_legend: Vec<String>,
+    /// Names of the controlled signals, in output order after the
+    /// next-state bits: `ld_*` load enables, `we_*` memory write enables,
+    /// then `halt`.
+    pub control_legend: Vec<String>,
+}
+
+impl fmt::Display for ControlTable {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "control store: {} inputs ({} state bits + {} conditions), {} outputs, {} terms",
+            self.table.num_inputs(),
+            self.state_bits,
+            self.condition_legend.len(),
+            self.table.num_outputs(),
+            self.table.rows().len()
+        )?;
+        for (i, c) in self.condition_legend.iter().enumerate() {
+            writeln!(f, "  c{i} = {c}")?;
+        }
+        Ok(())
+    }
+}
+
+/// One leaf path through a state body: the condition decisions taken and
+/// the effects reached.
+#[derive(Debug, Clone, Default)]
+struct PathInfo {
+    conds: Vec<(usize, bool)>,
+    loads: BTreeSet<String>,
+    mem_writes: BTreeSet<String>,
+    next: Option<usize>,
+    halt: bool,
+}
+
+/// Derives the control store of `machine`.
+///
+/// Every `if` condition becomes one PLA input (duplicate expressions
+/// share a bit); every leaf path of every state becomes one product
+/// term. Paths that require a condition to be both true and false are
+/// contradictions and are dropped. Terms that drive nothing (stay in the
+/// same state, load nothing, no halt) are omitted — PLA rows exist to
+/// assert outputs.
+///
+/// # Example
+///
+/// ```
+/// use silc_rtl::parse;
+/// use silc_synth::control_table;
+/// let m = parse("machine m { reg a[4];
+///     state s0 { if a == 0 { goto s1; } }
+///     state s1 { a := a + 1; goto s0; } }")?;
+/// let cs = control_table(&m);
+/// assert_eq!(cs.state_bits, 1);
+/// assert_eq!(cs.condition_legend.len(), 1);
+/// # Ok::<(), silc_rtl::RtlError>(())
+/// ```
+pub fn control_table(machine: &Machine) -> ControlTable {
+    // Collect distinct conditions (stable first-seen order).
+    let mut conditions: Vec<Expr> = Vec::new();
+    for state in &machine.states {
+        collect_conditions(&state.body, &mut conditions);
+    }
+
+    // Collect controlled signals.
+    let mut loads: BTreeSet<String> = BTreeSet::new();
+    let mut mems: BTreeSet<String> = BTreeSet::new();
+    for state in &machine.states {
+        collect_targets(&state.body, &mut loads, &mut mems);
+    }
+    let load_names: Vec<String> = loads.iter().map(|n| format!("ld_{n}")).collect();
+    let mem_names: Vec<String> = mems.iter().map(|n| format!("we_{n}")).collect();
+
+    let state_bits = (usize::BITS - (machine.states.len().max(1) - 1).leading_zeros()).max(1);
+    let n_inputs = state_bits as usize + conditions.len();
+    let n_outputs = state_bits as usize + load_names.len() + mem_names.len() + 1;
+
+    let mut input_names: Vec<String> = (0..state_bits).rev().map(|b| format!("s{b}")).collect();
+    input_names.extend((0..conditions.len()).map(|i| format!("c{i}")));
+    let mut output_names: Vec<String> = (0..state_bits).rev().map(|b| format!("ns{b}")).collect();
+    output_names.extend(load_names.iter().cloned());
+    output_names.extend(mem_names.iter().cloned());
+    output_names.push("halt".to_string());
+
+    let mut table = TruthTable::new(n_inputs, n_outputs).with_names(
+        &input_names.iter().map(String::as_str).collect::<Vec<_>>(),
+        &output_names.iter().map(String::as_str).collect::<Vec<_>>(),
+    );
+
+    for (si, state) in machine.states.iter().enumerate() {
+        for path in enumerate_paths(&state.body, &conditions, machine) {
+            let next = path.next.unwrap_or(si);
+            // Build the input cube: exact state code, then path
+            // conditions.
+            let mut lits = Vec::with_capacity(n_inputs);
+            for b in (0..state_bits).rev() {
+                lits.push(if (si >> b) & 1 == 1 {
+                    Lit::One
+                } else {
+                    Lit::Zero
+                });
+            }
+            let mut cond_lits = vec![Lit::DontCare; conditions.len()];
+            for &(ci, v) in &path.conds {
+                cond_lits[ci] = if v { Lit::One } else { Lit::Zero };
+            }
+            lits.extend(cond_lits);
+
+            // Outputs.
+            let mut outs = Vec::with_capacity(n_outputs);
+            for b in (0..state_bits).rev() {
+                outs.push(if (next >> b) & 1 == 1 {
+                    OutBit::On
+                } else {
+                    OutBit::Off
+                });
+            }
+            for name in &loads {
+                outs.push(if path.loads.contains(name) {
+                    OutBit::On
+                } else {
+                    OutBit::Off
+                });
+            }
+            for name in &mems {
+                outs.push(if path.mem_writes.contains(name) {
+                    OutBit::On
+                } else {
+                    OutBit::Off
+                });
+            }
+            outs.push(if path.halt { OutBit::On } else { OutBit::Off });
+
+            // Omit rows that assert nothing.
+            if outs.iter().all(|&o| o == OutBit::Off) {
+                continue;
+            }
+            table
+                .push_row(Cube::from_lits(lits), outs)
+                .expect("widths are consistent");
+        }
+    }
+
+    ControlTable {
+        table,
+        state_bits,
+        condition_legend: conditions.iter().map(expr_text).collect(),
+        control_legend: load_names
+            .into_iter()
+            .chain(mem_names)
+            .chain(["halt".to_string()])
+            .collect(),
+    }
+}
+
+/// The raw condition expressions, in the same order as
+/// [`ControlTable::condition_legend`] — for driving cross-checks with
+/// [`silc_rtl::Simulator::eval_expr`].
+pub fn control_conditions(machine: &Machine) -> Vec<Expr> {
+    let mut conditions = Vec::new();
+    for state in &machine.states {
+        collect_conditions(&state.body, &mut conditions);
+    }
+    conditions
+}
+
+fn collect_conditions(body: &[Stmt], out: &mut Vec<Expr>) {
+    for stmt in body {
+        if let Stmt::If {
+            cond,
+            then_body,
+            else_body,
+        } = stmt
+        {
+            if !out.contains(cond) {
+                out.push(cond.clone());
+            }
+            collect_conditions(then_body, out);
+            collect_conditions(else_body, out);
+        }
+    }
+}
+
+fn collect_targets(body: &[Stmt], loads: &mut BTreeSet<String>, mems: &mut BTreeSet<String>) {
+    for stmt in body {
+        match stmt {
+            Stmt::Assign { target, .. } => match target {
+                Target::Signal { name, .. } => {
+                    loads.insert(name.clone());
+                }
+                Target::MemWord { name, .. } => {
+                    mems.insert(name.clone());
+                }
+            },
+            Stmt::If {
+                then_body,
+                else_body,
+                ..
+            } => {
+                collect_targets(then_body, loads, mems);
+                collect_targets(else_body, loads, mems);
+            }
+            Stmt::Goto(_) | Stmt::Halt => {}
+        }
+    }
+}
+
+/// Enumerates the leaf paths of a statement list. Sequential composition
+/// forks at every `if`, and each fork continues through the rest of the
+/// list; contradictory repeats of one condition on a path are dropped.
+fn enumerate_paths(body: &[Stmt], conditions: &[Expr], machine: &Machine) -> Vec<PathInfo> {
+    fn go(
+        body: &[Stmt],
+        conditions: &[Expr],
+        machine: &Machine,
+        start: Vec<PathInfo>,
+    ) -> Vec<PathInfo> {
+        let mut paths = start;
+        for stmt in body {
+            match stmt {
+                Stmt::Assign { target, .. } => {
+                    for p in &mut paths {
+                        match target {
+                            Target::Signal { name, .. } => {
+                                p.loads.insert(name.clone());
+                            }
+                            Target::MemWord { name, .. } => {
+                                p.mem_writes.insert(name.clone());
+                            }
+                        }
+                    }
+                }
+                Stmt::Goto(name) => {
+                    let idx = machine.state_index(name).expect("validated by parser");
+                    for p in &mut paths {
+                        p.next = Some(idx);
+                    }
+                }
+                Stmt::Halt => {
+                    for p in &mut paths {
+                        p.halt = true;
+                    }
+                }
+                Stmt::If {
+                    cond,
+                    then_body,
+                    else_body,
+                } => {
+                    let ci = conditions
+                        .iter()
+                        .position(|c| c == cond)
+                        .expect("collected above");
+                    let mut next_paths = Vec::new();
+                    for p in paths {
+                        for (branch, value) in [(then_body, true), (else_body, false)] {
+                            if p.conds.iter().any(|&(i, v)| i == ci && v != value) {
+                                continue; // contradiction: impossible path
+                            }
+                            let mut forked = p.clone();
+                            if !forked.conds.iter().any(|&(i, _)| i == ci) {
+                                forked.conds.push((ci, value));
+                            }
+                            next_paths.extend(go(branch, conditions, machine, vec![forked]));
+                        }
+                    }
+                    paths = next_paths;
+                }
+            }
+        }
+        paths
+    }
+    go(body, conditions, machine, vec![PathInfo::default()])
+}
+
+/// Formats an ISL expression as source text (for condition legends).
+pub fn expr_text(e: &Expr) -> String {
+    use silc_rtl::{BinaryOp, UnaryOp};
+    match e {
+        Expr::Const { value, width } => match width {
+            Some(w) => format!("{w}'d{value}"),
+            None => value.to_string(),
+        },
+        Expr::Ident(name) => name.clone(),
+        Expr::Slice { base, hi, lo } => {
+            if hi == lo {
+                format!("{}[{hi}]", expr_text(base))
+            } else {
+                format!("{}[{hi}:{lo}]", expr_text(base))
+            }
+        }
+        Expr::MemRead { name, addr } => format!("{name}[{}]", expr_text(addr)),
+        Expr::Unary { op, expr } => {
+            let sym = match op {
+                UnaryOp::Not => "~",
+                UnaryOp::Neg => "-",
+                UnaryOp::LogicalNot => "!",
+            };
+            format!("{sym}({})", expr_text(expr))
+        }
+        Expr::Binary { op, lhs, rhs } => {
+            let sym = match op {
+                BinaryOp::LogicalOr => "||",
+                BinaryOp::LogicalAnd => "&&",
+                BinaryOp::Or => "|",
+                BinaryOp::Xor => "^",
+                BinaryOp::And => "&",
+                BinaryOp::Eq => "==",
+                BinaryOp::Ne => "!=",
+                BinaryOp::Lt => "<",
+                BinaryOp::Le => "<=",
+                BinaryOp::Gt => ">",
+                BinaryOp::Ge => ">=",
+                BinaryOp::Shl => "<<",
+                BinaryOp::Shr => ">>",
+                BinaryOp::Add => "+",
+                BinaryOp::Sub => "-",
+            };
+            format!("({} {sym} {})", expr_text(lhs), expr_text(rhs))
+        }
+        Expr::Concat(parts) => {
+            let inner: Vec<String> = parts.iter().map(expr_text).collect();
+            format!("{{{}}}", inner.join(", "))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use silc_rtl::{parse, Simulator};
+
+    #[test]
+    fn ping_pong_table() {
+        let m = parse(
+            "machine pp { reg a[4]; port input go[1];
+                state idle { if go == 1 { a := 0; goto busy; } }
+                state busy { a := a + 1; goto idle; } }",
+        )
+        .unwrap();
+        let cs = control_table(&m);
+        assert_eq!(cs.state_bits, 1);
+        assert_eq!(cs.condition_legend, vec!["(go == 1)"]);
+        assert_eq!(cs.control_legend, vec!["ld_a", "halt"]);
+        // Rows: idle+go -> busy with ld_a; busy -> idle with ld_a.
+        // (idle without go asserts nothing and is omitted; state 0's code
+        // is all zeros so the omission is exact.)
+        assert_eq!(cs.table.rows().len(), 2);
+        // idle (s=0), go=1: ns=1, ld_a=1.
+        assert_eq!(cs.table.eval(0, 0b01).unwrap(), Some(true)); // ns0
+        assert_eq!(cs.table.eval(1, 0b01).unwrap(), Some(true)); // ld_a
+                                                                 // idle, go=0: nothing asserted.
+        assert_eq!(cs.table.eval(0, 0b00).unwrap(), Some(false));
+        // busy (s=1), go irrelevant: ns=0, ld_a=1.
+        assert_eq!(cs.table.eval(0, 0b10).unwrap(), Some(false));
+        assert_eq!(cs.table.eval(1, 0b10).unwrap(), Some(true));
+    }
+
+    #[test]
+    fn halting_path_asserts_halt() {
+        let m = parse(
+            "machine h { reg a[4];
+                state s0 { if a == 7 { halt; } else { a := a + 1; } } }",
+        )
+        .unwrap();
+        let cs = control_table(&m);
+        let halt_output = cs.table.num_outputs() - 1;
+        // s0, cond true: halt asserted.
+        assert_eq!(cs.table.eval(halt_output, 0b01).unwrap(), Some(true));
+        assert_eq!(cs.table.eval(halt_output, 0b00).unwrap(), Some(false));
+    }
+
+    #[test]
+    fn contradictory_nested_condition_paths_dropped() {
+        let m = parse(
+            "machine c { reg a[4];
+                state s {
+                    if a == 0 {
+                        if a == 0 { a := 1; } else { a := 2; }
+                    }
+                } }",
+        )
+        .unwrap();
+        let cs = control_table(&m);
+        // Only the consistent (true,true) path loads a; the (true,false)
+        // fork is a contradiction. One condition input, one row.
+        assert_eq!(cs.condition_legend.len(), 1);
+        assert_eq!(cs.table.rows().len(), 1);
+    }
+
+    /// Replays a simulation and checks the control store predicts every
+    /// state transition and halt decision the simulator makes.
+    fn cross_check(source: &str, drive: impl Fn(&mut Simulator, u64), cycles: u64) {
+        let m = parse(source).unwrap();
+        let cs = control_table(&m);
+        let conditions = control_conditions(&m);
+        let mut sim = Simulator::new(&m);
+        for cycle in 0..cycles {
+            drive(&mut sim, cycle);
+            if sim.is_halted() {
+                break;
+            }
+            let state = m.state_index(sim.state_name()).unwrap() as u64;
+            // Build the control-store minterm: state code then conditions.
+            let nc = conditions.len();
+            let mut minterm = state << nc;
+            for (i, cond) in conditions.iter().enumerate() {
+                let v = sim.eval_expr(cond).unwrap();
+                if v != 0 {
+                    minterm |= 1 << (nc - 1 - i);
+                }
+            }
+            // Predicted next state from the ns outputs.
+            let mut predicted = 0u64;
+            for b in 0..cs.state_bits as usize {
+                if cs.table.eval(b, minterm).unwrap() == Some(true) {
+                    predicted |= 1 << (cs.state_bits as usize - 1 - b);
+                }
+            }
+            let predicted_halt =
+                cs.table.eval(cs.table.num_outputs() - 1, minterm).unwrap() == Some(true);
+            sim.step().unwrap();
+            let actual = m.state_index(sim.state_name()).unwrap() as u64;
+            assert_eq!(predicted, actual, "cycle {cycle}: state prediction");
+            assert_eq!(predicted_halt, sim.is_halted(), "cycle {cycle}: halt");
+        }
+    }
+
+    #[test]
+    fn sequencer_cross_check() {
+        cross_check(
+            "machine seq { port input go[1]; reg x[4];
+                state idle { if go == 1 { goto work; } }
+                state work { x := x + 1; if x == 7 { goto done; } }
+                state done { halt; } }",
+            |sim, cycle| {
+                sim.set_input("go", u64::from(cycle >= 2));
+            },
+            40,
+        );
+    }
+
+    #[test]
+    fn expr_text_roundtrips_structure() {
+        let m = parse("machine t { reg a[8]; state s { if (a[7] == 1) && !(a == 0) { halt; } } }")
+            .unwrap();
+        let cs = control_table(&m);
+        assert_eq!(cs.condition_legend.len(), 1);
+        assert!(cs.condition_legend[0].contains("a[7]"));
+        assert!(cs.condition_legend[0].contains("&&"));
+    }
+}

@@ -1,0 +1,117 @@
+use crate::ModuleClass;
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Cost roll-up of an allocation — the numbers the evaluation compares
+/// (packages for E1, area and cycle time for E5).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Estimate {
+    /// Total MSI package count.
+    pub packages: u64,
+    /// Total equivalent nMOS macro area, λ².
+    pub area_lambda2: u64,
+    /// Estimated cycle time: worst-case register-to-register path.
+    pub cycle_ns: u64,
+    /// Package count per module kind, sorted by kind.
+    pub packages_by_kind: BTreeMap<String, u64>,
+    /// Instance count per module kind.
+    pub count_by_kind: BTreeMap<String, usize>,
+}
+
+impl Estimate {
+    /// Builds an estimate from allocated modules and the computed worst
+    /// register-to-register combinational delay.
+    pub fn from_modules(modules: &[ModuleClass], worst_path_ns: u64) -> Estimate {
+        let mut packages = 0;
+        let mut area = 0;
+        let mut packages_by_kind: BTreeMap<String, u64> = BTreeMap::new();
+        let mut count_by_kind: BTreeMap<String, usize> = BTreeMap::new();
+        for m in modules {
+            packages += m.packages();
+            area += m.area_lambda2();
+            *packages_by_kind
+                .entry(m.kind_name().to_string())
+                .or_insert(0) += m.packages();
+            *count_by_kind.entry(m.kind_name().to_string()).or_insert(0) += 1;
+        }
+        // A cycle: control PLA decides, datapath computes, register
+        // captures.
+        let control = modules
+            .iter()
+            .filter(|m| matches!(m, ModuleClass::ControlPla { .. }))
+            .map(|m| m.delay_ns())
+            .max()
+            .unwrap_or(0);
+        let setup = 15; // register clock-to-q + setup
+        Estimate {
+            packages,
+            area_lambda2: area,
+            cycle_ns: control + worst_path_ns + setup,
+            packages_by_kind,
+            count_by_kind,
+        }
+    }
+
+    /// Ratio of this estimate's package count to a baseline count — the
+    /// paper's "within 50%" is `ratio() <= 1.5`.
+    pub fn package_ratio(&self, baseline_packages: u64) -> f64 {
+        self.packages as f64 / baseline_packages.max(1) as f64
+    }
+}
+
+impl fmt::Display for Estimate {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "{} packages, {} lambda^2, {} ns cycle",
+            self.packages, self.area_lambda2, self.cycle_ns
+        )?;
+        for (kind, pkgs) in &self.packages_by_kind {
+            writeln!(
+                f,
+                "  {kind:<16} {:>3} x -> {pkgs:>4} pkg",
+                self.count_by_kind[kind]
+            )?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rollup_sums() {
+        let modules = vec![
+            ModuleClass::Register { width: 8 },
+            ModuleClass::Adder { width: 8 },
+            ModuleClass::ControlPla {
+                inputs: 4,
+                outputs: 4,
+                terms: 6,
+            },
+        ];
+        let e = Estimate::from_modules(&modules, 36);
+        assert_eq!(e.packages, 2 + 2 + 1);
+        assert_eq!(e.cycle_ns, 50 + 36 + 15);
+        assert_eq!(e.packages_by_kind["register"], 2);
+        assert_eq!(e.count_by_kind["adder"], 1);
+    }
+
+    #[test]
+    fn ratio() {
+        let e = Estimate::from_modules(&[ModuleClass::Register { width: 40 }], 0);
+        assert_eq!(e.packages, 10);
+        assert!((e.package_ratio(8) - 1.25).abs() < 1e-9);
+        assert!(e.package_ratio(0) >= 10.0); // guarded divide
+    }
+
+    #[test]
+    fn display_lists_kinds() {
+        let e = Estimate::from_modules(&[ModuleClass::Adder { width: 4 }], 10);
+        let s = e.to_string();
+        assert!(s.contains("adder"));
+        assert!(s.contains("packages"));
+    }
+}

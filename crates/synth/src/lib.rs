@@ -1,0 +1,46 @@
+//! # silc-synth — behavioral-to-structural compilation
+//!
+//! The paper's second definition of silicon compilation: take a behavioral
+//! (ISP) description and map it onto a physical structure, "although at a
+//! cost in space and speed". Its reference \[6\] compiled a PDP-8 from an
+//! ISP description onto **standard modules** with "a chip count within 50%
+//! of a commercial design". This crate rebuilds that flow:
+//!
+//! * [`ModuleClass`] — a standard-module library with a documented
+//!   MSI/TTL-era cost model (packages, layout area, delay);
+//! * [`synthesize`] — datapath allocation from a parsed
+//!   [`silc_rtl::Machine`]: registers, memories, functional units,
+//!   multiplexers for registers with several sources, and a PLA-based
+//!   control unit extracted from the state machine;
+//! * [`Sharing`] — the allocation policy ablated in experiment E5:
+//!   share one functional unit per operation class (mux-bound) or
+//!   instantiate one per textual operation (fast but large);
+//! * [`Estimate`] — package count, area and cycle-time roll-up, the
+//!   numbers experiment E1 compares against the commercial baseline.
+//!
+//! # Example
+//!
+//! ```
+//! use silc_rtl::parse;
+//! use silc_synth::{synthesize, SynthOptions};
+//!
+//! let m = parse("
+//!     machine counter {
+//!         reg n[8];
+//!         state run { n := n + 1; }
+//!     }
+//! ")?;
+//! let alloc = synthesize(&m, &SynthOptions::default());
+//! assert!(alloc.estimate.packages >= 2); // register + incrementer at least
+//! # Ok::<(), silc_rtl::RtlError>(())
+//! ```
+
+mod alloc;
+mod control;
+mod estimate;
+mod modules;
+
+pub use alloc::{synthesize, AllocatedModule, Allocation, Sharing, SynthOptions};
+pub use control::{control_conditions, control_table, expr_text, ControlTable};
+pub use estimate::Estimate;
+pub use modules::ModuleClass;

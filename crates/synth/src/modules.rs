@@ -1,0 +1,295 @@
+use std::fmt;
+
+/// A standard module the allocator can instantiate, with its parameters.
+///
+/// The cost model is calibrated to the MSI/TTL catalogue parts a 1978
+/// module-set compiler (the paper's reference \[6\] used the CMU RT-CAD
+/// module set) would have drawn from:
+///
+/// | class | catalogue part | packages |
+/// |---|---|---|
+/// | `Register(w)` | 74175 quad D flip-flop | ⌈w/4⌉ |
+/// | `Adder(w)` | 74283 4-bit adder | ⌈w/4⌉ |
+/// | `Incrementer(w)` | half-adder chain (2 per package of 4) | ⌈w/8⌉ |
+/// | `BitLogic(w)` | 7400-family quad gate | ⌈w/4⌉ |
+/// | `Shifter(w)` | 74157 mux row per position | ⌈w/4⌉ |
+/// | `Comparator(w)` | 7485 4-bit comparator | ⌈w/4⌉ |
+/// | `Mux(ways, w)` | 74157 quad 2:1 | (ways−1)·⌈w/4⌉ |
+/// | `Decoder(n)` | 74138 3:8 | ⌈2ⁿ/8⌉ |
+/// | `Memory(words, w)` | 2102 1K×1 static RAM | ⌈words/1024⌉·w |
+/// | `ControlPla(i,o,t)` | 82S100 FPLA (16 in, 48 terms, 8 out) | ⌈t/48⌉·⌈o/8⌉·⌈i/16⌉ |
+/// | `StateRegister(bits)` | 74175 | ⌈bits/4⌉ |
+///
+/// Area figures are in λ² for the equivalent nMOS macro (used when the
+/// allocator targets silicon instead of packages); delays are nanoseconds
+/// at the generous 1978 5 µm process.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ModuleClass {
+    /// A `width`-bit register.
+    Register {
+        /// Bits stored.
+        width: u32,
+    },
+    /// A `width`-bit ripple-carry adder/subtractor.
+    Adder {
+        /// Operand width.
+        width: u32,
+    },
+    /// A `width`-bit +1 incrementer (cheaper than a full adder).
+    Incrementer {
+        /// Operand width.
+        width: u32,
+    },
+    /// A `width`-bit bitwise logic unit (AND/OR/XOR/NOT).
+    BitLogic {
+        /// Operand width.
+        width: u32,
+    },
+    /// A `width`-bit shifter (one position per cycle, as PDP-8-era
+    /// hardware did).
+    Shifter {
+        /// Operand width.
+        width: u32,
+    },
+    /// A `width`-bit magnitude/equality comparator.
+    Comparator {
+        /// Operand width.
+        width: u32,
+    },
+    /// A `ways`-input multiplexer, `width` bits wide.
+    Mux {
+        /// Number of selectable sources (>= 2).
+        ways: u32,
+        /// Data width.
+        width: u32,
+    },
+    /// An `inputs`-to-2^`inputs` decoder.
+    Decoder {
+        /// Select inputs.
+        inputs: u32,
+    },
+    /// A `words` × `width` random-access memory.
+    Memory {
+        /// Word count.
+        words: u64,
+        /// Word width.
+        width: u32,
+    },
+    /// The control PLA: `inputs` → `outputs` with `terms` product terms.
+    ControlPla {
+        /// Condition + state inputs.
+        inputs: u32,
+        /// Control outputs.
+        outputs: u32,
+        /// Product terms.
+        terms: u32,
+    },
+    /// The state register of the control unit.
+    StateRegister {
+        /// State encoding bits.
+        bits: u32,
+    },
+}
+
+fn ceil_div(a: u64, b: u64) -> u64 {
+    a.div_ceil(b)
+}
+
+impl ModuleClass {
+    /// MSI package count for this module (the unit of the paper's "chip
+    /// count within 50%" claim).
+    pub fn packages(&self) -> u64 {
+        match *self {
+            ModuleClass::Register { width } => ceil_div(width.into(), 4),
+            ModuleClass::Adder { width } => ceil_div(width.into(), 4),
+            ModuleClass::Incrementer { width } => ceil_div(width.into(), 8),
+            ModuleClass::BitLogic { width } => ceil_div(width.into(), 4),
+            ModuleClass::Shifter { width } => ceil_div(width.into(), 4),
+            ModuleClass::Comparator { width } => ceil_div(width.into(), 4),
+            ModuleClass::Mux { ways, width } => {
+                u64::from(ways.saturating_sub(1)) * ceil_div(width.into(), 4)
+            }
+            ModuleClass::Decoder { inputs } => ceil_div(1 << inputs.min(20), 8),
+            ModuleClass::Memory { words, width } => ceil_div(words, 1024).max(1) * u64::from(width),
+            ModuleClass::ControlPla {
+                inputs,
+                outputs,
+                terms,
+            } => {
+                ceil_div(terms.max(1).into(), 48)
+                    * ceil_div(outputs.max(1).into(), 8)
+                    * ceil_div(inputs.max(1).into(), 16)
+            }
+            ModuleClass::StateRegister { bits } => ceil_div(bits.max(1).into(), 4),
+        }
+    }
+
+    /// Equivalent nMOS macro area in λ².
+    pub fn area_lambda2(&self) -> u64 {
+        match *self {
+            // A static register bit macro is roughly 40×35 λ.
+            ModuleClass::Register { width } | ModuleClass::StateRegister { bits: width } => {
+                u64::from(width) * 1400
+            }
+            // A ripple adder bit (carry chain + sum) ~ 60×50 λ.
+            ModuleClass::Adder { width } => u64::from(width) * 3000,
+            ModuleClass::Incrementer { width } => u64::from(width) * 1200,
+            ModuleClass::BitLogic { width } => u64::from(width) * 800,
+            ModuleClass::Shifter { width } => u64::from(width) * 1000,
+            ModuleClass::Comparator { width } => u64::from(width) * 1600,
+            ModuleClass::Mux { ways, width } => {
+                u64::from(ways.saturating_sub(1)) * u64::from(width) * 700
+            }
+            ModuleClass::Decoder { inputs } => (1u64 << inputs.min(20)) * 400,
+            // 6-transistor static cell ~ 25×20 λ plus decode overhead.
+            ModuleClass::Memory { words, width } => words * u64::from(width) * 500 + 20_000,
+            // PLA area model mirrors silc-pla's plane dimensions.
+            ModuleClass::ControlPla {
+                inputs,
+                outputs,
+                terms,
+            } => {
+                let rows = u64::from(terms.max(1));
+                (2 * u64::from(inputs) + u64::from(outputs)) * rows * 64 + 10_000
+            }
+        }
+    }
+
+    /// Propagation delay in nanoseconds (for the E5 speed comparison).
+    pub fn delay_ns(&self) -> u64 {
+        match *self {
+            ModuleClass::Register { .. } | ModuleClass::StateRegister { .. } => 15,
+            ModuleClass::Adder { width } => 20 + 2 * u64::from(width), // ripple carry
+            ModuleClass::Incrementer { width } => 10 + u64::from(width),
+            ModuleClass::BitLogic { .. } => 10,
+            ModuleClass::Shifter { .. } => 15,
+            ModuleClass::Comparator { width } => 15 + u64::from(width),
+            ModuleClass::Mux { ways, .. } => 8 * u64::from(32 - ways.leading_zeros()),
+            ModuleClass::Decoder { .. } => 20,
+            ModuleClass::Memory { .. } => 450, // 2102-class access time
+            ModuleClass::ControlPla { .. } => 50,
+        }
+    }
+
+    /// The kind string used when emitting a netlist instance.
+    pub fn kind_name(&self) -> &'static str {
+        match self {
+            ModuleClass::Register { .. } => "register",
+            ModuleClass::Adder { .. } => "adder",
+            ModuleClass::Incrementer { .. } => "incrementer",
+            ModuleClass::BitLogic { .. } => "bitlogic",
+            ModuleClass::Shifter { .. } => "shifter",
+            ModuleClass::Comparator { .. } => "comparator",
+            ModuleClass::Mux { .. } => "mux",
+            ModuleClass::Decoder { .. } => "decoder",
+            ModuleClass::Memory { .. } => "memory",
+            ModuleClass::ControlPla { .. } => "control_pla",
+            ModuleClass::StateRegister { .. } => "state_register",
+        }
+    }
+}
+
+impl fmt::Display for ModuleClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            ModuleClass::Register { width } => write!(f, "register[{width}]"),
+            ModuleClass::Adder { width } => write!(f, "adder[{width}]"),
+            ModuleClass::Incrementer { width } => write!(f, "incrementer[{width}]"),
+            ModuleClass::BitLogic { width } => write!(f, "bitlogic[{width}]"),
+            ModuleClass::Shifter { width } => write!(f, "shifter[{width}]"),
+            ModuleClass::Comparator { width } => write!(f, "comparator[{width}]"),
+            ModuleClass::Mux { ways, width } => write!(f, "mux{ways}[{width}]"),
+            ModuleClass::Decoder { inputs } => write!(f, "decoder[{inputs}]"),
+            ModuleClass::Memory { words, width } => write!(f, "memory[{words}x{width}]"),
+            ModuleClass::ControlPla {
+                inputs,
+                outputs,
+                terms,
+            } => write!(f, "pla[{inputs}->{outputs},{terms}t]"),
+            ModuleClass::StateRegister { bits } => write!(f, "state[{bits}]"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn package_counts_match_catalogue_math() {
+        assert_eq!(ModuleClass::Register { width: 12 }.packages(), 3);
+        assert_eq!(ModuleClass::Adder { width: 12 }.packages(), 3);
+        assert_eq!(ModuleClass::Incrementer { width: 12 }.packages(), 2);
+        assert_eq!(ModuleClass::Mux { ways: 4, width: 12 }.packages(), 9);
+        assert_eq!(ModuleClass::Decoder { inputs: 3 }.packages(), 1);
+        // 4K x 12 memory from 1K x 1 chips: 4 * 12 = 48 packages.
+        assert_eq!(
+            ModuleClass::Memory {
+                words: 4096,
+                width: 12
+            }
+            .packages(),
+            48
+        );
+        assert_eq!(
+            ModuleClass::ControlPla {
+                inputs: 10,
+                outputs: 16,
+                terms: 30
+            }
+            .packages(),
+            2
+        );
+    }
+
+    #[test]
+    fn wider_is_never_cheaper() {
+        for w in 1..32u32 {
+            assert!(
+                ModuleClass::Adder { width: w + 1 }.packages()
+                    >= ModuleClass::Adder { width: w }.packages()
+            );
+            assert!(
+                ModuleClass::Register { width: w + 1 }.area_lambda2()
+                    > ModuleClass::Register { width: w }.area_lambda2()
+            );
+            assert!(
+                ModuleClass::Adder { width: w + 1 }.delay_ns()
+                    > ModuleClass::Adder { width: w }.delay_ns()
+            );
+        }
+    }
+
+    #[test]
+    fn incrementer_cheaper_than_adder() {
+        for w in [4u32, 8, 12, 16] {
+            assert!(
+                ModuleClass::Incrementer { width: w }.packages()
+                    <= ModuleClass::Adder { width: w }.packages()
+            );
+            assert!(
+                ModuleClass::Incrementer { width: w }.area_lambda2()
+                    < ModuleClass::Adder { width: w }.area_lambda2()
+            );
+        }
+    }
+
+    #[test]
+    fn memory_dominates_delay() {
+        assert!(
+            ModuleClass::Memory {
+                words: 4096,
+                width: 12
+            }
+            .delay_ns()
+                > ModuleClass::Adder { width: 12 }.delay_ns()
+        );
+    }
+
+    #[test]
+    fn display_and_kind_names() {
+        let m = ModuleClass::Mux { ways: 3, width: 8 };
+        assert_eq!(m.to_string(), "mux3[8]");
+        assert_eq!(m.kind_name(), "mux");
+    }
+}

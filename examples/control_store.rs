@@ -1,0 +1,83 @@
+//! The bridge between the paper's two definitions of silicon compilation:
+//! take a behavioral (ISP) machine, derive its control unit's exact
+//! personality matrix, and compile that personality into PLA silicon —
+//! "regular blocks programmed for specific functions" programmed *by the
+//! behavioral compiler itself*.
+//!
+//! Run with: `cargo run -p silc --example control_store`
+
+use silc::cif::CifWriter;
+use silc::drc::{check, RuleSet};
+use silc::layout::Library;
+use silc::pla::{fold_plan, generate_layout, Minimize, PlaSpec};
+use silc::rtl::parse;
+use silc::synth::control_table;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // A bus arbiter: three states, grant rotates between two requesters.
+    let machine = parse(
+        "machine arbiter {
+            port input r0[1];
+            port input r1[1];
+            reg g0[1];
+            reg g1[1];
+            state idle {
+                g0 := 0; g1 := 0;
+                if r0 == 1 { goto grant0; }
+                else if r1 == 1 { goto grant1; }
+            }
+            state grant0 {
+                g0 := 1;
+                if r0 == 0 { goto idle; }
+            }
+            state grant1 {
+                g1 := 1;
+                if r1 == 0 { goto idle; }
+            }
+        }",
+    )?;
+
+    // 1. The exact control store.
+    let cs = control_table(&machine);
+    println!("{cs}");
+    println!("controlled signals: {:?}\n", cs.control_legend);
+    println!(
+        "personality (PLA text format):\n{}",
+        cs.table.to_pla_string()
+    );
+
+    // 2. Program it into silicon.
+    let spec = PlaSpec::from_truth_table(&cs.table, Minimize::Heuristic)?;
+    let (w, h) = spec.area_estimate();
+    println!(
+        "PLA: {} terms, {} AND + {} OR devices, {w}x{h} lambda",
+        spec.num_terms(),
+        spec.and_plane_devices(),
+        spec.or_plane_devices()
+    );
+    println!("{}", fold_plan(&spec));
+
+    let mut lib = Library::new();
+    let id = generate_layout(&spec, &mut lib, "arbiter_control")?;
+    let report = check(&lib, id, &RuleSet::mead_conway_nmos())?;
+    println!("{report}");
+
+    // 3. Manufacturing data.
+    let cif = CifWriter::new().write_to_string(&lib, id)?;
+    println!("CIF: {} bytes (first lines below)\n", cif.len());
+    for line in cif.lines().take(8) {
+        println!("{line}");
+    }
+
+    // 4. For scale: the PDP-8's own control store.
+    let pdp8 = silc::pdp8::isp_machine()?;
+    let pdp8_cs = control_table(&pdp8);
+    let pdp8_spec = PlaSpec::from_truth_table(&pdp8_cs.table, Minimize::Heuristic)?;
+    let (pw, ph) = pdp8_spec.area_estimate();
+    println!(
+        "\nPDP-8 control store: {} conditions, {} terms, {pw}x{ph} lambda of PLA",
+        pdp8_cs.condition_legend.len(),
+        pdp8_spec.num_terms()
+    );
+    Ok(())
+}

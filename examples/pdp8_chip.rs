@@ -1,0 +1,109 @@
+//! The compiled computer as silicon: compose the PDP-8's derived control
+//! store (PLA), a scratchpad memory array, and a SIL-generated register
+//! datapath into one chip plan — every block produced by a different
+//! compiler path, all meeting in one library, one DRC run, one CIF file.
+//!
+//! Run with: `cargo run --release -p silc --example pdp8_chip`
+
+use silc::cif::CifWriter;
+use silc::drc::{check, RuleSet};
+use silc::geom::{Point, Transform};
+use silc::lang::Compiler;
+use silc::layout::{Cell, CellStats, Instance};
+use silc::mem::RamArray;
+use silc::pla::{generate_layout, Minimize, PlaSpec};
+use silc::synth::control_table;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // 1. Datapath: six 12-bit register rows from a parameterised SIL
+    // description (AC, PC, MA, MB, IR and the link).
+    let datapath = Compiler::new().compile(
+        "cell reg_bit() {
+            box diff (0, 0) (2, 12);
+            box poly (-2, 3) (4, 5);
+            box poly (-2, 7) (4, 9);
+            box metal (4, 0) (7, 12);
+         }
+         cell reg_row(bits) {
+            array reg_bit() at (0, 0) step (12, 0) count bits;
+         }
+         cell datapath(regs, bits) {
+            array reg_row(bits) at (0, 0) step (0, 0) (0, 18) count 1 regs;
+         }
+         place datapath(6, 12) at (0, 0);",
+    )?;
+    let mut lib = datapath.library;
+    let datapath_id = lib.cell_by_name("datapath$i6_i12").expect("elaborated");
+
+    // 2. Control store: the exact personality of the ISP description,
+    // programmed into a PLA.
+    let machine = silc::pdp8::isp_machine()?;
+    let cs = control_table(&machine);
+    let spec = PlaSpec::from_truth_table(&cs.table, Minimize::Heuristic)?;
+    let mut control_lib = silc::layout::Library::new();
+    let control_id = generate_layout(&spec, &mut control_lib, "control")?;
+    let control_map = lib.import(&control_lib);
+    let control_id = control_map[control_id.raw() as usize];
+
+    // 3. Scratchpad memory: a 32x12 register-file sample of the 4K store
+    // (the full 4K x 12 array is 48 discrete RAM packages in the E1
+    // costing; on-chip we plan a page of it).
+    let ram = RamArray::new(32, 12)?;
+    let mut ram_lib = silc::layout::Library::new();
+    let ram_id = ram.generate(&mut ram_lib, "scratchpad")?;
+    let ram_map = lib.import(&ram_lib);
+    let ram_id = ram_map[ram_id.raw() as usize];
+
+    // 4. Floorplan: datapath lower-left, control store above it, memory
+    // to the right, with generous routing margins.
+    let dp_stats = CellStats::compute(&lib, datapath_id)?;
+    let ctl_stats = CellStats::compute(&lib, control_id)?;
+    let dp_bbox = dp_stats.bbox.expect("datapath has geometry");
+    let ctl_bbox = ctl_stats.bbox.expect("control has geometry");
+
+    let mut chip = Cell::new("pdp8_chip");
+    chip.push_instance(Instance::place(datapath_id, Transform::IDENTITY));
+    chip.push_instance(Instance::place(
+        control_id,
+        Transform::translate(Point::new(
+            -ctl_bbox.left(),
+            dp_bbox.top() + 12 - ctl_bbox.bottom(),
+        )),
+    ));
+    chip.push_instance(Instance::place(
+        ram_id,
+        Transform::translate(Point::new(dp_bbox.right().max(ctl_bbox.width()) + 16, 0)),
+    ));
+    let chip_id = lib.add_cell(chip)?;
+
+    // 5. One DRC run over the whole plan, one CIF file out.
+    let stats = CellStats::compute(&lib, chip_id)?;
+    let bbox = stats.bbox.expect("chip has geometry");
+    println!(
+        "chip plan: {} library cells, {} flattened elements, die {}x{} lambda",
+        lib.len(),
+        stats.flat_elements,
+        bbox.width(),
+        bbox.height()
+    );
+    println!(
+        "  control store: {} terms over {} conditions, {}x{} lambda",
+        spec.num_terms(),
+        cs.condition_legend.len(),
+        ctl_bbox.width(),
+        ctl_bbox.height()
+    );
+    println!("  scratchpad: {} bits", ram.bits());
+
+    let report = check(&lib, chip_id, &RuleSet::mead_conway_nmos())?;
+    println!("{report}");
+
+    let cif = CifWriter::new().write_to_string(&lib, chip_id)?;
+    println!(
+        "CIF: {} bytes for {} elements ({}x compression via hierarchy)",
+        cif.len(),
+        stats.flat_elements,
+        stats.flat_elements * 24 / cif.len().max(1)
+    );
+    Ok(())
+}

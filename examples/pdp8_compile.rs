@@ -1,0 +1,59 @@
+//! The PDP-8 experiment end-to-end: assemble a program, run it on the
+//! ISA reference and on the ISP behavioral description, then compile the
+//! ISP description onto standard modules and compare the chip count with
+//! the hand-designed baseline — the paper's "within 50%" claim.
+//!
+//! Run with: `cargo run --example pdp8_compile`
+
+use silc::pdp8::{assemble, baseline_packages, isp_machine, IspCrossCheck, BASELINE_NOTES};
+use silc::synth::{synthesize, Sharing, SynthOptions};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // 1. A test program: sum the integers 1..=5 by repeated TAD.
+    let program = assemble(
+        "*200
+                 cla cll
+         loop,   tad total
+                 tad count
+                 dca total
+                 isz count
+                 jmp loop
+                 hlt
+         count,  7773          / -5 in two's complement
+         total,  0000",
+    )?;
+    println!("assembled {} words at {:o}", program.len(), program.start);
+
+    // 2. Verification by simulation: the behavioral description against
+    // the instruction-set reference.
+    let check = IspCrossCheck::run(&program, 2000)?;
+    println!(
+        "cross-check: {} (isa ac={:o}, isl ac={:o}, {} ISL cycles)",
+        if check.matches { "MATCH" } else { "MISMATCH" },
+        check.ac.0,
+        check.ac.1,
+        check.isl_cycles
+    );
+
+    // 3. Behavioral compilation onto standard modules.
+    let machine = isp_machine()?;
+    let alloc = synthesize(
+        &machine,
+        &SynthOptions {
+            sharing: Sharing::Shared,
+        },
+    );
+    println!("\n{alloc}");
+
+    // 4. The chip-count comparison.
+    let baseline = baseline_packages();
+    let ratio = alloc.estimate.package_ratio(baseline);
+    println!("hand-designed baseline: {baseline} packages");
+    println!("({BASELINE_NOTES})\n");
+    println!(
+        "automatic / hand = {} / {baseline} = {ratio:.2} -> within 50%: {}",
+        alloc.estimate.packages,
+        if ratio <= 1.5 { "YES" } else { "NO" }
+    );
+    Ok(())
+}

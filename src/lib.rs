@@ -1,0 +1,53 @@
+//! # SILC — a silicon compiler
+//!
+//! Facade crate re-exporting the whole SILC toolkit: a Rust reproduction of
+//! J.P. Gray's *Introduction to Silicon Compilation* (DAC 1979).
+//!
+//! The toolkit covers both definitions of silicon compilation the paper
+//! gives:
+//!
+//! 1. **Structural**: the [`lang`] crate compiles SIL — an extensible,
+//!    parameterised structural design language — into the hierarchical
+//!    [`layout`] database, emitted as Caltech Intermediate Form via [`cif`]
+//!    and checked by the lambda design-rule checker [`drc`].
+//! 2. **Behavioral**: the [`rtl`] crate parses and simulates ISP-like
+//!    behavioral descriptions, which [`synth`] maps onto a standard-module
+//!    [`netlist`] with a package-count/area/delay cost model (the PDP-8
+//!    experiment of the paper's reference \[6\]).
+//!
+//! Regular-block generators ([`pla`], [`mem`]), wiring management
+//! ([`route`]), and a layout extractor ([`extract`]) complete the flow.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use silc::lang::Compiler;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let source = r#"
+//!     cell inv() {
+//!         box diff (0,0) (2,8);
+//!         box poly (-2,3) (4,5);
+//!     }
+//!     place inv() at (0, 0);
+//! "#;
+//! let design = Compiler::new().compile(source)?;
+//! assert!(design.library.cell_by_name("inv").is_some());
+//! # Ok(())
+//! # }
+//! ```
+
+pub use silc_cif as cif;
+pub use silc_drc as drc;
+pub use silc_extract as extract;
+pub use silc_geom as geom;
+pub use silc_lang as lang;
+pub use silc_layout as layout;
+pub use silc_logic as logic;
+pub use silc_mem as mem;
+pub use silc_netlist as netlist;
+pub use silc_pdp8 as pdp8;
+pub use silc_pla as pla;
+pub use silc_route as route;
+pub use silc_rtl as rtl;
+pub use silc_synth as synth;

@@ -1,0 +1,210 @@
+//! `silc` — the command-line face of the silicon compiler (the paper's
+//! "extensible language system with associated programming environment").
+//!
+//! ```text
+//! silc compile <design.sil> [-o out.cif] [--no-drc]   SIL -> DRC -> CIF
+//! silc sim     <machine.isl> [--cycles N]             simulate an ISP description
+//! silc synth   <machine.isl>                          compile it onto standard modules
+//! silc pla     <table.pla> [-o out.cif] [--raw]       espresso table -> minimized PLA -> CIF
+//! ```
+
+use std::fs;
+use std::process::ExitCode;
+
+use silc::cif::CifWriter;
+use silc::drc::{check, RuleSet};
+use silc::lang::Compiler;
+use silc::layout::{CellStats, Library};
+use silc::logic::TruthTable;
+use silc::pla::{generate_layout, Minimize, PlaSpec};
+use silc::rtl::{parse as parse_isl, Simulator};
+use silc::synth::{synthesize, Sharing, SynthOptions};
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let result = match args.first().map(String::as_str) {
+        Some("compile") => cmd_compile(&args[1..]),
+        Some("sim") => cmd_sim(&args[1..]),
+        Some("synth") => cmd_synth(&args[1..]),
+        Some("pla") => cmd_pla(&args[1..]),
+        Some("--help") | Some("-h") | None => {
+            eprint!("{}", USAGE);
+            return ExitCode::SUCCESS;
+        }
+        Some(other) => Err(format!("unknown command `{other}`\n{USAGE}")),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(message) => {
+            eprintln!("silc: {message}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+const USAGE: &str = "\
+usage:
+  silc compile <design.sil> [-o out.cif] [--no-drc]
+  silc sim     <machine.isl> [--cycles N]
+  silc synth   <machine.isl>
+  silc pla     <table.pla> [-o out.cif] [--raw]
+";
+
+struct Opts {
+    input: String,
+    output: Option<String>,
+    flags: Vec<String>,
+    cycles: u64,
+}
+
+fn parse_opts(args: &[String]) -> Result<Opts, String> {
+    let mut input = None;
+    let mut output = None;
+    let mut flags = Vec::new();
+    let mut cycles = 10_000;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "-o" => {
+                output = Some(
+                    it.next()
+                        .ok_or_else(|| "-o needs a file name".to_string())?
+                        .clone(),
+                );
+            }
+            "--cycles" => {
+                cycles = it
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .ok_or_else(|| "--cycles needs a number".to_string())?;
+            }
+            f if f.starts_with("--") => flags.push(f.to_string()),
+            positional => {
+                if input.replace(positional.to_string()).is_some() {
+                    return Err("more than one input file given".into());
+                }
+            }
+        }
+    }
+    Ok(Opts {
+        input: input.ok_or_else(|| format!("missing input file\n{USAGE}"))?,
+        output,
+        flags,
+        cycles,
+    })
+}
+
+fn read(path: &str) -> Result<String, String> {
+    fs::read_to_string(path).map_err(|e| format!("cannot read `{path}`: {e}"))
+}
+
+fn write_out(path: Option<&str>, text: &str) -> Result<(), String> {
+    match path {
+        Some(p) => fs::write(p, text).map_err(|e| format!("cannot write `{p}`: {e}")),
+        None => {
+            print!("{text}");
+            Ok(())
+        }
+    }
+}
+
+fn cmd_compile(args: &[String]) -> Result<(), String> {
+    let opts = parse_opts(args)?;
+    let source = read(&opts.input)?;
+    let design = Compiler::new()
+        .compile(&source)
+        .map_err(|e| e.to_string())?;
+    let stats = CellStats::compute(&design.library, design.top).map_err(|e| e.to_string())?;
+    eprintln!(
+        "compiled `{}`: {} cells, {} flattened elements, die {}x{} lambda",
+        opts.input,
+        design.library.len(),
+        stats.flat_elements,
+        stats.bbox.map_or(0, |b| b.width()),
+        stats.bbox.map_or(0, |b| b.height()),
+    );
+    if !opts.flags.iter().any(|f| f == "--no-drc") {
+        let report = check(&design.library, design.top, &RuleSet::mead_conway_nmos())
+            .map_err(|e| e.to_string())?;
+        eprint!("{report}");
+        if !report.is_clean() {
+            return Err("design rule violations (use --no-drc to emit anyway)".into());
+        }
+    }
+    let cif = CifWriter::new()
+        .write_to_string(&design.library, design.top)
+        .map_err(|e| e.to_string())?;
+    write_out(opts.output.as_deref(), &cif)
+}
+
+fn cmd_sim(args: &[String]) -> Result<(), String> {
+    let opts = parse_opts(args)?;
+    let machine = parse_isl(&read(&opts.input)?).map_err(|e| e.to_string())?;
+    let mut sim = Simulator::new(&machine);
+    let report = sim.run(opts.cycles).map_err(|e| e.to_string())?;
+    println!(
+        "{}: {} cycle(s), {} (final state `{}`)",
+        machine.name,
+        report.cycles,
+        if report.halted {
+            "halted"
+        } else {
+            "cycle budget exhausted"
+        },
+        sim.state_name(),
+    );
+    for r in &machine.regs {
+        println!("  {} = {:#o}", r.name, sim.reg(&r.name).unwrap_or(0));
+    }
+    for p in &machine.outputs {
+        println!(
+            "  {} = {:#o} (output)",
+            p.name,
+            sim.output(&p.name).unwrap_or(0)
+        );
+    }
+    Ok(())
+}
+
+fn cmd_synth(args: &[String]) -> Result<(), String> {
+    let opts = parse_opts(args)?;
+    let machine = parse_isl(&read(&opts.input)?).map_err(|e| e.to_string())?;
+    let shared = synthesize(
+        &machine,
+        &SynthOptions {
+            sharing: Sharing::Shared,
+        },
+    );
+    println!("{shared}");
+    let (bits, inputs, outputs, terms) = shared.control;
+    println!("control: {bits} state bits, PLA {inputs} in / {outputs} out / {terms} terms");
+    Ok(())
+}
+
+fn cmd_pla(args: &[String]) -> Result<(), String> {
+    let opts = parse_opts(args)?;
+    let table = TruthTable::parse_pla(&read(&opts.input)?).map_err(|e| e.to_string())?;
+    let mode = if opts.flags.iter().any(|f| f == "--raw") {
+        Minimize::None
+    } else {
+        Minimize::Heuristic
+    };
+    let spec = PlaSpec::from_truth_table(&table, mode).map_err(|e| e.to_string())?;
+    let (w, h) = spec.area_estimate();
+    eprintln!(
+        "personality: {} terms ({} AND + {} OR devices), {}x{} lambda",
+        spec.num_terms(),
+        spec.and_plane_devices(),
+        spec.or_plane_devices(),
+        w,
+        h
+    );
+    let mut lib = Library::new();
+    let id = generate_layout(&spec, &mut lib, "pla").map_err(|e| e.to_string())?;
+    let report = check(&lib, id, &RuleSet::mead_conway_nmos()).map_err(|e| e.to_string())?;
+    eprint!("{report}");
+    let cif = CifWriter::new()
+        .write_to_string(&lib, id)
+        .map_err(|e| e.to_string())?;
+    write_out(opts.output.as_deref(), &cif)
+}

@@ -1,0 +1,113 @@
+//! Integration: the `silc` command-line programming environment.
+
+use std::io::Write as _;
+use std::process::Command;
+
+fn silc() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_silc"))
+}
+
+fn write_temp(name: &str, contents: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join("silc-cli-tests");
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let path = dir.join(name);
+    let mut f = std::fs::File::create(&path).expect("create temp file");
+    f.write_all(contents.as_bytes()).expect("write temp file");
+    path
+}
+
+#[test]
+fn compile_emits_cif_and_reports_drc() {
+    let sil = write_temp(
+        "ok.sil",
+        "cell c() { box metal (0,0) (4,20); } place c() at (0,0);",
+    );
+    let out = silc().arg("compile").arg(&sil).output().expect("runs");
+    assert!(out.status.success(), "{out:?}");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stdout.contains("DS 1"), "CIF on stdout: {stdout}");
+    assert!(stderr.contains("0 violation"), "DRC on stderr: {stderr}");
+}
+
+#[test]
+fn compile_fails_on_drc_violation_unless_overridden() {
+    let sil = write_temp(
+        "bad.sil",
+        "cell c() { box metal (0,0) (1,20); } place c() at (0,0);",
+    );
+    let out = silc().arg("compile").arg(&sil).output().expect("runs");
+    assert!(!out.status.success());
+    let out = silc()
+        .arg("compile")
+        .arg(&sil)
+        .arg("--no-drc")
+        .output()
+        .expect("runs");
+    assert!(out.status.success(), "{out:?}");
+}
+
+#[test]
+fn compile_diagnoses_syntax_errors() {
+    let sil = write_temp("syntax.sil", "cell c( { }");
+    let out = silc().arg("compile").arg(&sil).output().expect("runs");
+    assert!(!out.status.success());
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("silc:"), "{stderr}");
+}
+
+#[test]
+fn sim_runs_and_dumps_registers() {
+    let isl = write_temp(
+        "count.isl",
+        "machine m { reg n[8]; state s { n := n + 1; if n == 5 { halt; } } }",
+    );
+    let out = silc().arg("sim").arg(&isl).output().expect("runs");
+    assert!(out.status.success(), "{out:?}");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("halted"), "{stdout}");
+    assert!(stdout.contains("n = 0o6"), "{stdout}");
+}
+
+#[test]
+fn synth_prints_estimate() {
+    let isl = write_temp(
+        "acc.isl",
+        "machine m { reg a[8]; port input x[8]; state s { a := a + x; } }",
+    );
+    let out = silc().arg("synth").arg(&isl).output().expect("runs");
+    assert!(out.status.success(), "{out:?}");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("packages"), "{stdout}");
+    assert!(stdout.contains("control:"), "{stdout}");
+}
+
+#[test]
+fn pla_compiles_espresso_format() {
+    let pla = write_temp("maj.pla", ".i 3\n.o 1\n110 1\n101 1\n011 1\n111 1\n.e\n");
+    let out = silc().arg("pla").arg(&pla).output().expect("runs");
+    assert!(out.status.success(), "{out:?}");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("3 terms"), "{stderr}");
+    assert!(stderr.contains("0 violation"), "{stderr}");
+}
+
+#[test]
+fn unknown_command_fails_with_usage() {
+    let out = silc().arg("bogus").output().expect("runs");
+    assert!(!out.status.success());
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("usage"), "{stderr}");
+}
+
+#[test]
+fn missing_file_reported() {
+    let out = silc()
+        .arg("compile")
+        .arg("/nonexistent/never.sil")
+        .output()
+        .expect("runs");
+    assert!(!out.status.success());
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("cannot read"), "{stderr}");
+}

@@ -1,0 +1,95 @@
+//! Integration: the headline claims of every experiment in
+//! EXPERIMENTS.md, asserted on the same functions the benches time.
+
+use silc_bench::{e1, e2, e3, e4, e5, e6, e7, e8};
+
+#[test]
+fn e1_pdp8_within_fifty_percent() {
+    let result = e1::run();
+    assert!(
+        result.ratio <= 1.5,
+        "E1: ratio {:.2} exceeds the 50% bound",
+        result.ratio
+    );
+    assert!(result.ratio >= 1.0);
+    assert!(result.per_operation_packages >= result.synthesized_packages);
+}
+
+#[test]
+fn e2_description_leverage_scales() {
+    let rows = e2::run(&[2, 8]);
+    for pair in rows.chunks(2) {
+        let (small, large) = (&pair[0], &pair[1]);
+        assert_eq!(small.source_lines, large.source_lines, "{}", small.design);
+        assert!(
+            large.leverage > small.leverage,
+            "{}: leverage must grow with n",
+            small.design
+        );
+    }
+}
+
+#[test]
+fn e3_single_source_many_widths() {
+    let rows = e3::run(&[4, 16]);
+    assert!(rows[1].width > rows[0].width);
+    assert!(rows[1].wire_length > rows[0].wire_length);
+    for row in &rows {
+        assert!(!row.channel_tracks.is_empty());
+    }
+}
+
+#[test]
+fn e4_minimization_pays() {
+    let rows = e4::run();
+    let total_raw: usize = rows.iter().map(|r| r.raw_terms).sum();
+    let total_exact: usize = rows.iter().map(|r| r.exact_terms).sum();
+    assert!(
+        total_exact < total_raw,
+        "minimization should shrink the suite: {total_exact} vs {total_raw}"
+    );
+}
+
+#[test]
+fn e5_behavioral_compilation_costs_on_datapaths() {
+    for row in e5::run() {
+        if row.name != "traffic" {
+            assert!(row.space_ratio() > 1.0, "{}", row.name);
+            assert!(row.speed_ratio() >= 1.0, "{}", row.name);
+        }
+    }
+}
+
+#[test]
+fn e6_hierarchy_keeps_cif_sublinear() {
+    let rows = e6::run(&[4, 16]);
+    let geometry_growth = rows[1].flat_elements as f64 / rows[0].flat_elements as f64;
+    let cif_growth = rows[1].cif_bytes as f64 / rows[0].cif_bytes as f64;
+    assert!(cif_growth < geometry_growth / 2.0);
+    for row in &rows {
+        assert_eq!(row.drc_violations, 0);
+    }
+}
+
+#[test]
+fn e7_verification_battery_passes() {
+    for row in e7::run() {
+        assert!(row.pass, "{}: {}", row.check, row.detail);
+    }
+}
+
+#[test]
+fn e8_wiring_behaviour() {
+    // River: fully interlocked chains need one track per net.
+    for row in e8::river_sweep(&[2, 6]) {
+        assert_eq!(row.tracks, row.chain);
+    }
+    // Channel: tracks bounded below by density.
+    let (rows, _) = e8::channel_sweep(&[3, 6], 11);
+    for row in &rows {
+        assert!(row.tracks >= row.density);
+    }
+    // Placement: regular beats scrambled.
+    let p = e8::placement_comparison(6, 3);
+    assert!(p.aligned_wire < p.scrambled_wire);
+}
