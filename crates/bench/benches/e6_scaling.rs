@@ -3,7 +3,9 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use silc_bench::e6;
-use silc_drc::{check, check_flat, check_flat_unmerged, RuleSet};
+use silc_drc::{
+    check, check_flat, check_flat_brute, check_flat_serial, check_flat_unmerged, RuleSet,
+};
 use silc_layout::flatten_to_rects;
 use std::hint::black_box;
 
@@ -50,6 +52,29 @@ fn bench(c: &mut Criterion) {
     }
     ablation.finish();
 
+    // Engine ablation: spatial-index vs all-pairs candidate enumeration,
+    // and parallel vs serial execution of the indexed engine. All three
+    // produce byte-identical reports; only the time differs.
+    let mut engine = c.benchmark_group("e6/drc_engine");
+    for n in [8usize, 16, 32] {
+        let design = e6::compile_design(n);
+        let layers = flatten_to_rects(&design.library, design.top).expect("flattens");
+        engine.bench_with_input(BenchmarkId::new("indexed_par", n), &layers, |b, l| {
+            b.iter(|| check_flat(black_box(l), &RuleSet::mead_conway_nmos()))
+        });
+        engine.bench_with_input(BenchmarkId::new("indexed_serial", n), &layers, |b, l| {
+            b.iter(|| check_flat_serial(black_box(l), &RuleSet::mead_conway_nmos()))
+        });
+        // The oracle is quadratic; skip it at the largest size where a
+        // single iteration already takes tens of seconds.
+        if n <= 16 {
+            engine.bench_with_input(BenchmarkId::new("brute", n), &layers, |b, l| {
+                b.iter(|| check_flat_brute(black_box(l), &RuleSet::mead_conway_nmos()))
+            });
+        }
+    }
+    engine.finish();
+
     let rows = e6::run(&[2, 4, 8, 16, 32]);
     println!(
         "{}",
@@ -59,6 +84,26 @@ fn bench(c: &mut Criterion) {
             &e6::table(&rows),
         )
     );
+
+    // Single-shot engine comparison incl. the brute oracle at full size,
+    // with a machine-readable JSONL summary on stdout.
+    let ablation_rows = e6::drc_ablation(&[8, 16, 32]);
+    println!(
+        "{}",
+        silc_bench::render_table(
+            "E6: DRC engine ablation (indexed vs brute)",
+            &[
+                "n",
+                "rects",
+                "indexed ms",
+                "serial ms",
+                "brute ms",
+                "speedup"
+            ],
+            &e6::ablation_table(&ablation_rows),
+        )
+    );
+    print!("{}", e6::ablation_json(&ablation_rows));
 }
 
 criterion_group!(benches, bench);

@@ -1,5 +1,5 @@
 use crate::{merge_rects, region_contains_rect, RuleSet};
-use silc_geom::{Coord, Rect};
+use silc_geom::{Coord, Rect, RectIndex};
 use silc_layout::{CellId, Layer, LayoutError, Library};
 use std::fmt;
 
@@ -112,6 +112,24 @@ impl fmt::Display for Report {
     }
 }
 
+/// Applies `f` to every item, in parallel when the `parallel` feature is
+/// enabled and `parallel` is true, always returning results in input
+/// order. The serial and parallel paths are therefore interchangeable:
+/// identical inputs give byte-identical outputs.
+fn map_maybe_par<T, R>(parallel: bool, items: &[T], f: impl Fn(&T) -> R + Sync) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+{
+    #[cfg(feature = "parallel")]
+    if parallel && items.len() > 1 {
+        use rayon::prelude::*;
+        return items.par_iter().map(f).collect();
+    }
+    let _ = parallel;
+    items.iter().map(f).collect()
+}
+
 /// Runs the design-rule checker on the flattened hierarchy under `root`.
 ///
 /// # Errors
@@ -122,19 +140,55 @@ pub fn check(lib: &Library, root: CellId, rules: &RuleSet) -> Result<Report, Lay
     Ok(check_flat(&layers, rules))
 }
 
+/// Runs the checker independently on several cells, in parallel when the
+/// `parallel` feature is enabled. Reports come back in `roots` order.
+///
+/// # Errors
+///
+/// Returns [`LayoutError::UnknownCell`] for the first root not in the
+/// library.
+pub fn check_cells(
+    lib: &Library,
+    roots: &[CellId],
+    rules: &RuleSet,
+) -> Result<Vec<Report>, LayoutError> {
+    map_maybe_par(true, roots, |&root| check(lib, root, rules))
+        .into_iter()
+        .collect()
+}
+
 /// Runs the checker on pre-flattened per-layer rectangles (indexed by
 /// [`Layer::index`]).
+///
+/// All passes run on a [`RectIndex`] per layer, so each rectangle is
+/// compared only against its spatial neighbourhood, and independent work
+/// units (layers, rule pairs, cuts, gates) run in parallel when the
+/// `parallel` feature (on by default) is enabled. Output is identical to
+/// [`check_flat_serial`] and to the all-pairs oracle regardless: candidate
+/// ids come back from the index in the same ascending order brute-force
+/// iteration would visit them, and parallel maps preserve input order.
 pub fn check_flat(layers: &[Vec<Rect>], rules: &RuleSet) -> Report {
+    check_flat_impl(layers, rules, true)
+}
+
+/// [`check_flat`] with parallelism disabled: single-threaded, indexed.
+/// Produces byte-identical reports; exists for determinism auditing and
+/// the scaling benchmarks' serial baseline.
+pub fn check_flat_serial(layers: &[Vec<Rect>], rules: &RuleSet) -> Report {
+    check_flat_impl(layers, rules, false)
+}
+
+fn check_flat_impl(layers: &[Vec<Rect>], rules: &RuleSet, parallel: bool) -> Report {
     let mut violations = Vec::new();
     let rects_checked = layers.iter().map(Vec::len).sum();
 
-    // Merge each layer once.
-    let merged: Vec<Vec<crate::Region>> = layers.iter().map(|v| merge_rects(v)).collect();
+    // Merge each layer once (independently, so in parallel).
+    let merged: Vec<Vec<crate::Region>> = map_maybe_par(parallel, layers, |v| merge_rects(v));
 
-    width_checks(layers, rules, &mut violations);
-    spacing_checks(&merged, rules, &mut violations);
-    contact_checks(layers, rules, &mut violations);
-    gate_checks(&merged, layers, rules, &mut violations);
+    width_checks(layers, rules, parallel, &mut violations);
+    spacing_checks(&merged, rules, parallel, &mut violations);
+    contact_checks(layers, rules, parallel, &mut violations);
+    gate_checks(&merged, layers, rules, parallel, &mut violations);
 
     Report {
         rules: rules.name.clone(),
@@ -159,17 +213,13 @@ pub fn check_flat_unmerged(layers: &[Vec<Rect>], rules: &RuleSet) -> Report {
     // Pose the raw rects as one single-rect "region" each.
     let pseudo: Vec<Vec<crate::Region>> = layers
         .iter()
-        .map(|v| {
-            v.iter()
-                .map(|&r| crate::Region { rects: vec![r] })
-                .collect()
-        })
+        .map(|v| v.iter().map(|&r| crate::Region::new(vec![r])).collect())
         .collect();
 
-    width_checks(layers, rules, &mut violations);
-    spacing_checks(&pseudo, rules, &mut violations);
-    contact_checks(layers, rules, &mut violations);
-    gate_checks(&pseudo, layers, rules, &mut violations);
+    width_checks(layers, rules, true, &mut violations);
+    spacing_checks(&pseudo, rules, true, &mut violations);
+    contact_checks(layers, rules, true, &mut violations);
+    gate_checks(&pseudo, layers, rules, true, &mut violations);
 
     Report {
         rules: format!("{} (unmerged)", rules.name),
@@ -178,65 +228,99 @@ pub fn check_flat_unmerged(layers: &[Vec<Rect>], rules: &RuleSet) -> Report {
     }
 }
 
+/// The indexed rectangles touching `probe`, in id (= input) order. The
+/// coverage tests below only ever accumulate area from rectangles that
+/// intersect the probe, so restricting to this subset is exact.
+fn touching(index: &RectIndex, probe: Rect) -> Vec<Rect> {
+    index
+        .query(probe, 0)
+        .into_iter()
+        .map(|j| index.rect(j))
+        .collect()
+}
+
 /// Width: every *drawn* rectangle must meet the minimum width unless it is
 /// redundant (fully covered by the other rectangles on the layer, in which
-/// case it adds no new feature).
-fn width_checks(layers: &[Vec<Rect>], rules: &RuleSet, out: &mut Vec<Violation>) {
-    for layer in Layer::ALL {
+/// case it adds no new feature). Layers are independent → parallel units.
+fn width_checks(layers: &[Vec<Rect>], rules: &RuleSet, parallel: bool, out: &mut Vec<Violation>) {
+    let per_layer = map_maybe_par(parallel, &Layer::ALL, |&layer| {
         let w = rules.min_width(layer);
-        if w == 0 {
-            continue;
-        }
         let rects = &layers[layer.index()];
+        if w == 0 || rects.iter().all(|r| r.min_dimension() >= w) {
+            return Vec::new();
+        }
+        let index = RectIndex::build(rects);
+        let mut found = Vec::new();
         for (i, r) in rects.iter().enumerate() {
             if r.min_dimension() >= w {
                 continue;
             }
             // Redundancy exemption: covered entirely by the other rects.
-            let others: Vec<Rect> = rects
-                .iter()
-                .enumerate()
-                .filter(|&(j, _)| j != i)
-                .map(|(_, r)| *r)
+            // Only rects touching `r` can contribute coverage.
+            let others: Vec<Rect> = index
+                .query(*r, 0)
+                .into_iter()
+                .filter(|&j| j as usize != i)
+                .map(|j| index.rect(j))
                 .collect();
             if region_contains_rect(&others, *r) {
                 continue;
             }
-            out.push(Violation {
+            found.push(Violation {
                 rule: RuleKind::MinWidth { layer, required: w },
                 at: *r,
             });
         }
-    }
+        found
+    });
+    out.extend(per_layer.into_iter().flatten());
 }
 
 /// Spacing: between merged rects that do not touch. Covers both
-/// region-to-region spacing and same-region notches.
-fn spacing_checks(merged: &[Vec<crate::Region>], rules: &RuleSet, out: &mut Vec<Violation>) {
-    for (a, b) in rules.active_spacing_pairs() {
+/// region-to-region spacing and same-region notches. Rule pairs are
+/// independent → parallel units; within a pair, each rect is compared only
+/// against index candidates within the rule distance.
+fn spacing_checks(
+    merged: &[Vec<crate::Region>],
+    rules: &RuleSet,
+    parallel: bool,
+    out: &mut Vec<Violation>,
+) {
+    let pairs = rules.active_spacing_pairs();
+    let per_pair = map_maybe_par(parallel, &pairs, |&(a, b)| {
         let s = rules.min_spacing(a, b);
         let ra: Vec<Rect> = merged[a.index()]
             .iter()
-            .flat_map(|r| r.rects.iter().copied())
+            .flat_map(|r| r.rects().iter().copied())
             .collect();
+        let mut found = Vec::new();
         if a == b {
-            for i in 0..ra.len() {
-                for j in (i + 1)..ra.len() {
-                    spacing_pair(a, b, s, ra[i], ra[j], out);
+            let index = RectIndex::build(&ra);
+            for (i, &x) in ra.iter().enumerate() {
+                // Ascending candidate ids reproduce the i<j pair order of
+                // the all-pairs loop; margin s covers every violating pair
+                // (violations need both axis gaps < s).
+                for j in index.query(x, s) {
+                    if (j as usize) > i {
+                        spacing_pair(a, b, s, x, ra[j as usize], &mut found);
+                    }
                 }
             }
         } else {
             let rb: Vec<Rect> = merged[b.index()]
                 .iter()
-                .flat_map(|r| r.rects.iter().copied())
+                .flat_map(|r| r.rects().iter().copied())
                 .collect();
+            let index = RectIndex::build(&rb);
             for &x in &ra {
-                for &y in &rb {
-                    spacing_pair(a, b, s, x, y, out);
+                for j in index.query(x, s) {
+                    spacing_pair(a, b, s, x, index.rect(j), &mut found);
                 }
             }
         }
-    }
+        found
+    });
+    out.extend(per_pair.into_iter().flatten());
 }
 
 fn spacing_pair(a: Layer, b: Layer, s: Coord, x: Rect, y: Rect, out: &mut Vec<Violation>) {
@@ -255,24 +339,29 @@ fn spacing_pair(a: Layer, b: Layer, s: Coord, x: Rect, y: Rect, out: &mut Vec<Vi
 }
 
 /// Contacts: each cut must be surrounded by metal and by poly or
-/// diffusion.
-fn contact_checks(layers: &[Vec<Rect>], rules: &RuleSet, out: &mut Vec<Violation>) {
+/// diffusion. Cuts are independent → parallel units; enclosure coverage
+/// for each cut comes from index lookups around it.
+fn contact_checks(layers: &[Vec<Rect>], rules: &RuleSet, parallel: bool, out: &mut Vec<Violation>) {
     let cuts = &layers[Layer::Contact.index()];
     if cuts.is_empty() {
         return;
     }
-    let metal = &layers[Layer::Metal.index()];
-    let poly = &layers[Layer::Poly.index()];
-    let diff = &layers[Layer::Diffusion.index()];
-    let lower: Vec<Rect> = poly.iter().chain(diff.iter()).copied().collect();
+    let metal = RectIndex::build(&layers[Layer::Metal.index()]);
+    let lower: Vec<Rect> = layers[Layer::Poly.index()]
+        .iter()
+        .chain(layers[Layer::Diffusion.index()].iter())
+        .copied()
+        .collect();
+    let lower = RectIndex::build(&lower);
 
-    for cut in cuts {
+    let per_cut = map_maybe_par(parallel, cuts, |cut| {
+        let mut found = Vec::new();
         if rules.contact_metal_surround > 0 {
             let needed = cut
                 .inflate(rules.contact_metal_surround)
                 .expect("inflating a valid rect");
-            if !region_contains_rect(metal, needed) {
-                out.push(Violation {
+            if !region_contains_rect(&touching(&metal, needed), needed) {
+                found.push(Violation {
                     rule: RuleKind::ContactMetalSurround {
                         required: rules.contact_metal_surround,
                     },
@@ -286,8 +375,8 @@ fn contact_checks(layers: &[Vec<Rect>], rules: &RuleSet, out: &mut Vec<Violation
                 .expect("inflating a valid rect");
             // Either poly alone or diffusion alone must enclose; a mix is
             // a butting contact, which we accept when the union covers.
-            if !region_contains_rect(&lower, needed) {
-                out.push(Violation {
+            if !region_contains_rect(&touching(&lower, needed), needed) {
+                found.push(Violation {
                     rule: RuleKind::ContactLowerSurround {
                         required: rules.contact_lower_surround,
                     },
@@ -295,18 +384,22 @@ fn contact_checks(layers: &[Vec<Rect>], rules: &RuleSet, out: &mut Vec<Violation
                 });
             }
         }
-    }
+        found
+    });
+    out.extend(per_cut.into_iter().flatten());
 }
 
 /// Transistor gates: wherever poly crosses diffusion, poly must extend
 /// `gate_poly_overhang` beyond the channel on one axis and diffusion
 /// `gate_diff_overhang` on the other. A crossing fully covered by a
 /// contact cut is a butting contact (the metal shorts the junction), not
-/// a transistor, and is exempt.
+/// a transistor, and is exempt. Crossing discovery queries the diffusion
+/// index per poly rect; gates are then independent → parallel units.
 fn gate_checks(
     merged: &[Vec<crate::Region>],
     layers: &[Vec<Rect>],
     rules: &RuleSet,
+    parallel: bool,
     out: &mut Vec<Violation>,
 ) {
     if rules.gate_poly_overhang == 0 && rules.gate_diff_overhang == 0 {
@@ -314,47 +407,56 @@ fn gate_checks(
     }
     let poly: Vec<Rect> = merged[Layer::Poly.index()]
         .iter()
-        .flat_map(|r| r.rects.iter().copied())
+        .flat_map(|r| r.rects().iter().copied())
         .collect();
     let diff: Vec<Rect> = merged[Layer::Diffusion.index()]
         .iter()
-        .flat_map(|r| r.rects.iter().copied())
+        .flat_map(|r| r.rects().iter().copied())
         .collect();
     if poly.is_empty() || diff.is_empty() {
         return;
     }
     // Gates are connected components of the poly∩diff geometry.
+    let diff_index = RectIndex::build(&diff);
     let mut crossings: Vec<Rect> = Vec::new();
     for p in &poly {
-        for d in &diff {
-            if let Some(g) = p.intersection(*d) {
+        for j in diff_index.query(*p, 0) {
+            if let Some(g) = p.intersection(diff_index.rect(j)) {
                 crossings.push(g);
             }
         }
     }
-    let cuts = &layers[Layer::Contact.index()];
-    for gate_region in merge_rects(&crossings) {
+    let cuts = RectIndex::build(&layers[Layer::Contact.index()]);
+    let poly_index = RectIndex::build(&poly);
+    let gates = merge_rects(&crossings);
+    let per_gate = map_maybe_par(parallel, &gates, |gate_region| {
         let g = gate_region.bbox();
         // Butting-contact exemption.
-        if region_contains_rect(cuts, g) {
-            continue;
+        if region_contains_rect(&touching(&cuts, g), g) {
+            return None;
         }
         let pv = rules.gate_poly_overhang;
         let dv = rules.gate_diff_overhang;
+        let covered = |index: &RectIndex, needed: Rect| {
+            region_contains_rect(&touching(index, needed), needed)
+        };
         // Orientation A: poly runs vertically (extends in y), diffusion
         // horizontally (extends in x).
-        let vertical_ok = region_contains_rect(&poly, grow_y(g, pv))
-            && region_contains_rect(&diff, grow_x(g, dv));
+        let vertical_ok =
+            covered(&poly_index, grow_y(g, pv)) && covered(&diff_index, grow_x(g, dv));
         // Orientation B: the transpose.
-        let horizontal_ok = region_contains_rect(&poly, grow_x(g, pv))
-            && region_contains_rect(&diff, grow_y(g, dv));
+        let horizontal_ok =
+            covered(&poly_index, grow_x(g, pv)) && covered(&diff_index, grow_y(g, dv));
         if !vertical_ok && !horizontal_ok {
-            out.push(Violation {
+            Some(Violation {
                 rule: RuleKind::GateOverhang { poly: pv, diff: dv },
                 at: g,
-            });
+            })
+        } else {
+            None
         }
-    }
+    });
+    out.extend(per_gate.into_iter().flatten());
 }
 
 fn grow_x(r: Rect, by: Coord) -> Rect {
@@ -373,9 +475,189 @@ fn grow_y(r: Rect, by: Coord) -> Rect {
     .expect("growing keeps positive extent")
 }
 
+// ---------------------------------------------------------------------------
+// Brute-force oracle
+// ---------------------------------------------------------------------------
+
+/// All-pairs reference checker: the pre-index implementation, kept as the
+/// correctness oracle for the equivalence proptests and the benchmark
+/// baseline. O(n²) in the rectangle count — do not use on large layouts.
+#[cfg(any(test, feature = "oracle"))]
+pub fn check_flat_brute(layers: &[Vec<Rect>], rules: &RuleSet) -> Report {
+    let mut violations = Vec::new();
+    let rects_checked = layers.iter().map(Vec::len).sum();
+
+    let merged: Vec<Vec<crate::Region>> = layers.iter().map(|v| merge_rects(v)).collect();
+
+    brute::width_checks(layers, rules, &mut violations);
+    brute::spacing_checks(&merged, rules, &mut violations);
+    brute::contact_checks(layers, rules, &mut violations);
+    brute::gate_checks(&merged, layers, rules, &mut violations);
+
+    Report {
+        rules: rules.name.clone(),
+        violations,
+        rects_checked,
+    }
+}
+
+#[cfg(any(test, feature = "oracle"))]
+mod brute {
+    use super::*;
+
+    pub fn width_checks(layers: &[Vec<Rect>], rules: &RuleSet, out: &mut Vec<Violation>) {
+        for layer in Layer::ALL {
+            let w = rules.min_width(layer);
+            if w == 0 {
+                continue;
+            }
+            let rects = &layers[layer.index()];
+            for (i, r) in rects.iter().enumerate() {
+                if r.min_dimension() >= w {
+                    continue;
+                }
+                let others: Vec<Rect> = rects
+                    .iter()
+                    .enumerate()
+                    .filter(|&(j, _)| j != i)
+                    .map(|(_, r)| *r)
+                    .collect();
+                if region_contains_rect(&others, *r) {
+                    continue;
+                }
+                out.push(Violation {
+                    rule: RuleKind::MinWidth { layer, required: w },
+                    at: *r,
+                });
+            }
+        }
+    }
+
+    pub fn spacing_checks(
+        merged: &[Vec<crate::Region>],
+        rules: &RuleSet,
+        out: &mut Vec<Violation>,
+    ) {
+        for (a, b) in rules.active_spacing_pairs() {
+            let s = rules.min_spacing(a, b);
+            let ra: Vec<Rect> = merged[a.index()]
+                .iter()
+                .flat_map(|r| r.rects().iter().copied())
+                .collect();
+            if a == b {
+                for i in 0..ra.len() {
+                    for j in (i + 1)..ra.len() {
+                        spacing_pair(a, b, s, ra[i], ra[j], out);
+                    }
+                }
+            } else {
+                let rb: Vec<Rect> = merged[b.index()]
+                    .iter()
+                    .flat_map(|r| r.rects().iter().copied())
+                    .collect();
+                for &x in &ra {
+                    for &y in &rb {
+                        spacing_pair(a, b, s, x, y, out);
+                    }
+                }
+            }
+        }
+    }
+
+    pub fn contact_checks(layers: &[Vec<Rect>], rules: &RuleSet, out: &mut Vec<Violation>) {
+        let cuts = &layers[Layer::Contact.index()];
+        if cuts.is_empty() {
+            return;
+        }
+        let metal = &layers[Layer::Metal.index()];
+        let poly = &layers[Layer::Poly.index()];
+        let diff = &layers[Layer::Diffusion.index()];
+        let lower: Vec<Rect> = poly.iter().chain(diff.iter()).copied().collect();
+
+        for cut in cuts {
+            if rules.contact_metal_surround > 0 {
+                let needed = cut
+                    .inflate(rules.contact_metal_surround)
+                    .expect("inflating a valid rect");
+                if !region_contains_rect(metal, needed) {
+                    out.push(Violation {
+                        rule: RuleKind::ContactMetalSurround {
+                            required: rules.contact_metal_surround,
+                        },
+                        at: *cut,
+                    });
+                }
+            }
+            if rules.contact_lower_surround > 0 {
+                let needed = cut
+                    .inflate(rules.contact_lower_surround)
+                    .expect("inflating a valid rect");
+                if !region_contains_rect(&lower, needed) {
+                    out.push(Violation {
+                        rule: RuleKind::ContactLowerSurround {
+                            required: rules.contact_lower_surround,
+                        },
+                        at: *cut,
+                    });
+                }
+            }
+        }
+    }
+
+    pub fn gate_checks(
+        merged: &[Vec<crate::Region>],
+        layers: &[Vec<Rect>],
+        rules: &RuleSet,
+        out: &mut Vec<Violation>,
+    ) {
+        if rules.gate_poly_overhang == 0 && rules.gate_diff_overhang == 0 {
+            return;
+        }
+        let poly: Vec<Rect> = merged[Layer::Poly.index()]
+            .iter()
+            .flat_map(|r| r.rects().iter().copied())
+            .collect();
+        let diff: Vec<Rect> = merged[Layer::Diffusion.index()]
+            .iter()
+            .flat_map(|r| r.rects().iter().copied())
+            .collect();
+        if poly.is_empty() || diff.is_empty() {
+            return;
+        }
+        let mut crossings: Vec<Rect> = Vec::new();
+        for p in &poly {
+            for d in &diff {
+                if let Some(g) = p.intersection(*d) {
+                    crossings.push(g);
+                }
+            }
+        }
+        let cuts = &layers[Layer::Contact.index()];
+        for gate_region in merge_rects(&crossings) {
+            let g = gate_region.bbox();
+            if region_contains_rect(cuts, g) {
+                continue;
+            }
+            let pv = rules.gate_poly_overhang;
+            let dv = rules.gate_diff_overhang;
+            let vertical_ok = region_contains_rect(&poly, grow_y(g, pv))
+                && region_contains_rect(&diff, grow_x(g, dv));
+            let horizontal_ok = region_contains_rect(&poly, grow_x(g, pv))
+                && region_contains_rect(&diff, grow_y(g, dv));
+            if !vertical_ok && !horizontal_ok {
+                out.push(Violation {
+                    rule: RuleKind::GateOverhang { poly: pv, diff: dv },
+                    at: g,
+                });
+            }
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+    use proptest::prelude::*;
     use silc_geom::Point;
 
     fn rect(x: i64, y: i64, w: i64, h: i64) -> Rect {
@@ -562,6 +844,23 @@ mod tests {
     }
 
     #[test]
+    fn check_cells_reports_in_order() {
+        use silc_layout::{Cell, Element};
+        let mut lib = Library::new();
+        let mut good = Cell::new("good");
+        good.push_element(Element::rect(Layer::Metal, rect(0, 0, 3, 10)));
+        let mut bad = Cell::new("bad");
+        bad.push_element(Element::rect(Layer::Metal, rect(0, 0, 1, 10)));
+        let good_id = lib.add_cell(good).unwrap();
+        let bad_id = lib.add_cell(bad).unwrap();
+        let reports = check_cells(&lib, &[good_id, bad_id, good_id], &rules()).unwrap();
+        assert_eq!(reports.len(), 3);
+        assert!(reports[0].is_clean());
+        assert!(!reports[1].is_clean());
+        assert!(reports[2].is_clean());
+    }
+
+    #[test]
     fn unmerged_variant_agrees_on_simple_cases() {
         // Disjoint clean wires: both variants clean.
         let layers = flat_with(Layer::Metal, vec![rect(0, 0, 3, 10), rect(10, 0, 3, 10)]);
@@ -601,5 +900,53 @@ mod tests {
         let s = report.to_string();
         assert!(s.contains("mead-conway-nmos"));
         assert!(s.contains("0 violation"));
+    }
+
+    /// Buckets random rect specs into the 7 layout layers. The coordinate
+    /// ranges are tight enough that random layouts are dense in
+    /// violations, exercising every rule kind.
+    fn layers_from_specs(specs: &[(usize, i64, i64, i64, i64)]) -> Vec<Vec<Rect>> {
+        let mut layers = vec![Vec::new(); Layer::ALL.len()];
+        for &(l, x, y, w, h) in specs {
+            layers[l % Layer::ALL.len()].push(rect(x, y, w, h));
+        }
+        layers
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(48))]
+
+        /// The tentpole guarantee: the indexed checker (serial and
+        /// parallel) reports exactly the violations of the all-pairs
+        /// oracle, in the same order.
+        #[test]
+        fn indexed_checker_matches_brute_force(
+            specs in prop::collection::vec(
+                (0usize..7, 0i64..80, 0i64..80, 1i64..12, 1i64..12), 1..80),
+        ) {
+            let layers = layers_from_specs(&specs);
+            let rules = rules();
+            let indexed = check_flat(&layers, &rules);
+            let brute = check_flat_brute(&layers, &rules);
+            prop_assert_eq!(&indexed.violations, &brute.violations);
+            prop_assert_eq!(indexed.rects_checked, brute.rects_checked);
+            let serial = check_flat_serial(&layers, &rules);
+            prop_assert_eq!(&serial.violations, &indexed.violations);
+        }
+
+        /// Same equivalence under the permissive and sparse regimes:
+        /// mostly-clean layouts must not diverge either.
+        #[test]
+        fn indexed_checker_matches_brute_force_sparse(
+            specs in prop::collection::vec(
+                (0usize..7, 0i64..400, 0i64..400, 2i64..8, 2i64..8), 1..40),
+        ) {
+            let layers = layers_from_specs(&specs);
+            let rules = rules();
+            prop_assert_eq!(
+                check_flat(&layers, &rules).violations,
+                check_flat_brute(&layers, &rules).violations
+            );
+        }
     }
 }

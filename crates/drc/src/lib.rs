@@ -42,6 +42,11 @@ mod check;
 mod region;
 mod rules;
 
-pub use check::{check, check_flat, check_flat_unmerged, Report, RuleKind, Violation};
+#[cfg(any(test, feature = "oracle"))]
+pub use check::check_flat_brute;
+pub use check::{
+    check, check_cells, check_flat, check_flat_serial, check_flat_unmerged, Report, RuleKind,
+    Violation,
+};
 pub use region::{merge_rects, region_contains_rect, Region};
 pub use rules::RuleSet;

@@ -1,25 +1,44 @@
-use silc_geom::{Coord, Point, Rect};
+use silc_geom::{band_decompose, Coord, Point, Rect, RectIndex};
 
 /// A connected group of merged rectangles on one layer — one electrical
 /// region of mask geometry.
+///
+/// The bounding box is computed once at construction and used as a cheap
+/// prefilter by [`touches_rect`](Region::touches_rect) and
+/// [`contains_point`](Region::contains_point): most probes miss the bbox
+/// and never scan the rectangle list.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Region {
     /// Disjoint rectangles covering the region exactly.
-    pub rects: Vec<Rect>,
+    rects: Vec<Rect>,
+    /// Union of all rects, cached at construction.
+    bbox: Rect,
 }
 
 impl Region {
-    /// Bounding box of the region.
+    /// Builds a region from its covering rectangles.
     ///
     /// # Panics
     ///
-    /// Panics on an empty region, which [`merge_rects`] never produces.
-    pub fn bbox(&self) -> Rect {
-        self.rects
+    /// Panics on an empty rectangle list, which [`merge_rects`] never
+    /// produces.
+    pub fn new(rects: Vec<Rect>) -> Region {
+        let bbox = rects
             .iter()
             .copied()
             .reduce(|a, b| a.union(b))
-            .expect("regions are non-empty")
+            .expect("regions are non-empty");
+        Region { rects, bbox }
+    }
+
+    /// Bounding box of the region (cached; O(1)).
+    pub fn bbox(&self) -> Rect {
+        self.bbox
+    }
+
+    /// The disjoint rectangles covering the region.
+    pub fn rects(&self) -> &[Rect] {
+        &self.rects
     }
 
     /// Total area (rects are disjoint, so a plain sum).
@@ -28,98 +47,71 @@ impl Region {
     }
 
     /// True when the region touches `r` (shares at least a boundary
-    /// point).
+    /// point). Bbox prefilter first, then the rect list.
     pub fn touches_rect(&self, r: Rect) -> bool {
-        self.rects.iter().any(|a| a.touches(r))
+        self.bbox.touches(r) && self.rects.iter().any(|a| a.touches(r))
+    }
+
+    /// True when `p` lies on or inside the region.
+    pub fn contains_point(&self, p: Point) -> bool {
+        self.bbox.contains_point(p) && self.rects.iter().any(|a| a.contains_point(p))
     }
 }
 
 /// Canonicalises a bag of (possibly overlapping) rectangles into disjoint
 /// maximal-band rectangles, grouped into connected [`Region`]s.
 ///
-/// The decomposition slices the union into horizontal bands at every
-/// distinct rectangle top/bottom, producing per-band x-spans, then merges
-/// vertically adjacent rects with identical spans. Two rects belong to the
-/// same region when they touch (edge or corner).
+/// The decomposition ([`band_decompose`]) slices the union into horizontal
+/// bands at every distinct rectangle top/bottom, producing per-band
+/// x-spans, then merges vertically adjacent rects with identical spans.
+/// Two rects belong to the same region when they touch (edge or corner);
+/// connectivity is resolved through a [`RectIndex`], so each rect is
+/// unioned only with its spatial neighbours rather than every other rect.
+///
+/// Output is deterministic: regions sorted by `(bbox.left, bbox.bottom,
+/// first-rect order)`, rects within a region in band order.
 pub fn merge_rects(rects: &[Rect]) -> Vec<Region> {
-    if rects.is_empty() {
+    let merged = band_decompose(rects);
+    if merged.is_empty() {
         return Vec::new();
     }
-    // Band boundaries.
-    let mut ys: Vec<Coord> = rects.iter().flat_map(|r| [r.bottom(), r.top()]).collect();
-    ys.sort_unstable();
-    ys.dedup();
 
-    // Per band, collect the merged x-spans of rects crossing it.
-    let mut bands: Vec<Rect> = Vec::new();
-    for w in ys.windows(2) {
-        let (y0, y1) = (w[0], w[1]);
-        let mut spans: Vec<(Coord, Coord)> = rects
-            .iter()
-            .filter(|r| r.bottom() <= y0 && y1 <= r.top())
-            .map(|r| (r.left(), r.right()))
-            .collect();
-        if spans.is_empty() {
-            continue;
-        }
-        spans.sort_unstable();
-        let mut merged: Vec<(Coord, Coord)> = Vec::new();
-        for (lo, hi) in spans {
-            match merged.last_mut() {
-                Some(last) if lo <= last.1 => last.1 = last.1.max(hi),
-                _ => merged.push((lo, hi)),
-            }
-        }
-        for (lo, hi) in merged {
-            bands.push(
-                Rect::new(Point::new(lo, y0), Point::new(hi, y1))
-                    .expect("bands have positive extent"),
-            );
-        }
-    }
-
-    // Merge vertically adjacent bands with identical x spans.
-    bands.sort_by_key(|r| (r.left(), r.right(), r.bottom()));
-    let mut merged: Vec<Rect> = Vec::new();
-    for band in bands {
-        match merged.last_mut() {
-            Some(last)
-                if last.left() == band.left()
-                    && last.right() == band.right()
-                    && last.top() == band.bottom() =>
-            {
-                *last = last.union(band);
-            }
-            _ => merged.push(band),
-        }
-    }
-
-    // Union-find over touching rects to form regions.
+    // Union-find over touching rects; the index limits each rect's
+    // candidate set to its actual neighbours.
     let n = merged.len();
     let mut parent: Vec<usize> = (0..n).collect();
-    fn find(parent: &mut Vec<usize>, i: usize) -> usize {
+    fn find(parent: &mut [usize], i: usize) -> usize {
         if parent[i] != i {
             let root = find(parent, parent[i]);
             parent[i] = root;
         }
         parent[i]
     }
-    for (i, a) in merged.iter().enumerate() {
-        for (j, b) in merged.iter().enumerate().skip(i + 1) {
-            if a.touches(*b) {
-                let (a, b) = (find(&mut parent, i), find(&mut parent, j));
-                if a != b {
-                    parent[a] = b;
-                }
+    let index = RectIndex::build(&merged);
+    for (i, rect) in merged.iter().enumerate() {
+        // query(.., 0) yields every rect touching rect i, including i.
+        for j in index.query(*rect, 0) {
+            let j = j as usize;
+            if j <= i {
+                continue;
+            }
+            let (a, b) = (find(&mut parent, i), find(&mut parent, j));
+            if a != b {
+                parent[a] = b;
             }
         }
     }
-    let mut groups: std::collections::HashMap<usize, Vec<Rect>> = std::collections::HashMap::new();
+
+    // Group by root in ascending first-member order: a BTreeMap keyed by
+    // root id makes the grouping (and thus tie-breaking below) fully
+    // deterministic, unlike hashing.
+    let mut groups: std::collections::BTreeMap<usize, Vec<Rect>> =
+        std::collections::BTreeMap::new();
     for (i, &r) in merged.iter().enumerate() {
         let root = find(&mut parent, i);
         groups.entry(root).or_default().push(r);
     }
-    let mut regions: Vec<Region> = groups.into_values().map(|rects| Region { rects }).collect();
+    let mut regions: Vec<Region> = groups.into_values().map(Region::new).collect();
     regions.sort_by_key(|r| {
         let b = r.bbox();
         (b.left(), b.bottom())
@@ -155,7 +147,7 @@ mod tests {
         assert_eq!(regions.len(), 1);
         assert_eq!(regions[0].area(), 28);
         // Rects inside a region are disjoint.
-        let rs = &regions[0].rects;
+        let rs = regions[0].rects();
         for (i, a) in rs.iter().enumerate() {
             for b in &rs[i + 1..] {
                 assert!(!a.overlaps(*b));
@@ -168,14 +160,14 @@ mod tests {
         // Two abutting halves become a single rect after vertical merging.
         let regions = merge_rects(&[rect(0, 0, 4, 2), rect(0, 2, 4, 2)]);
         assert_eq!(regions.len(), 1);
-        assert_eq!(regions[0].rects, vec![rect(0, 0, 4, 4)]);
+        assert_eq!(regions[0].rects(), &[rect(0, 0, 4, 4)]);
     }
 
     #[test]
     fn corner_touching_rects_same_region() {
         let regions = merge_rects(&[rect(0, 0, 2, 2), rect(2, 2, 2, 2)]);
         assert_eq!(regions.len(), 1);
-        assert_eq!(regions[0].rects.len(), 2);
+        assert_eq!(regions[0].rects().len(), 2);
     }
 
     #[test]
@@ -191,12 +183,103 @@ mod tests {
     }
 
     #[test]
+    fn bbox_is_cached_and_correct() {
+        let region = Region::new(vec![rect(0, 0, 2, 2), rect(8, 6, 2, 2)]);
+        assert_eq!(region.bbox(), rect(0, 0, 10, 8));
+        // Prefilter rejects probes outside the bbox, accepts touching.
+        assert!(!region.touches_rect(rect(20, 20, 2, 2)));
+        assert!(region.touches_rect(rect(2, 2, 2, 2))); // corner of first rect
+        assert!(!region.touches_rect(rect(4, 0, 1, 1))); // inside bbox, off both rects
+        assert!(region.contains_point(Point::new(9, 7)));
+        assert!(!region.contains_point(Point::new(5, 5)));
+    }
+
+    #[test]
     fn containment_test() {
         let cover = [rect(0, 0, 4, 4), rect(4, 0, 4, 4)];
         assert!(region_contains_rect(&cover, rect(1, 1, 6, 2)));
         assert!(!region_contains_rect(&cover, rect(1, 1, 8, 2)));
         assert!(region_contains_rect(&cover, rect(0, 0, 8, 4)));
         assert!(!region_contains_rect(&[], rect(0, 0, 1, 1)));
+    }
+
+    /// Brute-force oracle: the pre-index merge algorithm, kept verbatim
+    /// (modulo hashing → first-member grouping) for equivalence testing.
+    fn merge_rects_brute(rects: &[Rect]) -> Vec<Region> {
+        if rects.is_empty() {
+            return Vec::new();
+        }
+        let mut ys: Vec<Coord> = rects.iter().flat_map(|r| [r.bottom(), r.top()]).collect();
+        ys.sort_unstable();
+        ys.dedup();
+        let mut bands: Vec<Rect> = Vec::new();
+        for w in ys.windows(2) {
+            let (y0, y1) = (w[0], w[1]);
+            let mut spans: Vec<(Coord, Coord)> = rects
+                .iter()
+                .filter(|r| r.bottom() <= y0 && y1 <= r.top())
+                .map(|r| (r.left(), r.right()))
+                .collect();
+            if spans.is_empty() {
+                continue;
+            }
+            spans.sort_unstable();
+            let mut merged: Vec<(Coord, Coord)> = Vec::new();
+            for (lo, hi) in spans {
+                match merged.last_mut() {
+                    Some(last) if lo <= last.1 => last.1 = last.1.max(hi),
+                    _ => merged.push((lo, hi)),
+                }
+            }
+            for (lo, hi) in merged {
+                bands.push(Rect::new(Point::new(lo, y0), Point::new(hi, y1)).unwrap());
+            }
+        }
+        bands.sort_by_key(|r| (r.left(), r.right(), r.bottom()));
+        let mut merged: Vec<Rect> = Vec::new();
+        for band in bands {
+            match merged.last_mut() {
+                Some(last)
+                    if last.left() == band.left()
+                        && last.right() == band.right()
+                        && last.top() == band.bottom() =>
+                {
+                    *last = last.union(band);
+                }
+                _ => merged.push(band),
+            }
+        }
+        let n = merged.len();
+        let mut parent: Vec<usize> = (0..n).collect();
+        fn find(parent: &mut [usize], i: usize) -> usize {
+            if parent[i] != i {
+                let root = find(parent, parent[i]);
+                parent[i] = root;
+            }
+            parent[i]
+        }
+        for (i, a) in merged.iter().enumerate() {
+            for (j, b) in merged.iter().enumerate().skip(i + 1) {
+                if a.touches(*b) {
+                    let (a, b) = (find(&mut parent, i), find(&mut parent, j));
+                    if a != b {
+                        parent[a] = b;
+                    }
+                }
+            }
+        }
+        let mut groups: std::collections::BTreeMap<usize, Vec<Rect>> =
+            std::collections::BTreeMap::new();
+        for (i, &r) in merged.iter().enumerate() {
+            let root = find(&mut parent, i);
+            groups.entry(root).or_default().push(r);
+        }
+        let mut regions: Vec<Region> = groups.into_values().map(Region::new).collect();
+        regions.sort_by_key(|r| {
+            let b = r.bbox();
+            (b.left(), b.bottom())
+        });
+        regions
     }
 
     proptest! {
@@ -210,7 +293,7 @@ mod tests {
             let merged_area: i64 = regions.iter().map(Region::area).sum();
             prop_assert_eq!(merged_area, silc_layout::union_area(&rects));
             // All rects across all regions are pairwise disjoint.
-            let all: Vec<Rect> = regions.iter().flat_map(|r| r.rects.clone()).collect();
+            let all: Vec<Rect> = regions.iter().flat_map(|r| r.rects().to_vec()).collect();
             for (i, a) in all.iter().enumerate() {
                 for b in &all[i + 1..] {
                     prop_assert!(!a.overlaps(*b), "{a} overlaps {b}");
@@ -219,11 +302,19 @@ mod tests {
             // Different regions never touch.
             for (i, ra) in regions.iter().enumerate() {
                 for rb in &regions[i + 1..] {
-                    for a in &ra.rects {
+                    for a in ra.rects() {
                         prop_assert!(!rb.touches_rect(*a));
                     }
                 }
             }
+        }
+
+        #[test]
+        fn merge_matches_brute_force(
+            specs in prop::collection::vec((0i64..40, 0i64..40, 1i64..12, 1i64..12), 1..40),
+        ) {
+            let rects: Vec<_> = specs.iter().map(|&(x, y, w, h)| rect(x, y, w, h)).collect();
+            prop_assert_eq!(merge_rects(&rects), merge_rects_brute(&rects));
         }
     }
 }

@@ -20,6 +20,13 @@
 //!   (`"dep"`), otherwise enhancement (`"enh"`);
 //! * nets covering a cell [`silc_layout::Port`] inherit the port's name.
 //!
+//! All geometric resolution (which region does this cut/port/channel
+//! touch?) runs through [`silc_geom::RectIndex`] lookups rather than
+//! layer-wide scans, and per-gate precomputation parallelises behind the
+//! `parallel` feature; results are identical either way. The all-pairs
+//! reference implementation survives as [`extract_brute`] (tests and the
+//! `oracle` feature) and anchors the equivalence proptests.
+//!
 //! # Example
 //!
 //! ```
@@ -45,7 +52,7 @@ mod switch;
 pub use switch::{switch_level_eval, Level, SwitchError};
 
 use silc_drc::{merge_rects, Region};
-use silc_geom::{Point, Rect};
+use silc_geom::{Point, Rect, RectIndex};
 use silc_layout::{CellId, Layer, LayoutError, Library};
 use silc_netlist::{Netlist, NetlistError};
 use std::collections::HashMap;
@@ -115,6 +122,82 @@ impl Extracted {
     }
 }
 
+/// Applies `f` to every item, in parallel when the `parallel` feature is
+/// on, always in input order (results are identical to the serial path).
+fn map_maybe_par<T, R>(items: &[T], f: impl Fn(&T) -> R + Sync) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+{
+    #[cfg(feature = "parallel")]
+    if items.len() > 1 {
+        use rayon::prelude::*;
+        return items.par_iter().map(f).collect();
+    }
+    items.iter().map(f).collect()
+}
+
+/// Spatially indexed membership lookup over a list of [`Region`]s.
+///
+/// Region rects are concatenated in region order, so indexed rect ids are
+/// non-decreasing in region id — the first (lowest-id) candidate a query
+/// returns belongs to the first region a linear
+/// `regions.iter().position(..)` scan would find, which keeps every
+/// lookup equivalent to the brute-force scan it replaces.
+struct RegionLookup {
+    index: RectIndex,
+    /// Indexed rect id → region id (non-decreasing).
+    owner: Vec<u32>,
+}
+
+impl RegionLookup {
+    fn build(regions: &[Region]) -> RegionLookup {
+        let mut rects = Vec::new();
+        let mut owner = Vec::new();
+        for (i, region) in regions.iter().enumerate() {
+            for &r in region.rects() {
+                rects.push(r);
+                owner.push(i as u32);
+            }
+        }
+        RegionLookup {
+            index: RectIndex::build(&rects),
+            owner,
+        }
+    }
+
+    /// Index of the first region touching `probe` — equivalent to
+    /// `regions.iter().position(|r| r.touches_rect(probe))`.
+    fn first_touching(&self, probe: Rect) -> Option<usize> {
+        self.index
+            .query(probe, 0)
+            .first()
+            .map(|&id| self.owner[id as usize] as usize)
+    }
+
+    /// Index of the first region containing point `p` — equivalent to a
+    /// linear scan with `contains_point`.
+    fn first_containing(&self, p: Point) -> Option<usize> {
+        self.index
+            .query_point(p)
+            .first()
+            .map(|&id| self.owner[id as usize] as usize)
+    }
+
+    /// Sorted, deduplicated indices of every region touching any of
+    /// `probes`.
+    fn touching_any(&self, probes: &[Rect]) -> Vec<usize> {
+        let mut out: Vec<usize> = probes
+            .iter()
+            .flat_map(|&p| self.index.query(p, 0))
+            .map(|id| self.owner[id as usize] as usize)
+            .collect();
+        out.sort_unstable();
+        out.dedup();
+        out
+    }
+}
+
 /// Extracts the transistor netlist of the flattened hierarchy under
 /// `root`.
 ///
@@ -138,12 +221,20 @@ pub fn extract(lib: &Library, root: CellId) -> Result<Extracted, ExtractError> {
 
     // Channels: connected components of poly ∩ diff. A crossing fully
     // covered by a contact cut is a butting contact — a shorted junction,
-    // not a transistor.
+    // not a transistor. Candidate diffusion and covering cuts both come
+    // from index queries around each poly rect.
+    let diff_index = RectIndex::build(diff_rects);
+    let cut_index = RectIndex::build(cut_rects);
     let mut crossings: Vec<Rect> = Vec::new();
     for p in poly_rects {
-        for d in diff_rects {
-            if let Some(g) = p.intersection(*d) {
-                if !crate::region_covered(cut_rects, g) {
+        for j in diff_index.query(*p, 0) {
+            if let Some(g) = p.intersection(diff_index.rect(j)) {
+                let cuts_near: Vec<Rect> = cut_index
+                    .query(g, 0)
+                    .into_iter()
+                    .map(|c| cut_index.rect(c))
+                    .collect();
+                if !region_covered(&cuts_near, g) {
                     crossings.push(g);
                 }
             }
@@ -152,13 +243,16 @@ pub fn extract(lib: &Library, root: CellId) -> Result<Extracted, ExtractError> {
     let gates: Vec<Region> = merge_rects(&crossings);
 
     // Source/drain diffusion: diffusion minus channels.
-    let gate_rects: Vec<Rect> = gates.iter().flat_map(|g| g.rects.clone()).collect();
+    let gate_rects: Vec<Rect> = gates.iter().flat_map(|g| g.rects().to_vec()).collect();
     let sd_rects = subtract_rects(diff_rects, &gate_rects);
 
     // Conducting regions.
     let diff_regions = merge_rects(&sd_rects);
     let poly_regions = merge_rects(poly_rects);
     let metal_regions = merge_rects(metal_rects);
+    let diff_lookup = RegionLookup::build(&diff_regions);
+    let poly_lookup = RegionLookup::build(&poly_regions);
+    let metal_lookup = RegionLookup::build(&metal_regions);
 
     // Node indexing: diff | poly | metal.
     let nd = diff_regions.len();
@@ -170,11 +264,11 @@ pub fn extract(lib: &Library, root: CellId) -> Result<Extracted, ExtractError> {
     let metal_node = |i: usize| nd + np + i;
 
     // Contacts join metal to poly/diffusion; buried joins poly to
-    // diffusion.
+    // diffusion. Each cut resolves its regions by index lookup.
     for cut in cut_rects {
-        let m = metal_regions.iter().position(|r| r.touches_rect(*cut));
-        let p = poly_regions.iter().position(|r| r.touches_rect(*cut));
-        let d = diff_regions.iter().position(|r| r.touches_rect(*cut));
+        let m = metal_lookup.first_touching(*cut);
+        let p = poly_lookup.first_touching(*cut);
+        let d = diff_lookup.first_touching(*cut);
         if let (Some(m), Some(p)) = (m, p) {
             uf.union(metal_node(m), poly_node(p));
         }
@@ -188,8 +282,8 @@ pub fn extract(lib: &Library, root: CellId) -> Result<Extracted, ExtractError> {
         }
     }
     for buried in buried_rects {
-        let p = poly_regions.iter().position(|r| r.touches_rect(*buried));
-        let d = diff_regions.iter().position(|r| r.touches_rect(*buried));
+        let p = poly_lookup.first_touching(*buried);
+        let d = diff_lookup.first_touching(*buried);
         if let (Some(p), Some(d)) = (p, d) {
             uf.union(poly_node(p), diff_node(d));
         }
@@ -202,24 +296,49 @@ pub fn extract(lib: &Library, root: CellId) -> Result<Extracted, ExtractError> {
     let mut net_names: HashMap<usize, String> = HashMap::new();
     for port in root_cell.ports() {
         let region_node = match port.layer {
-            Layer::Diffusion => diff_regions
-                .iter()
-                .position(|r| region_covers(r, port.at))
-                .map(diff_node),
-            Layer::Poly => poly_regions
-                .iter()
-                .position(|r| region_covers(r, port.at))
-                .map(poly_node),
-            Layer::Metal => metal_regions
-                .iter()
-                .position(|r| region_covers(r, port.at))
-                .map(metal_node),
+            Layer::Diffusion => diff_lookup.first_containing(port.at).map(diff_node),
+            Layer::Poly => poly_lookup.first_containing(port.at).map(poly_node),
+            Layer::Metal => metal_lookup.first_containing(port.at).map(metal_node),
             _ => None,
         };
         if let Some(node) = region_node {
             net_names.entry(uf.find(node)).or_insert(port.name.clone());
         }
     }
+
+    // Per-gate geometry resolution is independent per gate → parallel
+    // units; the netlist itself is then built serially in gate order so
+    // anonymous net numbering (and the first error reported) is
+    // deterministic.
+    let implant_index = RectIndex::build(implant_rects);
+    let resolved = map_maybe_par(&gates, |gate| {
+        let gbox = gate.bbox();
+        let gp = poly_lookup
+            .touching_any(gate.rects())
+            .first()
+            .copied()
+            .ok_or(ExtractError::MalformedTransistor {
+                at: gbox,
+                diffusions: 0,
+            })?;
+        let sd = diff_lookup.touching_any(gate.rects());
+        if sd.len() != 2 {
+            return Err(ExtractError::MalformedTransistor {
+                at: gbox,
+                diffusions: sd.len(),
+            });
+        }
+        let kind = if implant_index
+            .query(gbox, 0)
+            .into_iter()
+            .any(|i| implant_index.rect(i).contains_rect(gbox))
+        {
+            "dep"
+        } else {
+            "enh"
+        };
+        Ok((gbox, gp, [sd[0], sd[1]], kind))
+    });
 
     // Build the netlist.
     let mut netlist = Netlist::new(root_cell.name().to_string());
@@ -245,36 +364,8 @@ pub fn extract(lib: &Library, root: CellId) -> Result<Extracted, ExtractError> {
     };
 
     let mut transistors: Vec<(String, Rect)> = Vec::new();
-    for (t, gate) in gates.iter().enumerate() {
-        let gbox = gate.bbox();
-        // Gate poly region.
-        let gp = poly_regions
-            .iter()
-            .position(|r| gate.rects.iter().any(|g| r.touches_rect(*g)))
-            .ok_or(ExtractError::MalformedTransistor {
-                at: gbox,
-                diffusions: 0,
-            })?;
-        // Adjacent source/drain regions.
-        let mut sd: Vec<usize> = diff_regions
-            .iter()
-            .enumerate()
-            .filter(|(_, r)| gate.rects.iter().any(|g| r.touches_rect(*g)))
-            .map(|(i, _)| i)
-            .collect();
-        sd.sort_unstable();
-        sd.dedup();
-        if sd.len() != 2 {
-            return Err(ExtractError::MalformedTransistor {
-                at: gbox,
-                diffusions: sd.len(),
-            });
-        }
-        let kind = if implant_rects.iter().any(|imp| imp.contains_rect(gbox)) {
-            "dep"
-        } else {
-            "enh"
-        };
+    for (t, resolved) in resolved.into_iter().enumerate() {
+        let (gbox, gp, sd, kind) = resolved?;
         let g_net = net_id(poly_node(gp), &mut uf, &mut netlist, &net_names);
         let mut s_net = net_id(diff_node(sd[0]), &mut uf, &mut netlist, &net_names);
         let mut d_net = net_id(diff_node(sd[1]), &mut uf, &mut netlist, &net_names);
@@ -303,10 +394,6 @@ pub fn extract(lib: &Library, root: CellId) -> Result<Extracted, ExtractError> {
     })
 }
 
-fn region_covers(region: &Region, p: Point) -> bool {
-    region.rects.iter().any(|r| r.contains_point(p))
-}
-
 /// True when the union of `rects` fully covers `r`.
 pub(crate) fn region_covered(rects: &[Rect], r: Rect) -> bool {
     silc_drc::region_contains_rect(rects, r)
@@ -314,13 +401,265 @@ pub(crate) fn region_covered(rects: &[Rect], r: Rect) -> bool {
 
 /// Subtracts `cuts` from `base`, returning disjoint rectangles covering
 /// `base − cuts` exactly.
+///
+/// Each base rectangle is carved independently against only the cuts that
+/// touch it (an index query); cuts are applied in input order, so the
+/// output is identical — rect for rect — to the all-pairs sweep that
+/// applied every cut to every evolving slab.
 fn subtract_rects(base: &[Rect], cuts: &[Rect]) -> Vec<Rect> {
+    let cut_index = RectIndex::build(cuts);
+    let mut out: Vec<Rect> = Vec::with_capacity(base.len());
+    for &b in base {
+        let mut slabs = vec![b];
+        // Ascending ids = original cut order; cuts missing the base rect
+        // cannot intersect any slab carved from it.
+        for c in cut_index.query(b, 0) {
+            let cut = cut_index.rect(c);
+            let mut next: Vec<Rect> = Vec::with_capacity(slabs.len());
+            for r in slabs {
+                if let Some(overlap) = r.intersection(cut) {
+                    // Up to four slabs around the overlap.
+                    if overlap.top() < r.top() {
+                        next.push(
+                            Rect::new(
+                                Point::new(r.left(), overlap.top()),
+                                Point::new(r.right(), r.top()),
+                            )
+                            .expect("non-empty slab"),
+                        );
+                    }
+                    if r.bottom() < overlap.bottom() {
+                        next.push(
+                            Rect::new(
+                                Point::new(r.left(), r.bottom()),
+                                Point::new(r.right(), overlap.bottom()),
+                            )
+                            .expect("non-empty slab"),
+                        );
+                    }
+                    if r.left() < overlap.left() {
+                        next.push(
+                            Rect::new(
+                                Point::new(r.left(), overlap.bottom()),
+                                Point::new(overlap.left(), overlap.top()),
+                            )
+                            .expect("non-empty slab"),
+                        );
+                    }
+                    if overlap.right() < r.right() {
+                        next.push(
+                            Rect::new(
+                                Point::new(overlap.right(), overlap.bottom()),
+                                Point::new(r.right(), overlap.top()),
+                            )
+                            .expect("non-empty slab"),
+                        );
+                    }
+                } else {
+                    next.push(r);
+                }
+            }
+            slabs = next;
+        }
+        out.extend(slabs);
+    }
+    out
+}
+
+struct UnionFind {
+    parent: Vec<usize>,
+}
+
+impl UnionFind {
+    fn new(n: usize) -> UnionFind {
+        UnionFind {
+            parent: (0..n).collect(),
+        }
+    }
+
+    fn find(&mut self, i: usize) -> usize {
+        if self.parent[i] != i {
+            let root = self.find(self.parent[i]);
+            self.parent[i] = root;
+        }
+        self.parent[i]
+    }
+
+    fn union(&mut self, a: usize, b: usize) {
+        let (ra, rb) = (self.find(a), self.find(b));
+        if ra != rb {
+            self.parent[ra] = rb;
+        }
+    }
+}
+
+/// The all-pairs reference extractor: every geometric resolution is a
+/// linear scan, exactly as the pre-index implementation did it. Kept as
+/// the equivalence oracle for the proptests and the benchmark baseline.
+/// O(n²) — do not use on large layouts.
+#[cfg(any(test, feature = "oracle"))]
+pub fn extract_brute(lib: &Library, root: CellId) -> Result<Extracted, ExtractError> {
+    let layers = silc_layout::flatten_to_rects(lib, root)?;
+    let poly_rects = &layers[Layer::Poly.index()];
+    let diff_rects = &layers[Layer::Diffusion.index()];
+    let metal_rects = &layers[Layer::Metal.index()];
+    let cut_rects = &layers[Layer::Contact.index()];
+    let buried_rects = &layers[Layer::Buried.index()];
+    let implant_rects = &layers[Layer::Implant.index()];
+
+    let mut crossings: Vec<Rect> = Vec::new();
+    for p in poly_rects {
+        for d in diff_rects {
+            if let Some(g) = p.intersection(*d) {
+                if !region_covered(cut_rects, g) {
+                    crossings.push(g);
+                }
+            }
+        }
+    }
+    let gates: Vec<Region> = merge_rects(&crossings);
+
+    let gate_rects: Vec<Rect> = gates.iter().flat_map(|g| g.rects().to_vec()).collect();
+    let sd_rects = brute_subtract_rects(diff_rects, &gate_rects);
+
+    let diff_regions = merge_rects(&sd_rects);
+    let poly_regions = merge_rects(poly_rects);
+    let metal_regions = merge_rects(metal_rects);
+
+    let nd = diff_regions.len();
+    let np = poly_regions.len();
+    let total = nd + np + metal_regions.len();
+    let mut uf = UnionFind::new(total);
+    let diff_node = |i: usize| i;
+    let poly_node = |i: usize| nd + i;
+    let metal_node = |i: usize| nd + np + i;
+
+    for cut in cut_rects {
+        let m = metal_regions.iter().position(|r| r.touches_rect(*cut));
+        let p = poly_regions.iter().position(|r| r.touches_rect(*cut));
+        let d = diff_regions.iter().position(|r| r.touches_rect(*cut));
+        if let (Some(m), Some(p)) = (m, p) {
+            uf.union(metal_node(m), poly_node(p));
+        }
+        if let (Some(m), Some(d)) = (m, d) {
+            uf.union(metal_node(m), diff_node(d));
+        }
+        if let (Some(p), Some(d)) = (p, d) {
+            uf.union(poly_node(p), diff_node(d));
+        }
+    }
+    for buried in buried_rects {
+        let p = poly_regions.iter().position(|r| r.touches_rect(*buried));
+        let d = diff_regions.iter().position(|r| r.touches_rect(*buried));
+        if let (Some(p), Some(d)) = (p, d) {
+            uf.union(poly_node(p), diff_node(d));
+        }
+    }
+
+    let root_cell = lib
+        .cell(root)
+        .ok_or_else(|| ExtractError::Layout("no root".into()))?;
+    let mut net_names: HashMap<usize, String> = HashMap::new();
+    for port in root_cell.ports() {
+        let covers = |r: &&Region| r.contains_point(port.at);
+        let region_node = match port.layer {
+            Layer::Diffusion => diff_regions.iter().position(|r| covers(&r)).map(diff_node),
+            Layer::Poly => poly_regions.iter().position(|r| covers(&r)).map(poly_node),
+            Layer::Metal => metal_regions
+                .iter()
+                .position(|r| covers(&r))
+                .map(metal_node),
+            _ => None,
+        };
+        if let Some(node) = region_node {
+            net_names.entry(uf.find(node)).or_insert(port.name.clone());
+        }
+    }
+
+    let mut netlist = Netlist::new(root_cell.name().to_string());
+    let mut net_of_node: HashMap<usize, silc_netlist::NetId> = HashMap::new();
+    let mut next_anon = 0usize;
+    let mut net_id = |node: usize,
+                      uf: &mut UnionFind,
+                      netlist: &mut Netlist,
+                      net_names: &HashMap<usize, String>|
+     -> silc_netlist::NetId {
+        let rep = uf.find(node);
+        if let Some(&id) = net_of_node.get(&rep) {
+            return id;
+        }
+        let name = net_names.get(&rep).cloned().unwrap_or_else(|| {
+            let n = format!("n{next_anon}");
+            next_anon += 1;
+            n
+        });
+        let id = netlist.add_net(name);
+        net_of_node.insert(rep, id);
+        id
+    };
+
+    let mut transistors: Vec<(String, Rect)> = Vec::new();
+    for (t, gate) in gates.iter().enumerate() {
+        let gbox = gate.bbox();
+        let gp = poly_regions
+            .iter()
+            .position(|r| gate.rects().iter().any(|g| r.touches_rect(*g)))
+            .ok_or(ExtractError::MalformedTransistor {
+                at: gbox,
+                diffusions: 0,
+            })?;
+        let mut sd: Vec<usize> = diff_regions
+            .iter()
+            .enumerate()
+            .filter(|(_, r)| gate.rects().iter().any(|g| r.touches_rect(*g)))
+            .map(|(i, _)| i)
+            .collect();
+        sd.sort_unstable();
+        sd.dedup();
+        if sd.len() != 2 {
+            return Err(ExtractError::MalformedTransistor {
+                at: gbox,
+                diffusions: sd.len(),
+            });
+        }
+        let kind = if implant_rects.iter().any(|imp| imp.contains_rect(gbox)) {
+            "dep"
+        } else {
+            "enh"
+        };
+        let g_net = net_id(poly_node(gp), &mut uf, &mut netlist, &net_names);
+        let mut s_net = net_id(diff_node(sd[0]), &mut uf, &mut netlist, &net_names);
+        let mut d_net = net_id(diff_node(sd[1]), &mut uf, &mut netlist, &net_names);
+        if netlist.net_name(s_net) > netlist.net_name(d_net) {
+            std::mem::swap(&mut s_net, &mut d_net);
+        }
+        netlist.add_instance(
+            format!("m{t}"),
+            kind,
+            &[("gate", g_net), ("src", s_net), ("drn", d_net)],
+        )?;
+        transistors.push((kind.to_string(), gbox));
+    }
+
+    let mut reps: Vec<usize> = (0..total).map(|i| uf.find(i)).collect();
+    reps.sort_unstable();
+    reps.dedup();
+    let nets = reps.len();
+    Ok(Extracted {
+        netlist,
+        transistors,
+        nets,
+    })
+}
+
+/// The original all-cuts-over-all-slabs subtraction, kept for the oracle.
+#[cfg(any(test, feature = "oracle"))]
+fn brute_subtract_rects(base: &[Rect], cuts: &[Rect]) -> Vec<Rect> {
     let mut result: Vec<Rect> = base.to_vec();
     for cut in cuts {
         let mut next: Vec<Rect> = Vec::with_capacity(result.len());
         for r in result {
             if let Some(overlap) = r.intersection(*cut) {
-                // Up to four slabs around the overlap.
                 if overlap.top() < r.top() {
                     next.push(
                         Rect::new(
@@ -366,36 +705,10 @@ fn subtract_rects(base: &[Rect], cuts: &[Rect]) -> Vec<Rect> {
     result
 }
 
-struct UnionFind {
-    parent: Vec<usize>,
-}
-
-impl UnionFind {
-    fn new(n: usize) -> UnionFind {
-        UnionFind {
-            parent: (0..n).collect(),
-        }
-    }
-
-    fn find(&mut self, i: usize) -> usize {
-        if self.parent[i] != i {
-            let root = self.find(self.parent[i]);
-            self.parent[i] = root;
-        }
-        self.parent[i]
-    }
-
-    fn union(&mut self, a: usize, b: usize) {
-        let (ra, rb) = (self.find(a), self.find(b));
-        if ra != rb {
-            self.parent[ra] = rb;
-        }
-    }
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
+    use proptest::prelude::*;
     use silc_layout::{Cell, Element, Port};
 
     fn rect(x0: i64, y0: i64, x1: i64, y1: i64) -> Rect {
@@ -575,5 +888,77 @@ mod tests {
         let x = extract(&lib, top_id).unwrap();
         assert_eq!(x.transistor_count(), 2);
         assert_eq!(x.nets, 6);
+    }
+
+    /// Random multi-layer layout builder for the equivalence proptests.
+    /// Layers are restricted to the electrically meaningful set; a port
+    /// is pinned at the first diffusion rect's corner to exercise naming.
+    fn random_cell(specs: &[(usize, i64, i64, i64, i64)]) -> (Library, CellId) {
+        const LAYERS: [Layer; 6] = [
+            Layer::Diffusion,
+            Layer::Poly,
+            Layer::Metal,
+            Layer::Contact,
+            Layer::Buried,
+            Layer::Implant,
+        ];
+        let mut lib = Library::new();
+        let mut c = Cell::new("rand");
+        let mut first_diff: Option<Point> = None;
+        for &(l, x, y, w, h) in specs {
+            let layer = LAYERS[l % LAYERS.len()];
+            let r = rect(x, y, x + w, y + h);
+            if layer == Layer::Diffusion && first_diff.is_none() {
+                first_diff = Some(Point::new(x, y));
+            }
+            c.push_element(Element::rect(layer, r));
+        }
+        if let Some(p) = first_diff {
+            c.push_port(Port::new("a", Layer::Diffusion, p));
+        }
+        let id = lib.add_cell(c).unwrap();
+        (lib, id)
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(48))]
+
+        /// The tentpole guarantee for extraction: the indexed extractor
+        /// recovers exactly the netlist of the all-pairs oracle — same
+        /// nets, same names, same transistors — or fails with exactly the
+        /// same error.
+        #[test]
+        fn indexed_extractor_matches_brute_force(
+            specs in prop::collection::vec(
+                (0usize..6, 0i64..60, 0i64..60, 2i64..10, 2i64..10), 1..50),
+        ) {
+            let (lib, id) = random_cell(&specs);
+            let fast = extract(&lib, id);
+            let brute = extract_brute(&lib, id);
+            match (fast, brute) {
+                (Ok(f), Ok(b)) => {
+                    prop_assert_eq!(f.netlist.to_string(), b.netlist.to_string());
+                    prop_assert_eq!(f.transistors, b.transistors);
+                    prop_assert_eq!(f.nets, b.nets);
+                }
+                (Err(f), Err(b)) => prop_assert_eq!(f, b),
+                (f, b) => prop_assert!(
+                    false,
+                    "indexed and brute disagree: {f:?} vs {b:?}"
+                ),
+            }
+        }
+
+        /// Subtraction equivalence in isolation (it backs source/drain
+        /// splitting): identical output rects, order included.
+        #[test]
+        fn subtract_matches_brute_force(
+            base in prop::collection::vec((0i64..40, 0i64..40, 1i64..12, 1i64..12), 1..25),
+            cuts in prop::collection::vec((0i64..40, 0i64..40, 1i64..12, 1i64..12), 0..25),
+        ) {
+            let base: Vec<Rect> = base.iter().map(|&(x, y, w, h)| rect(x, y, x + w, y + h)).collect();
+            let cuts: Vec<Rect> = cuts.iter().map(|&(x, y, w, h)| rect(x, y, x + w, y + h)).collect();
+            prop_assert_eq!(subtract_rects(&base, &cuts), brute_subtract_rects(&base, &cuts));
+        }
     }
 }

@@ -1,0 +1,495 @@
+//! # Spatial indexing for rectangle sets
+//!
+//! The geometry engine behind the design-rule checker and the circuit
+//! extractor. Both tools repeatedly answer the same question — *which
+//! rectangles lie within distance `s` of this one?* — and answering it by
+//! scanning every rectangle turns million-rect flat layouts into O(n²)
+//! work. [`RectIndex`] bins rectangles into a uniform grid sized from the
+//! average feature dimension, so a query inspects only the bins the probe
+//! (grown by its margin) overlaps: O(n·k) overall, with k the local
+//! neighbourhood size, which for real mask geometry is a small constant.
+//!
+//! Design notes:
+//!
+//! * **CSR storage.** Bins are a compressed flat `starts`/`entries` pair
+//!   rather than `Vec<Vec<u32>>` — one allocation, cache-friendly scans.
+//! * **Anchor deduplication.** A rectangle spanning several bins is
+//!   reported once per query without a visited set: it is emitted only
+//!   from the first bin of the query window it occupies.
+//! * **Deterministic order.** Queries return candidate ids in ascending
+//!   insertion order, so algorithms built on the index produce output
+//!   byte-identical to their brute-force counterparts.
+//! * **Small inputs skip the grid.** Below a size threshold the index is
+//!   a plain slice and queries scan it; building hash maps for a dozen
+//!   rects costs more than it saves.
+//!
+//! [`band_decompose`] is the companion sweep-line primitive: it slices a
+//! bag of overlapping rectangles into disjoint maximal horizontal bands
+//! (the canonical form the DRC merges regions from), maintaining an
+//! active set along the sweep instead of re-filtering every rectangle
+//! per band.
+
+use crate::{Coord, Point, Rect};
+
+/// Inputs smaller than this skip grid construction; linear scans win.
+const GRID_THRESHOLD: usize = 16;
+
+/// Maximum bins per axis; bounds index memory on huge dies.
+const MAX_BINS_PER_AXIS: Coord = 1024;
+
+/// A uniform-grid spatial index over a fixed set of rectangles.
+///
+/// Build once with [`RectIndex::build`], then run any number of
+/// [`query`](RectIndex::query) / [`query_point`](RectIndex::query_point) /
+/// [`neighbors_within`](RectIndex::neighbors_within) lookups. Rectangle
+/// ids are indices into the original slice (and into
+/// [`rect`](RectIndex::rect)).
+///
+/// # Example
+///
+/// ```
+/// use silc_geom::{Point, Rect, RectIndex};
+/// # fn main() -> Result<(), silc_geom::GeomError> {
+/// let rects = vec![
+///     Rect::new(Point::new(0, 0), Point::new(2, 2))?,
+///     Rect::new(Point::new(10, 10), Point::new(12, 12))?,
+/// ];
+/// let index = RectIndex::build(&rects);
+/// // Only the nearby rect is a candidate within margin 3.
+/// assert_eq!(index.query(rects[0], 3), vec![0]);
+/// assert_eq!(index.query(rects[0], 20), vec![0, 1]);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct RectIndex {
+    rects: Vec<Rect>,
+    grid: Option<Grid>,
+}
+
+#[derive(Debug, Clone)]
+struct Grid {
+    origin: Point,
+    cell: Coord,
+    nx: u32,
+    ny: u32,
+    /// CSR row starts, length `nx * ny + 1`.
+    starts: Vec<u32>,
+    /// Rectangle ids, grouped by bin.
+    entries: Vec<u32>,
+    /// Per-rectangle minimum (bx, by) bin, for anchor deduplication.
+    anchors: Vec<(u32, u32)>,
+}
+
+impl RectIndex {
+    /// Builds an index over `rects`. Ids are slice positions.
+    pub fn build(rects: &[Rect]) -> RectIndex {
+        let rects = rects.to_vec();
+        if rects.len() < GRID_THRESHOLD {
+            return RectIndex { rects, grid: None };
+        }
+
+        let bounds = rects
+            .iter()
+            .copied()
+            .reduce(|a, b| a.union(b))
+            .expect("len checked above");
+
+        // Bin edge: twice the mean feature dimension, clamped so the
+        // grid never exceeds MAX_BINS_PER_AXIS bins per axis.
+        let mean_dim: Coord = rects
+            .iter()
+            .map(|r| (r.width() + r.height()) / 2)
+            .sum::<Coord>()
+            / rects.len() as Coord;
+        let ceil_div = |a: Coord, b: Coord| (a + b - 1) / b;
+        let mut cell = (mean_dim * 2).max(1);
+        cell = cell
+            .max(ceil_div(bounds.width(), MAX_BINS_PER_AXIS))
+            .max(ceil_div(bounds.height(), MAX_BINS_PER_AXIS));
+
+        let nx = (bounds.width() / cell + 1) as u32;
+        let ny = (bounds.height() / cell + 1) as u32;
+        let origin = bounds.min();
+        let bin_of =
+            |v: Coord, o: Coord, n: u32| -> u32 { (((v - o) / cell).max(0) as u32).min(n - 1) };
+
+        // CSR fill: count, prefix-sum, scatter.
+        let n_bins = nx as usize * ny as usize;
+        let mut counts = vec![0u32; n_bins + 1];
+        let mut anchors = Vec::with_capacity(rects.len());
+        for r in &rects {
+            let bx0 = bin_of(r.left(), origin.x, nx);
+            let bx1 = bin_of(r.right(), origin.x, nx);
+            let by0 = bin_of(r.bottom(), origin.y, ny);
+            let by1 = bin_of(r.top(), origin.y, ny);
+            anchors.push((bx0, by0));
+            for by in by0..=by1 {
+                for bx in bx0..=bx1 {
+                    counts[(by * nx + bx) as usize + 1] += 1;
+                }
+            }
+        }
+        for i in 1..counts.len() {
+            counts[i] += counts[i - 1];
+        }
+        let starts = counts;
+        let mut cursor = starts[..n_bins].to_vec();
+        let mut entries = vec![0u32; starts[n_bins] as usize];
+        for (id, r) in rects.iter().enumerate() {
+            let (bx0, by0) = anchors[id];
+            let bx1 = bin_of(r.right(), origin.x, nx);
+            let by1 = bin_of(r.top(), origin.y, ny);
+            for by in by0..=by1 {
+                for bx in bx0..=bx1 {
+                    let bin = (by * nx + bx) as usize;
+                    entries[cursor[bin] as usize] = id as u32;
+                    cursor[bin] += 1;
+                }
+            }
+        }
+
+        RectIndex {
+            rects,
+            grid: Some(Grid {
+                origin,
+                cell,
+                nx,
+                ny,
+                starts,
+                entries,
+                anchors,
+            }),
+        }
+    }
+
+    /// Number of indexed rectangles.
+    pub fn len(&self) -> usize {
+        self.rects.len()
+    }
+
+    /// True when the index holds no rectangles.
+    pub fn is_empty(&self) -> bool {
+        self.rects.is_empty()
+    }
+
+    /// The indexed rectangle with id `id`.
+    pub fn rect(&self, id: u32) -> Rect {
+        self.rects[id as usize]
+    }
+
+    /// All indexed rectangles, in id order.
+    pub fn rects(&self) -> &[Rect] {
+        &self.rects
+    }
+
+    /// Ids of every rectangle that touches (overlaps or abuts, including
+    /// corner contact) `probe` grown outward by `margin`, in ascending id
+    /// order.
+    ///
+    /// With `margin = 0` this is exactly the set of rectangles touching
+    /// `probe`; with `margin = s` it is a superset of every rectangle
+    /// within spacing `s` of `probe` on both axes — the candidate set a
+    /// spacing rule must examine.
+    pub fn query(&self, probe: Rect, margin: Coord) -> Vec<u32> {
+        let (l, b) = (probe.left() - margin, probe.bottom() - margin);
+        let (r, t) = (probe.right() + margin, probe.top() + margin);
+        let touches = |c: Rect| c.left() <= r && l <= c.right() && c.bottom() <= t && b <= c.top();
+
+        let Some(grid) = &self.grid else {
+            return (0..self.rects.len() as u32)
+                .filter(|&id| touches(self.rects[id as usize]))
+                .collect();
+        };
+
+        let bin_of = |v: Coord, o: Coord, n: u32| -> u32 {
+            (((v - o) / grid.cell).max(0) as u32).min(n - 1)
+        };
+        let qbx0 = bin_of(l, grid.origin.x, grid.nx);
+        let qbx1 = bin_of(r, grid.origin.x, grid.nx);
+        let qby0 = bin_of(b, grid.origin.y, grid.ny);
+        let qby1 = bin_of(t, grid.origin.y, grid.ny);
+
+        let mut out = Vec::new();
+        for by in qby0..=qby1 {
+            for bx in qbx0..=qbx1 {
+                let bin = (by * grid.nx + bx) as usize;
+                let lo = grid.starts[bin] as usize;
+                let hi = grid.starts[bin + 1] as usize;
+                for &id in &grid.entries[lo..hi] {
+                    // Anchor dedup: only the first query-window bin this
+                    // rectangle occupies reports it.
+                    let (abx, aby) = grid.anchors[id as usize];
+                    if abx.max(qbx0) != bx || aby.max(qby0) != by {
+                        continue;
+                    }
+                    if touches(self.rects[id as usize]) {
+                        out.push(id);
+                    }
+                }
+            }
+        }
+        out.sort_unstable();
+        out
+    }
+
+    /// Ids of every rectangle containing `p` (boundary inclusive), in
+    /// ascending id order.
+    pub fn query_point(&self, p: Point) -> Vec<u32> {
+        let Some(grid) = &self.grid else {
+            return (0..self.rects.len() as u32)
+                .filter(|&id| self.rects[id as usize].contains_point(p))
+                .collect();
+        };
+        let bin_of = |v: Coord, o: Coord, n: u32| -> u32 {
+            (((v - o) / grid.cell).max(0) as u32).min(n - 1)
+        };
+        let bx = bin_of(p.x, grid.origin.x, grid.nx);
+        let by = bin_of(p.y, grid.origin.y, grid.ny);
+        let bin = (by * grid.nx + bx) as usize;
+        let lo = grid.starts[bin] as usize;
+        let hi = grid.starts[bin + 1] as usize;
+        let mut out: Vec<u32> = grid.entries[lo..hi]
+            .iter()
+            .copied()
+            .filter(|&id| self.rects[id as usize].contains_point(p))
+            .collect();
+        out.sort_unstable();
+        // A point on a bin boundary may also hit rects anchored in the
+        // previous bin row/column; the inclusive binning of rectangle
+        // edges guarantees any rect *containing* p occupies p's bin, so
+        // no second lookup is needed.
+        out.dedup();
+        out
+    }
+
+    /// Nearest-neighbour iteration for spacing rules: ids `j != id` whose
+    /// rectangle is within spacing `s` of rectangle `id` on **both** axes
+    /// (the design-rule notion of "closer than `s`"), ascending.
+    pub fn neighbors_within(&self, id: u32, s: Coord) -> Vec<u32> {
+        let probe = self.rects[id as usize];
+        self.query(probe, s)
+            .into_iter()
+            .filter(|&j| {
+                if j == id {
+                    return false;
+                }
+                let (gx, gy) = probe.axis_gaps(self.rects[j as usize]);
+                gx < s && gy < s
+            })
+            .collect()
+    }
+}
+
+/// Decomposes a bag of (possibly overlapping) rectangles into disjoint
+/// maximal rectangles by horizontal-band sweep.
+///
+/// The plane is cut at every distinct rectangle top/bottom; within each
+/// band the x-spans of rectangles crossing it are merged; vertically
+/// adjacent bands with identical spans are then fused. The sweep keeps an
+/// active set ordered by entry (rectangles sorted by bottom edge, expired
+/// by top edge) so each band costs O(active) rather than O(n).
+///
+/// Output is deterministic: sorted by `(left, right, bottom)`.
+pub fn band_decompose(rects: &[Rect]) -> Vec<Rect> {
+    if rects.is_empty() {
+        return Vec::new();
+    }
+    let mut ys: Vec<Coord> = rects.iter().flat_map(|r| [r.bottom(), r.top()]).collect();
+    ys.sort_unstable();
+    ys.dedup();
+
+    // Sweep bottom-to-top with an active set.
+    let mut by_bottom: Vec<usize> = (0..rects.len()).collect();
+    by_bottom.sort_unstable_by_key(|&i| rects[i].bottom());
+    let mut next = 0usize;
+    let mut active: Vec<usize> = Vec::new();
+
+    let mut bands: Vec<Rect> = Vec::new();
+    for w in ys.windows(2) {
+        let (y0, y1) = (w[0], w[1]);
+        while next < by_bottom.len() && rects[by_bottom[next]].bottom() <= y0 {
+            active.push(by_bottom[next]);
+            next += 1;
+        }
+        active.retain(|&i| rects[i].top() > y0);
+        if active.is_empty() {
+            continue;
+        }
+        let mut spans: Vec<(Coord, Coord)> = active
+            .iter()
+            .map(|&i| (rects[i].left(), rects[i].right()))
+            .collect();
+        spans.sort_unstable();
+        let mut merged: Vec<(Coord, Coord)> = Vec::new();
+        for (lo, hi) in spans {
+            match merged.last_mut() {
+                Some(last) if lo <= last.1 => last.1 = last.1.max(hi),
+                _ => merged.push((lo, hi)),
+            }
+        }
+        for (lo, hi) in merged {
+            bands.push(
+                Rect::new(Point::new(lo, y0), Point::new(hi, y1))
+                    .expect("bands have positive extent"),
+            );
+        }
+    }
+
+    // Fuse vertically adjacent bands with identical x spans.
+    bands.sort_unstable_by_key(|r| (r.left(), r.right(), r.bottom()));
+    let mut fused: Vec<Rect> = Vec::new();
+    for band in bands {
+        match fused.last_mut() {
+            Some(last)
+                if last.left() == band.left()
+                    && last.right() == band.right()
+                    && last.top() == band.bottom() =>
+            {
+                *last = last.union(band);
+            }
+            _ => fused.push(band),
+        }
+    }
+    fused
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn rect(x: i64, y: i64, w: i64, h: i64) -> Rect {
+        Rect::from_origin_size(Point::new(x, y), w, h).unwrap()
+    }
+
+    /// Brute-force oracle for query().
+    fn brute_query(rects: &[Rect], probe: Rect, margin: Coord) -> Vec<u32> {
+        let grown = Rect::new(
+            Point::new(probe.left() - margin, probe.bottom() - margin),
+            Point::new(probe.right() + margin, probe.top() + margin),
+        )
+        .unwrap();
+        (0..rects.len() as u32)
+            .filter(|&i| rects[i as usize].touches(grown))
+            .collect()
+    }
+
+    #[test]
+    fn small_input_linear_path() {
+        let rects = vec![rect(0, 0, 2, 2), rect(5, 0, 2, 2), rect(100, 100, 2, 2)];
+        let idx = RectIndex::build(&rects);
+        assert_eq!(idx.query(rects[0], 3), vec![0, 1]);
+        assert_eq!(idx.query(rects[0], 0), vec![0]);
+        assert_eq!(idx.len(), 3);
+        assert!(!idx.is_empty());
+    }
+
+    #[test]
+    fn grid_path_finds_edge_and_corner_touches() {
+        // 40 rects in a row, each abutting the next: force the grid path.
+        let rects: Vec<Rect> = (0..40).map(|i| rect(i * 4, 0, 4, 4)).collect();
+        let idx = RectIndex::build(&rects);
+        // Rect 10 touches 9 and 11 (shared edges) at margin 0.
+        assert_eq!(idx.query(rects[10], 0), vec![9, 10, 11]);
+        // Corner touch across a diagonal.
+        let mut diag: Vec<Rect> = (0..20).map(|i| rect(i * 3, i * 3, 3, 3)).collect();
+        diag.push(rect(100, 0, 2, 2)); // far away
+        let idx = RectIndex::build(&diag);
+        assert_eq!(idx.query(diag[5], 0), vec![4, 5, 6]);
+    }
+
+    #[test]
+    fn query_point_hits_boundary() {
+        let rects: Vec<Rect> = (0..30).map(|i| rect(i * 10, 0, 5, 5)).collect();
+        let idx = RectIndex::build(&rects);
+        assert_eq!(idx.query_point(Point::new(12, 3)), vec![1]);
+        assert_eq!(idx.query_point(Point::new(15, 5)), vec![1]); // corner
+        assert!(idx.query_point(Point::new(7, 3)).is_empty());
+    }
+
+    #[test]
+    fn neighbors_within_excludes_self_and_far() {
+        let rects: Vec<Rect> = (0..30).map(|i| rect(i * 10, 0, 4, 4)).collect();
+        let idx = RectIndex::build(&rects);
+        // Gap between consecutive rects is 6.
+        assert!(idx.neighbors_within(5, 6).is_empty());
+        assert_eq!(idx.neighbors_within(5, 7), vec![4, 6]);
+    }
+
+    #[test]
+    fn empty_index() {
+        let idx = RectIndex::build(&[]);
+        assert!(idx.is_empty());
+        assert!(idx.query(rect(0, 0, 1, 1), 100).is_empty());
+        assert!(idx.query_point(Point::ORIGIN).is_empty());
+    }
+
+    #[test]
+    fn band_decompose_basics() {
+        assert!(band_decompose(&[]).is_empty());
+        // Two abutting halves fuse into one rect.
+        let out = band_decompose(&[rect(0, 0, 4, 2), rect(0, 2, 4, 2)]);
+        assert_eq!(out, vec![rect(0, 0, 4, 4)]);
+        // Overlap resolves to disjoint cover of the union.
+        let out = band_decompose(&[rect(0, 0, 4, 4), rect(2, 2, 4, 4)]);
+        let area: i64 = out.iter().map(Rect::area).sum();
+        assert_eq!(area, 28);
+        for (i, a) in out.iter().enumerate() {
+            for b in &out[i + 1..] {
+                assert!(!a.overlaps(*b));
+            }
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+        #[test]
+        fn query_matches_brute_force(
+            specs in prop::collection::vec((0i64..60, 0i64..60, 1i64..10, 1i64..10), 1..60),
+            probe in (0i64..60, 0i64..60, 1i64..10, 1i64..10),
+            margin in 0i64..8,
+        ) {
+            let rects: Vec<Rect> = specs.iter().map(|&(x, y, w, h)| rect(x, y, w, h)).collect();
+            let idx = RectIndex::build(&rects);
+            let p = rect(probe.0, probe.1, probe.2, probe.3);
+            prop_assert_eq!(idx.query(p, margin), brute_query(&rects, p, margin));
+        }
+
+        #[test]
+        fn query_point_matches_brute_force(
+            specs in prop::collection::vec((0i64..40, 0i64..40, 1i64..8, 1i64..8), 1..50),
+            px in 0i64..48, py in 0i64..48,
+        ) {
+            let rects: Vec<Rect> = specs.iter().map(|&(x, y, w, h)| rect(x, y, w, h)).collect();
+            let idx = RectIndex::build(&rects);
+            let p = Point::new(px, py);
+            let brute: Vec<u32> = (0..rects.len() as u32)
+                .filter(|&i| rects[i as usize].contains_point(p))
+                .collect();
+            prop_assert_eq!(idx.query_point(p), brute);
+        }
+
+        #[test]
+        fn band_decompose_preserves_area_and_disjointness(
+            specs in prop::collection::vec((0i64..30, 0i64..30, 1i64..10, 1i64..10), 1..20),
+        ) {
+            let rects: Vec<Rect> = specs.iter().map(|&(x, y, w, h)| rect(x, y, w, h)).collect();
+            let bands = band_decompose(&rects);
+            for (i, a) in bands.iter().enumerate() {
+                for b in &bands[i + 1..] {
+                    prop_assert!(!a.overlaps(*b), "{a} overlaps {b}");
+                }
+            }
+            // Exact cover: every input corner-sample point is covered
+            // iff some input rect covers it.
+            for &(x, y, w, h) in &specs {
+                let inner = Point::new(x + w / 2, y + h / 2);
+                prop_assert!(bands.iter().any(|b| b.contains_point(inner)));
+            }
+            let total_input_bbox = rects.iter().copied().reduce(|a, b| a.union(b)).unwrap();
+            let band_bbox = bands.iter().copied().reduce(|a, b| a.union(b)).unwrap();
+            prop_assert_eq!(total_input_bbox, band_bbox);
+        }
+    }
+}

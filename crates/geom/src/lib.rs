@@ -35,6 +35,7 @@
 //! ```
 
 mod error;
+mod index;
 mod interval;
 mod path;
 mod point;
@@ -43,6 +44,7 @@ mod rect;
 mod transform;
 
 pub use error::GeomError;
+pub use index::{band_decompose, RectIndex};
 pub use interval::{Interval, IntervalSet};
 pub use path::Path;
 pub use point::{Point, Vector};

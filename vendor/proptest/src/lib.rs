@@ -1,0 +1,337 @@
+//! A minimal, dependency-free, API-compatible subset of the `proptest`
+//! property-testing crate, vendored because this build environment has no
+//! network access to crates.io.
+//!
+//! Supported surface (exactly what this workspace uses):
+//!
+//! * the [`proptest!`] macro with an optional leading
+//!   `#![proptest_config(ProptestConfig::with_cases(n))]`;
+//! * [`prop_assert!`] / [`prop_assert_eq!`];
+//! * integer range strategies (`0i64..30`), tuple strategies, string
+//!   regex strategies (a practical subset of regex syntax),
+//!   `prop::collection::vec`, `prop::collection::btree_set`, and
+//!   [`Strategy::prop_map`].
+//!
+//! Differences from the real crate: no shrinking on failure (the failing
+//! input is reported verbatim), and generation is deterministic — the RNG
+//! is seeded from the test function's name, so failures always reproduce.
+
+pub mod strategy;
+
+pub mod test_runner {
+    /// Per-test configuration. Only `cases` is supported.
+    #[derive(Debug, Clone)]
+    pub struct ProptestConfig {
+        /// Number of generated cases to run.
+        pub cases: u32,
+    }
+
+    impl ProptestConfig {
+        /// A config running `cases` random cases.
+        pub fn with_cases(cases: u32) -> ProptestConfig {
+            ProptestConfig { cases }
+        }
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> ProptestConfig {
+            ProptestConfig { cases: 64 }
+        }
+    }
+
+    /// Why a single generated case failed. The `proptest!` body closure
+    /// returns `Result<(), TestCaseError>`; the `prop_assert*` macros and
+    /// explicit `return Err(TestCaseError::fail(..))` both produce it.
+    #[derive(Debug, Clone)]
+    pub struct TestCaseError {
+        message: String,
+    }
+
+    impl TestCaseError {
+        /// A failed case with the given reason.
+        pub fn fail(reason: impl Into<String>) -> TestCaseError {
+            TestCaseError {
+                message: reason.into(),
+            }
+        }
+
+        /// A rejected case (treated as a failure here: the shim does not
+        /// resample).
+        pub fn reject(reason: impl Into<String>) -> TestCaseError {
+            TestCaseError {
+                message: format!("rejected: {}", reason.into()),
+            }
+        }
+    }
+
+    impl std::fmt::Display for TestCaseError {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            f.write_str(&self.message)
+        }
+    }
+
+    impl From<String> for TestCaseError {
+        fn from(message: String) -> TestCaseError {
+            TestCaseError { message }
+        }
+    }
+
+    impl From<&str> for TestCaseError {
+        fn from(message: &str) -> TestCaseError {
+            TestCaseError {
+                message: message.to_string(),
+            }
+        }
+    }
+}
+
+pub mod collection {
+    use crate::strategy::{Strategy, TestRng};
+    use std::collections::BTreeSet;
+    use std::ops::{Range, RangeInclusive};
+
+    /// Inclusive size bounds for generated collections.
+    #[derive(Debug, Clone, Copy)]
+    pub struct SizeRange {
+        min: usize,
+        max: usize,
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> SizeRange {
+            SizeRange { min: n, max: n }
+        }
+    }
+
+    impl From<Range<usize>> for SizeRange {
+        fn from(r: Range<usize>) -> SizeRange {
+            SizeRange {
+                min: r.start,
+                max: r.end.saturating_sub(1).max(r.start),
+            }
+        }
+    }
+
+    impl From<RangeInclusive<usize>> for SizeRange {
+        fn from(r: RangeInclusive<usize>) -> SizeRange {
+            SizeRange {
+                min: *r.start(),
+                max: *r.end(),
+            }
+        }
+    }
+
+    impl SizeRange {
+        fn pick(&self, rng: &mut TestRng) -> usize {
+            self.min + rng.below((self.max - self.min + 1) as u64) as usize
+        }
+    }
+
+    /// Strategy producing a `Vec` of values from `element`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    /// See [`vec`].
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let n = self.size.pick(rng);
+            (0..n).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+
+    /// Strategy producing a `BTreeSet`. Best-effort on size: duplicate
+    /// draws are retried a bounded number of times.
+    pub fn btree_set<S: Strategy>(element: S, size: impl Into<SizeRange>) -> BTreeSetStrategy<S>
+    where
+        S::Value: Ord,
+    {
+        BTreeSetStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    /// See [`btree_set`].
+    #[derive(Debug, Clone)]
+    pub struct BTreeSetStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    impl<S: Strategy> Strategy for BTreeSetStrategy<S>
+    where
+        S::Value: Ord,
+    {
+        type Value = BTreeSet<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> BTreeSet<S::Value> {
+            let target = self.size.pick(rng);
+            let mut set = BTreeSet::new();
+            let mut tries = 0usize;
+            while set.len() < target && tries < 32 * target + 32 {
+                set.insert(self.element.generate(rng));
+                tries += 1;
+            }
+            set
+        }
+    }
+}
+
+pub mod string;
+
+pub mod prelude {
+    pub use crate::strategy::Strategy;
+    pub use crate::test_runner::{ProptestConfig, TestCaseError};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+
+    /// Namespace mirror of `proptest::prelude::prop`.
+    pub mod prop {
+        pub use crate::collection;
+    }
+}
+
+/// Runs each contained `#[test] fn name(pat in strategy, ...) { body }`
+/// over `cases` generated inputs (default 64, override with a leading
+/// `#![proptest_config(...)]`).
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_items! { ($cfg); $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items! { ($crate::test_runner::ProptestConfig::default()); $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    (($cfg:expr); ) => {};
+    (($cfg:expr);
+     $(#[$meta:meta])*
+     fn $name:ident($($arg:pat in $strat:expr),+ $(,)?) $body:block
+     $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::test_runner::ProptestConfig = $cfg;
+            let mut rng = $crate::strategy::TestRng::from_name(stringify!($name));
+            for case in 0..config.cases {
+                #[allow(unused_parens)]
+                let ($($arg),+) = (
+                    $($crate::strategy::Strategy::generate(&($strat), &mut rng)),+
+                );
+                let outcome: ::core::result::Result<(), $crate::test_runner::TestCaseError> =
+                    (|| { $body ::core::result::Result::Ok(()) })();
+                if let ::core::result::Result::Err(msg) = outcome {
+                    panic!("proptest {} failed at case {case}: {msg}", stringify!($name));
+                }
+            }
+        }
+        $crate::__proptest_items! { ($cfg); $($rest)* }
+    };
+}
+
+/// Asserts a condition inside a [`proptest!`] body.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::core::result::Result::Err(
+                $crate::test_runner::TestCaseError::fail(format!($($fmt)+)),
+            );
+        }
+    };
+}
+
+/// Asserts equality inside a [`proptest!`] body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr $(,)?) => {{
+        let (left, right) = (&$a, &$b);
+        if !(*left == *right) {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!("assertion failed: `{:?} == {:?}`", left, right),
+            ));
+        }
+    }};
+    ($a:expr, $b:expr, $($fmt:tt)+) => {{
+        let (left, right) = (&$a, &$b);
+        if !(*left == *right) {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!("{}: `{:?} != {:?}`", format!($($fmt)+), left, right),
+            ));
+        }
+    }};
+}
+
+/// Asserts inequality inside a [`proptest!`] body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr $(,)?) => {{
+        let (left, right) = (&$a, &$b);
+        if *left == *right {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::fail(format!(
+                "assertion failed: `{:?} != {:?}`",
+                left, right
+            )));
+        }
+    }};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = crate::strategy::TestRng::from_name("ranges");
+        for _ in 0..200 {
+            let v = (-5i64..7).generate(&mut rng);
+            assert!((-5..7).contains(&v));
+            let u = (0usize..3).generate(&mut rng);
+            assert!(u < 3);
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let strat = prop::collection::vec((0i64..100, 0i64..100), 1..20);
+        let mut a = crate::strategy::TestRng::from_name("det");
+        let mut b = crate::strategy::TestRng::from_name("det");
+        for _ in 0..20 {
+            assert_eq!(strat.generate(&mut a), strat.generate(&mut b));
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+        #[test]
+        fn macro_roundtrip(xs in prop::collection::vec(0u8..3, 0..10), y in -4i32..4) {
+            prop_assert!(xs.iter().all(|&x| x < 3));
+            prop_assert!((-4..4).contains(&y));
+            prop_assert_eq!(xs.len(), xs.len());
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn string_strategy_matches_class(s in "[a-c]{2,5}") {
+            prop_assert!((2..=5).contains(&s.chars().count()), "bad len {}", s.len());
+            prop_assert!(s.chars().all(|c| ('a'..='c').contains(&c)), "bad char in {s:?}");
+        }
+    }
+}

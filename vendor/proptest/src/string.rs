@@ -1,0 +1,241 @@
+//! Random string generation from a practical regex subset.
+//!
+//! Supported syntax: literal characters, `\x` escapes (`\n`, `\\`, and
+//! escaped metacharacters), character classes `[a-z0-9\n -]` (ranges and
+//! literals, no negation), groups `( ... | ... )` with alternation, and
+//! the quantifiers `{n}`, `{m,n}`, `?`, `*`, `+` (the unbounded ones are
+//! capped at 8 repetitions). This covers every pattern used by the
+//! workspace's fuzz tests.
+
+use crate::strategy::TestRng;
+
+#[derive(Debug, Clone)]
+enum Atom {
+    Lit(char),
+    /// Inclusive char ranges; single chars are `(c, c)`.
+    Class(Vec<(char, char)>),
+    Group(Vec<Seq>),
+}
+
+type Seq = Vec<(Atom, (u32, u32))>;
+
+struct Parser {
+    chars: Vec<char>,
+    pos: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> Option<char> {
+        self.chars.get(self.pos).copied()
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = self.peek();
+        if c.is_some() {
+            self.pos += 1;
+        }
+        c
+    }
+
+    fn parse_alternation(&mut self) -> Vec<Seq> {
+        let mut alts = vec![self.parse_seq()];
+        while self.peek() == Some('|') {
+            self.bump();
+            alts.push(self.parse_seq());
+        }
+        alts
+    }
+
+    fn parse_seq(&mut self) -> Seq {
+        let mut seq = Vec::new();
+        while let Some(c) = self.peek() {
+            if c == '|' || c == ')' {
+                break;
+            }
+            let atom = self.parse_atom();
+            let reps = self.parse_quantifier();
+            seq.push((atom, reps));
+        }
+        seq
+    }
+
+    fn parse_atom(&mut self) -> Atom {
+        match self.bump().expect("caller checked peek") {
+            '(' => {
+                let alts = self.parse_alternation();
+                self.bump(); // ')'
+                Atom::Group(alts)
+            }
+            '[' => Atom::Class(self.parse_class()),
+            '\\' => Atom::Lit(unescape(self.bump().unwrap_or('\\'))),
+            '.' => Atom::Class(vec![(' ', '~')]),
+            c => Atom::Lit(c),
+        }
+    }
+
+    fn parse_class(&mut self) -> Vec<(char, char)> {
+        let mut items = Vec::new();
+        while let Some(c) = self.peek() {
+            if c == ']' {
+                self.bump();
+                break;
+            }
+            let lo = match self.bump().expect("peeked") {
+                '\\' => unescape(self.bump().unwrap_or('\\')),
+                other => other,
+            };
+            // A range `a-z` (a trailing `-` is a literal).
+            if self.peek() == Some('-') && self.chars.get(self.pos + 1) != Some(&']') {
+                self.bump(); // '-'
+                let hi = match self.bump().unwrap_or(lo) {
+                    '\\' => unescape(self.bump().unwrap_or('\\')),
+                    other => other,
+                };
+                items.push((lo, hi.max(lo)));
+            } else {
+                items.push((lo, lo));
+            }
+        }
+        if items.is_empty() {
+            items.push(('?', '?'));
+        }
+        items
+    }
+
+    fn parse_quantifier(&mut self) -> (u32, u32) {
+        match self.peek() {
+            Some('{') => {
+                self.bump();
+                let mut lo = 0u32;
+                let mut hi: Option<u32> = None;
+                let mut cur = 0u32;
+                let mut saw_comma = false;
+                while let Some(c) = self.bump() {
+                    match c {
+                        '}' => break,
+                        ',' => {
+                            lo = cur;
+                            cur = 0;
+                            saw_comma = true;
+                        }
+                        d if d.is_ascii_digit() => {
+                            cur = cur * 10 + (d as u32 - '0' as u32);
+                        }
+                        _ => {}
+                    }
+                }
+                if saw_comma {
+                    hi = Some(cur);
+                } else {
+                    lo = cur;
+                }
+                (lo, hi.unwrap_or(lo))
+            }
+            Some('?') => {
+                self.bump();
+                (0, 1)
+            }
+            Some('*') => {
+                self.bump();
+                (0, 8)
+            }
+            Some('+') => {
+                self.bump();
+                (1, 8)
+            }
+            _ => (1, 1),
+        }
+    }
+}
+
+fn unescape(c: char) -> char {
+    match c {
+        'n' => '\n',
+        't' => '\t',
+        'r' => '\r',
+        '0' => '\0',
+        other => other,
+    }
+}
+
+fn emit_seq(seq: &Seq, rng: &mut TestRng, out: &mut String) {
+    for (atom, (lo, hi)) in seq {
+        let count = lo + rng.below(u64::from(hi - lo + 1)) as u32;
+        for _ in 0..count {
+            match atom {
+                Atom::Lit(c) => out.push(*c),
+                Atom::Class(items) => {
+                    let (a, b) = items[rng.below(items.len() as u64) as usize];
+                    let span = b as u32 - a as u32 + 1;
+                    let v = a as u32 + rng.below(u64::from(span)) as u32;
+                    out.push(char::from_u32(v).unwrap_or(a));
+                }
+                Atom::Group(alts) => {
+                    let alt = &alts[rng.below(alts.len() as u64) as usize];
+                    emit_seq(alt, rng, out);
+                }
+            }
+        }
+    }
+}
+
+/// Generates one random string matching `pattern`.
+pub fn generate(pattern: &str, rng: &mut TestRng) -> String {
+    let mut parser = Parser {
+        chars: pattern.chars().collect(),
+        pos: 0,
+    };
+    let alts = parser.parse_alternation();
+    let mut out = String::new();
+    let alt = &alts[rng.below(alts.len() as u64) as usize];
+    emit_seq(alt, rng, &mut out);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rng() -> TestRng {
+        TestRng::from_name("string-tests")
+    }
+
+    #[test]
+    fn literal_passthrough() {
+        assert_eq!(generate("abc", &mut rng()), "abc");
+    }
+
+    #[test]
+    fn class_with_range_and_escape() {
+        let mut r = rng();
+        for _ in 0..100 {
+            let s = generate("[ -~\n]{0,20}", &mut r);
+            assert!(s.len() <= 20);
+            assert!(s.chars().all(|c| c == '\n' || (' '..='~').contains(&c)));
+        }
+    }
+
+    #[test]
+    fn alternation_of_words() {
+        let mut r = rng();
+        for _ in 0..50 {
+            let s = generate("(DS|DF|[0-9]{1,3}|\n){1,4}", &mut r);
+            assert!(!s.is_empty());
+        }
+    }
+
+    #[test]
+    fn escaped_metachars() {
+        let mut r = rng();
+        let s = generate("\\(\\)\\{\\}", &mut r);
+        assert_eq!(s, "(){}");
+    }
+
+    #[test]
+    fn exact_count() {
+        let mut r = rng();
+        for _ in 0..20 {
+            assert_eq!(generate("[a-z]{4}", &mut r).chars().count(), 4);
+        }
+    }
+}

@@ -1,0 +1,186 @@
+//! A minimal, dependency-free, API-compatible subset of `rayon`,
+//! vendored because this build environment has no network access.
+//!
+//! Supports the patterns the workspace uses:
+//!
+//! * `slice.par_iter().map(f).collect::<Vec<_>>()` — ordered parallel
+//!   map over a slice (also available on `Vec`);
+//! * `slice.par_iter().for_each(f)`;
+//! * [`join`] — run two closures concurrently.
+//!
+//! Parallelism uses `std::thread::scope` with one chunk per available
+//! core rather than a work-stealing pool; results are always collected
+//! in input order, so output is deterministic and identical to the
+//! serial path. `RAYON_NUM_THREADS=1` forces serial execution.
+
+use std::num::NonZeroUsize;
+
+pub mod prelude {
+    pub use crate::{IntoParallelRefIterator, ParIter, ParMap};
+}
+
+/// Number of worker threads used for parallel operations.
+pub fn current_num_threads() -> usize {
+    if let Ok(v) = std::env::var("RAYON_NUM_THREADS") {
+        if let Ok(n) = v.parse::<usize>() {
+            if n >= 1 {
+                return n;
+            }
+        }
+    }
+    std::thread::available_parallelism()
+        .map(NonZeroUsize::get)
+        .unwrap_or(1)
+}
+
+/// Runs `a` and `b` potentially in parallel, returning both results.
+pub fn join<A, B, RA, RB>(a: A, b: B) -> (RA, RB)
+where
+    A: FnOnce() -> RA + Send,
+    B: FnOnce() -> RB + Send,
+    RA: Send,
+    RB: Send,
+{
+    if current_num_threads() <= 1 {
+        return (a(), b());
+    }
+    std::thread::scope(|s| {
+        let hb = s.spawn(b);
+        let ra = a();
+        (ra, hb.join().expect("rayon::join worker panicked"))
+    })
+}
+
+/// Ordered parallel map over a slice: applies `f` to every element and
+/// returns results in input order.
+pub fn par_map_slice<'a, T, R, F>(items: &'a [T], f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&'a T) -> R + Sync,
+{
+    let threads = current_num_threads();
+    if threads <= 1 || items.len() < 2 {
+        return items.iter().map(f).collect();
+    }
+    let chunk = items.len().div_ceil(threads.min(items.len()));
+    std::thread::scope(|s| {
+        let handles: Vec<_> = items
+            .chunks(chunk)
+            .map(|c| s.spawn(|| c.iter().map(&f).collect::<Vec<R>>()))
+            .collect();
+        handles
+            .into_iter()
+            .flat_map(|h| h.join().expect("rayon worker panicked"))
+            .collect()
+    })
+}
+
+/// Entry point mirroring `rayon::iter::IntoParallelRefIterator`.
+pub trait IntoParallelRefIterator<'a> {
+    /// Element type yielded by the parallel iterator.
+    type Item: 'a;
+
+    /// A parallel iterator over borrowed elements.
+    fn par_iter(&'a self) -> ParIter<'a, Self::Item>;
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for [T] {
+    type Item = T;
+    fn par_iter(&'a self) -> ParIter<'a, T> {
+        ParIter { items: self }
+    }
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for Vec<T> {
+    type Item = T;
+    fn par_iter(&'a self) -> ParIter<'a, T> {
+        ParIter { items: self }
+    }
+}
+
+/// Borrowed parallel iterator over a slice.
+pub struct ParIter<'a, T> {
+    items: &'a [T],
+}
+
+impl<'a, T: Sync> ParIter<'a, T> {
+    /// Parallel map; chain with [`ParMap::collect`].
+    pub fn map<R, F>(self, f: F) -> ParMap<'a, T, F>
+    where
+        R: Send,
+        F: Fn(&'a T) -> R + Sync,
+    {
+        ParMap {
+            items: self.items,
+            f,
+        }
+    }
+
+    /// Runs `f` on every element in parallel.
+    pub fn for_each<F>(self, f: F)
+    where
+        F: Fn(&'a T) + Sync,
+    {
+        let _ = par_map_slice(self.items, f);
+    }
+}
+
+/// A mapped parallel iterator; terminal op is [`ParMap::collect`].
+pub struct ParMap<'a, T, F> {
+    items: &'a [T],
+    f: F,
+}
+
+impl<'a, T: Sync, F> ParMap<'a, T, F> {
+    /// Evaluates the map in parallel, preserving input order.
+    pub fn collect<C, R>(self) -> C
+    where
+        R: Send,
+        F: Fn(&'a T) -> R + Sync,
+        C: From<Vec<R>>,
+    {
+        C::from(par_map_slice(self.items, self.f))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+    use super::*;
+
+    #[test]
+    fn par_map_preserves_order() {
+        let xs: Vec<i64> = (0..1000).collect();
+        let doubled: Vec<i64> = xs.par_iter().map(|x| x * 2).collect();
+        assert_eq!(doubled, (0..1000).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn par_map_matches_serial_on_empty_and_single() {
+        let empty: Vec<i32> = Vec::new();
+        let out: Vec<i32> = empty.par_iter().map(|x| x + 1).collect();
+        assert!(out.is_empty());
+        let one = [41];
+        let out: Vec<i32> = one.par_iter().map(|x| x + 1).collect();
+        assert_eq!(out, vec![42]);
+    }
+
+    #[test]
+    fn join_returns_both() {
+        let (a, b) = join(|| 1 + 1, || "two");
+        assert_eq!(a, 2);
+        assert_eq!(b, "two");
+    }
+
+    #[test]
+    fn for_each_visits_everything() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let count = AtomicUsize::new(0);
+        let xs: Vec<u8> = vec![1; 257];
+        xs.par_iter().for_each(|_| {
+            count.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(count.load(Ordering::Relaxed), 257);
+    }
+}
