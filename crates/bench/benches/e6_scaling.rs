@@ -95,6 +95,8 @@ fn bench(c: &mut Criterion) {
             &[
                 "n",
                 "rects",
+                "bins",
+                "queries",
                 "indexed ms",
                 "serial ms",
                 "brute ms",

@@ -25,6 +25,8 @@ fn main() {
             &[
                 "n",
                 "rects",
+                "bins",
+                "queries",
                 "indexed ms",
                 "serial ms",
                 "brute ms",

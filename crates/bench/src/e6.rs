@@ -4,9 +4,10 @@
 
 use crate::e2::shift_array;
 use silc_cif::CifWriter;
-use silc_drc::{check, check_flat, check_flat_brute, check_flat_serial, RuleSet};
+use silc_drc::{check_flat, check_flat_brute, check_flat_serial, check_traced, RuleSet};
 use silc_lang::{Compiler, Design};
 use silc_layout::CellStats;
+use silc_trace::Tracer;
 use std::fmt::Write as _;
 use std::time::Instant;
 
@@ -46,17 +47,32 @@ pub fn emit_cif(design: &Design) -> String {
 }
 
 /// Measures one size point (structure only — timing is Criterion's job).
+///
+/// The row is read back from the pipeline's own [`silc_trace`] counters
+/// (`cif.bytes`, `drc.violations`) rather than recomputed here, so the
+/// bench reports exactly what `silc compile --stats` reports.
 pub fn measure(n: usize) -> ScalingRow {
+    let tracer = Tracer::enabled();
     let design = compile_design(n);
     let stats = CellStats::compute(&design.library, design.top).expect("top exists");
-    let cif = emit_cif(&design);
-    let report =
-        check(&design.library, design.top, &RuleSet::mead_conway_nmos()).expect("top exists");
+    CifWriter::new()
+        .with_tracer(tracer.clone())
+        .write_to_string(&design.library, design.top)
+        .expect("valid root");
+    check_traced(
+        &design.library,
+        design.top,
+        &RuleSet::mead_conway_nmos(),
+        &tracer,
+    )
+    .expect("top exists");
+    let report = tracer.finish();
+    let counter = |name: &str| report.counter(name).unwrap_or(0) as usize;
     ScalingRow {
         n,
         flat_elements: stats.flat_elements,
-        cif_bytes: cif.len(),
-        drc_violations: report.violations.len(),
+        cif_bytes: counter("cif.bytes"),
+        drc_violations: counter("drc.violations"),
     }
 }
 
@@ -88,6 +104,11 @@ pub struct AblationRow {
     pub n: usize,
     /// Flattened rectangle count fed to the checker.
     pub rects: usize,
+    /// Grid bins across the per-pass spatial indexes (trace counter
+    /// `drc.index.bins`).
+    pub index_bins: usize,
+    /// Index probes issued across all passes (trace counter `drc.queries`).
+    pub queries: usize,
     /// Indexed + parallel (`check_flat`) wall time in milliseconds.
     pub indexed_ms: f64,
     /// Indexed single-thread (`check_flat_serial`) wall time.
@@ -127,7 +148,12 @@ pub fn drc_ablation(sizes: &[usize]) -> Vec<AblationRow> {
                 silc_layout::flatten_to_rects(&design.library, design.top).expect("top exists");
             let rects: usize = layers.iter().map(Vec::len).sum();
 
-            let indexed = check_flat(&layers, &rules);
+            // The equivalence run doubles as the counter run: the same
+            // `drc.index.*` / `drc.queries` counters that `--stats` shows.
+            let tracer = Tracer::enabled();
+            let indexed = silc_drc::check_flat_traced(&layers, &rules, &tracer);
+            let trace = tracer.finish();
+            let counter = |name: &str| trace.counter(name).unwrap_or(0) as usize;
             let serial = check_flat_serial(&layers, &rules);
             let brute = check_flat_brute(&layers, &rules);
             assert_eq!(
@@ -146,6 +172,8 @@ pub fn drc_ablation(sizes: &[usize]) -> Vec<AblationRow> {
             AblationRow {
                 n,
                 rects,
+                index_bins: counter("drc.index.bins"),
+                queries: counter("drc.queries"),
                 indexed_ms,
                 serial_ms,
                 brute_ms,
@@ -162,6 +190,8 @@ pub fn ablation_table(rows: &[AblationRow]) -> Vec<Vec<String>> {
             vec![
                 r.n.to_string(),
                 r.rects.to_string(),
+                r.index_bins.to_string(),
+                r.queries.to_string(),
                 format!("{:.2}", r.indexed_ms),
                 format!("{:.2}", r.serial_ms),
                 format!("{:.2}", r.brute_ms),
@@ -178,9 +208,10 @@ pub fn ablation_json(rows: &[AblationRow]) -> String {
         writeln!(
             out,
             "{{\"bench\":\"e6/drc_engine\",\"n\":{},\"rects\":{},\
+             \"index_bins\":{},\"queries\":{},\
              \"indexed_ms\":{:.3},\"serial_ms\":{:.3},\"brute_ms\":{:.3},\
              \"speedup\":{:.2}}}",
-            r.n, r.rects, r.indexed_ms, r.serial_ms, r.brute_ms, r.speedup
+            r.n, r.rects, r.index_bins, r.queries, r.indexed_ms, r.serial_ms, r.brute_ms, r.speedup
         )
         .expect("writing to a String");
     }
@@ -221,9 +252,13 @@ mod tests {
         let rows = drc_ablation(&[2, 4]);
         assert_eq!(rows.len(), 2);
         assert!(rows[1].rects > rows[0].rects);
+        // Index stats come from the shared trace counters.
+        assert!(rows[0].queries > 0, "traced run recorded no index probes");
+        assert!(rows[1].queries > rows[0].queries);
         let json = ablation_json(&rows);
         assert_eq!(json.lines().count(), 2);
         assert!(json.contains("\"speedup\":"));
-        assert_eq!(ablation_table(&rows)[0].len(), 6);
+        assert!(json.contains("\"queries\":"));
+        assert_eq!(ablation_table(&rows)[0].len(), 8);
     }
 }

@@ -46,7 +46,22 @@ impl CifDesign {
 /// # Ok::<(), silc_cif::CifError>(())
 /// ```
 pub fn parse(text: &str) -> Result<CifDesign, CifError> {
-    Parser::new(text).run()
+    parse_traced(text, &silc_trace::Tracer::disabled())
+}
+
+/// [`parse`] with a [`Tracer`]: records a `cif.parse` span with byte and
+/// symbol counts. With a disabled tracer this is exactly [`parse`].
+///
+/// # Errors
+///
+/// Same as [`parse`].
+pub fn parse_traced(text: &str, tracer: &silc_trace::Tracer) -> Result<CifDesign, CifError> {
+    let mut s = silc_trace::span!(tracer, "cif.parse");
+    s.attr("bytes", text.len() as u64);
+    let design = Parser::new(text).run()?;
+    s.attr("symbols", design.symbol_count() as u64);
+    tracer.add("cif.parsed_symbols", design.symbol_count() as u64);
+    Ok(design)
 }
 
 /// A symbol definition being accumulated.

@@ -1,6 +1,7 @@
 use crate::CifError;
 use silc_geom::{Orientation, Transform};
 use silc_layout::{CellId, Library, Shape};
+use silc_trace::{span, Tracer};
 use std::fmt::Write as _;
 
 /// Serialises a layout hierarchy to CIF 2.0 text.
@@ -38,6 +39,7 @@ use std::fmt::Write as _;
 pub struct CifWriter {
     centimicrons_per_lambda: i64,
     emit_names: bool,
+    tracer: Tracer,
 }
 
 impl Default for CifWriter {
@@ -53,7 +55,16 @@ impl CifWriter {
         CifWriter {
             centimicrons_per_lambda: 250,
             emit_names: true,
+            tracer: Tracer::disabled(),
         }
+    }
+
+    /// Attaches a [`Tracer`]: writes record a `cif.write` span plus
+    /// `cif.symbols` and `cif.bytes` counters.
+    #[must_use]
+    pub fn with_tracer(mut self, tracer: Tracer) -> CifWriter {
+        self.tracer = tracer;
+        self
     }
 
     /// Sets the physical scale.
@@ -85,6 +96,7 @@ impl CifWriter {
     ///
     /// Returns [`CifError::UnknownRoot`] if `root` is not in `lib`.
     pub fn write_to_string(&self, lib: &Library, root: CellId) -> Result<String, CifError> {
+        let mut write_span = span!(self.tracer, "cif.write");
         if lib.cell(root).is_none() {
             return Err(CifError::UnknownRoot);
         }
@@ -97,14 +109,20 @@ impl CifWriter {
             "( SILC silicon compiler output, {} centimicrons per lambda );",
             self.centimicrons_per_lambda
         );
+        let mut symbols = 0u64;
         for id in lib.topological_order() {
             if !needed[id.raw() as usize] {
                 continue;
             }
             self.write_symbol(lib, id, &mut out);
+            symbols += 1;
         }
         let _ = writeln!(out, "C {} T 0 0;", symbol_number(root));
         out.push_str("E\n");
+        write_span.attr("symbols", symbols);
+        write_span.attr("bytes", out.len() as u64);
+        self.tracer.add("cif.symbols", symbols);
+        self.tracer.add("cif.bytes", out.len() as u64);
         Ok(out)
     }
 

@@ -128,6 +128,82 @@ proptest! {
     }
 }
 
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+    /// Deep hierarchies: several distinct leaf cells, a mid-level cell
+    /// mixing single placements and arrays, and a top cell that also
+    /// instances a leaf directly. Every cell, element, and transform must
+    /// survive the write/parse cycle.
+    #[test]
+    fn random_multi_cell_hierarchies_roundtrip(
+        leaves in prop::collection::vec(
+            prop::collection::vec(
+                (0usize..3, -20i64..20, -20i64..20, 1i64..15, 1i64..15), 1..4),
+            2..4),
+        mid_placements in prop::collection::vec(
+            (0usize..4, 0usize..8, -60i64..60, -60i64..60), 1..5),
+        arrays in prop::collection::vec(
+            (0usize..4, 1u32..4, 1u32..3, 20i64..40, 20i64..40), 0..3),
+        top_orientation in 0usize..8,
+    ) {
+        let layer_choices = [Layer::Diffusion, Layer::Poly, Layer::Metal];
+        let mut lib = Library::new();
+        let mut leaf_ids = Vec::new();
+        for (n, rects) in leaves.iter().enumerate() {
+            let mut leaf = Cell::new(format!("leaf{n}"));
+            for &(li, x, y, w, h) in rects {
+                leaf.push_element(Element::rect(
+                    layer_choices[li],
+                    Rect::from_origin_size(Point::new(x, y), w, h).unwrap(),
+                ));
+            }
+            leaf_ids.push(lib.add_cell(leaf).unwrap());
+        }
+        let pick = |i: usize| leaf_ids[i % leaf_ids.len()];
+        let mut mid = Cell::new("mid");
+        // The writer only emits cells reachable from the root, so instance
+        // every leaf at least once.
+        for (n, &id) in leaf_ids.iter().enumerate() {
+            mid.push_instance(Instance::place(
+                id,
+                Transform::new(Orientation::ALL[n % 8], Point::new(80 * n as i64, -45)),
+            ));
+        }
+        for &(ci, oi, x, y) in &mid_placements {
+            mid.push_instance(Instance::place(
+                pick(ci),
+                Transform::new(Orientation::ALL[oi], Point::new(x, y)),
+            ));
+        }
+        for &(ci, nx, ny, dx, dy) in &arrays {
+            mid.push_instance(
+                Instance::array(pick(ci), Transform::IDENTITY, nx, ny, dx, dy).unwrap(),
+            );
+        }
+        let mid_id = lib.add_cell(mid).unwrap();
+        let mut top = Cell::new("top");
+        top.push_instance(Instance::place(
+            mid_id,
+            Transform::new(Orientation::ALL[top_orientation], Point::new(-13, 27)),
+        ));
+        top.push_instance(Instance::place(pick(0), Transform::IDENTITY));
+        let top_id = lib.add_cell(top).unwrap();
+
+        let text = CifWriter::new().write_to_string(&lib, top_id).unwrap();
+        let design = parse(&text).unwrap();
+        prop_assert_eq!(
+            signature(&design.library, design.top),
+            scaled(&signature(&lib, top_id), SCALE)
+        );
+        for n in 0..leaves.len() {
+            let name = format!("leaf{n}");
+            prop_assert!(design.library.cell_by_name(&name).is_some());
+        }
+        prop_assert!(design.library.cell_by_name("mid").is_some());
+        prop_assert!(design.library.cell_by_name("top").is_some());
+    }
+}
+
 #[test]
 fn ports_roundtrip_as_labels() {
     use silc_layout::Port;

@@ -1,6 +1,7 @@
 use crate::{merge_rects, region_contains_rect, RuleSet};
 use silc_geom::{Coord, Rect, RectIndex};
 use silc_layout::{CellId, Layer, LayoutError, Library};
+use silc_trace::{span, Tracer};
 use std::fmt;
 
 /// The rule a violation broke.
@@ -136,8 +137,28 @@ where
 ///
 /// Returns [`LayoutError::UnknownCell`] if `root` is not in the library.
 pub fn check(lib: &Library, root: CellId, rules: &RuleSet) -> Result<Report, LayoutError> {
-    let layers = silc_layout::flatten_to_rects(lib, root)?;
-    Ok(check_flat(&layers, rules))
+    check_traced(lib, root, rules, &Tracer::disabled())
+}
+
+/// [`check`] with a [`Tracer`]: records a `layout.flatten` span plus the
+/// per-pass `drc.*` spans and counters of [`check_flat_traced`].
+///
+/// # Errors
+///
+/// Returns [`LayoutError::UnknownCell`] if `root` is not in the library.
+pub fn check_traced(
+    lib: &Library,
+    root: CellId,
+    rules: &RuleSet,
+    tracer: &Tracer,
+) -> Result<Report, LayoutError> {
+    let layers = {
+        let mut s = span!(tracer, "layout.flatten");
+        let layers = silc_layout::flatten_to_rects(lib, root)?;
+        s.attr("rects", layers.iter().map(Vec::len).sum::<usize>() as u64);
+        layers
+    };
+    Ok(check_flat_traced(&layers, rules, tracer))
 }
 
 /// Runs the checker independently on several cells, in parallel when the
@@ -168,33 +189,72 @@ pub fn check_cells(
 /// ids come back from the index in the same ascending order brute-force
 /// iteration would visit them, and parallel maps preserve input order.
 pub fn check_flat(layers: &[Vec<Rect>], rules: &RuleSet) -> Report {
-    check_flat_impl(layers, rules, true)
+    check_flat_impl(layers, rules, true, &Tracer::disabled())
+}
+
+/// [`check_flat`] with a [`Tracer`]: each rule pass records a
+/// `drc.{merge,width,spacing,contact,gate}` span, and the run flushes
+/// `drc.rects_checked`, `drc.violations`, `drc.index.rects` (rectangles
+/// inserted into spatial indexes) and `drc.index.bins` (grid bins built)
+/// counters. With a disabled tracer this is exactly [`check_flat`].
+pub fn check_flat_traced(layers: &[Vec<Rect>], rules: &RuleSet, tracer: &Tracer) -> Report {
+    check_flat_impl(layers, rules, true, tracer)
 }
 
 /// [`check_flat`] with parallelism disabled: single-threaded, indexed.
 /// Produces byte-identical reports; exists for determinism auditing and
 /// the scaling benchmarks' serial baseline.
 pub fn check_flat_serial(layers: &[Vec<Rect>], rules: &RuleSet) -> Report {
-    check_flat_impl(layers, rules, false)
+    check_flat_impl(layers, rules, false, &Tracer::disabled())
 }
 
-fn check_flat_impl(layers: &[Vec<Rect>], rules: &RuleSet, parallel: bool) -> Report {
+fn check_flat_impl(
+    layers: &[Vec<Rect>],
+    rules: &RuleSet,
+    parallel: bool,
+    tracer: &Tracer,
+) -> Report {
     let mut violations = Vec::new();
     let rects_checked = layers.iter().map(Vec::len).sum();
 
     // Merge each layer once (independently, so in parallel).
-    let merged: Vec<Vec<crate::Region>> = map_maybe_par(parallel, layers, |v| merge_rects(v));
+    let merged: Vec<Vec<crate::Region>> = {
+        let _s = span!(tracer, "drc.merge");
+        map_maybe_par(parallel, layers, |v| merge_rects(v))
+    };
 
-    width_checks(layers, rules, parallel, &mut violations);
-    spacing_checks(&merged, rules, parallel, &mut violations);
-    contact_checks(layers, rules, parallel, &mut violations);
-    gate_checks(&merged, layers, rules, parallel, &mut violations);
+    {
+        let _s = span!(tracer, "drc.width");
+        width_checks(layers, rules, parallel, tracer, &mut violations);
+    }
+    {
+        let _s = span!(tracer, "drc.spacing");
+        spacing_checks(&merged, rules, parallel, tracer, &mut violations);
+    }
+    {
+        let _s = span!(tracer, "drc.contact");
+        contact_checks(layers, rules, parallel, tracer, &mut violations);
+    }
+    {
+        let _s = span!(tracer, "drc.gate");
+        gate_checks(&merged, layers, rules, parallel, tracer, &mut violations);
+    }
+
+    tracer.add("drc.rects_checked", rects_checked as u64);
+    tracer.add("drc.violations", violations.len() as u64);
 
     Report {
         rules: rules.name.clone(),
         violations,
         rects_checked,
     }
+}
+
+/// Flushes one built index's size into the run counters (a no-op on a
+/// disabled tracer). Called once per index build, never per query.
+fn note_index(tracer: &Tracer, index: &RectIndex) {
+    tracer.add("drc.index.rects", index.len() as u64);
+    tracer.add("drc.index.bins", index.bin_count() as u64);
 }
 
 /// The ablation variant of [`check_flat`]: skips maximal-rect merging and
@@ -216,10 +276,11 @@ pub fn check_flat_unmerged(layers: &[Vec<Rect>], rules: &RuleSet) -> Report {
         .map(|v| v.iter().map(|&r| crate::Region::new(vec![r])).collect())
         .collect();
 
-    width_checks(layers, rules, true, &mut violations);
-    spacing_checks(&pseudo, rules, true, &mut violations);
-    contact_checks(layers, rules, true, &mut violations);
-    gate_checks(&pseudo, layers, rules, true, &mut violations);
+    let tracer = Tracer::disabled();
+    width_checks(layers, rules, true, &tracer, &mut violations);
+    spacing_checks(&pseudo, rules, true, &tracer, &mut violations);
+    contact_checks(layers, rules, true, &tracer, &mut violations);
+    gate_checks(&pseudo, layers, rules, true, &tracer, &mut violations);
 
     Report {
         rules: format!("{} (unmerged)", rules.name),
@@ -242,7 +303,13 @@ fn touching(index: &RectIndex, probe: Rect) -> Vec<Rect> {
 /// Width: every *drawn* rectangle must meet the minimum width unless it is
 /// redundant (fully covered by the other rectangles on the layer, in which
 /// case it adds no new feature). Layers are independent → parallel units.
-fn width_checks(layers: &[Vec<Rect>], rules: &RuleSet, parallel: bool, out: &mut Vec<Violation>) {
+fn width_checks(
+    layers: &[Vec<Rect>],
+    rules: &RuleSet,
+    parallel: bool,
+    tracer: &Tracer,
+    out: &mut Vec<Violation>,
+) {
     let per_layer = map_maybe_par(parallel, &Layer::ALL, |&layer| {
         let w = rules.min_width(layer);
         let rects = &layers[layer.index()];
@@ -250,6 +317,7 @@ fn width_checks(layers: &[Vec<Rect>], rules: &RuleSet, parallel: bool, out: &mut
             return Vec::new();
         }
         let index = RectIndex::build(rects);
+        note_index(tracer, &index);
         let mut found = Vec::new();
         for (i, r) in rects.iter().enumerate() {
             if r.min_dimension() >= w {
@@ -284,6 +352,7 @@ fn spacing_checks(
     merged: &[Vec<crate::Region>],
     rules: &RuleSet,
     parallel: bool,
+    tracer: &Tracer,
     out: &mut Vec<Violation>,
 ) {
     let pairs = rules.active_spacing_pairs();
@@ -296,6 +365,8 @@ fn spacing_checks(
         let mut found = Vec::new();
         if a == b {
             let index = RectIndex::build(&ra);
+            note_index(tracer, &index);
+            tracer.add("drc.queries", ra.len() as u64);
             for (i, &x) in ra.iter().enumerate() {
                 // Ascending candidate ids reproduce the i<j pair order of
                 // the all-pairs loop; margin s covers every violating pair
@@ -312,6 +383,8 @@ fn spacing_checks(
                 .flat_map(|r| r.rects().iter().copied())
                 .collect();
             let index = RectIndex::build(&rb);
+            note_index(tracer, &index);
+            tracer.add("drc.queries", ra.len() as u64);
             for &x in &ra {
                 for j in index.query(x, s) {
                     spacing_pair(a, b, s, x, index.rect(j), &mut found);
@@ -341,7 +414,13 @@ fn spacing_pair(a: Layer, b: Layer, s: Coord, x: Rect, y: Rect, out: &mut Vec<Vi
 /// Contacts: each cut must be surrounded by metal and by poly or
 /// diffusion. Cuts are independent → parallel units; enclosure coverage
 /// for each cut comes from index lookups around it.
-fn contact_checks(layers: &[Vec<Rect>], rules: &RuleSet, parallel: bool, out: &mut Vec<Violation>) {
+fn contact_checks(
+    layers: &[Vec<Rect>],
+    rules: &RuleSet,
+    parallel: bool,
+    tracer: &Tracer,
+    out: &mut Vec<Violation>,
+) {
     let cuts = &layers[Layer::Contact.index()];
     if cuts.is_empty() {
         return;
@@ -353,6 +432,9 @@ fn contact_checks(layers: &[Vec<Rect>], rules: &RuleSet, parallel: bool, out: &m
         .copied()
         .collect();
     let lower = RectIndex::build(&lower);
+    note_index(tracer, &metal);
+    note_index(tracer, &lower);
+    tracer.add("drc.queries", 2 * cuts.len() as u64);
 
     let per_cut = map_maybe_par(parallel, cuts, |cut| {
         let mut found = Vec::new();
@@ -400,6 +482,7 @@ fn gate_checks(
     layers: &[Vec<Rect>],
     rules: &RuleSet,
     parallel: bool,
+    tracer: &Tracer,
     out: &mut Vec<Violation>,
 ) {
     if rules.gate_poly_overhang == 0 && rules.gate_diff_overhang == 0 {
@@ -428,7 +511,12 @@ fn gate_checks(
     }
     let cuts = RectIndex::build(&layers[Layer::Contact.index()]);
     let poly_index = RectIndex::build(&poly);
+    note_index(tracer, &diff_index);
+    note_index(tracer, &cuts);
+    note_index(tracer, &poly_index);
+    tracer.add("drc.queries", poly.len() as u64);
     let gates = merge_rects(&crossings);
+    tracer.add("drc.gates", gates.len() as u64);
     let per_gate = map_maybe_par(parallel, &gates, |gate_region| {
         let g = gate_region.bbox();
         // Butting-contact exemption.
@@ -892,6 +980,48 @@ mod tests {
         let raw = check_flat_unmerged(&layers, &rules());
         assert_eq!(merged.violations.len(), 1, "{merged}");
         assert!(raw.violations.len() > 1, "{raw}");
+    }
+
+    #[test]
+    fn traced_run_matches_untraced_and_records_passes() {
+        let layers = flat_with(Layer::Metal, vec![rect(0, 0, 2, 20), rect(5, 0, 3, 10)]);
+        let tracer = Tracer::enabled();
+        let traced = check_flat_traced(&layers, &rules(), &tracer);
+        let plain = check_flat(&layers, &rules());
+        assert_eq!(traced, plain);
+        let report = tracer.finish();
+        for pass in [
+            "drc.merge",
+            "drc.width",
+            "drc.spacing",
+            "drc.contact",
+            "drc.gate",
+        ] {
+            assert!(
+                report.spans().iter().any(|s| s.name == pass),
+                "missing {pass}"
+            );
+        }
+        assert_eq!(report.counter("drc.rects_checked"), Some(2));
+        assert_eq!(
+            report.counter("drc.violations"),
+            Some(plain.violations.len() as u64)
+        );
+        assert!(report.counter("drc.index.rects").unwrap_or(0) > 0);
+    }
+
+    #[test]
+    fn check_traced_spans_flatten() {
+        use silc_layout::{Cell, Element};
+        let mut lib = Library::new();
+        let mut c = Cell::new("m");
+        c.push_element(Element::rect(Layer::Metal, rect(0, 0, 4, 10)));
+        let id = lib.add_cell(c).unwrap();
+        let tracer = Tracer::enabled();
+        let report = check_traced(&lib, id, &rules(), &tracer).unwrap();
+        assert!(report.is_clean());
+        let trace = tracer.finish();
+        assert!(trace.spans().iter().any(|s| s.name == "layout.flatten"));
     }
 
     #[test]

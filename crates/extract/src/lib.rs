@@ -55,6 +55,7 @@ use silc_drc::{merge_rects, Region};
 use silc_geom::{Point, Rect, RectIndex};
 use silc_layout::{CellId, Layer, LayoutError, Library};
 use silc_netlist::{Netlist, NetlistError};
+use silc_trace::{span, Tracer};
 use std::collections::HashMap;
 use std::error::Error;
 use std::fmt;
@@ -211,7 +212,25 @@ impl RegionLookup {
 /// * [`ExtractError::MalformedTransistor`] — a channel without exactly
 ///   two source/drain regions.
 pub fn extract(lib: &Library, root: CellId) -> Result<Extracted, ExtractError> {
-    let layers = silc_layout::flatten_to_rects(lib, root)?;
+    extract_traced(lib, root, &Tracer::disabled())
+}
+
+/// [`extract`] with a [`Tracer`]: records `extract.{flatten,channels,
+/// regions,netlist}` spans plus `extract.transistors` / `extract.nets`
+/// counters. With a disabled tracer this is exactly [`extract`].
+///
+/// # Errors
+///
+/// Same as [`extract`].
+pub fn extract_traced(
+    lib: &Library,
+    root: CellId,
+    tracer: &Tracer,
+) -> Result<Extracted, ExtractError> {
+    let layers = {
+        let _s = span!(tracer, "extract.flatten");
+        silc_layout::flatten_to_rects(lib, root)?
+    };
     let poly_rects = &layers[Layer::Poly.index()];
     let diff_rects = &layers[Layer::Diffusion.index()];
     let metal_rects = &layers[Layer::Metal.index()];
@@ -223,6 +242,7 @@ pub fn extract(lib: &Library, root: CellId) -> Result<Extracted, ExtractError> {
     // covered by a contact cut is a butting contact — a shorted junction,
     // not a transistor. Candidate diffusion and covering cuts both come
     // from index queries around each poly rect.
+    let channel_span = span!(tracer, "extract.channels");
     let diff_index = RectIndex::build(diff_rects);
     let cut_index = RectIndex::build(cut_rects);
     let mut crossings: Vec<Rect> = Vec::new();
@@ -241,7 +261,9 @@ pub fn extract(lib: &Library, root: CellId) -> Result<Extracted, ExtractError> {
         }
     }
     let gates: Vec<Region> = merge_rects(&crossings);
+    drop(channel_span);
 
+    let region_span = span!(tracer, "extract.regions");
     // Source/drain diffusion: diffusion minus channels.
     let gate_rects: Vec<Rect> = gates.iter().flat_map(|g| g.rects().to_vec()).collect();
     let sd_rects = subtract_rects(diff_rects, &gate_rects);
@@ -253,6 +275,11 @@ pub fn extract(lib: &Library, root: CellId) -> Result<Extracted, ExtractError> {
     let diff_lookup = RegionLookup::build(&diff_regions);
     let poly_lookup = RegionLookup::build(&poly_regions);
     let metal_lookup = RegionLookup::build(&metal_regions);
+    tracer.add(
+        "extract.regions",
+        (diff_regions.len() + poly_regions.len() + metal_regions.len()) as u64,
+    );
+    drop(region_span);
 
     // Node indexing: diff | poly | metal.
     let nd = diff_regions.len();
@@ -310,6 +337,7 @@ pub fn extract(lib: &Library, root: CellId) -> Result<Extracted, ExtractError> {
     // units; the netlist itself is then built serially in gate order so
     // anonymous net numbering (and the first error reported) is
     // deterministic.
+    let netlist_span = span!(tracer, "extract.netlist");
     let implant_index = RectIndex::build(implant_rects);
     let resolved = map_maybe_par(&gates, |gate| {
         let gbox = gate.bbox();
@@ -387,6 +415,9 @@ pub fn extract(lib: &Library, root: CellId) -> Result<Extracted, ExtractError> {
     reps.sort_unstable();
     reps.dedup();
     let nets = reps.len();
+    drop(netlist_span);
+    tracer.add("extract.transistors", transistors.len() as u64);
+    tracer.add("extract.nets", nets as u64);
     Ok(Extracted {
         netlist,
         transistors,

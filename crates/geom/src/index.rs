@@ -173,6 +173,13 @@ impl RectIndex {
         self.rects.is_empty()
     }
 
+    /// Number of uniform-grid bins behind this index, or 0 when the
+    /// input was small enough that queries are plain linear scans.
+    /// Observability only — the DRC's `--stats` output reports it.
+    pub fn bin_count(&self) -> usize {
+        self.grid.as_ref().map_or(0, |g| g.starts.len() - 1)
+    }
+
     /// The indexed rectangle with id `id`.
     pub fn rect(&self, id: u32) -> Rect {
         self.rects[id as usize]

@@ -1,9 +1,11 @@
 use crate::ast::*;
-use crate::parser::parse;
+use crate::lexer::lex;
+use crate::parser::{parse, parse_tokens};
 use crate::value::Value;
 use crate::LangError;
 use silc_geom::{Orientation, Path, Point, Polygon, Rect, Transform};
 use silc_layout::{Cell, CellId, Element, Instance, Layer, Library, Port};
+use silc_trace::{span, Tracer};
 use std::collections::HashMap;
 
 /// The result of compiling a SIL program: a layout library plus the id of
@@ -39,7 +41,9 @@ pub struct Design {
 /// # }
 /// ```
 #[derive(Debug, Clone, Default)]
-pub struct Compiler {}
+pub struct Compiler {
+    tracer: Tracer,
+}
 
 /// The standard-cell prelude: Mead–Conway leaf cells available to every
 /// SIL program (placed like any user cell, elaborated only when used).
@@ -106,7 +110,16 @@ cell std_inv() {
 impl Compiler {
     /// Creates a compiler.
     pub fn new() -> Compiler {
-        Compiler {}
+        Compiler::default()
+    }
+
+    /// Attaches a [`Tracer`]: lexing, parsing and elaboration record
+    /// `lang.*` spans and counters on it. The default (disabled) tracer
+    /// costs nothing.
+    #[must_use]
+    pub fn with_tracer(mut self, tracer: Tracer) -> Compiler {
+        self.tracer = tracer;
+        self
     }
 
     /// Compiles SIL source into a layout design.
@@ -116,7 +129,19 @@ impl Compiler {
     /// Returns [`LangError`] for syntax errors (with position) and for
     /// elaboration errors (with the offending statement's line).
     pub fn compile(&self, source: &str) -> Result<Design, LangError> {
-        let program = parse(source)?;
+        let tokens = {
+            let mut s = span!(self.tracer, "lang.lex");
+            let tokens = lex(source)?;
+            s.attr("tokens", tokens.len() as u64);
+            tokens
+        };
+        let program = {
+            let mut s = span!(self.tracer, "lang.parse");
+            let program = parse_tokens(tokens)?;
+            s.attr("items", program.items.len() as u64);
+            program
+        };
+        let elab_span = span!(self.tracer, "lang.elaborate");
         let mut interp = Interp::new();
 
         // The standard-cell prelude is always in scope.
@@ -171,6 +196,11 @@ impl Compiler {
             .lib
             .add_cell(top)
             .map_err(|e| LangError::eval(0, e.to_string()))?;
+        drop(elab_span);
+        self.tracer.add("lang.cells", interp.lib.len() as u64);
+        self.tracer
+            .add("lang.cells_elaborated", interp.cells_elaborated);
+        self.tracer.add("lang.memo_hits", interp.memo_hits);
         Ok(Design {
             library: interp.lib,
             top: top_id,
@@ -240,6 +270,8 @@ struct Interp {
     memo: HashMap<String, CellId>,
     elab_stack: Vec<String>,
     call_depth: usize,
+    cells_elaborated: u64,
+    memo_hits: u64,
 }
 
 type CellSlot<'a, 'b> = Option<&'a mut Cell>;
@@ -254,6 +286,8 @@ impl Interp {
             memo: HashMap::new(),
             elab_stack: Vec::new(),
             call_depth: 0,
+            cells_elaborated: 0,
+            memo_hits: 0,
         }
     }
 
@@ -310,6 +344,7 @@ impl Interp {
                 .join(",")
         );
         if let Some(&id) = self.memo.get(&key) {
+            self.memo_hits += 1;
             return Ok(id);
         }
         if self.elab_stack.contains(&key) {
@@ -352,6 +387,7 @@ impl Interp {
             .add_cell(cell)
             .map_err(|e| LangError::eval(def.line, e.to_string()))?;
         self.memo.insert(key, id);
+        self.cells_elaborated += 1;
         Ok(id)
     }
 
@@ -831,10 +867,17 @@ fn binary(op: &BinOp, l: Value, r: Value, line: usize) -> Result<Value, LangErro
             ),
         )
     };
+    // Arithmetic must fail loudly: unchecked ops panic on overflow in
+    // debug builds and silently wrap in release, producing corrupt
+    // geometry. `checked_*` turns both into an `Eval` diagnostic.
+    let overflow = |what: &str| LangError::eval(line, format!("integer overflow in {what}"));
+    let add = |a: i64, b: i64| a.checked_add(b).ok_or_else(|| overflow("addition"));
+    let sub = |a: i64, b: i64| a.checked_sub(b).ok_or_else(|| overflow("subtraction"));
+    let mul = |a: i64, b: i64| a.checked_mul(b).ok_or_else(|| overflow("multiplication"));
     match (op, &l, &r) {
-        (Add, Value::Int(a), Value::Int(b)) => Ok(Value::Int(a + b)),
-        (Sub, Value::Int(a), Value::Int(b)) => Ok(Value::Int(a - b)),
-        (Mul, Value::Int(a), Value::Int(b)) => Ok(Value::Int(a * b)),
+        (Add, Value::Int(a), Value::Int(b)) => Ok(Value::Int(add(*a, *b)?)),
+        (Sub, Value::Int(a), Value::Int(b)) => Ok(Value::Int(sub(*a, *b)?)),
+        (Mul, Value::Int(a), Value::Int(b)) => Ok(Value::Int(mul(*a, *b)?)),
         (Div, Value::Int(a), Value::Int(b)) => {
             if *b == 0 {
                 Err(LangError::eval(line, "division by zero"))
@@ -850,13 +893,14 @@ fn binary(op: &BinOp, l: Value, r: Value, line: usize) -> Result<Value, LangErro
             }
         }
         (Add, Value::Point(a), Value::Point(b)) => {
-            Ok(Value::Point(Point::new(a.x + b.x, a.y + b.y)))
+            Ok(Value::Point(Point::new(add(a.x, b.x)?, add(a.y, b.y)?)))
         }
         (Sub, Value::Point(a), Value::Point(b)) => {
-            Ok(Value::Point(Point::new(a.x - b.x, a.y - b.y)))
+            Ok(Value::Point(Point::new(sub(a.x, b.x)?, sub(a.y, b.y)?)))
         }
-        (Mul, Value::Point(a), Value::Int(k)) => Ok(Value::Point(Point::new(a.x * k, a.y * k))),
-        (Mul, Value::Int(k), Value::Point(a)) => Ok(Value::Point(Point::new(a.x * k, a.y * k))),
+        (Mul, Value::Point(a), Value::Int(k)) | (Mul, Value::Int(k), Value::Point(a)) => {
+            Ok(Value::Point(Point::new(mul(a.x, *k)?, mul(a.y, *k)?)))
+        }
         (Add, Value::Str(a), Value::Str(b)) => Ok(Value::Str(format!("{a}{b}"))),
         (Eq, a, b) => Ok(Value::Bool(a == b)),
         (Ne, a, b) => Ok(Value::Bool(a != b)),
@@ -923,6 +967,81 @@ mod tests {
 
     fn compile(src: &str) -> Design {
         Compiler::new().compile(src).unwrap()
+    }
+
+    fn compile_err(src: &str) -> LangError {
+        Compiler::new().compile(src).unwrap_err()
+    }
+
+    #[test]
+    fn int_overflow_is_an_eval_error_not_a_wrap() {
+        // i64::MAX + 1, i64::MIN - 1, and a huge product: each must fail
+        // with a diagnostic naming the line, not panic or wrap.
+        for (src, what) in [
+            ("let a = 9223372036854775807;\nlet b = a + 1;", "addition"),
+            (
+                "let a = 0 - 9223372036854775807;\nlet b = a - 2;",
+                "subtraction",
+            ),
+            (
+                "let a = 4611686018427387904;\nlet b = a * 4;",
+                "multiplication",
+            ),
+        ] {
+            match compile_err(src) {
+                LangError::Eval { line, message } => {
+                    assert_eq!(line, 2, "{src}");
+                    assert!(message.contains(what), "{message}");
+                }
+                other => panic!("expected Eval error, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn point_arithmetic_overflow_is_checked() {
+        let e = compile_err("let p = pt(9223372036854775807, 0);\nlet q = p + pt(1, 0);");
+        assert!(e.to_string().contains("overflow"), "{e}");
+        let e = compile_err("let p = pt(9223372036854775807, 1);\nlet q = p * 2;");
+        assert!(e.to_string().contains("overflow"), "{e}");
+        let e = compile_err("let p = pt(9223372036854775807, 1);\nlet q = 2 * p;");
+        assert!(e.to_string().contains("overflow"), "{e}");
+        let e = compile_err("let p = pt(0 - 9223372036854775807, 0);\nlet q = p - pt(2, 0);");
+        assert!(e.to_string().contains("overflow"), "{e}");
+    }
+
+    #[test]
+    fn in_range_arithmetic_still_works() {
+        let d =
+            compile("let big = 4611686018427387903;\nlet ok = big + big;\nbox metal (0,0) (4,4);");
+        assert_eq!(d.library.cell(d.top).unwrap().elements().len(), 1);
+    }
+
+    #[test]
+    fn tracer_records_compile_stages() {
+        use silc_trace::Tracer;
+        let tracer = Tracer::enabled();
+        Compiler::new()
+            .with_tracer(tracer.clone())
+            .compile(
+                "cell bit() { box diff (0,0) (2,2); }
+                 place bit() at (0,0);
+                 place bit() at (10,0);",
+            )
+            .unwrap();
+        let report = tracer.finish();
+        for stage in ["lang.lex", "lang.parse", "lang.elaborate"] {
+            assert!(
+                report.spans().iter().any(|s| s.name == stage),
+                "missing {stage}: {:?}",
+                report.spans()
+            );
+        }
+        // bit elaborated once, memo hit on the second placement.
+        assert_eq!(report.counter("lang.cells_elaborated"), Some(1));
+        assert_eq!(report.counter("lang.memo_hits"), Some(1));
+        // Library holds bit + main.
+        assert_eq!(report.counter("lang.cells"), Some(2));
     }
 
     #[test]

@@ -9,7 +9,12 @@ use crate::LangError;
 /// Returns [`LangError::Syntax`] with source position on any lexical or
 /// grammatical problem.
 pub fn parse(source: &str) -> Result<Program, LangError> {
-    let tokens = lex(source)?;
+    parse_tokens(lex(source)?)
+}
+
+/// Parses an already-lexed token stream (lets the compiler time lexing
+/// and parsing as separate pipeline stages).
+pub(crate) fn parse_tokens(tokens: Vec<Token>) -> Result<Program, LangError> {
     let mut p = Parser { tokens, pos: 0 };
     let mut items = Vec::new();
     while *p.peek() != Tok::Eof {

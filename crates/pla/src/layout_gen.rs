@@ -109,6 +109,27 @@ pub(crate) fn dimensions(spec: &PlaSpec) -> (Coord, Coord) {
 ///   outputs.
 /// * [`PlaError::Layout`] if cell names collide in `lib`.
 pub fn generate_layout(spec: &PlaSpec, lib: &mut Library, name: &str) -> Result<CellId, PlaError> {
+    generate_layout_traced(spec, lib, name, &silc_trace::Tracer::disabled())
+}
+
+/// [`generate_layout`] with a [`silc_trace::Tracer`]: records a
+/// `pla.layout` span and a `pla.devices` counter.
+///
+/// # Errors
+///
+/// Same as [`generate_layout`].
+pub fn generate_layout_traced(
+    spec: &PlaSpec,
+    lib: &mut Library,
+    name: &str,
+    tracer: &silc_trace::Tracer,
+) -> Result<CellId, PlaError> {
+    let mut s = silc_trace::span!(tracer, "pla.layout");
+    s.attr("terms", spec.num_terms() as u64);
+    tracer.add(
+        "pla.devices",
+        (spec.and_plane_devices() + spec.or_plane_devices()) as u64,
+    );
     if spec.num_terms() == 0 || spec.num_inputs() == 0 || spec.num_outputs() == 0 {
         return Err(PlaError::EmptyPla);
     }

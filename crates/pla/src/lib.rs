@@ -43,5 +43,5 @@ mod layout_gen;
 mod spec;
 
 pub use folding::{fold_plan, FoldPlan};
-pub use layout_gen::{generate_layout, PlaError};
+pub use layout_gen::{generate_layout, generate_layout_traced, PlaError};
 pub use spec::{Minimize, PlaSpec};

@@ -38,6 +38,31 @@ impl PlaSpec {
     /// Propagates [`LogicError`] from the minimizers (e.g. exact
     /// minimization beyond 14 inputs).
     pub fn from_truth_table(table: &TruthTable, minimize: Minimize) -> Result<PlaSpec, LogicError> {
+        Self::from_truth_table_traced(table, minimize, &silc_trace::Tracer::disabled())
+    }
+
+    /// [`from_truth_table`](PlaSpec::from_truth_table) with a
+    /// [`silc_trace::Tracer`]: records a `pla.minimize` span and a
+    /// `pla.terms` counter.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`from_truth_table`](PlaSpec::from_truth_table).
+    pub fn from_truth_table_traced(
+        table: &TruthTable,
+        minimize: Minimize,
+        tracer: &silc_trace::Tracer,
+    ) -> Result<PlaSpec, LogicError> {
+        let _s = silc_trace::span!(tracer, "pla.minimize");
+        let spec = Self::from_truth_table_impl(table, minimize)?;
+        tracer.add("pla.terms", spec.num_terms() as u64);
+        Ok(spec)
+    }
+
+    fn from_truth_table_impl(
+        table: &TruthTable,
+        minimize: Minimize,
+    ) -> Result<PlaSpec, LogicError> {
         let n_out = table.num_outputs();
         let mut terms: Vec<(Cube, Vec<bool>)> = Vec::new();
         for o in 0..n_out {

@@ -80,6 +80,25 @@ impl fmt::Display for Allocation {
 /// # Ok::<(), silc_rtl::RtlError>(())
 /// ```
 pub fn synthesize(machine: &Machine, options: &SynthOptions) -> Allocation {
+    synthesize_traced(machine, options, &silc_trace::Tracer::disabled())
+}
+
+/// [`synthesize`] with a [`Tracer`]: records a `synth.allocate` span and
+/// `synth.modules` / `synth.pla_terms` counters. With a disabled tracer
+/// this is exactly [`synthesize`].
+pub fn synthesize_traced(
+    machine: &Machine,
+    options: &SynthOptions,
+    tracer: &silc_trace::Tracer,
+) -> Allocation {
+    let _s = silc_trace::span!(tracer, "synth.allocate");
+    let allocation = synthesize_impl(machine, options);
+    tracer.add("synth.modules", allocation.modules.len() as u64);
+    tracer.add("synth.pla_terms", u64::from(allocation.control.3));
+    allocation
+}
+
+fn synthesize_impl(machine: &Machine, options: &SynthOptions) -> Allocation {
     let widths = SignalWidths::gather(machine);
     let mut modules: Vec<AllocatedModule> = Vec::new();
 

@@ -40,7 +40,9 @@ mod control;
 mod estimate;
 mod modules;
 
-pub use alloc::{synthesize, AllocatedModule, Allocation, Sharing, SynthOptions};
+pub use alloc::{
+    synthesize, synthesize_traced, AllocatedModule, Allocation, Sharing, SynthOptions,
+};
 pub use control::{control_conditions, control_table, expr_text, ControlTable};
 pub use estimate::Estimate;
 pub use modules::ModuleClass;

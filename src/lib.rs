@@ -51,3 +51,4 @@ pub use silc_pla as pla;
 pub use silc_route as route;
 pub use silc_rtl as rtl;
 pub use silc_synth as synth;
+pub use silc_trace as trace;

@@ -7,18 +7,24 @@
 //! silc synth   <machine.isl>                          compile it onto standard modules
 //! silc pla     <table.pla> [-o out.cif] [--raw]       espresso table -> minimized PLA -> CIF
 //! ```
+//!
+//! Every subcommand also accepts `--stats` (per-stage wall-time and
+//! counter summary on stderr) and `--trace <file>` (machine-readable
+//! JSONL event stream).
 
 use std::fs;
+use std::io::Write;
 use std::process::ExitCode;
 
 use silc::cif::CifWriter;
-use silc::drc::{check, RuleSet};
+use silc::drc::{check_traced, RuleSet};
 use silc::lang::Compiler;
 use silc::layout::{CellStats, Library};
 use silc::logic::TruthTable;
-use silc::pla::{generate_layout, Minimize, PlaSpec};
+use silc::pla::{generate_layout_traced, Minimize, PlaSpec};
 use silc::rtl::{parse as parse_isl, Simulator};
-use silc::synth::{synthesize, Sharing, SynthOptions};
+use silc::synth::{synthesize_traced, Sharing, SynthOptions};
+use silc::trace::{span, JsonlSink, StatsSink, Tracer};
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -48,37 +54,81 @@ usage:
   silc sim     <machine.isl> [--cycles N]
   silc synth   <machine.isl>
   silc pla     <table.pla> [-o out.cif] [--raw]
+common flags:
+  --stats            per-stage timing and counter summary on stderr
+  --trace <file>     JSONL event stream (one object per span/counter)
 ";
 
 struct Opts {
     input: String,
     output: Option<String>,
-    flags: Vec<String>,
+    no_drc: bool,
+    raw: bool,
     cycles: u64,
+    stats: bool,
+    trace: Option<String>,
 }
 
-fn parse_opts(args: &[String]) -> Result<Opts, String> {
+impl Opts {
+    /// A tracer that records only when the user asked for output.
+    fn tracer(&self) -> Tracer {
+        if self.stats || self.trace.is_some() {
+            Tracer::enabled()
+        } else {
+            Tracer::disabled()
+        }
+    }
+}
+
+fn parse_opts(cmd: &str, args: &[String]) -> Result<Opts, String> {
     let mut input = None;
     let mut output = None;
-    let mut flags = Vec::new();
+    let mut no_drc = false;
+    let mut raw = false;
     let mut cycles = 10_000;
+    let mut stats = false;
+    let mut trace = None;
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
-            "-o" => {
+            "-o" if matches!(cmd, "compile" | "pla") => {
                 output = Some(
                     it.next()
                         .ok_or_else(|| "-o needs a file name".to_string())?
                         .clone(),
                 );
             }
-            "--cycles" => {
+            "--cycles" if cmd == "sim" => {
                 cycles = it
                     .next()
                     .and_then(|s| s.parse().ok())
                     .ok_or_else(|| "--cycles needs a number".to_string())?;
             }
-            f if f.starts_with("--") => flags.push(f.to_string()),
+            "--no-drc" if cmd == "compile" => no_drc = true,
+            "--raw" if cmd == "pla" => raw = true,
+            "--stats" => stats = true,
+            "--trace" => {
+                trace = Some(
+                    it.next()
+                        .ok_or_else(|| "--trace needs a file name".to_string())?
+                        .clone(),
+                );
+            }
+            f if f.starts_with('-') => {
+                return Err(match f {
+                    "--cycles" => {
+                        format!("`--cycles` is only valid for `silc sim`, not `silc {cmd}`")
+                    }
+                    "--no-drc" => {
+                        format!("`--no-drc` is only valid for `silc compile`, not `silc {cmd}`")
+                    }
+                    "--raw" => format!("`--raw` is only valid for `silc pla`, not `silc {cmd}`"),
+                    "-o" => format!(
+                        "`-o` is only valid for `silc compile` and `silc pla`, not `silc {cmd}`"
+                    ),
+                    _ => format!("unknown flag `{f}` for `silc {cmd}`\n{USAGE}"),
+                });
+            }
             positional => {
                 if input.replace(positional.to_string()).is_some() {
                     return Err("more than one input file given".into());
@@ -89,9 +139,37 @@ fn parse_opts(args: &[String]) -> Result<Opts, String> {
     Ok(Opts {
         input: input.ok_or_else(|| format!("missing input file\n{USAGE}"))?,
         output,
-        flags,
+        no_drc,
+        raw,
         cycles,
+        stats,
+        trace,
     })
+}
+
+/// Flushes the recorded events to the sinks the user asked for. Runs even
+/// when the command failed, so a DRC abort still yields its stage timings.
+fn emit_trace(opts: &Opts, tracer: &Tracer) -> Result<(), String> {
+    if !tracer.is_enabled() {
+        return Ok(());
+    }
+    let report = tracer.finish();
+    if opts.stats {
+        let mut stderr = std::io::stderr().lock();
+        report
+            .emit(&mut StatsSink::new(&mut stderr))
+            .and_then(|()| stderr.flush())
+            .map_err(|e| format!("cannot write stats: {e}"))?;
+    }
+    if let Some(path) = &opts.trace {
+        let file = fs::File::create(path).map_err(|e| format!("cannot create `{path}`: {e}"))?;
+        let mut writer = std::io::BufWriter::new(file);
+        report
+            .emit(&mut JsonlSink::new(&mut writer))
+            .and_then(|()| writer.flush())
+            .map_err(|e| format!("cannot write `{path}`: {e}"))?;
+    }
+    Ok(())
 }
 
 fn read(path: &str) -> Result<String, String> {
@@ -109,9 +187,16 @@ fn write_out(path: Option<&str>, text: &str) -> Result<(), String> {
 }
 
 fn cmd_compile(args: &[String]) -> Result<(), String> {
-    let opts = parse_opts(args)?;
+    let opts = parse_opts("compile", args)?;
+    let tracer = opts.tracer();
+    let result = run_compile(&opts, &tracer);
+    emit_trace(&opts, &tracer).and(result)
+}
+
+fn run_compile(opts: &Opts, tracer: &Tracer) -> Result<(), String> {
     let source = read(&opts.input)?;
     let design = Compiler::new()
+        .with_tracer(tracer.clone())
         .compile(&source)
         .map_err(|e| e.to_string())?;
     let stats = CellStats::compute(&design.library, design.top).map_err(|e| e.to_string())?;
@@ -123,25 +208,45 @@ fn cmd_compile(args: &[String]) -> Result<(), String> {
         stats.bbox.map_or(0, |b| b.width()),
         stats.bbox.map_or(0, |b| b.height()),
     );
-    if !opts.flags.iter().any(|f| f == "--no-drc") {
-        let report = check(&design.library, design.top, &RuleSet::mead_conway_nmos())
-            .map_err(|e| e.to_string())?;
+    if !opts.no_drc {
+        let report = check_traced(
+            &design.library,
+            design.top,
+            &RuleSet::mead_conway_nmos(),
+            tracer,
+        )
+        .map_err(|e| e.to_string())?;
         eprint!("{report}");
         if !report.is_clean() {
             return Err("design rule violations (use --no-drc to emit anyway)".into());
         }
     }
     let cif = CifWriter::new()
+        .with_tracer(tracer.clone())
         .write_to_string(&design.library, design.top)
         .map_err(|e| e.to_string())?;
     write_out(opts.output.as_deref(), &cif)
 }
 
 fn cmd_sim(args: &[String]) -> Result<(), String> {
-    let opts = parse_opts(args)?;
-    let machine = parse_isl(&read(&opts.input)?).map_err(|e| e.to_string())?;
+    let opts = parse_opts("sim", args)?;
+    let tracer = opts.tracer();
+    let result = run_sim(&opts, &tracer);
+    emit_trace(&opts, &tracer).and(result)
+}
+
+fn run_sim(opts: &Opts, tracer: &Tracer) -> Result<(), String> {
+    let source = read(&opts.input)?;
+    let machine = {
+        let _s = span!(tracer, "isl.parse");
+        parse_isl(&source).map_err(|e| e.to_string())?
+    };
     let mut sim = Simulator::new(&machine);
-    let report = sim.run(opts.cycles).map_err(|e| e.to_string())?;
+    let report = {
+        let _s = span!(tracer, "sim.run");
+        sim.run(opts.cycles).map_err(|e| e.to_string())?
+    };
+    tracer.add("sim.cycles", report.cycles);
     println!(
         "{}: {} cycle(s), {} (final state `{}`)",
         machine.name,
@@ -154,26 +259,39 @@ fn cmd_sim(args: &[String]) -> Result<(), String> {
         sim.state_name(),
     );
     for r in &machine.regs {
-        println!("  {} = {:#o}", r.name, sim.reg(&r.name).unwrap_or(0));
+        let value = sim
+            .reg(&r.name)
+            .ok_or_else(|| format!("simulator has no register `{}`", r.name))?;
+        println!("  {} = {value:#o}", r.name);
     }
     for p in &machine.outputs {
-        println!(
-            "  {} = {:#o} (output)",
-            p.name,
-            sim.output(&p.name).unwrap_or(0)
-        );
+        let value = sim
+            .output(&p.name)
+            .ok_or_else(|| format!("simulator has no output `{}`", p.name))?;
+        println!("  {} = {value:#o} (output)", p.name);
     }
     Ok(())
 }
 
 fn cmd_synth(args: &[String]) -> Result<(), String> {
-    let opts = parse_opts(args)?;
-    let machine = parse_isl(&read(&opts.input)?).map_err(|e| e.to_string())?;
-    let shared = synthesize(
+    let opts = parse_opts("synth", args)?;
+    let tracer = opts.tracer();
+    let result = run_synth(&opts, &tracer);
+    emit_trace(&opts, &tracer).and(result)
+}
+
+fn run_synth(opts: &Opts, tracer: &Tracer) -> Result<(), String> {
+    let source = read(&opts.input)?;
+    let machine = {
+        let _s = span!(tracer, "isl.parse");
+        parse_isl(&source).map_err(|e| e.to_string())?
+    };
+    let shared = synthesize_traced(
         &machine,
         &SynthOptions {
             sharing: Sharing::Shared,
         },
+        tracer,
     );
     println!("{shared}");
     let (bits, inputs, outputs, terms) = shared.control;
@@ -182,14 +300,20 @@ fn cmd_synth(args: &[String]) -> Result<(), String> {
 }
 
 fn cmd_pla(args: &[String]) -> Result<(), String> {
-    let opts = parse_opts(args)?;
+    let opts = parse_opts("pla", args)?;
+    let tracer = opts.tracer();
+    let result = run_pla(&opts, &tracer);
+    emit_trace(&opts, &tracer).and(result)
+}
+
+fn run_pla(opts: &Opts, tracer: &Tracer) -> Result<(), String> {
     let table = TruthTable::parse_pla(&read(&opts.input)?).map_err(|e| e.to_string())?;
-    let mode = if opts.flags.iter().any(|f| f == "--raw") {
+    let mode = if opts.raw {
         Minimize::None
     } else {
         Minimize::Heuristic
     };
-    let spec = PlaSpec::from_truth_table(&table, mode).map_err(|e| e.to_string())?;
+    let spec = PlaSpec::from_truth_table_traced(&table, mode, tracer).map_err(|e| e.to_string())?;
     let (w, h) = spec.area_estimate();
     eprintln!(
         "personality: {} terms ({} AND + {} OR devices), {}x{} lambda",
@@ -200,10 +324,12 @@ fn cmd_pla(args: &[String]) -> Result<(), String> {
         h
     );
     let mut lib = Library::new();
-    let id = generate_layout(&spec, &mut lib, "pla").map_err(|e| e.to_string())?;
-    let report = check(&lib, id, &RuleSet::mead_conway_nmos()).map_err(|e| e.to_string())?;
+    let id = generate_layout_traced(&spec, &mut lib, "pla", tracer).map_err(|e| e.to_string())?;
+    let report =
+        check_traced(&lib, id, &RuleSet::mead_conway_nmos(), tracer).map_err(|e| e.to_string())?;
     eprint!("{report}");
     let cif = CifWriter::new()
+        .with_tracer(tracer.clone())
         .write_to_string(&lib, id)
         .map_err(|e| e.to_string())?;
     write_out(opts.output.as_deref(), &cif)

@@ -93,6 +93,179 @@ fn pla_compiles_espresso_format() {
 }
 
 #[test]
+fn unknown_flag_is_rejected_by_name() {
+    let sil = write_temp(
+        "flags.sil",
+        "cell c() { box metal (0,0) (4,20); } place c() at (0,0);",
+    );
+    let out = silc()
+        .arg("compile")
+        .arg(&sil)
+        .arg("--no-drcc")
+        .output()
+        .expect("runs");
+    assert!(!out.status.success());
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("--no-drcc"), "names the bad flag: {stderr}");
+}
+
+#[test]
+fn flags_are_validated_per_subcommand() {
+    let sil = write_temp(
+        "percmd.sil",
+        "cell c() { box metal (0,0) (4,20); } place c() at (0,0);",
+    );
+    let isl = write_temp(
+        "percmd.isl",
+        "machine m { reg n[8]; state s { n := n + 1; if n == 5 { halt; } } }",
+    );
+    // `--cycles` belongs to `sim` only.
+    let out = silc()
+        .args(["compile", sil.to_str().unwrap(), "--cycles", "5"])
+        .output()
+        .expect("runs");
+    assert!(!out.status.success());
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("--cycles"), "{stderr}");
+    assert!(stderr.contains("silc sim"), "{stderr}");
+    // `--raw` belongs to `pla` only.
+    let out = silc()
+        .args(["sim", isl.to_str().unwrap(), "--raw"])
+        .output()
+        .expect("runs");
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("--raw"));
+    // `-o` is compile/pla only.
+    let out = silc()
+        .args(["synth", isl.to_str().unwrap(), "-o", "/tmp/x"])
+        .output()
+        .expect("runs");
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("-o"));
+}
+
+#[test]
+fn stats_prints_stage_table() {
+    let sil = write_temp(
+        "stats.sil",
+        "cell c() { box metal (0,0) (4,20); } place c() at (0,0);",
+    );
+    let out = silc()
+        .args(["compile", sil.to_str().unwrap(), "--stats"])
+        .output()
+        .expect("runs");
+    assert!(out.status.success(), "{out:?}");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    for stage in [
+        "lang.lex",
+        "lang.parse",
+        "lang.elaborate",
+        "layout.flatten",
+        "drc.width",
+        "drc.spacing",
+        "cif.write",
+    ] {
+        assert!(stderr.contains(stage), "missing `{stage}` in: {stderr}");
+    }
+    assert!(stderr.contains("wall"), "{stderr}");
+    assert!(stderr.contains("drc.rects_checked"), "{stderr}");
+}
+
+#[test]
+fn stats_off_by_default() {
+    let sil = write_temp(
+        "nostats.sil",
+        "cell c() { box metal (0,0) (4,20); } place c() at (0,0);",
+    );
+    let out = silc().arg("compile").arg(&sil).output().expect("runs");
+    assert!(out.status.success(), "{out:?}");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(!stderr.contains("lang.lex"), "{stderr}");
+}
+
+/// Checks a JSONL line is one flat JSON object: string keys, string or
+/// unsigned-integer values. The validator is deliberately strict — it
+/// accepts exactly the subset the tracer emits.
+fn assert_flat_json_object(line: &str) {
+    let inner = line
+        .strip_prefix('{')
+        .and_then(|s| s.strip_suffix('}'))
+        .unwrap_or_else(|| panic!("not an object: {line}"));
+    for pair in inner.split(',') {
+        let (key, value) = pair
+            .split_once(':')
+            .unwrap_or_else(|| panic!("not a pair `{pair}` in: {line}"));
+        assert!(
+            key.len() >= 3 && key.starts_with('"') && key.ends_with('"'),
+            "bad key `{key}` in: {line}"
+        );
+        let ok = (value.len() >= 2 && value.starts_with('"') && value.ends_with('"'))
+            || (!value.is_empty() && value.bytes().all(|b| b.is_ascii_digit()));
+        assert!(ok, "bad value `{value}` in: {line}");
+    }
+}
+
+#[test]
+fn trace_emits_one_json_object_per_line() {
+    let sil = write_temp(
+        "trace.sil",
+        "cell c() { box metal (0,0) (4,20); } place c() at (0,0);",
+    );
+    let jsonl = std::env::temp_dir().join("silc-cli-tests/trace.jsonl");
+    let out = silc()
+        .args([
+            "compile",
+            sil.to_str().unwrap(),
+            "--trace",
+            jsonl.to_str().unwrap(),
+        ])
+        .output()
+        .expect("runs");
+    assert!(out.status.success(), "{out:?}");
+    let text = std::fs::read_to_string(&jsonl).expect("trace file written");
+    assert!(!text.is_empty());
+    for line in text.lines() {
+        assert_flat_json_object(line);
+        assert!(line.contains("\"event\":\""), "{line}");
+    }
+    for stage in ["lang.lex", "lang.parse", "lang.elaborate", "cif.write"] {
+        assert!(
+            text.contains(&format!("\"stage\":\"{stage}\"")),
+            "missing span for `{stage}`: {text}"
+        );
+    }
+    assert!(text.contains("\"event\":\"counter\""), "{text}");
+}
+
+#[test]
+fn sim_and_pla_record_their_stages() {
+    let isl = write_temp(
+        "traced.isl",
+        "machine m { reg n[8]; state s { n := n + 1; if n == 5 { halt; } } }",
+    );
+    let out = silc()
+        .args(["sim", isl.to_str().unwrap(), "--stats"])
+        .output()
+        .expect("runs");
+    assert!(out.status.success(), "{out:?}");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("isl.parse"), "{stderr}");
+    assert!(stderr.contains("sim.run"), "{stderr}");
+    assert!(stderr.contains("sim.cycles"), "{stderr}");
+
+    let pla = write_temp("traced.pla", ".i 3\n.o 1\n110 1\n101 1\n011 1\n111 1\n.e\n");
+    let out = silc()
+        .args(["pla", pla.to_str().unwrap(), "--stats"])
+        .output()
+        .expect("runs");
+    assert!(out.status.success(), "{out:?}");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("pla.minimize"), "{stderr}");
+    assert!(stderr.contains("pla.layout"), "{stderr}");
+    assert!(stderr.contains("drc.spacing"), "{stderr}");
+}
+
+#[test]
 fn unknown_command_fails_with_usage() {
     let out = silc().arg("bogus").output().expect("runs");
     assert!(!out.status.success());
