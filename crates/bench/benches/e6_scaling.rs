@@ -106,6 +106,36 @@ fn bench(c: &mut Criterion) {
         )
     );
     print!("{}", e6::ablation_json(&ablation_rows));
+
+    // Incremental-engine payoff: the same design compiled cold then warm
+    // through the silc-incr query cache (byte-identity asserted inside).
+    let mut warm_cold = c.benchmark_group("e6/incr_warm_vs_cold");
+    for n in [8usize, 16, 32] {
+        let source = silc_bench::e2::shift_array(n);
+        let engine = silc_incr::Engine::in_memory();
+        let options = silc_incr::CompileOptions::default();
+        let mut stats = silc_incr::JobStats::default();
+        silc_incr::compile_sil(&engine, &source, &options, &mut stats).expect("cold compile");
+        warm_cold.bench_with_input(BenchmarkId::new("warm", n), &source, |b, s| {
+            b.iter(|| {
+                let mut stats = silc_incr::JobStats::default();
+                silc_incr::compile_sil(black_box(&engine), s, &options, &mut stats)
+                    .expect("warm compile")
+            })
+        });
+    }
+    warm_cold.finish();
+
+    let warm_cold_rows = e6::incr_warm_vs_cold(&[8, 16, 32]);
+    println!(
+        "{}",
+        silc_bench::render_table(
+            "E6: incremental engine, warm vs cold",
+            &["n", "cold ms", "warm ms", "speedup", "warm misses"],
+            &e6::warm_cold_table(&warm_cold_rows),
+        )
+    );
+    print!("{}", e6::warm_cold_json(&warm_cold_rows));
 }
 
 criterion_group!(benches, bench);

@@ -218,6 +218,99 @@ pub fn ablation_json(rows: &[AblationRow]) -> String {
     out
 }
 
+/// One warm-vs-cold data point: the same design compiled twice through
+/// the incremental engine — once against an empty cache, once against
+/// the cache the first run populated.
+#[derive(Debug, Clone)]
+pub struct WarmColdRow {
+    /// Array size parameter (the design is n x n cells).
+    pub n: usize,
+    /// First (cache-populating) compile wall time in milliseconds.
+    pub cold_ms: f64,
+    /// Second (fully cached) compile wall time.
+    pub warm_ms: f64,
+    /// `cold_ms / warm_ms`.
+    pub speedup: f64,
+    /// Cache misses on the warm run (must be 0).
+    pub warm_misses: u64,
+}
+
+/// Runs the warm-vs-cold sweep. Each row is also a correctness witness:
+/// the warm CIF must be byte-identical to the cold CIF and the warm run
+/// must miss nothing.
+///
+/// # Panics
+///
+/// Panics if the warm run recomputes anything or produces different CIF.
+pub fn incr_warm_vs_cold(sizes: &[usize]) -> Vec<WarmColdRow> {
+    use silc_incr::{compile_sil, CompileOptions, Engine, JobStats};
+    sizes
+        .iter()
+        .map(|&n| {
+            let source = shift_array(n);
+            let options = CompileOptions::default();
+            let engine = Engine::in_memory();
+
+            let mut cold_stats = JobStats::default();
+            let start = Instant::now();
+            let cold = compile_sil(&engine, &source, &options, &mut cold_stats)
+                .unwrap_or_else(|e| panic!("cold compile n={n}: {e}"));
+            let cold_ms = start.elapsed().as_secs_f64() * 1e3;
+
+            let mut warm_stats = JobStats::default();
+            let start = Instant::now();
+            let warm = compile_sil(&engine, &source, &options, &mut warm_stats)
+                .unwrap_or_else(|e| panic!("warm compile n={n}: {e}"));
+            let warm_ms = start.elapsed().as_secs_f64() * 1e3;
+
+            assert_eq!(warm_stats.misses, 0, "warm run recomputed at n={n}");
+            assert_eq!(
+                cold.cif.as_deref(),
+                warm.cif.as_deref(),
+                "warm CIF diverged at n={n}"
+            );
+            WarmColdRow {
+                n,
+                cold_ms,
+                warm_ms,
+                speedup: cold_ms / warm_ms.max(1e-6),
+                warm_misses: warm_stats.misses,
+            }
+        })
+        .collect()
+}
+
+/// Formats warm-vs-cold rows for display.
+pub fn warm_cold_table(rows: &[WarmColdRow]) -> Vec<Vec<String>> {
+    rows.iter()
+        .map(|r| {
+            vec![
+                r.n.to_string(),
+                format!("{:.2}", r.cold_ms),
+                format!("{:.3}", r.warm_ms),
+                format!("{:.0}x", r.speedup),
+                r.warm_misses.to_string(),
+            ]
+        })
+        .collect()
+}
+
+/// Machine-readable summary: one JSON object per row, one row per line.
+pub fn warm_cold_json(rows: &[WarmColdRow]) -> String {
+    let mut out = String::new();
+    for r in rows {
+        writeln!(
+            out,
+            "{{\"bench\":\"e6/incr_warm_vs_cold\",\"n\":{},\
+             \"cold_ms\":{:.3},\"warm_ms\":{:.3},\"speedup\":{:.2},\
+             \"warm_misses\":{}}}",
+            r.n, r.cold_ms, r.warm_ms, r.speedup, r.warm_misses
+        )
+        .expect("writing to a String");
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -260,5 +353,18 @@ mod tests {
         assert!(json.contains("\"speedup\":"));
         assert!(json.contains("\"queries\":"));
         assert_eq!(ablation_table(&rows)[0].len(), 8);
+    }
+
+    #[test]
+    fn warm_runs_never_recompute() {
+        // incr_warm_vs_cold asserts byte-identity and zero warm misses
+        // internally; here we sanity-check the emitted summary shape.
+        let rows = incr_warm_vs_cold(&[2, 4]);
+        assert_eq!(rows.len(), 2);
+        assert!(rows.iter().all(|r| r.warm_misses == 0));
+        let json = warm_cold_json(&rows);
+        assert_eq!(json.lines().count(), 2);
+        assert!(json.contains("\"bench\":\"e6/incr_warm_vs_cold\""));
+        assert_eq!(warm_cold_table(&rows)[0].len(), 5);
     }
 }

@@ -1,5 +1,5 @@
 use crate::CifError;
-use silc_geom::{Orientation, Path, Point, Polygon, Rect, Transform};
+use silc_geom::{Fingerprint, FpHasher, Orientation, Path, Point, Polygon, Rect, Transform};
 use silc_layout::{Cell, CellId, Element, Instance, Layer, Library};
 use std::collections::HashMap;
 
@@ -21,6 +21,13 @@ impl CifDesign {
     /// synthesised top cell).
     pub fn symbol_count(&self) -> usize {
         self.library.len() - 1
+    }
+}
+
+impl Fingerprint for CifDesign {
+    fn fp_hash(&self, h: &mut FpHasher) {
+        self.library.fp_hash(h);
+        self.top.fp_hash(h);
     }
 }
 
@@ -49,7 +56,7 @@ pub fn parse(text: &str) -> Result<CifDesign, CifError> {
     parse_traced(text, &silc_trace::Tracer::disabled())
 }
 
-/// [`parse`] with a [`Tracer`]: records a `cif.parse` span with byte and
+/// [`parse`] with a [`Tracer`](silc_trace::Tracer): records a `cif.parse` span with byte and
 /// symbol counts. With a disabled tracer this is exactly [`parse`].
 ///
 /// # Errors

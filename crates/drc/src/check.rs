@@ -1,5 +1,5 @@
 use crate::{merge_rects, region_contains_rect, RuleSet};
-use silc_geom::{Coord, Rect, RectIndex};
+use silc_geom::{Coord, Fingerprint, FpHasher, Rect, RectIndex};
 use silc_layout::{CellId, Layer, LayoutError, Library};
 use silc_trace::{span, Tracer};
 use std::fmt;
@@ -76,6 +76,52 @@ pub struct Violation {
 impl fmt::Display for Violation {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(f, "{} at {}", self.rule, self.at)
+    }
+}
+
+impl Fingerprint for RuleKind {
+    fn fp_hash(&self, h: &mut FpHasher) {
+        match *self {
+            RuleKind::MinWidth { layer, required } => {
+                h.write_u8(0);
+                layer.fp_hash(h);
+                h.write_i64(required);
+            }
+            RuleKind::MinSpacing { a, b, required } => {
+                h.write_u8(1);
+                a.fp_hash(h);
+                b.fp_hash(h);
+                h.write_i64(required);
+            }
+            RuleKind::ContactMetalSurround { required } => {
+                h.write_u8(2);
+                h.write_i64(required);
+            }
+            RuleKind::ContactLowerSurround { required } => {
+                h.write_u8(3);
+                h.write_i64(required);
+            }
+            RuleKind::GateOverhang { poly, diff } => {
+                h.write_u8(4);
+                h.write_i64(poly);
+                h.write_i64(diff);
+            }
+        }
+    }
+}
+
+impl Fingerprint for Violation {
+    fn fp_hash(&self, h: &mut FpHasher) {
+        self.rule.fp_hash(h);
+        self.at.fp_hash(h);
+    }
+}
+
+impl Fingerprint for Report {
+    fn fp_hash(&self, h: &mut FpHasher) {
+        h.write_str(&self.rules);
+        self.violations.fp_hash(h);
+        h.write_len(self.rects_checked);
     }
 }
 

@@ -1,4 +1,4 @@
-use silc_geom::Coord;
+use silc_geom::{Coord, Fingerprint, FpHasher};
 use silc_layout::Layer;
 
 /// A table of lambda design rules.
@@ -110,6 +110,24 @@ impl RuleSet {
 impl Default for RuleSet {
     fn default() -> Self {
         RuleSet::mead_conway_nmos()
+    }
+}
+
+impl Fingerprint for RuleSet {
+    fn fp_hash(&self, h: &mut FpHasher) {
+        h.write_str(&self.name);
+        for w in &self.min_width {
+            h.write_i64(*w);
+        }
+        for row in &self.min_spacing {
+            for s in row {
+                h.write_i64(*s);
+            }
+        }
+        h.write_i64(self.contact_metal_surround);
+        h.write_i64(self.contact_lower_surround);
+        h.write_i64(self.gate_poly_overhang);
+        h.write_i64(self.gate_diff_overhang);
     }
 }
 

@@ -52,7 +52,7 @@ mod switch;
 pub use switch::{switch_level_eval, Level, SwitchError};
 
 use silc_drc::{merge_rects, Region};
-use silc_geom::{Point, Rect, RectIndex};
+use silc_geom::{Fingerprint, FpHasher, Point, Rect, RectIndex};
 use silc_layout::{CellId, Layer, LayoutError, Library};
 use silc_netlist::{Netlist, NetlistError};
 use silc_trace::{span, Tracer};
@@ -120,6 +120,18 @@ impl Extracted {
     /// Number of recovered transistors.
     pub fn transistor_count(&self) -> usize {
         self.transistors.len()
+    }
+}
+
+impl Fingerprint for Extracted {
+    fn fp_hash(&self, h: &mut FpHasher) {
+        self.netlist.fp_hash(h);
+        h.write_len(self.transistors.len());
+        for (kind, at) in &self.transistors {
+            h.write_str(kind);
+            at.fp_hash(h);
+        }
+        h.write_len(self.nets);
     }
 }
 

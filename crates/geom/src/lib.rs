@@ -18,6 +18,8 @@
 //!   under composition, as required for hierarchical cell instantiation.
 //! * [`Interval`] and [`IntervalSet`] — one-dimensional interval algebra used
 //!   by the design-rule checker and the routers.
+//! * [`Fingerprint`], [`Fp`], [`FpHasher`] — stable 128-bit content hashing,
+//!   the key substrate of the `silc-incr` incremental compilation engine.
 //!
 //! # Example
 //!
@@ -35,6 +37,7 @@
 //! ```
 
 mod error;
+mod fp;
 mod index;
 mod interval;
 mod path;
@@ -44,6 +47,7 @@ mod rect;
 mod transform;
 
 pub use error::GeomError;
+pub use fp::{Fingerprint, Fp, FpHasher};
 pub use index::{band_decompose, RectIndex};
 pub use interval::{Interval, IntervalSet};
 pub use path::Path;

@@ -1,0 +1,363 @@
+//! The concurrent batch front-end.
+//!
+//! A *manifest* is a text file with one job per line:
+//!
+//! ```text
+//! # comments and blank lines are ignored
+//! compile counter.sil -o counter.cif
+//! compile alu.sil --no-drc
+//! sim traffic.isl --cycles 500
+//! ```
+//!
+//! [`run_batch`] executes the jobs on a small thread pool against one
+//! shared [`Engine`], so jobs that elaborate the same cells — or repeat
+//! runs against a persistent cache — share every stage result. Workers
+//! pull jobs from an atomic cursor; results land in manifest order.
+
+use crate::engine::{Engine, JobStats};
+use crate::pipeline::{compile_sil, sim_results, CompileOptions};
+use silc_rtl::parse as parse_isl;
+use silc_trace::span;
+use std::fs;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::time::Instant;
+
+/// What one manifest line asks for.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum JobKind {
+    /// Compile a SIL design: DRC + CIF (and nothing else).
+    Compile {
+        /// Write CIF here; `None` = discard (compile for the check).
+        output: Option<PathBuf>,
+        /// Skip design-rule checking.
+        no_drc: bool,
+    },
+    /// Simulate an ISL machine.
+    Sim {
+        /// Cycle budget.
+        cycles: u64,
+    },
+}
+
+/// One parsed manifest line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JobSpec {
+    /// Input file, resolved relative to the manifest's directory.
+    pub input: PathBuf,
+    /// 1-based manifest line number (for error messages).
+    pub line: usize,
+    /// What to do with the input.
+    pub kind: JobKind,
+}
+
+impl JobSpec {
+    /// The label shown in the summary table.
+    pub fn label(&self) -> String {
+        let verb = match self.kind {
+            JobKind::Compile { .. } => "compile",
+            JobKind::Sim { .. } => "sim",
+        };
+        format!("{verb} {}", self.input.display())
+    }
+}
+
+/// The outcome of one job.
+#[derive(Debug, Clone)]
+pub struct JobResult {
+    /// The job's summary-table label.
+    pub label: String,
+    /// `Ok(summary)` or `Err(message)`.
+    pub outcome: Result<String, String>,
+    /// Cache hits/misses attributable to this job.
+    pub stats: JobStats,
+    /// Wall time, in milliseconds.
+    pub millis: u128,
+}
+
+/// Parses a manifest. Paths are resolved relative to `base` (normally
+/// the manifest's own directory).
+///
+/// # Errors
+///
+/// A message naming the offending line for any unknown verb, flag, or
+/// malformed argument.
+pub fn parse_manifest(text: &str, base: &Path) -> Result<Vec<JobSpec>, String> {
+    let mut jobs = Vec::new();
+    for (idx, raw) in text.lines().enumerate() {
+        let line = idx + 1;
+        let trimmed = raw.trim();
+        if trimmed.is_empty() || trimmed.starts_with('#') {
+            continue;
+        }
+        let mut words = trimmed.split_whitespace();
+        let verb = words.next().expect("non-empty line has a first word");
+        let rest: Vec<&str> = words.collect();
+        let err = |msg: String| format!("manifest line {line}: {msg}");
+        match verb {
+            "compile" => {
+                let mut output = None;
+                let mut no_drc = false;
+                let mut input = None;
+                let mut it = rest.iter();
+                while let Some(&word) = it.next() {
+                    match word {
+                        "-o" | "--output" => {
+                            let path = it
+                                .next()
+                                .ok_or_else(|| err(format!("`{word}` needs a path")))?;
+                            if output.replace(base.join(path)).is_some() {
+                                return Err(err(format!("duplicate `{word}`")));
+                            }
+                        }
+                        "--no-drc" => {
+                            if no_drc {
+                                return Err(err("duplicate `--no-drc`".into()));
+                            }
+                            no_drc = true;
+                        }
+                        w if w.starts_with('-') => {
+                            return Err(err(format!("unknown compile flag `{w}`")));
+                        }
+                        w => {
+                            if input.replace(w).is_some() {
+                                return Err(err(format!("unexpected extra argument `{w}`")));
+                            }
+                        }
+                    }
+                }
+                let input = input.ok_or_else(|| err("compile needs an input file".into()))?;
+                jobs.push(JobSpec {
+                    input: base.join(input),
+                    line,
+                    kind: JobKind::Compile { output, no_drc },
+                });
+                continue;
+            }
+            "sim" => {
+                let mut cycles = 10_000u64;
+                let mut input = None;
+                let mut it = rest.iter();
+                while let Some(&word) = it.next() {
+                    match word {
+                        "--cycles" => {
+                            let n = it
+                                .next()
+                                .ok_or_else(|| err("`--cycles` needs a count".into()))?;
+                            cycles = n
+                                .parse()
+                                .map_err(|_| err(format!("invalid cycle count `{n}`")))?;
+                        }
+                        w if w.starts_with('-') => {
+                            return Err(err(format!("unknown sim flag `{w}`")));
+                        }
+                        w => {
+                            if input.replace(w).is_some() {
+                                return Err(err(format!("unexpected extra argument `{w}`")));
+                            }
+                        }
+                    }
+                }
+                let input = input.ok_or_else(|| err("sim needs an input file".into()))?;
+                jobs.push(JobSpec {
+                    input: base.join(input),
+                    line,
+                    kind: JobKind::Sim { cycles },
+                });
+                continue;
+            }
+            other => {
+                return Err(err(format!(
+                    "unknown verb `{other}` (expected `compile` or `sim`)"
+                )))
+            }
+        }
+    }
+    Ok(jobs)
+}
+
+fn run_one(engine: &Engine, job: &JobSpec) -> (Result<String, String>, JobStats) {
+    let mut stats = JobStats::default();
+    let outcome = (|| -> Result<String, String> {
+        let source = fs::read_to_string(&job.input)
+            .map_err(|e| format!("cannot read `{}`: {e}", job.input.display()))?;
+        match &job.kind {
+            JobKind::Compile { output, no_drc } => {
+                let options = CompileOptions {
+                    check_drc: !no_drc,
+                    ..CompileOptions::default()
+                };
+                let out = compile_sil(engine, &source, &options, &mut stats)?;
+                if let Some(report) = &out.drc {
+                    if !report.is_clean() {
+                        return Err(format!("{} DRC violation(s)", report.violations.len()));
+                    }
+                }
+                if let (Some(path), Some(cif)) = (output, &out.cif) {
+                    fs::write(path, cif.as_bytes())
+                        .map_err(|e| format!("cannot write `{}`: {e}", path.display()))?;
+                }
+                let (w, h) = out.flat.bbox.map_or((0, 0), |b| (b.width(), b.height()));
+                Ok(format!(
+                    "{} cells, {} elements, die {w}x{h}",
+                    out.design.library.len(),
+                    out.flat.flat_elements
+                ))
+            }
+            JobKind::Sim { cycles } => {
+                let machine = {
+                    let _s = span!(engine.tracer(), "isl.parse");
+                    parse_isl(&source).map_err(|e| e.to_string())?
+                };
+                let sim = sim_results(engine, &machine, *cycles, &mut stats)?;
+                Ok(format!(
+                    "{} cycle(s), {}",
+                    sim.cycles,
+                    if sim.halted {
+                        "halted"
+                    } else {
+                        "budget exhausted"
+                    }
+                ))
+            }
+        }
+    })();
+    (outcome, stats)
+}
+
+/// Runs every job against the shared engine on up to `workers` threads,
+/// returning results in manifest order.
+pub fn run_batch(engine: &Engine, jobs: &[JobSpec], workers: usize) -> Vec<JobResult> {
+    let workers = workers.clamp(1, jobs.len().max(1));
+    let cursor = AtomicUsize::new(0);
+    let mut results: Vec<Option<JobResult>> = vec![None; jobs.len()];
+    let slots: Vec<std::sync::Mutex<&mut Option<JobResult>>> =
+        results.iter_mut().map(std::sync::Mutex::new).collect();
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| loop {
+                let idx = cursor.fetch_add(1, Ordering::Relaxed);
+                let Some(job) = jobs.get(idx) else { break };
+                let started = Instant::now();
+                let (outcome, stats) = run_one(engine, job);
+                let result = JobResult {
+                    label: job.label(),
+                    outcome,
+                    stats,
+                    millis: started.elapsed().as_millis(),
+                };
+                **slots[idx].lock().expect("result slot") = Some(result);
+            });
+        }
+    });
+    results
+        .into_iter()
+        .map(|r| r.expect("every job index was claimed exactly once"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::Engine;
+
+    #[test]
+    fn manifest_parses_verbs_flags_and_comments() {
+        let base = Path::new("/designs");
+        let jobs = parse_manifest(
+            "# header\n\ncompile a.sil -o a.cif\ncompile b.sil --no-drc\nsim m.isl --cycles 42\n",
+            base,
+        )
+        .unwrap();
+        assert_eq!(jobs.len(), 3);
+        assert_eq!(jobs[0].input, base.join("a.sil"));
+        assert_eq!(
+            jobs[0].kind,
+            JobKind::Compile {
+                output: Some(base.join("a.cif")),
+                no_drc: false
+            }
+        );
+        assert_eq!(
+            jobs[1].kind,
+            JobKind::Compile {
+                output: None,
+                no_drc: true
+            }
+        );
+        assert_eq!(jobs[2].kind, JobKind::Sim { cycles: 42 });
+        assert_eq!(jobs[2].line, 5);
+    }
+
+    #[test]
+    fn manifest_rejects_bad_lines() {
+        let base = Path::new(".");
+        for (text, needle) in [
+            ("route x.sil", "unknown verb"),
+            ("compile", "needs an input"),
+            ("compile a.sil -o", "needs a path"),
+            ("compile a.sil -o x -o y", "duplicate"),
+            ("compile a.sil --fast", "unknown compile flag"),
+            ("compile a.sil b.sil", "extra argument"),
+            ("sim m.isl --cycles many", "invalid cycle count"),
+        ] {
+            let e = parse_manifest(text, base).unwrap_err();
+            assert!(e.contains(needle), "{text:?} -> {e}");
+            assert!(e.contains("line 1"), "{text:?} -> {e}");
+        }
+    }
+
+    #[test]
+    fn batch_shares_the_cache_across_identical_jobs() {
+        let dir = std::env::temp_dir().join(format!("silc-incr-batch-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        fs::create_dir_all(&dir).unwrap();
+        let sil = dir.join("cell.sil");
+        fs::write(
+            &sil,
+            "cell a() { box metal (0,0) (8,4); } place a() at (0,0);",
+        )
+        .unwrap();
+        let manifest = format!("compile {p}\ncompile {p}\ncompile {p}\n", p = sil.display());
+        let jobs = parse_manifest(&manifest, &dir).unwrap();
+        // One worker makes the hit/miss split deterministic (concurrent
+        // workers may race identical jobs into duplicate computes).
+        let engine = Engine::in_memory();
+        let results = run_batch(&engine, &jobs, 1);
+        assert_eq!(results.len(), 3);
+        for r in &results {
+            assert!(r.outcome.is_ok(), "{:?}", r.outcome);
+        }
+        let total_hits: u64 = results.iter().map(|r| r.stats.hits).sum();
+        let total_misses: u64 = results.iter().map(|r| r.stats.misses).sum();
+        // Three identical jobs, four stages each (elaborate, flatten,
+        // drc, cif): each stage computes once, every other query hits.
+        assert_eq!(total_hits + total_misses, 12);
+        assert_eq!(total_misses, 4);
+
+        // A concurrent re-run against the already-warm engine is all hits.
+        let warm = run_batch(&engine, &jobs, 4);
+        assert!(warm.iter().all(|r| r.outcome.is_ok()));
+        assert_eq!(warm.iter().map(|r| r.stats.misses).sum::<u64>(), 0);
+        assert_eq!(warm.iter().map(|r| r.stats.hits).sum::<u64>(), 12);
+    }
+
+    #[test]
+    fn failing_job_reports_without_sinking_the_batch() {
+        let engine = Engine::in_memory();
+        let jobs = vec![JobSpec {
+            input: PathBuf::from("/nonexistent/q.sil"),
+            line: 1,
+            kind: JobKind::Compile {
+                output: None,
+                no_drc: false,
+            },
+        }];
+        let results = run_batch(&engine, &jobs, 4);
+        assert!(results[0]
+            .outcome
+            .as_ref()
+            .unwrap_err()
+            .contains("cannot read"));
+    }
+}

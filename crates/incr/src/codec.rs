@@ -1,0 +1,361 @@
+//! A small hand-rolled binary codec for cache payloads.
+//!
+//! The workspace has no serialization dependency, and the cache format
+//! must stay stable across builds anyway, so every persisted type spells
+//! out its layout explicitly through [`Persist`]. All integers are
+//! little-endian; variable-length data carries a length prefix. Decoding
+//! is **total**: any malformed input yields `Err`, never a panic, so a
+//! corrupted cache entry degrades to a recompute.
+
+use silc_geom::{Orientation, Path, Point, Polygon, Rect, Transform};
+
+/// Encoder: appends fields to a byte buffer.
+#[derive(Debug, Default)]
+pub struct Enc {
+    buf: Vec<u8>,
+}
+
+impl Enc {
+    /// A fresh empty encoder.
+    pub fn new() -> Enc {
+        Enc::default()
+    }
+
+    /// The encoded bytes.
+    pub fn into_bytes(self) -> Vec<u8> {
+        self.buf
+    }
+
+    /// Appends one byte.
+    pub fn u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+
+    /// Appends a `u32`, little-endian.
+    pub fn u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Appends a `u64`, little-endian.
+    pub fn u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Appends an `i64`, little-endian two's complement.
+    pub fn i64(&mut self, v: i64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Appends a `usize` widened to 64 bits.
+    pub fn len(&mut self, v: usize) {
+        self.u64(v as u64);
+    }
+
+    /// Appends a length-prefixed UTF-8 string.
+    pub fn str(&mut self, s: &str) {
+        self.len(s.len());
+        self.buf.extend_from_slice(s.as_bytes());
+    }
+}
+
+/// Decoder: reads fields back in the order they were encoded.
+#[derive(Debug)]
+pub struct Dec<'a> {
+    data: &'a [u8],
+    pos: usize,
+}
+
+/// Decoding failure — the entry is malformed or truncated.
+pub type DecodeError = String;
+
+impl<'a> Dec<'a> {
+    /// Wraps a byte slice.
+    pub fn new(data: &'a [u8]) -> Dec<'a> {
+        Dec { data, pos: 0 }
+    }
+
+    /// True when every byte has been consumed.
+    pub fn is_done(&self) -> bool {
+        self.pos == self.data.len()
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], DecodeError> {
+        let end = self
+            .pos
+            .checked_add(n)
+            .filter(|&e| e <= self.data.len())
+            .ok_or_else(|| format!("truncated: need {n} bytes at offset {}", self.pos))?;
+        let slice = &self.data[self.pos..end];
+        self.pos = end;
+        Ok(slice)
+    }
+
+    /// Reads one byte.
+    pub fn u8(&mut self) -> Result<u8, DecodeError> {
+        Ok(self.take(1)?[0])
+    }
+
+    /// Reads a `u32`.
+    pub fn u32(&mut self) -> Result<u32, DecodeError> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+
+    /// Reads a `u64`.
+    pub fn u64(&mut self) -> Result<u64, DecodeError> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    /// Reads an `i64`.
+    pub fn i64(&mut self) -> Result<i64, DecodeError> {
+        Ok(i64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    /// Reads a length, bounds-checked against the remaining input so a
+    /// corrupted prefix cannot trigger a huge allocation.
+    #[allow(clippy::len_without_is_empty)] // reads a length field; not a container
+    pub fn len(&mut self) -> Result<usize, DecodeError> {
+        let v = self.u64()?;
+        if v > self.data.len() as u64 {
+            return Err(format!("length {v} exceeds entry size"));
+        }
+        Ok(v as usize)
+    }
+
+    /// Reads a length-prefixed UTF-8 string.
+    pub fn str(&mut self) -> Result<String, DecodeError> {
+        let n = self.len()?;
+        let bytes = self.take(n)?;
+        String::from_utf8(bytes.to_vec()).map_err(|_| "invalid UTF-8".to_string())
+    }
+}
+
+/// Types that can round-trip through the persistent cache.
+///
+/// `decode(encode(x)) == x` must hold for every value the pipeline
+/// produces, and `decode` must reject (not panic on) arbitrary bytes.
+pub trait Persist: Sized {
+    /// Appends this value to `e`.
+    fn encode(&self, e: &mut Enc);
+    /// Reads a value back.
+    ///
+    /// # Errors
+    ///
+    /// Any malformed or truncated input.
+    fn decode(d: &mut Dec<'_>) -> Result<Self, DecodeError>;
+}
+
+impl Persist for u64 {
+    fn encode(&self, e: &mut Enc) {
+        e.u64(*self);
+    }
+    fn decode(d: &mut Dec<'_>) -> Result<Self, DecodeError> {
+        d.u64()
+    }
+}
+
+impl Persist for bool {
+    fn encode(&self, e: &mut Enc) {
+        e.u8(u8::from(*self));
+    }
+    fn decode(d: &mut Dec<'_>) -> Result<Self, DecodeError> {
+        match d.u8()? {
+            0 => Ok(false),
+            1 => Ok(true),
+            v => Err(format!("invalid bool tag {v}")),
+        }
+    }
+}
+
+impl Persist for String {
+    fn encode(&self, e: &mut Enc) {
+        e.str(self);
+    }
+    fn decode(d: &mut Dec<'_>) -> Result<Self, DecodeError> {
+        d.str()
+    }
+}
+
+impl<T: Persist> Persist for Vec<T> {
+    fn encode(&self, e: &mut Enc) {
+        e.len(self.len());
+        for item in self {
+            item.encode(e);
+        }
+    }
+    fn decode(d: &mut Dec<'_>) -> Result<Self, DecodeError> {
+        let n = d.len()?;
+        let mut out = Vec::with_capacity(n);
+        for _ in 0..n {
+            out.push(T::decode(d)?);
+        }
+        Ok(out)
+    }
+}
+
+impl<T: Persist> Persist for Option<T> {
+    fn encode(&self, e: &mut Enc) {
+        match self {
+            None => e.u8(0),
+            Some(v) => {
+                e.u8(1);
+                v.encode(e);
+            }
+        }
+    }
+    fn decode(d: &mut Dec<'_>) -> Result<Self, DecodeError> {
+        match d.u8()? {
+            0 => Ok(None),
+            1 => Ok(Some(T::decode(d)?)),
+            v => Err(format!("invalid option tag {v}")),
+        }
+    }
+}
+
+impl<A: Persist, B: Persist> Persist for (A, B) {
+    fn encode(&self, e: &mut Enc) {
+        self.0.encode(e);
+        self.1.encode(e);
+    }
+    fn decode(d: &mut Dec<'_>) -> Result<Self, DecodeError> {
+        Ok((A::decode(d)?, B::decode(d)?))
+    }
+}
+
+impl Persist for Point {
+    fn encode(&self, e: &mut Enc) {
+        e.i64(self.x);
+        e.i64(self.y);
+    }
+    fn decode(d: &mut Dec<'_>) -> Result<Self, DecodeError> {
+        Ok(Point::new(d.i64()?, d.i64()?))
+    }
+}
+
+impl Persist for Rect {
+    fn encode(&self, e: &mut Enc) {
+        self.min().encode(e);
+        self.max().encode(e);
+    }
+    fn decode(d: &mut Dec<'_>) -> Result<Self, DecodeError> {
+        let min = Point::decode(d)?;
+        let max = Point::decode(d)?;
+        Rect::new(min, max).map_err(|err| format!("invalid rect: {err}"))
+    }
+}
+
+impl Persist for Orientation {
+    fn encode(&self, e: &mut Enc) {
+        let idx = Orientation::ALL
+            .iter()
+            .position(|o| o == self)
+            .expect("ALL lists every orientation") as u8;
+        e.u8(idx);
+    }
+    fn decode(d: &mut Dec<'_>) -> Result<Self, DecodeError> {
+        let idx = d.u8()? as usize;
+        Orientation::ALL
+            .get(idx)
+            .copied()
+            .ok_or_else(|| format!("invalid orientation index {idx}"))
+    }
+}
+
+impl Persist for Transform {
+    fn encode(&self, e: &mut Enc) {
+        self.orientation.encode(e);
+        self.offset.encode(e);
+    }
+    fn decode(d: &mut Dec<'_>) -> Result<Self, DecodeError> {
+        Ok(Transform {
+            orientation: Orientation::decode(d)?,
+            offset: Point::decode(d)?,
+        })
+    }
+}
+
+impl Persist for Polygon {
+    fn encode(&self, e: &mut Enc) {
+        self.vertices().to_vec().encode(e);
+    }
+    fn decode(d: &mut Dec<'_>) -> Result<Self, DecodeError> {
+        let vertices = Vec::<Point>::decode(d)?;
+        Polygon::new(vertices).map_err(|err| format!("invalid polygon: {err}"))
+    }
+}
+
+impl Persist for Path {
+    fn encode(&self, e: &mut Enc) {
+        e.i64(self.width());
+        self.points().to_vec().encode(e);
+    }
+    fn decode(d: &mut Dec<'_>) -> Result<Self, DecodeError> {
+        let width = d.i64()?;
+        let points = Vec::<Point>::decode(d)?;
+        Path::new(width, points).map_err(|err| format!("invalid path: {err}"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn round_trip<T: Persist + PartialEq + std::fmt::Debug>(v: &T) {
+        let mut e = Enc::new();
+        v.encode(&mut e);
+        let bytes = e.into_bytes();
+        let mut d = Dec::new(&bytes);
+        assert_eq!(&T::decode(&mut d).unwrap(), v);
+        assert!(d.is_done());
+    }
+
+    #[test]
+    fn primitives_round_trip() {
+        round_trip(&42u64);
+        round_trip(&true);
+        round_trip(&"héllo".to_string());
+        round_trip(&vec!["a".to_string(), String::new()]);
+        round_trip(&Some(7u64));
+        round_trip(&Option::<u64>::None);
+        round_trip(&("k".to_string(), 9u64));
+    }
+
+    #[test]
+    fn geometry_round_trips() {
+        round_trip(&Point::new(-5, 9));
+        round_trip(&Rect::new(Point::new(-1, -2), Point::new(3, 4)).unwrap());
+        for o in Orientation::ALL {
+            round_trip(&o);
+        }
+        round_trip(&Transform::new(Orientation::R90, Point::new(10, -10)));
+        round_trip(
+            &Polygon::new(vec![Point::new(0, 0), Point::new(4, 0), Point::new(4, 4)]).unwrap(),
+        );
+        round_trip(&Path::new(2, vec![Point::new(0, 0), Point::new(8, 0)]).unwrap());
+    }
+
+    #[test]
+    fn truncated_input_errors() {
+        let mut e = Enc::new();
+        "hello".to_string().encode(&mut e);
+        let bytes = e.into_bytes();
+        for cut in 0..bytes.len() {
+            assert!(String::decode(&mut Dec::new(&bytes[..cut])).is_err());
+        }
+    }
+
+    #[test]
+    fn absurd_length_rejected_without_allocating() {
+        let mut e = Enc::new();
+        e.u64(u64::MAX);
+        let bytes = e.into_bytes();
+        assert!(Vec::<u64>::decode(&mut Dec::new(&bytes)).is_err());
+        assert!(String::decode(&mut Dec::new(&bytes)).is_err());
+    }
+
+    #[test]
+    fn invalid_tags_rejected() {
+        assert!(bool::decode(&mut Dec::new(&[7])).is_err());
+        assert!(Option::<u64>::decode(&mut Dec::new(&[9])).is_err());
+        assert!(Orientation::decode(&mut Dec::new(&[200])).is_err());
+    }
+}

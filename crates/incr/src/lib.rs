@@ -1,0 +1,52 @@
+//! `silc-incr` — the content-addressed incremental compilation engine.
+//!
+//! The classic silicon-compiler pipeline (SIL source → layout → DRC →
+//! CIF → extraction; ISL → simulation/synthesis) is re-expressed here as
+//! *queries*: pure functions keyed by a 128-bit fingerprint of their
+//! inputs. An [`Engine`] memoizes query answers in memory and,
+//! optionally, in a versioned on-disk cache, so recompiling an unchanged
+//! design touches no geometry at all and editing one cell recomputes
+//! only the stages whose inputs actually changed (*early cutoff* — keys
+//! chain through output fingerprints, not source text).
+//!
+//! The three layers, bottom up:
+//!
+//! - [`codec`]: an explicit little-endian binary codec ([`Persist`])
+//!   with total, panic-free decoding.
+//! - [`disk`]: one self-describing file per entry — magic, format
+//!   version, stage tag, key, length, payload, checksum. Any damage
+//!   warns and degrades to a recompute; it can never break a build.
+//! - [`engine`]: the memo table itself, shared by concurrent batch
+//!   workers, reporting `incr.*` counters through `silc-trace`.
+//!
+//! On top sit the [`pipeline`] stage queries and the [`batch`] driver
+//! that compiles a whole manifest of jobs against one shared cache.
+//!
+//! ```
+//! use silc_incr::{compile_sil, CompileOptions, Engine, JobStats};
+//!
+//! let engine = Engine::in_memory();
+//! let source = "cell a() { box metal (0,0) (8,4); } place a() at (0,0);";
+//! let mut cold = JobStats::default();
+//! compile_sil(&engine, source, &CompileOptions::default(), &mut cold).unwrap();
+//! let mut warm = JobStats::default();
+//! compile_sil(&engine, source, &CompileOptions::default(), &mut warm).unwrap();
+//! assert_eq!(warm.misses, 0); // every stage served from cache
+//! ```
+
+pub mod batch;
+pub mod codec;
+pub mod disk;
+pub mod engine;
+mod persist;
+pub mod pipeline;
+
+pub use batch::{parse_manifest, run_batch, JobKind, JobResult, JobSpec};
+pub use codec::{Dec, DecodeError, Enc, Persist};
+pub use disk::{DiskCache, FORMAT_VERSION};
+pub use engine::{Engine, EngineConfig, JobStats, Stage};
+pub use pipeline::{
+    cif_text, compile_sil, drc_report, elaborate, extract_signature, flat_regions, pla_products,
+    sim_results, synth_allocation, CompileOptions, CompileOutput, ExtractSnapshot, FlatSnapshot,
+    PlaSnapshot, SimSnapshot, SynthSnapshot,
+};

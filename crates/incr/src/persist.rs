@@ -1,0 +1,307 @@
+//! [`Persist`] implementations for pipeline types owned by other crates.
+//!
+//! The layout [`Library`] is the only subtle case: `CellId`s are opaque
+//! handles minted by [`Library::add_cell`], so entries are written in
+//! insertion order together with their original raw ids, and decoding
+//! rebuilds the library through the public API while remapping instance
+//! targets old-id → new-id. Because a library is a DAG and insertion
+//! order respects definition order, every target has already been
+//! remapped when its instance is read back.
+
+use crate::codec::{Dec, DecodeError, Enc, Persist};
+use silc_drc::{Report, RuleKind, Violation};
+use silc_geom::{Path, Polygon, Rect, Transform};
+use silc_lang::Design;
+use silc_layout::{Cell, CellId, Element, Instance, Layer, Library, Port, Shape};
+use std::collections::HashMap;
+
+impl Persist for Layer {
+    fn encode(&self, e: &mut Enc) {
+        e.u8(self.index() as u8);
+    }
+    fn decode(d: &mut Dec<'_>) -> Result<Self, DecodeError> {
+        let idx = d.u8()? as usize;
+        Layer::ALL
+            .get(idx)
+            .copied()
+            .ok_or_else(|| format!("invalid layer index {idx}"))
+    }
+}
+
+impl Persist for Shape {
+    fn encode(&self, e: &mut Enc) {
+        match self {
+            Shape::Rect(r) => {
+                e.u8(0);
+                r.encode(e);
+            }
+            Shape::Polygon(p) => {
+                e.u8(1);
+                p.encode(e);
+            }
+            Shape::Wire(w) => {
+                e.u8(2);
+                w.encode(e);
+            }
+        }
+    }
+    fn decode(d: &mut Dec<'_>) -> Result<Self, DecodeError> {
+        match d.u8()? {
+            0 => Ok(Shape::Rect(Rect::decode(d)?)),
+            1 => Ok(Shape::Polygon(Polygon::decode(d)?)),
+            2 => Ok(Shape::Wire(Path::decode(d)?)),
+            t => Err(format!("invalid shape tag {t}")),
+        }
+    }
+}
+
+impl Persist for Element {
+    fn encode(&self, e: &mut Enc) {
+        self.layer.encode(e);
+        self.shape.encode(e);
+    }
+    fn decode(d: &mut Dec<'_>) -> Result<Self, DecodeError> {
+        Ok(Element {
+            layer: Layer::decode(d)?,
+            shape: Shape::decode(d)?,
+        })
+    }
+}
+
+fn encode_cell(cell: &Cell, e: &mut Enc) {
+    e.str(cell.name());
+    cell.elements().to_vec().encode(e);
+    e.len(cell.instances().len());
+    for inst in cell.instances() {
+        e.u32(inst.cell.raw());
+        inst.transform.encode(e);
+        e.u32(inst.cols);
+        e.u32(inst.rows);
+        e.i64(inst.dx);
+        e.i64(inst.dy);
+    }
+    e.len(cell.ports().len());
+    for port in cell.ports() {
+        e.str(&port.name);
+        port.layer.encode(e);
+        port.at.encode(e);
+    }
+}
+
+fn decode_cell(d: &mut Dec<'_>, map: &HashMap<u32, CellId>) -> Result<Cell, DecodeError> {
+    let name = d.str()?;
+    let mut cell = Cell::new(name);
+    for element in Vec::<Element>::decode(d)? {
+        cell.push_element(element);
+    }
+    let n_inst = d.len()?;
+    for _ in 0..n_inst {
+        let target_raw = d.u32()?;
+        let transform = Transform::decode(d)?;
+        let cols = d.u32()?;
+        let rows = d.u32()?;
+        let dx = d.i64()?;
+        let dy = d.i64()?;
+        let target = map
+            .get(&target_raw)
+            .copied()
+            .ok_or_else(|| format!("instance references unknown cell id {target_raw}"))?;
+        let instance = Instance::array(target, transform, cols, rows, dx, dy)
+            .map_err(|err| format!("invalid instance: {err}"))?;
+        cell.push_instance(instance);
+    }
+    let n_ports = d.len()?;
+    for _ in 0..n_ports {
+        let name = d.str()?;
+        let layer = Layer::decode(d)?;
+        let at = silc_geom::Point::decode(d)?;
+        cell.push_port(Port::new(name, layer, at));
+    }
+    Ok(cell)
+}
+
+impl Persist for Design {
+    fn encode(&self, e: &mut Enc) {
+        e.len(self.library.len());
+        for (id, cell) in self.library.iter() {
+            e.u32(id.raw());
+            encode_cell(cell, e);
+        }
+        e.u32(self.top.raw());
+    }
+    fn decode(d: &mut Dec<'_>) -> Result<Self, DecodeError> {
+        let n = d.len()?;
+        let mut library = Library::new();
+        let mut map: HashMap<u32, CellId> = HashMap::new();
+        for _ in 0..n {
+            let old_raw = d.u32()?;
+            let cell = decode_cell(d, &map)?;
+            let new_id = library
+                .add_cell(cell)
+                .map_err(|err| format!("cannot rebuild library: {err}"))?;
+            map.insert(old_raw, new_id);
+        }
+        let top_raw = d.u32()?;
+        let top = map
+            .get(&top_raw)
+            .copied()
+            .ok_or_else(|| format!("top cell id {top_raw} not in library"))?;
+        Ok(Design { library, top })
+    }
+}
+
+impl Persist for RuleKind {
+    fn encode(&self, e: &mut Enc) {
+        match *self {
+            RuleKind::MinWidth { layer, required } => {
+                e.u8(0);
+                layer.encode(e);
+                e.i64(required);
+            }
+            RuleKind::MinSpacing { a, b, required } => {
+                e.u8(1);
+                a.encode(e);
+                b.encode(e);
+                e.i64(required);
+            }
+            RuleKind::ContactMetalSurround { required } => {
+                e.u8(2);
+                e.i64(required);
+            }
+            RuleKind::ContactLowerSurround { required } => {
+                e.u8(3);
+                e.i64(required);
+            }
+            RuleKind::GateOverhang { poly, diff } => {
+                e.u8(4);
+                e.i64(poly);
+                e.i64(diff);
+            }
+        }
+    }
+    fn decode(d: &mut Dec<'_>) -> Result<Self, DecodeError> {
+        Ok(match d.u8()? {
+            0 => RuleKind::MinWidth {
+                layer: Layer::decode(d)?,
+                required: d.i64()?,
+            },
+            1 => RuleKind::MinSpacing {
+                a: Layer::decode(d)?,
+                b: Layer::decode(d)?,
+                required: d.i64()?,
+            },
+            2 => RuleKind::ContactMetalSurround { required: d.i64()? },
+            3 => RuleKind::ContactLowerSurround { required: d.i64()? },
+            4 => RuleKind::GateOverhang {
+                poly: d.i64()?,
+                diff: d.i64()?,
+            },
+            t => return Err(format!("invalid rule kind tag {t}")),
+        })
+    }
+}
+
+impl Persist for Violation {
+    fn encode(&self, e: &mut Enc) {
+        self.rule.encode(e);
+        self.at.encode(e);
+    }
+    fn decode(d: &mut Dec<'_>) -> Result<Self, DecodeError> {
+        Ok(Violation {
+            rule: RuleKind::decode(d)?,
+            at: Rect::decode(d)?,
+        })
+    }
+}
+
+impl Persist for Report {
+    fn encode(&self, e: &mut Enc) {
+        e.str(&self.rules);
+        self.violations.encode(e);
+        e.u64(self.rects_checked as u64);
+    }
+    fn decode(d: &mut Dec<'_>) -> Result<Self, DecodeError> {
+        Ok(Report {
+            rules: d.str()?,
+            violations: Vec::<Violation>::decode(d)?,
+            rects_checked: d.u64()? as usize,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use silc_geom::{Fingerprint, Point};
+    use silc_lang::Compiler;
+
+    fn round_trip<T: Persist>(v: &T) -> T {
+        let mut e = Enc::new();
+        v.encode(&mut e);
+        let bytes = e.into_bytes();
+        let mut d = Dec::new(&bytes);
+        let back = T::decode(&mut d).unwrap();
+        assert!(d.is_done());
+        back
+    }
+
+    #[test]
+    fn design_round_trips_by_fingerprint() {
+        let design = Compiler::new()
+            .compile(
+                "cell pair() {
+                     box metal (0,0) (8,4);
+                     wire poly 2 (0,0) (10,0) (10,6);
+                     port a metal (1,1);
+                 }
+                 cell top2() { place pair() at (0,0); place pair() at (30,0) rot 90; }
+                 array top2() at (0,0) step (80, 0) count 2;",
+            )
+            .unwrap();
+        let back = round_trip(&design);
+        assert_eq!(back.fingerprint(), design.fingerprint());
+        assert_eq!(back.library.len(), design.library.len());
+    }
+
+    #[test]
+    fn report_round_trips() {
+        let report = Report {
+            rules: "mead-conway-nmos".into(),
+            violations: vec![
+                Violation {
+                    rule: RuleKind::MinWidth {
+                        layer: Layer::Poly,
+                        required: 2,
+                    },
+                    at: Rect::new(Point::new(0, 0), Point::new(1, 4)).unwrap(),
+                },
+                Violation {
+                    rule: RuleKind::GateOverhang { poly: 2, diff: 2 },
+                    at: Rect::new(Point::new(5, 5), Point::new(9, 9)).unwrap(),
+                },
+            ],
+            rects_checked: 123,
+        };
+        let back = round_trip(&report);
+        assert_eq!(back, report);
+    }
+
+    #[test]
+    fn dangling_instance_target_is_an_error_not_a_panic() {
+        // A cell with an instance pointing at a not-yet-seen id.
+        let design = Compiler::new()
+            .compile("cell a() { box metal (0,0) (4,4); } place a() at (0,0);")
+            .unwrap();
+        let mut e = Enc::new();
+        design.encode(&mut e);
+        let mut bytes = e.into_bytes();
+        // Corrupt every u32 that could be a cell id reference; decode must
+        // either succeed or error cleanly, never panic.
+        for i in 0..bytes.len() {
+            let saved = bytes[i];
+            bytes[i] = bytes[i].wrapping_add(1);
+            let _ = Design::decode(&mut Dec::new(&bytes));
+            bytes[i] = saved;
+        }
+    }
+}

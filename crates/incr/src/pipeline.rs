@@ -1,0 +1,490 @@
+//! The compiler pipeline expressed as incremental queries.
+//!
+//! Each function keys one stage by the fingerprint of its *inputs* and
+//! answers through [`Engine::query`]. Keys chain through intermediate
+//! **outputs**, not sources, which yields early cutoff:
+//!
+//! ```text
+//! source ──elaborate──▶ Design ──flatten──▶ FlatSnapshot ──drc──▶ Report
+//!                         │  └──────────────extract──▶ ExtractSnapshot
+//!                         └──cif──▶ String
+//! ISL source ─parse─▶ Machine ──sim──▶ SimSnapshot
+//!                        └──synth──▶ SynthSnapshot
+//! PLA table ──pla──▶ PlaSnapshot
+//! ```
+//!
+//! A comment-only SIL edit re-elaborates (cheap), finds the design
+//! fingerprint unchanged, and serves flatten/DRC/CIF/extract from cache.
+//! Parsing ISL is likewise always live, so simulation results are keyed
+//! by the *machine*, making them immune to formatting edits.
+
+use crate::codec::{Dec, DecodeError, Enc, Persist};
+use crate::engine::{Engine, JobStats, Stage};
+use silc_cif::CifWriter;
+use silc_drc::{check_flat_traced, Report, RuleSet};
+use silc_geom::{Fingerprint, Rect};
+use silc_lang::{Compiler, Design, PRELUDE};
+use silc_layout::CellStats;
+use silc_logic::TruthTable;
+use silc_pla::{generate_layout_traced, Minimize, PlaSpec};
+use silc_rtl::{Machine, Simulator};
+use silc_synth::{synthesize_traced, Sharing, SynthOptions};
+use silc_trace::span;
+use std::sync::Arc;
+
+/// Flattened geometry plus the die statistics the CLI summarises —
+/// cached together so a warm run reproduces the summary byte-for-byte
+/// without flattening.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FlatSnapshot {
+    /// Merged per-layer rectangles, indexed by [`silc_layout::Layer::index`].
+    pub layers: Vec<Vec<Rect>>,
+    /// Flattened element count ([`CellStats::flat_elements`]).
+    pub flat_elements: u64,
+    /// Die bounding box ([`CellStats::bbox`]).
+    pub bbox: Option<Rect>,
+}
+
+impl Persist for FlatSnapshot {
+    fn encode(&self, e: &mut Enc) {
+        self.layers.encode(e);
+        e.u64(self.flat_elements);
+        self.bbox.encode(e);
+    }
+    fn decode(d: &mut Dec<'_>) -> Result<Self, DecodeError> {
+        Ok(FlatSnapshot {
+            layers: Vec::<Vec<Rect>>::decode(d)?,
+            flat_elements: d.u64()?,
+            bbox: Option::<Rect>::decode(d)?,
+        })
+    }
+}
+
+/// Extraction summary: everything LVS needs, without the full netlist.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ExtractSnapshot {
+    /// Canonical netlist signature ([`silc_netlist::Netlist::isomorphic_signature`]).
+    pub signature: Vec<String>,
+    /// Recovered transistor count.
+    pub transistors: u64,
+    /// Electrically distinct nets.
+    pub nets: u64,
+}
+
+impl Persist for ExtractSnapshot {
+    fn encode(&self, e: &mut Enc) {
+        self.signature.encode(e);
+        e.u64(self.transistors);
+        e.u64(self.nets);
+    }
+    fn decode(d: &mut Dec<'_>) -> Result<Self, DecodeError> {
+        Ok(ExtractSnapshot {
+            signature: Vec::<String>::decode(d)?,
+            transistors: d.u64()?,
+            nets: d.u64()?,
+        })
+    }
+}
+
+/// Simulation results: the final machine state the CLI prints, in
+/// declaration order.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SimSnapshot {
+    /// Cycles actually executed.
+    pub cycles: u64,
+    /// True when the machine hit `halt` (vs. exhausting the budget).
+    pub halted: bool,
+    /// Final control state name.
+    pub state: String,
+    /// Final register values, in declaration order.
+    pub regs: Vec<(String, u64)>,
+    /// Final output port values, in declaration order.
+    pub outputs: Vec<(String, u64)>,
+}
+
+impl Persist for SimSnapshot {
+    fn encode(&self, e: &mut Enc) {
+        e.u64(self.cycles);
+        self.halted.encode(e);
+        e.str(&self.state);
+        self.regs.encode(e);
+        self.outputs.encode(e);
+    }
+    fn decode(d: &mut Dec<'_>) -> Result<Self, DecodeError> {
+        Ok(SimSnapshot {
+            cycles: d.u64()?,
+            halted: bool::decode(d)?,
+            state: d.str()?,
+            regs: Vec::<(String, u64)>::decode(d)?,
+            outputs: Vec::<(String, u64)>::decode(d)?,
+        })
+    }
+}
+
+/// Synthesis results: the rendered allocation plus the control-PLA
+/// dimensions the CLI prints.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SynthSnapshot {
+    /// The allocation's `Display` rendering.
+    pub display: String,
+    /// `(state bits, PLA inputs, PLA outputs, PLA terms)`.
+    pub control: (u32, u32, u32, u32),
+}
+
+impl Persist for SynthSnapshot {
+    fn encode(&self, e: &mut Enc) {
+        e.str(&self.display);
+        e.u32(self.control.0);
+        e.u32(self.control.1);
+        e.u32(self.control.2);
+        e.u32(self.control.3);
+    }
+    fn decode(d: &mut Dec<'_>) -> Result<Self, DecodeError> {
+        Ok(SynthSnapshot {
+            display: d.str()?,
+            control: (d.u32()?, d.u32()?, d.u32()?, d.u32()?),
+        })
+    }
+}
+
+/// PLA products: personality summary, DRC report and CIF text.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PlaSnapshot {
+    /// The personality line the CLI prints to stderr.
+    pub personality: String,
+    /// DRC report over the generated layout.
+    pub report: Report,
+    /// The layout as CIF text.
+    pub cif: String,
+}
+
+impl Persist for PlaSnapshot {
+    fn encode(&self, e: &mut Enc) {
+        e.str(&self.personality);
+        self.report.encode(e);
+        e.str(&self.cif);
+    }
+    fn decode(d: &mut Dec<'_>) -> Result<Self, DecodeError> {
+        Ok(PlaSnapshot {
+            personality: d.str()?,
+            report: Report::decode(d)?,
+            cif: d.str()?,
+        })
+    }
+}
+
+/// SIL source → elaborated design, keyed by the source *and* the
+/// standard-cell prelude (a prelude change must invalidate).
+///
+/// # Errors
+///
+/// SIL syntax or elaboration errors, rendered to strings.
+pub fn elaborate(
+    engine: &Engine,
+    source: &str,
+    stats: &mut JobStats,
+) -> Result<Arc<Design>, String> {
+    let key = (source, PRELUDE).fingerprint();
+    engine.query(Stage::ELABORATE, key, stats, || {
+        Compiler::new()
+            .with_tracer(engine.tracer().clone())
+            .compile(source)
+            .map_err(|e| e.to_string())
+    })
+}
+
+/// Design → flattened per-layer geometry and die statistics.
+///
+/// # Errors
+///
+/// Layout errors (unknown root cell), rendered to strings.
+pub fn flat_regions(
+    engine: &Engine,
+    design: &Design,
+    stats: &mut JobStats,
+) -> Result<Arc<FlatSnapshot>, String> {
+    let key = design.fingerprint();
+    engine.query(Stage::FLATTEN, key, stats, || {
+        let tracer = engine.tracer();
+        let layers = {
+            let mut s = span!(tracer, "layout.flatten");
+            let layers = silc_layout::flatten_to_rects(&design.library, design.top)
+                .map_err(|e| e.to_string())?;
+            s.attr("rects", layers.iter().map(Vec::len).sum::<usize>() as u64);
+            layers
+        };
+        let cell_stats =
+            CellStats::compute(&design.library, design.top).map_err(|e| e.to_string())?;
+        Ok(FlatSnapshot {
+            layers,
+            flat_elements: cell_stats.flat_elements as u64,
+            bbox: cell_stats.bbox,
+        })
+    })
+}
+
+/// Flattened geometry + rule set → DRC report. Keyed by the *geometry*,
+/// so a hierarchy refactor that flattens identically reuses the report.
+///
+/// # Errors
+///
+/// Never fails today; the `Result` mirrors the other stages.
+pub fn drc_report(
+    engine: &Engine,
+    flat: &FlatSnapshot,
+    rules: &RuleSet,
+    stats: &mut JobStats,
+) -> Result<Arc<Report>, String> {
+    let key = (&flat.layers, rules).fingerprint();
+    engine.query(Stage::DRC, key, stats, || {
+        Ok(check_flat_traced(&flat.layers, rules, engine.tracer()))
+    })
+}
+
+/// Design → CIF text.
+///
+/// # Errors
+///
+/// CIF writer errors (e.g. unnameable cells), rendered to strings.
+pub fn cif_text(
+    engine: &Engine,
+    design: &Design,
+    stats: &mut JobStats,
+) -> Result<Arc<String>, String> {
+    let key = design.fingerprint();
+    engine.query(Stage::CIF, key, stats, || {
+        CifWriter::new()
+            .with_tracer(engine.tracer().clone())
+            .write_to_string(&design.library, design.top)
+            .map_err(|e| e.to_string())
+    })
+}
+
+/// Design → extracted netlist summary.
+///
+/// # Errors
+///
+/// Extraction errors (malformed transistors), rendered to strings.
+pub fn extract_signature(
+    engine: &Engine,
+    design: &Design,
+    stats: &mut JobStats,
+) -> Result<Arc<ExtractSnapshot>, String> {
+    let key = design.fingerprint();
+    engine.query(Stage::EXTRACT, key, stats, || {
+        let extracted = silc_extract::extract_traced(&design.library, design.top, engine.tracer())
+            .map_err(|e| e.to_string())?;
+        Ok(ExtractSnapshot {
+            signature: extracted.netlist.isomorphic_signature(),
+            transistors: extracted.transistor_count() as u64,
+            nets: extracted.nets as u64,
+        })
+    })
+}
+
+/// Machine + cycle budget → simulation results. Keyed by the parsed
+/// machine, so formatting-only ISL edits hit the cache.
+///
+/// # Errors
+///
+/// Runtime simulation errors, rendered to strings.
+pub fn sim_results(
+    engine: &Engine,
+    machine: &Machine,
+    cycles: u64,
+    stats: &mut JobStats,
+) -> Result<Arc<SimSnapshot>, String> {
+    let key = (machine, cycles).fingerprint();
+    engine.query(Stage::SIM, key, stats, || {
+        let tracer = engine.tracer();
+        let mut sim = Simulator::new(machine);
+        let report = {
+            let _s = span!(tracer, "sim.run");
+            sim.run(cycles).map_err(|e| e.to_string())?
+        };
+        tracer.add("sim.cycles", report.cycles);
+        let mut regs = Vec::with_capacity(machine.regs.len());
+        for r in &machine.regs {
+            let value = sim
+                .reg(&r.name)
+                .ok_or_else(|| format!("simulator has no register `{}`", r.name))?;
+            regs.push((r.name.clone(), value));
+        }
+        let mut outputs = Vec::with_capacity(machine.outputs.len());
+        for p in &machine.outputs {
+            let value = sim
+                .output(&p.name)
+                .ok_or_else(|| format!("simulator has no output `{}`", p.name))?;
+            outputs.push((p.name.clone(), value));
+        }
+        Ok(SimSnapshot {
+            cycles: report.cycles,
+            halted: report.halted,
+            state: sim.state_name().to_string(),
+            regs,
+            outputs,
+        })
+    })
+}
+
+/// Machine → shared-module allocation.
+///
+/// # Errors
+///
+/// Never fails today; the `Result` mirrors the other stages.
+pub fn synth_allocation(
+    engine: &Engine,
+    machine: &Machine,
+    stats: &mut JobStats,
+) -> Result<Arc<SynthSnapshot>, String> {
+    let key = machine.fingerprint();
+    engine.query(Stage::SYNTH, key, stats, || {
+        let allocation = synthesize_traced(
+            machine,
+            &SynthOptions {
+                sharing: Sharing::Shared,
+            },
+            engine.tracer(),
+        );
+        Ok(SynthSnapshot {
+            display: allocation.to_string(),
+            control: allocation.control,
+        })
+    })
+}
+
+/// PLA table text + minimization choice → personality, DRC report and
+/// CIF.
+///
+/// # Errors
+///
+/// Table parse, layout generation or CIF errors, rendered to strings.
+pub fn pla_products(
+    engine: &Engine,
+    source: &str,
+    raw: bool,
+    stats: &mut JobStats,
+) -> Result<Arc<PlaSnapshot>, String> {
+    let key = (source, raw).fingerprint();
+    engine.query(Stage::PLA, key, stats, || {
+        let tracer = engine.tracer();
+        let table = TruthTable::parse_pla(source).map_err(|e| e.to_string())?;
+        let mode = if raw {
+            Minimize::None
+        } else {
+            Minimize::Heuristic
+        };
+        let spec =
+            PlaSpec::from_truth_table_traced(&table, mode, tracer).map_err(|e| e.to_string())?;
+        let (w, h) = spec.area_estimate();
+        let personality = format!(
+            "personality: {} terms ({} AND + {} OR devices), {}x{} lambda",
+            spec.num_terms(),
+            spec.and_plane_devices(),
+            spec.or_plane_devices(),
+            w,
+            h
+        );
+        let mut lib = silc_layout::Library::new();
+        let id =
+            generate_layout_traced(&spec, &mut lib, "pla", tracer).map_err(|e| e.to_string())?;
+        let report = silc_drc::check_traced(&lib, id, &RuleSet::mead_conway_nmos(), tracer)
+            .map_err(|e| e.to_string())?;
+        let cif = CifWriter::new()
+            .with_tracer(tracer.clone())
+            .write_to_string(&lib, id)
+            .map_err(|e| e.to_string())?;
+        Ok(PlaSnapshot {
+            personality,
+            report,
+            cif,
+        })
+    })
+}
+
+/// Options for the one-call compile pipeline.
+#[derive(Debug, Clone)]
+pub struct CompileOptions {
+    /// Run DRC (and withhold CIF when violations are found).
+    pub check_drc: bool,
+    /// Rule set for DRC.
+    pub rules: RuleSet,
+    /// Produce CIF text.
+    pub emit_cif: bool,
+    /// Produce the extracted netlist summary.
+    pub extract: bool,
+}
+
+impl Default for CompileOptions {
+    fn default() -> CompileOptions {
+        CompileOptions {
+            check_drc: true,
+            rules: RuleSet::mead_conway_nmos(),
+            emit_cif: true,
+            extract: false,
+        }
+    }
+}
+
+/// Everything a compile run produced. Fields the options disabled (or
+/// that DRC violations withheld) are `None`.
+#[derive(Debug, Clone)]
+pub struct CompileOutput {
+    /// The elaborated design.
+    pub design: Arc<Design>,
+    /// Flattened geometry and die statistics.
+    pub flat: Arc<FlatSnapshot>,
+    /// DRC report, when requested.
+    pub drc: Option<Arc<Report>>,
+    /// CIF text, when requested and the layout is clean (or unchecked).
+    pub cif: Option<Arc<String>>,
+    /// Extraction summary, when requested.
+    pub extract: Option<Arc<ExtractSnapshot>>,
+}
+
+impl CompileOutput {
+    /// True when DRC either ran clean or was skipped.
+    pub fn is_clean(&self) -> bool {
+        self.drc.as_ref().is_none_or(|r| r.is_clean())
+    }
+}
+
+/// The full SIL compile pipeline as chained queries — the CLI's
+/// `compile` subcommand and every batch compile job run through here.
+///
+/// # Errors
+///
+/// The first failing stage's error. DRC *violations* are not an error:
+/// they come back in [`CompileOutput::drc`] with `cif` withheld.
+pub fn compile_sil(
+    engine: &Engine,
+    source: &str,
+    options: &CompileOptions,
+    stats: &mut JobStats,
+) -> Result<CompileOutput, String> {
+    let design = elaborate(engine, source, stats)?;
+    let flat = flat_regions(engine, &design, stats)?;
+    let drc = if options.check_drc {
+        Some(drc_report(engine, &flat, &options.rules, stats)?)
+    } else {
+        None
+    };
+    let clean = drc.as_ref().is_none_or(|r| r.is_clean());
+    let cif = if options.emit_cif && clean {
+        Some(cif_text(engine, &design, stats)?)
+    } else {
+        None
+    };
+    let extract = if options.extract {
+        Some(extract_signature(engine, &design, stats)?)
+    } else {
+        None
+    };
+    Ok(CompileOutput {
+        design,
+        flat,
+        drc,
+        cif,
+        extract,
+    })
+}

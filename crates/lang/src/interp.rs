@@ -3,7 +3,7 @@ use crate::lexer::lex;
 use crate::parser::{parse, parse_tokens};
 use crate::value::Value;
 use crate::LangError;
-use silc_geom::{Orientation, Path, Point, Polygon, Rect, Transform};
+use silc_geom::{Fingerprint, FpHasher, Orientation, Path, Point, Polygon, Rect, Transform};
 use silc_layout::{Cell, CellId, Element, Instance, Layer, Library, Port};
 use silc_trace::{span, Tracer};
 use std::collections::HashMap;
@@ -17,6 +17,13 @@ pub struct Design {
     pub library: Library,
     /// The implicit top cell.
     pub top: CellId,
+}
+
+impl Fingerprint for Design {
+    fn fp_hash(&self, h: &mut FpHasher) {
+        self.library.fp_hash(h);
+        self.top.fp_hash(h);
+    }
 }
 
 /// The SIL compiler: parses a program and elaborates it into a layout

@@ -1,0 +1,151 @@
+//! [`Fingerprint`] implementations for the layout database.
+//!
+//! A [`Library`] fingerprint covers every cell in insertion order — name,
+//! artwork, ports and instances — so any edit anywhere in the hierarchy
+//! changes the digest, while an elaboration that reproduces the same
+//! library byte-for-byte reproduces the same digest (the early-cutoff
+//! property `silc-incr` relies on).
+
+use crate::{Cell, CellId, Element, FlatElement, Instance, Layer, Library, Port, Shape};
+use silc_geom::{Fingerprint, FpHasher};
+
+impl Fingerprint for Layer {
+    fn fp_hash(&self, h: &mut FpHasher) {
+        h.write_u8(self.index() as u8);
+    }
+}
+
+impl Fingerprint for CellId {
+    fn fp_hash(&self, h: &mut FpHasher) {
+        h.write_u32(self.raw());
+    }
+}
+
+impl Fingerprint for Shape {
+    fn fp_hash(&self, h: &mut FpHasher) {
+        match self {
+            Shape::Rect(r) => {
+                h.write_u8(0);
+                r.fp_hash(h);
+            }
+            Shape::Polygon(p) => {
+                h.write_u8(1);
+                p.fp_hash(h);
+            }
+            Shape::Wire(w) => {
+                h.write_u8(2);
+                w.fp_hash(h);
+            }
+        }
+    }
+}
+
+impl Fingerprint for Element {
+    fn fp_hash(&self, h: &mut FpHasher) {
+        self.layer.fp_hash(h);
+        self.shape.fp_hash(h);
+    }
+}
+
+impl Fingerprint for Port {
+    fn fp_hash(&self, h: &mut FpHasher) {
+        h.write_str(&self.name);
+        self.layer.fp_hash(h);
+        self.at.fp_hash(h);
+    }
+}
+
+impl Fingerprint for Instance {
+    fn fp_hash(&self, h: &mut FpHasher) {
+        self.cell.fp_hash(h);
+        self.transform.fp_hash(h);
+        h.write_u32(self.cols);
+        h.write_u32(self.rows);
+        h.write_i64(self.dx);
+        h.write_i64(self.dy);
+    }
+}
+
+impl Fingerprint for Cell {
+    fn fp_hash(&self, h: &mut FpHasher) {
+        h.write_str(self.name());
+        self.elements().fp_hash(h);
+        self.instances().fp_hash(h);
+        self.ports().fp_hash(h);
+    }
+}
+
+impl Fingerprint for Library {
+    fn fp_hash(&self, h: &mut FpHasher) {
+        h.write_len(self.len());
+        for (_, cell) in self.iter() {
+            cell.fp_hash(h);
+        }
+    }
+}
+
+impl Fingerprint for FlatElement {
+    fn fp_hash(&self, h: &mut FpHasher) {
+        self.element.fp_hash(h);
+        self.source.fp_hash(h);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use silc_geom::{Point, Rect, Transform};
+
+    fn leaf(name: &str, w: i64) -> Cell {
+        let mut c = Cell::new(name);
+        c.push_element(Element::rect(
+            Layer::Poly,
+            Rect::from_origin_size(Point::new(0, 0), w, 2).unwrap(),
+        ));
+        c
+    }
+
+    #[test]
+    fn identical_libraries_agree() {
+        let build = || {
+            let mut lib = Library::new();
+            let a = lib.add_cell(leaf("a", 2)).unwrap();
+            let mut top = leaf("top", 4);
+            top.push_instance(Instance::place(a, Transform::IDENTITY));
+            lib.add_cell(top).unwrap();
+            lib
+        };
+        assert_eq!(build().fingerprint(), build().fingerprint());
+    }
+
+    #[test]
+    fn any_edit_changes_the_digest() {
+        let mut lib = Library::new();
+        lib.add_cell(leaf("a", 2)).unwrap();
+        let base = lib.fingerprint();
+
+        let mut widened = Library::new();
+        widened.add_cell(leaf("a", 3)).unwrap();
+        assert_ne!(widened.fingerprint(), base);
+
+        let mut renamed = Library::new();
+        renamed.add_cell(leaf("b", 2)).unwrap();
+        assert_ne!(renamed.fingerprint(), base);
+
+        let mut with_port = Library::new();
+        let mut cell = leaf("a", 2);
+        cell.push_port(Port::new("out", Layer::Metal, Point::new(0, 0)));
+        with_port.add_cell(cell).unwrap();
+        assert_ne!(with_port.fingerprint(), base);
+    }
+
+    #[test]
+    fn layer_digests_are_distinct() {
+        let fps: Vec<_> = Layer::ALL.iter().map(|l| l.fingerprint()).collect();
+        for (i, a) in fps.iter().enumerate() {
+            for b in &fps[i + 1..] {
+                assert_ne!(a, b);
+            }
+        }
+    }
+}

@@ -25,7 +25,8 @@
 //! # Ok::<(), silc_netlist::NetlistError>(())
 //! ```
 
-use std::collections::{BTreeMap, HashMap};
+use silc_geom::{Fingerprint, FpHasher};
+use std::collections::{BTreeMap, HashMap, HashSet};
 use std::fmt;
 
 /// Opaque handle to a net within a [`Netlist`].
@@ -217,12 +218,36 @@ impl Netlist {
     }
 
     /// A canonical signature for structural comparison (LVS-lite): labels
-    /// nets and instances by iterated neighbourhood refinement and returns
-    /// the sorted multiset of instance labels. Two netlists with equal
-    /// signatures are structurally identical up to renaming for all
-    /// practical layouts (the refinement is not a complete isomorphism
-    /// test, but distinguishes everything the extractor produces).
+    /// nets and instances by iterated neighbourhood refinement **to a
+    /// fixpoint** and returns the sorted multiset of instance labels. Two
+    /// netlists with equal signatures are structurally identical up to
+    /// renaming for all practical layouts (the refinement is not a
+    /// complete isomorphism test, but distinguishes everything the
+    /// extractor produces, including long chains whose ends a
+    /// fixed-round refinement cannot see).
     pub fn isomorphic_signature(&self) -> Vec<String> {
+        self.refined_signature(None)
+    }
+
+    /// Label refinement driving [`isomorphic_signature`]. Each round
+    /// relabels instances from their nets' labels and nets from their
+    /// instances' labels, chaining the previous label so classes only
+    /// ever split; labels are compressed to fixed-size content hashes so
+    /// round cost stays linear. With `rounds: None` refinement runs until
+    /// the partition stops splitting (at most `nets + instances` rounds);
+    /// `Some(k)` stops after exactly `k` rounds (used by tests to pin the
+    /// shallow-refinement failure mode).
+    ///
+    /// [`isomorphic_signature`]: Netlist::isomorphic_signature
+    fn refined_signature(&self, rounds: Option<usize>) -> Vec<String> {
+        fn compress(raw: &str) -> String {
+            let mut h = FpHasher::new();
+            h.write_str(raw);
+            h.finish().to_hex()
+        }
+        fn class_count(labels: &[String]) -> usize {
+            labels.iter().collect::<HashSet<_>>().len()
+        }
         // Initial net labels: sorted multiset of (kind, port) pins.
         let mut net_labels: Vec<String> = vec![String::new(); self.nets.len()];
         for (ni, label) in net_labels.iter_mut().enumerate() {
@@ -237,12 +262,12 @@ impl Netlist {
                 })
                 .collect();
             pins.sort();
-            *label = pins.join(",");
+            *label = compress(&pins.join(","));
         }
-        // Refine a few rounds: instance label from net labels, then net
-        // labels from instance labels.
+        let max_rounds = rounds.unwrap_or(self.nets.len() + self.instances.len() + 1);
         let mut inst_labels: Vec<String> = vec![String::new(); self.instances.len()];
-        for _ in 0..3 {
+        let mut prev_classes = 0;
+        for _ in 0..max_rounds {
             for (ii, inst) in self.instances.iter().enumerate() {
                 let mut parts: Vec<String> = inst
                     .connections
@@ -250,9 +275,11 @@ impl Netlist {
                     .map(|(p, n)| format!("{p}={}", net_labels[n.raw() as usize]))
                     .collect();
                 parts.sort();
-                inst_labels[ii] = format!("{}({})", inst.kind, parts.join(";"));
+                let raw = format!("{}|{}({})", inst_labels[ii], inst.kind, parts.join(";"));
+                inst_labels[ii] = compress(&raw);
             }
-            for (ni, label) in net_labels.iter_mut().enumerate() {
+            let mut next_nets = net_labels.clone();
+            for (ni, label) in next_nets.iter_mut().enumerate() {
                 let mut pins: Vec<String> = Vec::new();
                 for (ii, inst) in self.instances.iter().enumerate() {
                     for (p, n) in &inst.connections {
@@ -262,7 +289,18 @@ impl Netlist {
                     }
                 }
                 pins.sort();
-                *label = pins.join(",");
+                *label = compress(&format!("{}|{}", net_labels[ni], pins.join(",")));
+            }
+            net_labels = next_nets;
+            if rounds.is_none() {
+                // Chained labels mean classes only split; an unchanged
+                // count is therefore a stable partition, and a stable
+                // round can never be followed by a splitting one.
+                let classes = class_count(&inst_labels) + class_count(&net_labels);
+                if classes == prev_classes {
+                    break;
+                }
+                prev_classes = classes;
             }
         }
         inst_labels.sort();
@@ -281,6 +319,26 @@ impl Netlist {
         (0..self.nets.len())
             .filter(|&ni| self.fanout(NetId(ni as u32)) > 0)
             .count()
+    }
+}
+
+impl Fingerprint for Netlist {
+    fn fp_hash(&self, h: &mut FpHasher) {
+        h.write_str(&self.name);
+        h.write_len(self.nets.len());
+        for net in &self.nets {
+            h.write_str(&net.name);
+        }
+        h.write_len(self.instances.len());
+        for inst in &self.instances {
+            h.write_str(&inst.name);
+            h.write_str(&inst.kind);
+            h.write_len(inst.connections.len());
+            for (port, net) in &inst.connections {
+                h.write_str(port);
+                h.write_u32(net.raw());
+            }
+        }
     }
 }
 
@@ -408,6 +466,58 @@ mod tests {
         b.add_instance("pd2", "enh", &[("gate", x), ("drn", q)])
             .unwrap();
         assert!(!a.structurally_matches(&b));
+    }
+
+    /// Two disjoint chains of `buf` instances: `in -> b0 -> ... -> out`
+    /// per length in `lens`.
+    fn buf_chains(lens: &[usize]) -> Netlist {
+        let mut n = Netlist::new("chains");
+        for (ci, &len) in lens.iter().enumerate() {
+            let mut prev = n.add_net(format!("c{ci}_n0"));
+            for i in 0..len {
+                let next = n.add_net(format!("c{ci}_n{}", i + 1));
+                n.add_instance(format!("c{ci}_b{i}"), "buf", &[("a", prev), ("y", next)])
+                    .unwrap();
+                prev = next;
+            }
+        }
+        n
+    }
+
+    #[test]
+    fn fixpoint_distinguishes_what_shallow_refinement_conflates() {
+        // 10+10 vs 8+12: same instance count (20), same pinned-net count
+        // (22), and identical radius-4 neighbourhood multisets, so a
+        // refinement cut off after 3 rounds (the old behaviour) calls
+        // them isomorphic. Run to a fixpoint they differ: only the 12
+        // chain has instances 5 hops from the nearest end.
+        let a = buf_chains(&[10, 10]);
+        let b = buf_chains(&[8, 12]);
+        assert_eq!(a.instances().len(), b.instances().len());
+        assert_eq!(a.nets_with_pins(), b.nets_with_pins());
+        assert_eq!(
+            a.refined_signature(Some(3)),
+            b.refined_signature(Some(3)),
+            "pair must reproduce the shallow-refinement conflation"
+        );
+        assert_ne!(a.isomorphic_signature(), b.isomorphic_signature());
+        assert!(!a.structurally_matches(&b));
+    }
+
+    #[test]
+    fn fixpoint_still_matches_isomorphic_chains() {
+        let a = buf_chains(&[8, 12]);
+        let b = buf_chains(&[12, 8]);
+        assert!(a.structurally_matches(&b));
+    }
+
+    #[test]
+    fn netlist_fingerprint_tracks_content() {
+        let a = inverter_pair(["a", "mid", "q", "vdd"]);
+        let b = inverter_pair(["a", "mid", "q", "vdd"]);
+        assert_eq!(a.fingerprint(), b.fingerprint());
+        let renamed = inverter_pair(["a2", "mid", "q", "vdd"]);
+        assert_ne!(a.fingerprint(), renamed.fingerprint());
     }
 
     #[test]

@@ -1,0 +1,219 @@
+//! [`Fingerprint`] implementations over the behavioral AST.
+//!
+//! A [`Machine`] digest covers every declaration and statement, so any
+//! ISL edit — a renamed register, a changed literal, a reordered state —
+//! changes the digest, which is what lets `silc-incr` key simulation and
+//! synthesis results by parsed content rather than source bytes
+//! (whitespace and comment edits hit the cache).
+
+use crate::ast::{BinaryOp, Expr, MemDecl, PortDecl, RegDecl, State, Stmt, Target, UnaryOp};
+use crate::Machine;
+use silc_geom::{Fingerprint, FpHasher};
+
+impl Fingerprint for RegDecl {
+    fn fp_hash(&self, h: &mut FpHasher) {
+        h.write_str(&self.name);
+        h.write_u32(self.width);
+        h.write_u64(self.init);
+    }
+}
+
+impl Fingerprint for MemDecl {
+    fn fp_hash(&self, h: &mut FpHasher) {
+        h.write_str(&self.name);
+        h.write_u64(self.words);
+        h.write_u32(self.width);
+    }
+}
+
+impl Fingerprint for PortDecl {
+    fn fp_hash(&self, h: &mut FpHasher) {
+        h.write_str(&self.name);
+        h.write_u32(self.width);
+    }
+}
+
+impl Fingerprint for State {
+    fn fp_hash(&self, h: &mut FpHasher) {
+        h.write_str(&self.name);
+        self.body.fp_hash(h);
+    }
+}
+
+impl Fingerprint for Target {
+    fn fp_hash(&self, h: &mut FpHasher) {
+        match self {
+            Target::Signal { name, slice } => {
+                h.write_u8(0);
+                h.write_str(name);
+                match slice {
+                    None => h.write_u8(0),
+                    Some((hi, lo)) => {
+                        h.write_u8(1);
+                        h.write_u32(*hi);
+                        h.write_u32(*lo);
+                    }
+                }
+            }
+            Target::MemWord { name, addr } => {
+                h.write_u8(1);
+                h.write_str(name);
+                addr.fp_hash(h);
+            }
+        }
+    }
+}
+
+impl Fingerprint for Stmt {
+    fn fp_hash(&self, h: &mut FpHasher) {
+        match self {
+            Stmt::Assign { target, value } => {
+                h.write_u8(0);
+                target.fp_hash(h);
+                value.fp_hash(h);
+            }
+            Stmt::If {
+                cond,
+                then_body,
+                else_body,
+            } => {
+                h.write_u8(1);
+                cond.fp_hash(h);
+                then_body.fp_hash(h);
+                else_body.fp_hash(h);
+            }
+            Stmt::Goto(state) => {
+                h.write_u8(2);
+                h.write_str(state);
+            }
+            Stmt::Halt => h.write_u8(3),
+        }
+    }
+}
+
+impl Fingerprint for UnaryOp {
+    fn fp_hash(&self, h: &mut FpHasher) {
+        h.write_u8(match self {
+            UnaryOp::Not => 0,
+            UnaryOp::Neg => 1,
+            UnaryOp::LogicalNot => 2,
+        });
+    }
+}
+
+impl Fingerprint for BinaryOp {
+    fn fp_hash(&self, h: &mut FpHasher) {
+        h.write_u8(match self {
+            BinaryOp::LogicalOr => 0,
+            BinaryOp::LogicalAnd => 1,
+            BinaryOp::Or => 2,
+            BinaryOp::Xor => 3,
+            BinaryOp::And => 4,
+            BinaryOp::Eq => 5,
+            BinaryOp::Ne => 6,
+            BinaryOp::Lt => 7,
+            BinaryOp::Le => 8,
+            BinaryOp::Gt => 9,
+            BinaryOp::Ge => 10,
+            BinaryOp::Shl => 11,
+            BinaryOp::Shr => 12,
+            BinaryOp::Add => 13,
+            BinaryOp::Sub => 14,
+        });
+    }
+}
+
+impl Fingerprint for Expr {
+    fn fp_hash(&self, h: &mut FpHasher) {
+        match self {
+            Expr::Const { value, width } => {
+                h.write_u8(0);
+                h.write_u64(*value);
+                match width {
+                    None => h.write_u8(0),
+                    Some(w) => {
+                        h.write_u8(1);
+                        h.write_u32(*w);
+                    }
+                }
+            }
+            Expr::Ident(name) => {
+                h.write_u8(1);
+                h.write_str(name);
+            }
+            Expr::Slice { base, hi, lo } => {
+                h.write_u8(2);
+                base.fp_hash(h);
+                h.write_u32(*hi);
+                h.write_u32(*lo);
+            }
+            Expr::MemRead { name, addr } => {
+                h.write_u8(3);
+                h.write_str(name);
+                addr.fp_hash(h);
+            }
+            Expr::Unary { op, expr } => {
+                h.write_u8(4);
+                op.fp_hash(h);
+                expr.fp_hash(h);
+            }
+            Expr::Binary { op, lhs, rhs } => {
+                h.write_u8(5);
+                op.fp_hash(h);
+                lhs.fp_hash(h);
+                rhs.fp_hash(h);
+            }
+            Expr::Concat(parts) => {
+                h.write_u8(6);
+                parts.fp_hash(h);
+            }
+        }
+    }
+}
+
+impl Fingerprint for Machine {
+    fn fp_hash(&self, h: &mut FpHasher) {
+        h.write_str(&self.name);
+        self.regs.fp_hash(h);
+        self.mems.fp_hash(h);
+        self.inputs.fp_hash(h);
+        self.outputs.fp_hash(h);
+        self.states.fp_hash(h);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse;
+
+    const COUNTER: &str = "
+        machine counter {
+            reg n[8];
+            port output out[8];
+            state run {
+                n := n + 1;
+                out := n;
+                if n == 10 { halt; }
+                goto run;
+            }
+        }
+    ";
+
+    #[test]
+    fn whitespace_does_not_matter() {
+        let a = parse(COUNTER).unwrap();
+        let compact = COUNTER.split_whitespace().collect::<Vec<_>>().join(" ");
+        let b = parse(&compact).unwrap();
+        assert_eq!(a.fingerprint(), b.fingerprint());
+    }
+
+    #[test]
+    fn semantic_edits_change_the_digest() {
+        let base = parse(COUNTER).unwrap().fingerprint();
+        let edited = parse(&COUNTER.replace("n == 10", "n == 11")).unwrap();
+        assert_ne!(edited.fingerprint(), base);
+        let widened = parse(&COUNTER.replace("reg n[8]", "reg n[9]")).unwrap();
+        assert_ne!(widened.fingerprint(), base);
+    }
+}

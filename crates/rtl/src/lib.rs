@@ -55,6 +55,7 @@
 
 mod ast;
 mod error;
+mod fp;
 mod lexer;
 mod parser;
 mod sim;

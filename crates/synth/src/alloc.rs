@@ -83,7 +83,7 @@ pub fn synthesize(machine: &Machine, options: &SynthOptions) -> Allocation {
     synthesize_traced(machine, options, &silc_trace::Tracer::disabled())
 }
 
-/// [`synthesize`] with a [`Tracer`]: records a `synth.allocate` span and
+/// [`synthesize`] with a [`Tracer`](silc_trace::Tracer): records a `synth.allocate` span and
 /// `synth.modules` / `synth.pla_terms` counters. With a disabled tracer
 /// this is exactly [`synthesize`].
 pub fn synthesize_traced(

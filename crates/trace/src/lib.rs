@@ -45,6 +45,24 @@ use std::io;
 use std::sync::{Arc, Mutex};
 use std::time::Instant;
 
+/// Well-known counter names recorded by pipeline stages. Centralised so
+/// producers (`silc-incr`) and consumers (the CLI's `--stats` smoke
+/// tests, CI) agree on spelling.
+pub mod names {
+    /// Queries answered from cache (memory or disk) by `silc-incr`.
+    pub const INCR_HIT: &str = "incr.hit";
+    /// Queries that had to recompute.
+    pub const INCR_MISS: &str = "incr.miss";
+    /// Hits served by the in-memory store.
+    pub const INCR_MEM_HIT: &str = "incr.mem_hit";
+    /// Hits served by the persistent on-disk cache.
+    pub const INCR_DISK_HIT: &str = "incr.disk_hit";
+    /// Bytes written to the persistent cache.
+    pub const INCR_STORE_BYTES: &str = "incr.store_bytes";
+    /// In-memory entries evicted to respect the capacity bound.
+    pub const INCR_EVICTIONS: &str = "incr.evictions";
+}
+
 /// Opens a [`Span`] on a tracer: `span!(tracer, "stage.pass")`. The
 /// returned RAII guard records wall time from the macro site to the end
 /// of the enclosing scope (or an explicit `drop`).

@@ -41,6 +41,7 @@ pub use silc_cif as cif;
 pub use silc_drc as drc;
 pub use silc_extract as extract;
 pub use silc_geom as geom;
+pub use silc_incr as incr;
 pub use silc_lang as lang;
 pub use silc_layout as layout;
 pub use silc_logic as logic;

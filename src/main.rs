@@ -6,24 +6,25 @@
 //! silc sim     <machine.isl> [--cycles N]             simulate an ISP description
 //! silc synth   <machine.isl>                          compile it onto standard modules
 //! silc pla     <table.pla> [-o out.cif] [--raw]       espresso table -> minimized PLA -> CIF
+//! silc batch   <manifest> [--jobs N]                  run many jobs against one shared cache
 //! ```
 //!
 //! Every subcommand also accepts `--stats` (per-stage wall-time and
-//! counter summary on stderr) and `--trace <file>` (machine-readable
-//! JSONL event stream).
+//! counter summary on stderr), `--trace <file>` (machine-readable JSONL
+//! event stream), and `--cache <dir>` (persistent incremental cache: an
+//! unchanged design recompiles from stage results on disk).
 
 use std::fs;
 use std::io::Write;
+use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
-use silc::cif::CifWriter;
-use silc::drc::{check_traced, RuleSet};
-use silc::lang::Compiler;
-use silc::layout::{CellStats, Library};
-use silc::logic::TruthTable;
-use silc::pla::{generate_layout_traced, Minimize, PlaSpec};
-use silc::rtl::{parse as parse_isl, Simulator};
-use silc::synth::{synthesize_traced, Sharing, SynthOptions};
+use silc::drc::RuleSet;
+use silc::incr::{
+    cif_text, drc_report, elaborate, flat_regions, parse_manifest, pla_products, run_batch,
+    sim_results, synth_allocation, Engine, EngineConfig, JobStats,
+};
+use silc::rtl::parse as parse_isl;
 use silc::trace::{span, JsonlSink, StatsSink, Tracer};
 
 fn main() -> ExitCode {
@@ -33,6 +34,7 @@ fn main() -> ExitCode {
         Some("sim") => cmd_sim(&args[1..]),
         Some("synth") => cmd_synth(&args[1..]),
         Some("pla") => cmd_pla(&args[1..]),
+        Some("batch") => cmd_batch(&args[1..]),
         Some("--help") | Some("-h") | None => {
             eprint!("{}", USAGE);
             return ExitCode::SUCCESS;
@@ -54,9 +56,12 @@ usage:
   silc sim     <machine.isl> [--cycles N]
   silc synth   <machine.isl>
   silc pla     <table.pla> [-o out.cif] [--raw]
+  silc batch   <manifest> [--jobs N]
 common flags:
   --stats            per-stage timing and counter summary on stderr
   --trace <file>     JSONL event stream (one object per span/counter)
+  --cache <dir>      persistent incremental cache shared across runs
+  --no-cache         force a cold run (conflicts with --cache)
 ";
 
 struct Opts {
@@ -65,6 +70,8 @@ struct Opts {
     no_drc: bool,
     raw: bool,
     cycles: u64,
+    jobs: usize,
+    cache: Option<String>,
     stats: bool,
     trace: Option<String>,
 }
@@ -78,6 +85,16 @@ impl Opts {
             Tracer::disabled()
         }
     }
+
+    /// The query engine every subcommand compiles through: persistent
+    /// when `--cache <dir>` was given, in-memory otherwise.
+    fn engine(&self, tracer: &Tracer) -> Result<Engine, String> {
+        Engine::new(EngineConfig {
+            cache_dir: self.cache.as_ref().map(PathBuf::from),
+            tracer: tracer.clone(),
+            ..EngineConfig::default()
+        })
+    }
 }
 
 fn parse_opts(cmd: &str, args: &[String]) -> Result<Opts, String> {
@@ -85,39 +102,94 @@ fn parse_opts(cmd: &str, args: &[String]) -> Result<Opts, String> {
     let mut output = None;
     let mut no_drc = false;
     let mut raw = false;
-    let mut cycles = 10_000;
+    let mut cycles = None;
+    let mut jobs = None;
+    let mut cache = None;
+    let mut no_cache = false;
     let mut stats = false;
     let mut trace = None;
     let mut it = args.iter();
+    // Every flag may appear at most once; a repeat is an error naming it.
+    let dup = |flag: &str| format!("duplicate flag `{flag}`");
     while let Some(a) = it.next() {
         match a.as_str() {
             "-o" if matches!(cmd, "compile" | "pla") => {
-                output = Some(
-                    it.next()
-                        .ok_or_else(|| "-o needs a file name".to_string())?
-                        .clone(),
-                );
+                let value = it
+                    .next()
+                    .ok_or_else(|| "-o needs a file name".to_string())?
+                    .clone();
+                if output.replace(value).is_some() {
+                    return Err(dup("-o"));
+                }
             }
             "--cycles" if cmd == "sim" => {
-                cycles = it
+                let value = it
                     .next()
-                    .and_then(|s| s.parse().ok())
+                    .and_then(|s| s.parse::<u64>().ok())
                     .ok_or_else(|| "--cycles needs a number".to_string())?;
+                if cycles.replace(value).is_some() {
+                    return Err(dup("--cycles"));
+                }
             }
-            "--no-drc" if cmd == "compile" => no_drc = true,
-            "--raw" if cmd == "pla" => raw = true,
-            "--stats" => stats = true,
+            "--jobs" if cmd == "batch" => {
+                let value = it
+                    .next()
+                    .and_then(|s| s.parse::<usize>().ok())
+                    .filter(|&n| n >= 1)
+                    .ok_or_else(|| "--jobs needs a positive number".to_string())?;
+                if jobs.replace(value).is_some() {
+                    return Err(dup("--jobs"));
+                }
+            }
+            "--no-drc" if cmd == "compile" => {
+                if no_drc {
+                    return Err(dup("--no-drc"));
+                }
+                no_drc = true;
+            }
+            "--raw" if cmd == "pla" => {
+                if raw {
+                    return Err(dup("--raw"));
+                }
+                raw = true;
+            }
+            "--cache" => {
+                let value = it
+                    .next()
+                    .ok_or_else(|| "--cache needs a directory".to_string())?
+                    .clone();
+                if cache.replace(value).is_some() {
+                    return Err(dup("--cache"));
+                }
+            }
+            "--no-cache" => {
+                if no_cache {
+                    return Err(dup("--no-cache"));
+                }
+                no_cache = true;
+            }
+            "--stats" => {
+                if stats {
+                    return Err(dup("--stats"));
+                }
+                stats = true;
+            }
             "--trace" => {
-                trace = Some(
-                    it.next()
-                        .ok_or_else(|| "--trace needs a file name".to_string())?
-                        .clone(),
-                );
+                let value = it
+                    .next()
+                    .ok_or_else(|| "--trace needs a file name".to_string())?
+                    .clone();
+                if trace.replace(value).is_some() {
+                    return Err(dup("--trace"));
+                }
             }
             f if f.starts_with('-') => {
                 return Err(match f {
                     "--cycles" => {
                         format!("`--cycles` is only valid for `silc sim`, not `silc {cmd}`")
+                    }
+                    "--jobs" => {
+                        format!("`--jobs` is only valid for `silc batch`, not `silc {cmd}`")
                     }
                     "--no-drc" => {
                         format!("`--no-drc` is only valid for `silc compile`, not `silc {cmd}`")
@@ -136,12 +208,17 @@ fn parse_opts(cmd: &str, args: &[String]) -> Result<Opts, String> {
             }
         }
     }
+    if no_cache && cache.is_some() {
+        return Err("`--no-cache` conflicts with `--cache`".into());
+    }
     Ok(Opts {
         input: input.ok_or_else(|| format!("missing input file\n{USAGE}"))?,
         output,
         no_drc,
         raw,
-        cycles,
+        cycles: cycles.unwrap_or(10_000),
+        jobs: jobs.unwrap_or(1),
+        cache,
         stats,
         trace,
     })
@@ -194,37 +271,27 @@ fn cmd_compile(args: &[String]) -> Result<(), String> {
 }
 
 fn run_compile(opts: &Opts, tracer: &Tracer) -> Result<(), String> {
+    let engine = opts.engine(tracer)?;
+    let mut stats = JobStats::default();
     let source = read(&opts.input)?;
-    let design = Compiler::new()
-        .with_tracer(tracer.clone())
-        .compile(&source)
-        .map_err(|e| e.to_string())?;
-    let stats = CellStats::compute(&design.library, design.top).map_err(|e| e.to_string())?;
+    let design = elaborate(&engine, &source, &mut stats)?;
+    let flat = flat_regions(&engine, &design, &mut stats)?;
     eprintln!(
         "compiled `{}`: {} cells, {} flattened elements, die {}x{} lambda",
         opts.input,
         design.library.len(),
-        stats.flat_elements,
-        stats.bbox.map_or(0, |b| b.width()),
-        stats.bbox.map_or(0, |b| b.height()),
+        flat.flat_elements,
+        flat.bbox.map_or(0, |b| b.width()),
+        flat.bbox.map_or(0, |b| b.height()),
     );
     if !opts.no_drc {
-        let report = check_traced(
-            &design.library,
-            design.top,
-            &RuleSet::mead_conway_nmos(),
-            tracer,
-        )
-        .map_err(|e| e.to_string())?;
+        let report = drc_report(&engine, &flat, &RuleSet::mead_conway_nmos(), &mut stats)?;
         eprint!("{report}");
         if !report.is_clean() {
             return Err("design rule violations (use --no-drc to emit anyway)".into());
         }
     }
-    let cif = CifWriter::new()
-        .with_tracer(tracer.clone())
-        .write_to_string(&design.library, design.top)
-        .map_err(|e| e.to_string())?;
+    let cif = cif_text(&engine, &design, &mut stats)?;
     write_out(opts.output.as_deref(), &cif)
 }
 
@@ -236,39 +303,30 @@ fn cmd_sim(args: &[String]) -> Result<(), String> {
 }
 
 fn run_sim(opts: &Opts, tracer: &Tracer) -> Result<(), String> {
+    let engine = opts.engine(tracer)?;
+    let mut stats = JobStats::default();
     let source = read(&opts.input)?;
     let machine = {
         let _s = span!(tracer, "isl.parse");
         parse_isl(&source).map_err(|e| e.to_string())?
     };
-    let mut sim = Simulator::new(&machine);
-    let report = {
-        let _s = span!(tracer, "sim.run");
-        sim.run(opts.cycles).map_err(|e| e.to_string())?
-    };
-    tracer.add("sim.cycles", report.cycles);
+    let sim = sim_results(&engine, &machine, opts.cycles, &mut stats)?;
     println!(
         "{}: {} cycle(s), {} (final state `{}`)",
         machine.name,
-        report.cycles,
-        if report.halted {
+        sim.cycles,
+        if sim.halted {
             "halted"
         } else {
             "cycle budget exhausted"
         },
-        sim.state_name(),
+        sim.state,
     );
-    for r in &machine.regs {
-        let value = sim
-            .reg(&r.name)
-            .ok_or_else(|| format!("simulator has no register `{}`", r.name))?;
-        println!("  {} = {value:#o}", r.name);
+    for (name, value) in &sim.regs {
+        println!("  {name} = {value:#o}");
     }
-    for p in &machine.outputs {
-        let value = sim
-            .output(&p.name)
-            .ok_or_else(|| format!("simulator has no output `{}`", p.name))?;
-        println!("  {} = {value:#o} (output)", p.name);
+    for (name, value) in &sim.outputs {
+        println!("  {name} = {value:#o} (output)");
     }
     Ok(())
 }
@@ -281,19 +339,15 @@ fn cmd_synth(args: &[String]) -> Result<(), String> {
 }
 
 fn run_synth(opts: &Opts, tracer: &Tracer) -> Result<(), String> {
+    let engine = opts.engine(tracer)?;
+    let mut stats = JobStats::default();
     let source = read(&opts.input)?;
     let machine = {
         let _s = span!(tracer, "isl.parse");
         parse_isl(&source).map_err(|e| e.to_string())?
     };
-    let shared = synthesize_traced(
-        &machine,
-        &SynthOptions {
-            sharing: Sharing::Shared,
-        },
-        tracer,
-    );
-    println!("{shared}");
+    let shared = synth_allocation(&engine, &machine, &mut stats)?;
+    println!("{}", shared.display);
     let (bits, inputs, outputs, terms) = shared.control;
     println!("control: {bits} state bits, PLA {inputs} in / {outputs} out / {terms} terms");
     Ok(())
@@ -307,30 +361,67 @@ fn cmd_pla(args: &[String]) -> Result<(), String> {
 }
 
 fn run_pla(opts: &Opts, tracer: &Tracer) -> Result<(), String> {
-    let table = TruthTable::parse_pla(&read(&opts.input)?).map_err(|e| e.to_string())?;
-    let mode = if opts.raw {
-        Minimize::None
-    } else {
-        Minimize::Heuristic
-    };
-    let spec = PlaSpec::from_truth_table_traced(&table, mode, tracer).map_err(|e| e.to_string())?;
-    let (w, h) = spec.area_estimate();
+    let engine = opts.engine(tracer)?;
+    let mut stats = JobStats::default();
+    let source = read(&opts.input)?;
+    let products = pla_products(&engine, &source, opts.raw, &mut stats)?;
+    eprintln!("{}", products.personality);
+    eprint!("{}", products.report);
+    write_out(opts.output.as_deref(), &products.cif)
+}
+
+fn cmd_batch(args: &[String]) -> Result<(), String> {
+    let opts = parse_opts("batch", args)?;
+    let tracer = opts.tracer();
+    let result = run_batch_cmd(&opts, &tracer);
+    emit_trace(&opts, &tracer).and(result)
+}
+
+fn run_batch_cmd(opts: &Opts, tracer: &Tracer) -> Result<(), String> {
+    let engine = opts.engine(tracer)?;
+    let text = read(&opts.input)?;
+    let base = Path::new(&opts.input)
+        .parent()
+        .filter(|p| !p.as_os_str().is_empty())
+        .unwrap_or_else(|| Path::new("."))
+        .to_path_buf();
+    let jobs = parse_manifest(&text, &base)?;
+    if jobs.is_empty() {
+        return Err(format!("manifest `{}` has no jobs", opts.input));
+    }
+    let results = run_batch(&engine, &jobs, opts.jobs);
+    let label_width = results
+        .iter()
+        .map(|r| r.label.len())
+        .max()
+        .unwrap_or(0)
+        .max("job".len());
     eprintln!(
-        "personality: {} terms ({} AND + {} OR devices), {}x{} lambda",
-        spec.num_terms(),
-        spec.and_plane_devices(),
-        spec.or_plane_devices(),
-        w,
-        h
+        "{:<label_width$}  {:>6}  {:>4}  {:>4}  {:>7}  detail",
+        "job", "status", "hit", "miss", "time"
     );
-    let mut lib = Library::new();
-    let id = generate_layout_traced(&spec, &mut lib, "pla", tracer).map_err(|e| e.to_string())?;
-    let report =
-        check_traced(&lib, id, &RuleSet::mead_conway_nmos(), tracer).map_err(|e| e.to_string())?;
-    eprint!("{report}");
-    let cif = CifWriter::new()
-        .with_tracer(tracer.clone())
-        .write_to_string(&lib, id)
-        .map_err(|e| e.to_string())?;
-    write_out(opts.output.as_deref(), &cif)
+    let mut failed = 0usize;
+    for r in &results {
+        let (status, detail) = match &r.outcome {
+            Ok(summary) => ("ok", summary.as_str()),
+            Err(message) => {
+                failed += 1;
+                ("FAIL", message.as_str())
+            }
+        };
+        eprintln!(
+            "{:<label_width$}  {:>6}  {:>4}  {:>4}  {:>5}ms  {}",
+            r.label, status, r.stats.hits, r.stats.misses, r.millis, detail
+        );
+    }
+    eprintln!(
+        "batch: {} job(s), {} ok, {} failed",
+        results.len(),
+        results.len() - failed,
+        failed
+    );
+    if failed > 0 {
+        return Err(format!("{failed} batch job(s) failed"));
+    }
+    Ok(())
 }

@@ -265,6 +265,201 @@ fn sim_and_pla_record_their_stages() {
     assert!(stderr.contains("drc.spacing"), "{stderr}");
 }
 
+fn temp_dir(name: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join("silc-cli-tests").join(name);
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    dir
+}
+
+#[test]
+fn duplicate_flags_are_rejected_by_name() {
+    let sil = write_temp(
+        "dup.sil",
+        "cell c() { box metal (0,0) (4,20); } place c() at (0,0);",
+    );
+    let path = sil.to_str().unwrap();
+    for args in [
+        vec!["compile", path, "-o", "a.cif", "-o", "b.cif"],
+        vec!["compile", path, "--stats", "--stats"],
+        vec!["compile", path, "--no-drc", "--no-drc"],
+        vec!["compile", path, "--trace", "a", "--trace", "b"],
+        vec!["compile", path, "--cache", "a", "--cache", "b"],
+        vec!["sim", path, "--cycles", "5", "--cycles", "9"],
+    ] {
+        let flag = args[2];
+        let out = silc().args(&args).output().expect("runs");
+        assert!(!out.status.success(), "{args:?}");
+        let stderr = String::from_utf8_lossy(&out.stderr);
+        assert!(stderr.contains("duplicate"), "{args:?}: {stderr}");
+        assert!(stderr.contains(flag), "names `{flag}`: {stderr}");
+    }
+}
+
+#[test]
+fn cache_and_no_cache_conflict() {
+    let sil = write_temp(
+        "conflict.sil",
+        "cell c() { box metal (0,0) (4,20); } place c() at (0,0);",
+    );
+    let out = silc()
+        .args([
+            "compile",
+            sil.to_str().unwrap(),
+            "--no-cache",
+            "--cache",
+            "x",
+        ])
+        .output()
+        .expect("runs");
+    assert!(!out.status.success());
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("--no-cache"), "{stderr}");
+    assert!(stderr.contains("--cache"), "{stderr}");
+}
+
+#[test]
+fn warm_cached_compile_hits_and_is_byte_identical() {
+    let dir = temp_dir("warm");
+    let sil = dir.join("d.sil");
+    std::fs::write(
+        &sil,
+        "cell c() { box metal (0,0) (4,20); } place c() at (0,0);",
+    )
+    .unwrap();
+    let cache = dir.join("cache");
+    let run = || {
+        silc()
+            .args([
+                "compile",
+                sil.to_str().unwrap(),
+                "--cache",
+                cache.to_str().unwrap(),
+                "--stats",
+            ])
+            .output()
+            .expect("runs")
+    };
+    let cold = run();
+    assert!(cold.status.success(), "{cold:?}");
+    let warm = run();
+    assert!(warm.status.success(), "{warm:?}");
+    // The CIF on stdout is byte-identical warm vs cold.
+    assert_eq!(warm.stdout, cold.stdout);
+    let stderr = String::from_utf8_lossy(&warm.stderr);
+    assert!(stderr.contains("incr.hit"), "{stderr}");
+    assert!(!stderr.contains("incr.miss"), "warm run missed: {stderr}");
+    // The cold run reported its misses and stored bytes.
+    let cold_err = String::from_utf8_lossy(&cold.stderr);
+    assert!(cold_err.contains("incr.miss"), "{cold_err}");
+    assert!(cold_err.contains("incr.store_bytes"), "{cold_err}");
+}
+
+#[test]
+fn corrupted_cache_entry_degrades_to_recompute_with_warning() {
+    let dir = temp_dir("corrupt");
+    let sil = dir.join("d.sil");
+    std::fs::write(
+        &sil,
+        "cell c() { box metal (0,0) (4,20); } place c() at (0,0);",
+    )
+    .unwrap();
+    let cache = dir.join("cache");
+    let run = || {
+        silc()
+            .args([
+                "compile",
+                sil.to_str().unwrap(),
+                "--cache",
+                cache.to_str().unwrap(),
+            ])
+            .output()
+            .expect("runs")
+    };
+    let cold = run();
+    assert!(cold.status.success(), "{cold:?}");
+    for entry in std::fs::read_dir(&cache).expect("cache dir") {
+        let path = entry.expect("entry").path();
+        std::fs::write(&path, b"garbage").expect("corrupt entry");
+    }
+    let recovered = run();
+    assert!(recovered.status.success(), "{recovered:?}");
+    assert_eq!(recovered.stdout, cold.stdout);
+    let stderr = String::from_utf8_lossy(&recovered.stderr);
+    assert!(
+        stderr.contains("silc-incr: warning: ignoring cache entry"),
+        "{stderr}"
+    );
+}
+
+#[test]
+fn batch_runs_jobs_concurrently_against_a_shared_cache() {
+    let dir = temp_dir("batch");
+    let mut manifest = String::new();
+    // 16 jobs over 4 distinct designs: plenty of shared work.
+    for i in 0..4 {
+        let name = format!("d{i}.sil");
+        std::fs::write(
+            dir.join(&name),
+            format!(
+                "cell c() {{ box metal (0,0) (4,{h}); }} place c() at (0,0);",
+                h = 20 + 4 * i
+            ),
+        )
+        .unwrap();
+        for _ in 0..4 {
+            manifest.push_str(&format!("compile {name}\n"));
+        }
+    }
+    let manifest_path = dir.join("jobs.txt");
+    std::fs::write(&manifest_path, &manifest).unwrap();
+    let out = silc()
+        .args([
+            "batch",
+            manifest_path.to_str().unwrap(),
+            "--jobs",
+            "8",
+            "--stats",
+        ])
+        .output()
+        .expect("runs");
+    assert!(out.status.success(), "{out:?}");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    // Per-job table rows plus the summary line.
+    assert_eq!(stderr.matches(" ok  ").count(), 16, "{stderr}");
+    assert!(
+        stderr.contains("batch: 16 job(s), 16 ok, 0 failed"),
+        "{stderr}"
+    );
+    // The shared cache served repeated designs from memory.
+    assert!(stderr.contains("incr.hit"), "{stderr}");
+    assert!(stderr.contains("incr.mem_hit"), "{stderr}");
+}
+
+#[test]
+fn batch_reports_failing_jobs_without_aborting_the_rest() {
+    let dir = temp_dir("batch-fail");
+    std::fs::write(
+        dir.join("good.sil"),
+        "cell c() { box metal (0,0) (4,20); } place c() at (0,0);",
+    )
+    .unwrap();
+    let manifest_path = dir.join("jobs.txt");
+    std::fs::write(&manifest_path, "compile good.sil\ncompile missing.sil\n").unwrap();
+    let out = silc()
+        .args(["batch", manifest_path.to_str().unwrap()])
+        .output()
+        .expect("runs");
+    assert!(!out.status.success());
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        stderr.contains("batch: 2 job(s), 1 ok, 1 failed"),
+        "{stderr}"
+    );
+    assert!(stderr.contains("FAIL"), "{stderr}");
+    assert!(stderr.contains("cannot read"), "{stderr}");
+}
+
 #[test]
 fn unknown_command_fails_with_usage() {
     let out = silc().arg("bogus").output().expect("runs");

@@ -10,7 +10,7 @@
 //! * integer range strategies (`0i64..30`), tuple strategies, string
 //!   regex strategies (a practical subset of regex syntax),
 //!   `prop::collection::vec`, `prop::collection::btree_set`, and
-//!   [`Strategy::prop_map`].
+//!   `Strategy::prop_map`.
 //!
 //! Differences from the real crate: no shrinking on failure (the failing
 //! input is reported verbatim), and generation is deterministic — the RNG
@@ -135,7 +135,7 @@ pub mod collection {
         }
     }
 
-    /// See [`vec`].
+    /// See [`vec()`].
     #[derive(Debug, Clone)]
     pub struct VecStrategy<S> {
         element: S,
