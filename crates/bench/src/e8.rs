@@ -65,16 +65,17 @@ pub fn channel_sweep(net_counts: &[usize], seed: u64) -> (Vec<ChannelRow>, usize
         loop {
             attempts += 1;
             let cols = nets * 3;
-            let mut top = vec![0u32; cols];
-            let mut bottom = vec![0u32; cols];
+            let mut top: Vec<Option<u32>> = vec![None; cols];
+            let mut bottom: Vec<Option<u32>> = vec![None; cols];
             // Each net gets one top and one bottom pin at random columns.
+            // Ids start at 0 — a legal net id since pins went explicit.
             let mut free_top: Vec<usize> = (0..cols).collect();
             let mut free_bottom: Vec<usize> = (0..cols).collect();
             free_top.shuffle(&mut rng);
             free_bottom.shuffle(&mut rng);
-            for net in 1..=nets as u32 {
-                top[free_top[net as usize - 1]] = net;
-                bottom[free_bottom[net as usize - 1]] = net;
+            for net in 0..nets as u32 {
+                top[free_top[net as usize]] = Some(net);
+                bottom[free_bottom[net as usize]] = Some(net);
             }
             let problem = ChannelProblem {
                 top,
@@ -125,11 +126,11 @@ pub fn placement_comparison(nets: usize, seed: u64) -> PlacementRow {
     let mut perm: Vec<usize> = (0..nets).collect();
     perm.shuffle(&mut rng);
     let cols = nets * 3 + 2;
-    let mut top = vec![0u32; cols];
-    let mut bot = vec![0u32; cols];
+    let mut top: Vec<Option<u32>> = vec![None; cols];
+    let mut bot: Vec<Option<u32>> = vec![None; cols];
     for (i, &p) in perm.iter().enumerate() {
-        bot[i * 3] = i as u32 + 1;
-        top[p * 3 + 1] = i as u32 + 1;
+        bot[i * 3] = Some(i as u32);
+        top[p * 3 + 1] = Some(i as u32);
     }
     let scrambled_wire = channel_route(&ChannelProblem {
         top,

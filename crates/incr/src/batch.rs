@@ -190,7 +190,9 @@ fn run_one(engine: &Engine, job: &JobSpec) -> (Result<String, String>, JobStats)
                 let out = compile_sil(engine, &source, &options, &mut stats)?;
                 if let Some(report) = &out.drc {
                     if !report.is_clean() {
-                        return Err(format!("{} DRC violation(s)", report.violations.len()));
+                        // Name the stage like engine errors do, so every
+                        // FAIL row reads `<stage>: <detail>`.
+                        return Err(format!("drc: {} violation(s)", report.violations.len()));
                     }
                 }
                 if let (Some(path), Some(cif)) = (output, &out.cif) {
@@ -207,7 +209,7 @@ fn run_one(engine: &Engine, job: &JobSpec) -> (Result<String, String>, JobStats)
             JobKind::Sim { cycles } => {
                 let machine = {
                     let _s = span!(engine.tracer(), "isl.parse");
-                    parse_isl(&source).map_err(|e| e.to_string())?
+                    parse_isl(&source).map_err(|e| format!("isl.parse: {e}"))?
                 };
                 let sim = sim_results(engine, &machine, *cycles, &mut stats)?;
                 Ok(format!(
@@ -359,5 +361,37 @@ mod tests {
             .as_ref()
             .unwrap_err()
             .contains("cannot read"));
+    }
+
+    #[test]
+    fn failing_job_names_the_failing_stage() {
+        // One syntactically bad design among good ones: its FAIL row must
+        // carry the failing stage name from the engine (`elaborate: ...`),
+        // and the good jobs must still complete.
+        let dir = std::env::temp_dir().join(format!("silc-incr-stage-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        fs::create_dir_all(&dir).unwrap();
+        fs::write(
+            dir.join("good.sil"),
+            "cell a() { box metal (0,0) (8,4); } place a() at (0,0);",
+        )
+        .unwrap();
+        fs::write(dir.join("bad.sil"), "cell broken( {").unwrap();
+        fs::write(dir.join("bad.isl"), "machine oops { state").unwrap();
+        let manifest = "compile good.sil\ncompile bad.sil\nsim bad.isl\ncompile good.sil\n";
+        let jobs = parse_manifest(manifest, &dir).unwrap();
+        let results = run_batch(&Engine::in_memory(), &jobs, 2);
+        assert!(results[0].outcome.is_ok(), "{:?}", results[0].outcome);
+        assert!(results[3].outcome.is_ok(), "{:?}", results[3].outcome);
+        let compile_err = results[1].outcome.as_ref().unwrap_err();
+        assert!(
+            compile_err.starts_with("elaborate: "),
+            "stage name missing: {compile_err}"
+        );
+        let sim_err = results[2].outcome.as_ref().unwrap_err();
+        assert!(
+            sim_err.starts_with("isl.parse: "),
+            "stage name missing: {sim_err}"
+        );
     }
 }

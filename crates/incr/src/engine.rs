@@ -179,8 +179,11 @@ impl Engine {
     ///
     /// # Errors
     ///
-    /// Propagates the compute closure's error. Cache failures are never
-    /// errors — a damaged or unwritable cache degrades to recomputes.
+    /// Propagates the compute closure's error, prefixed with the stage
+    /// name (`"elaborate: ..."`), so callers — the CLI, batch report
+    /// rows, serve responses — always know *which* stage failed. Cache
+    /// failures are never errors — a damaged or unwritable cache
+    /// degrades to recomputes.
     pub fn query<T, F>(
         &self,
         stage: Stage,
@@ -224,7 +227,7 @@ impl Engine {
                 }
             }
         }
-        let value = Arc::new(compute()?);
+        let value = Arc::new(compute().map_err(|e| format!("{}: {e}", stage.name))?);
         stats.misses += 1;
         self.tracer.add(names::INCR_MISS, 1);
         self.insert_mem(mem_key, Arc::clone(&value) as _);
@@ -303,12 +306,22 @@ mod tests {
     }
 
     #[test]
-    fn errors_are_not_cached() {
+    fn engine_is_shareable_across_threads() {
+        // The serve daemon and batch workers hand `&Engine` to many
+        // threads at once; the engine must stay `Send + Sync` (the store
+        // lock is the only interior mutability, held per-operation).
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<Engine>();
+        assert_send_sync::<EngineConfig>();
+    }
+
+    #[test]
+    fn errors_carry_the_failing_stage_name_and_are_not_cached() {
         let engine = Engine::in_memory();
         let mut stats = JobStats::default();
         let failed: Result<Arc<u64>, String> =
             engine.query(Stage::SIM, key(3), &mut stats, || Err("boom".into()));
-        assert_eq!(failed.unwrap_err(), "boom");
+        assert_eq!(failed.unwrap_err(), "sim: boom");
         let ok = engine
             .query(Stage::SIM, key(3), &mut stats, || Ok(5u64))
             .unwrap();

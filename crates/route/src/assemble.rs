@@ -187,7 +187,12 @@ fn stack_assemble_impl(
             let mut sorted_top = top_xs.clone();
             sorted_top.sort_unstable();
             let same_order = sorted_top == top_xs;
-            let (paths, tracks, height): (Vec<Vec<Point>>, usize, Coord) = if same_order {
+            let (paths, tracks, height): (Vec<Vec<Point>>, usize, Coord) = if matched.is_empty() {
+                // Nothing to connect: leave one pitch of clearance between
+                // the slices without invoking a router (an empty problem
+                // is a `RouteError::EmptyChannel`).
+                (Vec::new(), 0, pitch)
+            } else if same_order {
                 let r = river_route(&bottom_xs, &top_xs, pitch)?;
                 wire_length += r.wire_length;
                 (r.paths, r.tracks, r.height)
@@ -196,12 +201,12 @@ fn stack_assemble_impl(
                 let min_x = bottom_xs.iter().chain(&top_xs).copied().min().unwrap_or(0);
                 let max_x = bottom_xs.iter().chain(&top_xs).copied().max().unwrap_or(0);
                 let cols = ((max_x - min_x) / pitch + 1) as usize;
-                let mut top_row = vec![0u32; cols];
-                let mut bottom_row = vec![0u32; cols];
+                let mut top_row: Vec<Option<u32>> = vec![None; cols];
+                let mut bottom_row: Vec<Option<u32>> = vec![None; cols];
                 for (k, &(_, bx, tx)) in matched.iter().enumerate() {
-                    let id = k as u32 + 1;
-                    bottom_row[((bx - min_x) / pitch) as usize] = id;
-                    top_row[((tx - min_x) / pitch) as usize] = id;
+                    let id = k as u32;
+                    bottom_row[((bx - min_x) / pitch) as usize] = Some(id);
+                    top_row[((tx - min_x) / pitch) as usize] = Some(id);
                 }
                 let r = channel_route(&ChannelProblem {
                     top: top_row,
@@ -433,6 +438,28 @@ mod tests {
         )
         .unwrap();
         assert_eq!(stats.channel_tracks, vec![0]);
+    }
+
+    #[test]
+    fn portless_gap_leaves_one_pitch_without_routing() {
+        let mut lib = Library::new();
+        // No port name is shared between the facing edges: the gap has
+        // nothing to route and must not be treated as a router problem.
+        let a = block(&mut lib, "a", 40, 10, &[], &[("x", 10)]);
+        let b = block(&mut lib, "b", 40, 10, &[("y", 10)], &[]);
+        let (_, stats) = stack_assemble(
+            &mut lib,
+            &[Slice::new(a), Slice::new(b)],
+            Layer::Metal,
+            3,
+            6,
+            "asm",
+        )
+        .unwrap();
+        assert_eq!(stats.nets_per_channel, vec![0]);
+        assert_eq!(stats.channel_tracks, vec![0]);
+        assert_eq!(stats.height, 10 + 6 + 10);
+        assert_eq!(stats.wire_length, 0);
     }
 
     #[test]

@@ -26,8 +26,9 @@ pub enum RouteError {
         /// Nets on the cycle.
         nets: Vec<u32>,
     },
-    /// A channel column referenced net id 0 reserved for "no pin".
-    ReservedNetId,
+    /// A routing problem with no terminals at all — the caller built a
+    /// channel for zero nets, which is a construction bug, not a route.
+    EmptyChannel,
     /// Assembly could not match a port between two facing edges.
     PortMismatch {
         /// The unmatched port name.
@@ -52,7 +53,7 @@ impl fmt::Display for RouteError {
             RouteError::VerticalConstraintCycle { nets } => {
                 write!(f, "vertical constraint cycle through nets {nets:?}")
             }
-            RouteError::ReservedNetId => write!(f, "net id 0 is reserved for empty pins"),
+            RouteError::EmptyChannel => write!(f, "routing problem has no terminals"),
             RouteError::PortMismatch { port } => {
                 write!(f, "port `{port}` has no partner on the facing edge")
             }

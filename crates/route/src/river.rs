@@ -33,6 +33,10 @@ pub struct RiverRoute {
 ///
 /// # Errors
 ///
+/// * [`RouteError::EmptyChannel`] — no terminals at all. A channel with
+///   nothing to route is a malformed problem (the caller sized a channel
+///   for zero nets); an earlier version silently returned a zero-track
+///   route here, masking the construction bug upstream.
 /// * [`RouteError::TerminalCountMismatch`] — side lengths differ;
 /// * [`RouteError::TerminalsNotOrdered`] — a side is not strictly
 ///   increasing with `pitch` separation.
@@ -57,6 +61,9 @@ pub fn river_route(
             top: top.len(),
         });
     }
+    if bottom.is_empty() {
+        return Err(RouteError::EmptyChannel);
+    }
     let pitch = pitch.max(1);
     for (side, terms) in [("bottom", bottom), ("top", top)] {
         for i in 1..terms.len() {
@@ -66,14 +73,6 @@ pub fn river_route(
         }
     }
     let n = bottom.len();
-    if n == 0 {
-        return Ok(RiverRoute {
-            paths: Vec::new(),
-            tracks: 0,
-            height: pitch,
-            wire_length: 0,
-        });
-    }
 
     // The open x-span each wire's horizontal jog occupies.
     let span = |i: usize| -> (Coord, Coord) { (bottom[i].min(top[i]), bottom[i].max(top[i])) };
@@ -117,13 +116,17 @@ pub fn river_route(
         }
     }
 
+    // `max()` is `None` exactly when every net runs straight across
+    // (`dir == 0` for all) — a legitimate routing needing no jog tracks.
+    // The empty-input case was rejected above, so this cannot mask a
+    // malformed problem.
     let tracks = level
         .iter()
         .enumerate()
         .filter(|&(i, _)| dir(i) != 0)
         .map(|(_, &l)| l + 1)
         .max()
-        .unwrap_or(0) as usize;
+        .map_or(0, |deepest| deepest as usize);
     let height = (tracks as Coord + 1) * pitch;
 
     let mut paths = Vec::with_capacity(n);
@@ -238,6 +241,14 @@ mod tests {
             river_route(&[0, 10], &[0], 4),
             Err(RouteError::TerminalCountMismatch { .. })
         ));
+        // One empty side against a non-empty side is a count mismatch,
+        // not an empty channel.
+        let e = river_route(&[], &[0, 10], 4).unwrap_err();
+        assert!(matches!(
+            e,
+            RouteError::TerminalCountMismatch { bottom: 0, top: 2 }
+        ));
+        assert!(e.to_string().contains("0 bottom vs 2 top"));
     }
 
     #[test]
@@ -257,10 +268,23 @@ mod tests {
     }
 
     #[test]
-    fn empty_channel() {
-        let r = river_route(&[], &[], 4).unwrap();
+    fn empty_channel_is_an_error() {
+        // Regression: the empty problem used to return a zero-track route
+        // (via a silent `unwrap_or(0)` fallback), hiding callers that
+        // built a channel with no terminals.
+        assert!(matches!(
+            river_route(&[], &[], 4),
+            Err(RouteError::EmptyChannel)
+        ));
+    }
+
+    #[test]
+    fn all_straight_nets_are_not_an_error() {
+        // The documented zero-track case: every net crosses straight, so
+        // the `max()` over jogged nets is empty, but the problem is sound.
+        let r = river_route(&[3], &[3], 4).unwrap();
         assert_eq!(r.tracks, 0);
-        assert!(r.paths.is_empty());
+        assert_eq!(r.height, 4);
     }
 
     #[test]

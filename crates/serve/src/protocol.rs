@@ -1,0 +1,287 @@
+//! The serve wire protocol: one JSON object per line, each answered by
+//! one JSON object on a line of its own.
+//!
+//! # Requests
+//!
+//! ```json
+//! {"op":"compile","source":"cell a() {...}","no_drc":false,"extract":false}
+//! {"op":"sim","source":"machine m {...}","cycles":10000}
+//! {"op":"drc","source":"cell a() {...}"}
+//! {"op":"stats"}
+//! {"op":"shutdown"}
+//! ```
+//!
+//! Every request may carry `"id"` (any scalar, echoed verbatim in the
+//! response so clients can pipeline) and `"deadline_ms"` (per-request
+//! compute budget overriding the server default).
+//!
+//! # Responses
+//!
+//! Success: `{"id":...,"ok":true,"op":"<op>",...per-op fields...}`.
+//! Failure: `{"id":...,"ok":false,"error":"<kind>","detail":"..."}` where
+//! `error` is one of the [`kind`] constants — `"overloaded"` (queue
+//! full, retry later), `"timeout"` (deadline exceeded), `"bad_request"`
+//! (unparseable or unknown), `"error"` (the pipeline failed; `detail`
+//! names the failing stage).
+
+use crate::json::{parse, Json};
+
+/// Failure kinds carried in the `error` field of a failure response.
+pub mod kind {
+    /// The compute queue was full; the request was never enqueued.
+    pub const OVERLOADED: &str = "overloaded";
+    /// The deadline passed before a worker finished the request.
+    pub const TIMEOUT: &str = "timeout";
+    /// The line was not a valid request.
+    pub const BAD_REQUEST: &str = "bad_request";
+    /// The pipeline failed; `detail` is `"<stage>: <message>"`.
+    pub const ERROR: &str = "error";
+}
+
+/// One decoded request line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Request {
+    /// Full SIL pipeline; mirrors `silc compile` (the `cif` field of the
+    /// response is byte-identical to the CLI's stdout).
+    Compile {
+        /// SIL source text.
+        source: String,
+        /// Skip DRC (and emit CIF regardless), like `--no-drc`.
+        no_drc: bool,
+        /// Also extract the netlist summary.
+        extract: bool,
+    },
+    /// Parse and simulate an ISL machine; mirrors `silc sim`.
+    Sim {
+        /// ISL source text.
+        source: String,
+        /// Cycle budget (the CLI default is 10 000).
+        cycles: u64,
+    },
+    /// Elaborate + flatten + DRC only; report violations without CIF.
+    Drc {
+        /// SIL source text.
+        source: String,
+    },
+    /// Server statistics; answered inline, never queued.
+    Stats,
+    /// Graceful shutdown: drain in-flight jobs, then exit.
+    Shutdown,
+    /// Test-only: hold a worker for `ms` milliseconds. Rejected unless
+    /// the server was built with `enable_test_ops`.
+    Sleep {
+        /// How long to occupy the worker.
+        ms: u64,
+    },
+}
+
+impl Request {
+    /// The `op` string echoed in success responses.
+    pub fn op(&self) -> &'static str {
+        match self {
+            Request::Compile { .. } => "compile",
+            Request::Sim { .. } => "sim",
+            Request::Drc { .. } => "drc",
+            Request::Stats => "stats",
+            Request::Shutdown => "shutdown",
+            Request::Sleep { .. } => "sleep",
+        }
+    }
+
+    /// True for ops answered on the connection thread (no worker, no
+    /// queue, no deadline): `stats` and `shutdown` must keep answering
+    /// even when every worker is busy.
+    pub fn is_control(&self) -> bool {
+        matches!(self, Request::Stats | Request::Shutdown)
+    }
+}
+
+/// A request plus its wire envelope (client id, deadline override).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Envelope {
+    /// Echoed verbatim in the response, when the client sent one.
+    pub id: Option<Json>,
+    /// Per-request deadline override in milliseconds.
+    pub deadline_ms: Option<u64>,
+    /// The decoded operation.
+    pub request: Request,
+}
+
+fn required_str(obj: &Json, key: &str, op: &str) -> Result<String, String> {
+    obj.get(key)
+        .and_then(Json::as_str)
+        .map(str::to_string)
+        .ok_or_else(|| format!("`{op}` needs a string `{key}` field"))
+}
+
+fn optional_bool(obj: &Json, key: &str) -> Result<bool, String> {
+    match obj.get(key) {
+        None | Some(Json::Null) => Ok(false),
+        Some(v) => v
+            .as_bool()
+            .ok_or_else(|| format!("`{key}` must be a boolean")),
+    }
+}
+
+fn optional_u64(obj: &Json, key: &str) -> Result<Option<u64>, String> {
+    match obj.get(key) {
+        None | Some(Json::Null) => Ok(None),
+        Some(v) => v
+            .as_u64()
+            .map(Some)
+            .ok_or_else(|| format!("`{key}` must be a non-negative integer")),
+    }
+}
+
+/// Decodes one request line.
+///
+/// # Errors
+///
+/// A message suitable for the `detail` field of a `bad_request`
+/// response: JSON syntax errors, a missing/unknown `op`, or wrongly
+/// typed fields.
+pub fn parse_request(line: &str, allow_test_ops: bool) -> Result<Envelope, String> {
+    let obj = parse(line)?;
+    if !matches!(obj, Json::Obj(_)) {
+        return Err("request must be a JSON object".into());
+    }
+    let op = obj
+        .get("op")
+        .and_then(Json::as_str)
+        .ok_or("request needs a string `op` field")?
+        .to_string();
+    let request = match op.as_str() {
+        "compile" => Request::Compile {
+            source: required_str(&obj, "source", "compile")?,
+            no_drc: optional_bool(&obj, "no_drc")?,
+            extract: optional_bool(&obj, "extract")?,
+        },
+        "sim" => Request::Sim {
+            source: required_str(&obj, "source", "sim")?,
+            cycles: optional_u64(&obj, "cycles")?.unwrap_or(10_000),
+        },
+        "drc" => Request::Drc {
+            source: required_str(&obj, "source", "drc")?,
+        },
+        "stats" => Request::Stats,
+        "shutdown" => Request::Shutdown,
+        "sleep" if allow_test_ops => Request::Sleep {
+            ms: optional_u64(&obj, "ms")?.unwrap_or(0),
+        },
+        other => return Err(format!("unknown op `{other}`")),
+    };
+    Ok(Envelope {
+        id: obj.get("id").cloned(),
+        deadline_ms: optional_u64(&obj, "deadline_ms")?,
+        request,
+    })
+}
+
+fn envelope(id: &Option<Json>, ok: bool) -> Vec<(String, Json)> {
+    let mut members = Vec::with_capacity(8);
+    if let Some(id) = id {
+        members.push(("id".to_string(), id.clone()));
+    }
+    members.push(("ok".to_string(), Json::Bool(ok)));
+    members
+}
+
+/// Renders a success response line (no trailing newline).
+pub fn ok_response(id: &Option<Json>, op: &str, fields: Vec<(String, Json)>) -> String {
+    let mut members = envelope(id, true);
+    members.push(("op".to_string(), Json::Str(op.to_string())));
+    members.extend(fields);
+    Json::Obj(members).to_string()
+}
+
+/// Renders a failure response line (no trailing newline). `kind` is one
+/// of the [`kind`] constants.
+pub fn err_response(id: &Option<Json>, kind: &str, detail: &str) -> String {
+    let mut members = envelope(id, false);
+    members.push(("error".to_string(), Json::Str(kind.to_string())));
+    members.push(("detail".to_string(), Json::Str(detail.to_string())));
+    Json::Obj(members).to_string()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_each_op() {
+        let e = parse_request(
+            r#"{"op":"compile","source":"cell a() {}","no_drc":true,"id":3}"#,
+            false,
+        )
+        .unwrap();
+        assert_eq!(e.id, Some(Json::Int(3)));
+        assert_eq!(
+            e.request,
+            Request::Compile {
+                source: "cell a() {}".into(),
+                no_drc: true,
+                extract: false,
+            }
+        );
+        assert!(!e.request.is_control());
+
+        let e = parse_request(r#"{"op":"sim","source":"machine m {}"}"#, false).unwrap();
+        assert_eq!(
+            e.request,
+            Request::Sim {
+                source: "machine m {}".into(),
+                cycles: 10_000
+            }
+        );
+
+        let e = parse_request(r#"{"op":"drc","source":"x","deadline_ms":250}"#, false).unwrap();
+        assert_eq!(e.deadline_ms, Some(250));
+
+        for op in ["stats", "shutdown"] {
+            let e = parse_request(&format!(r#"{{"op":"{op}"}}"#), false).unwrap();
+            assert!(e.request.is_control(), "{op}");
+            assert_eq!(e.request.op(), op);
+        }
+    }
+
+    #[test]
+    fn sleep_is_gated_behind_test_ops() {
+        let line = r#"{"op":"sleep","ms":50}"#;
+        assert!(parse_request(line, false).unwrap_err().contains("sleep"));
+        assert_eq!(
+            parse_request(line, true).unwrap().request,
+            Request::Sleep { ms: 50 }
+        );
+    }
+
+    #[test]
+    fn malformed_lines_name_the_offence() {
+        assert!(parse_request("not json", false).is_err());
+        assert!(parse_request("[1,2]", false)
+            .unwrap_err()
+            .contains("object"));
+        assert!(parse_request(r#"{"op":"warp"}"#, false)
+            .unwrap_err()
+            .contains("warp"));
+        assert!(parse_request(r#"{"op":"compile"}"#, false)
+            .unwrap_err()
+            .contains("source"));
+        assert!(
+            parse_request(r#"{"op":"sim","source":"m","cycles":-1}"#, false)
+                .unwrap_err()
+                .contains("cycles")
+        );
+    }
+
+    #[test]
+    fn responses_echo_the_id_and_shape() {
+        let id = Some(Json::Str("req-1".into()));
+        let ok = ok_response(&id, "compile", vec![("cif".into(), Json::Str("DS".into()))]);
+        assert_eq!(ok, r#"{"id":"req-1","ok":true,"op":"compile","cif":"DS"}"#);
+        let err = err_response(&None, kind::OVERLOADED, "queue full");
+        assert_eq!(
+            err,
+            r#"{"ok":false,"error":"overloaded","detail":"queue full"}"#
+        );
+    }
+}

@@ -1,0 +1,706 @@
+//! The compile server: a threaded TCP accept loop feeding a bounded
+//! worker pool that shares ONE incremental [`Engine`].
+//!
+//! ```text
+//!            ┌── connection thread ──┐   try_send    ┌─ worker 0 ─┐
+//! accept ──▶ │ read line → parse →   ├──────────────▶│            │──▶ engine
+//!            │ wait (recv_timeout) ◀─┤  bounded queue └────────────┘   (shared,
+//!            └───────────────────────┘                ┌─ worker N ─┐    cached)
+//!                                                     └────────────┘
+//! ```
+//!
+//! Robustness properties, each with a dedicated mechanism:
+//!
+//! * **Backpressure** — the queue is a [`mpsc::sync_channel`] of fixed
+//!   capacity; a full queue answers `overloaded` immediately instead of
+//!   buffering unboundedly ([`crate::protocol::kind::OVERLOADED`]).
+//! * **Deadlines** — the connection thread waits for the worker's reply
+//!   with `recv_timeout`; past the deadline the client gets a `timeout`
+//!   response and the connection moves on. Workers additionally drop
+//!   jobs that are already expired at dequeue, so a burst of doomed
+//!   work cannot occupy the pool.
+//! * **Isolation** — a malformed line gets a `bad_request` reply and the
+//!   connection survives; a panicking pipeline is caught per-job
+//!   (`catch_unwind`) and answered as an `error`.
+//! * **Idle reaping** — connections that complete no request within the
+//!   idle window are closed (reads tick every `POLL_MS` so the check
+//!   is cheap).
+//! * **Graceful shutdown** — a `shutdown` request or SIGINT stops the
+//!   accept loop, lets in-flight jobs finish, drains the queue, joins
+//!   every thread and returns `Ok(())`. The disk cache needs no
+//!   separate flush: [`Engine`] writes entries atomically at compute
+//!   time, so whatever finished is already durable.
+
+use std::io::{BufRead, BufReader, ErrorKind, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::mpsc::{self, Receiver, RecvTimeoutError, SyncSender, TrySendError};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+use silc_drc::RuleSet;
+use silc_incr::{
+    compile_sil, drc_report, elaborate, flat_regions, sim_results, CompileOptions, Engine,
+    EngineConfig, JobStats,
+};
+use silc_trace::{names, Tracer};
+
+use crate::json::Json;
+use crate::protocol::{err_response, kind, ok_response, parse_request, Envelope, Request};
+
+/// How often blocked loops wake to check the stop flag, in milliseconds.
+const POLL_MS: u64 = 25;
+
+/// Server tuning knobs. `Default` is production-shaped; tests shrink the
+/// queue and deadlines to force each failure mode deterministically.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Bind address; port 0 picks an ephemeral port (see
+    /// [`Server::local_addr`]).
+    pub addr: String,
+    /// Worker threads computing pipeline requests.
+    pub jobs: usize,
+    /// Bounded compute-queue capacity; a full queue answers
+    /// `overloaded`.
+    pub queue_capacity: usize,
+    /// Default per-request deadline when the request names none.
+    pub default_deadline_ms: u64,
+    /// Connections with no completed request for this long are closed.
+    pub idle_timeout_ms: u64,
+    /// Persistent cache directory for the shared engine.
+    pub cache_dir: Option<PathBuf>,
+    /// Trace destination; `serve.*` counters and pipeline spans land
+    /// here.
+    pub tracer: Tracer,
+    /// Accept the test-only `sleep` op. Never set by the CLI; protocol
+    /// tests use it to hold workers for a known duration.
+    pub enable_test_ops: bool,
+}
+
+impl Default for ServerConfig {
+    fn default() -> ServerConfig {
+        let jobs = std::thread::available_parallelism().map_or(2, |n| n.get().min(8));
+        ServerConfig {
+            addr: "127.0.0.1:0".to_string(),
+            jobs,
+            queue_capacity: jobs * 4,
+            default_deadline_ms: 30_000,
+            idle_timeout_ms: 60_000,
+            cache_dir: None,
+            tracer: Tracer::disabled(),
+            enable_test_ops: false,
+        }
+    }
+}
+
+/// Monotonic server counters, readable at any time via the `stats` op.
+#[derive(Debug, Default)]
+struct ServeStats {
+    accepted: AtomicU64,
+    requests: AtomicU64,
+    timeouts: AtomicU64,
+    rejected: AtomicU64,
+    bad_requests: AtomicU64,
+    busy_workers: AtomicU64,
+    queue_depth: AtomicU64,
+}
+
+/// State shared by the accept loop, connection threads and workers.
+struct Shared {
+    engine: Engine,
+    config: ServerConfig,
+    stop: Arc<AtomicBool>,
+    stats: ServeStats,
+}
+
+impl Shared {
+    fn should_stop(&self) -> bool {
+        self.stop.load(Ordering::SeqCst) || sigint_seen()
+    }
+}
+
+/// One enqueued compute request. The reply channel carries the fully
+/// rendered response line; if the waiter gave up (deadline), the send
+/// fails silently and the result is discarded.
+struct Job {
+    envelope: Envelope,
+    deadline: Instant,
+    reply: SyncSender<String>,
+}
+
+/// Requests shutdown from outside [`Server::run`] — tests use this where
+/// a client would send `{"op":"shutdown"}` and a terminal sends SIGINT.
+#[derive(Debug, Clone)]
+pub struct ShutdownHandle {
+    stop: Arc<AtomicBool>,
+}
+
+impl ShutdownHandle {
+    /// Begins a graceful shutdown: stop accepting, drain, join, return.
+    pub fn shutdown(&self) {
+        self.stop.store(true, Ordering::SeqCst);
+    }
+}
+
+/// A bound compile server. [`bind`](Server::bind) then
+/// [`run`](Server::run); `run` blocks until shutdown.
+pub struct Server {
+    listener: TcpListener,
+    shared: Shared,
+}
+
+impl Server {
+    /// Binds the listen socket and opens the shared engine (creating
+    /// the cache directory when configured).
+    ///
+    /// # Errors
+    ///
+    /// Bind or cache-directory failures, rendered to strings.
+    pub fn bind(config: ServerConfig) -> Result<Server, String> {
+        let listener = TcpListener::bind(&config.addr)
+            .map_err(|e| format!("cannot bind `{}`: {e}", config.addr))?;
+        let engine = Engine::new(EngineConfig {
+            cache_dir: config.cache_dir.clone(),
+            tracer: config.tracer.clone(),
+            ..EngineConfig::default()
+        })?;
+        Ok(Server {
+            listener,
+            shared: Shared {
+                engine,
+                config,
+                stop: Arc::new(AtomicBool::new(false)),
+                stats: ServeStats::default(),
+            },
+        })
+    }
+
+    /// The bound address (resolves port 0 to the actual port).
+    ///
+    /// # Errors
+    ///
+    /// The socket's own error, rendered to a string.
+    pub fn local_addr(&self) -> Result<SocketAddr, String> {
+        self.listener
+            .local_addr()
+            .map_err(|e| format!("cannot read bound address: {e}"))
+    }
+
+    /// A handle that triggers graceful shutdown from another thread.
+    pub fn shutdown_handle(&self) -> ShutdownHandle {
+        ShutdownHandle {
+            stop: Arc::clone(&self.shared.stop),
+        }
+    }
+
+    /// Serves until shutdown (a `shutdown` request, a
+    /// [`ShutdownHandle`], or SIGINT when the handler is installed),
+    /// then drains in-flight jobs and joins every thread.
+    ///
+    /// # Errors
+    ///
+    /// Only setup failures (making the listener non-blocking); per-
+    /// connection and per-request failures are answered on the wire,
+    /// never returned.
+    pub fn run(self) -> Result<(), String> {
+        let Server { listener, shared } = self;
+        listener
+            .set_nonblocking(true)
+            .map_err(|e| format!("cannot poll the listener: {e}"))?;
+        let (tx, rx) = mpsc::sync_channel::<Job>(shared.config.queue_capacity.max(1));
+        let rx = Mutex::new(rx);
+        std::thread::scope(|scope| {
+            for _ in 0..shared.config.jobs.max(1) {
+                scope.spawn(|| worker_loop(&shared, &rx));
+            }
+            while !shared.should_stop() {
+                match listener.accept() {
+                    Ok((stream, _peer)) => {
+                        shared.stats.accepted.fetch_add(1, Ordering::SeqCst);
+                        shared.config.tracer.add(names::SERVE_ACCEPT, 1);
+                        let tx = tx.clone();
+                        scope.spawn(|| serve_connection(&shared, tx, stream));
+                    }
+                    Err(e) if e.kind() == ErrorKind::WouldBlock => {
+                        std::thread::sleep(Duration::from_millis(POLL_MS));
+                    }
+                    Err(e) => {
+                        // Transient accept failures (e.g. EMFILE) are
+                        // logged, not fatal: existing clients keep
+                        // their service.
+                        eprintln!("silc serve: accept failed: {e}");
+                        std::thread::sleep(Duration::from_millis(POLL_MS));
+                    }
+                }
+            }
+            // Leaving the scope joins workers (which drain the queue)
+            // and connection threads (which finish their in-flight
+            // request, then notice the stop flag on the next read tick).
+        });
+        Ok(())
+    }
+}
+
+/// Pulls jobs off the shared queue until shutdown *and* the queue is
+/// empty — `recv_timeout` returning `Timeout` proves emptiness, so
+/// checking the stop flag only there gives drain-then-exit for free.
+fn worker_loop(shared: &Shared, rx: &Mutex<Receiver<Job>>) {
+    loop {
+        let next = rx
+            .lock()
+            .expect("serve queue receiver poisoned")
+            .recv_timeout(Duration::from_millis(POLL_MS * 2));
+        match next {
+            Ok(job) => {
+                shared.stats.queue_depth.fetch_sub(1, Ordering::SeqCst);
+                if Instant::now() >= job.deadline {
+                    // The waiter has already answered `timeout`; don't
+                    // burn a worker on a result nobody will read.
+                    continue;
+                }
+                shared.stats.busy_workers.fetch_add(1, Ordering::SeqCst);
+                let response = run_job(shared, &job);
+                shared.stats.busy_workers.fetch_sub(1, Ordering::SeqCst);
+                // Fails iff the waiter timed out meanwhile; discard.
+                let _ = job.reply.send(response);
+            }
+            Err(RecvTimeoutError::Timeout) => {
+                if shared.should_stop() {
+                    return;
+                }
+            }
+            Err(RecvTimeoutError::Disconnected) => return,
+        }
+    }
+}
+
+/// Executes one job with panic isolation and renders the response line.
+fn run_job(shared: &Shared, job: &Job) -> String {
+    let id = &job.envelope.id;
+    let op = job.envelope.request.op();
+    match catch_unwind(AssertUnwindSafe(|| {
+        execute(shared, &job.envelope.request, job.deadline)
+    })) {
+        Ok(Ok(fields)) => ok_response(id, op, fields),
+        Ok(Err(detail)) => err_response(id, kind::ERROR, &detail),
+        Err(_) => err_response(id, kind::ERROR, &format!("internal panic in `{op}`")),
+    }
+}
+
+/// Runs one compute op against the shared engine. Field order is fixed
+/// so responses are byte-stable across runs.
+fn execute(
+    shared: &Shared,
+    request: &Request,
+    deadline: Instant,
+) -> Result<Vec<(String, Json)>, String> {
+    let engine = &shared.engine;
+    let mut stats = JobStats::default();
+    let mut fields: Vec<(String, Json)> = Vec::new();
+    match request {
+        Request::Compile {
+            source,
+            no_drc,
+            extract,
+        } => {
+            let options = CompileOptions {
+                check_drc: !no_drc,
+                rules: RuleSet::mead_conway_nmos(),
+                emit_cif: true,
+                extract: *extract,
+            };
+            let out = compile_sil(engine, source, &options, &mut stats)?;
+            if let Some(report) = &out.drc {
+                // Mirror the CLI: violations fail the request and
+                // withhold CIF (`no_drc` skips the check entirely).
+                if !report.is_clean() {
+                    return Err(format!("drc: {} violation(s)", report.violations.len()));
+                }
+            }
+            fields.push(("cells".into(), Json::Int(out.design.library.len() as i128)));
+            fields.push((
+                "flat_elements".into(),
+                Json::Int(out.flat.flat_elements as i128),
+            ));
+            let (w, h) = out
+                .flat
+                .bbox
+                .map_or((0, 0), |b| (b.width() as i128, b.height() as i128));
+            fields.push(("die".into(), Json::Arr(vec![Json::Int(w), Json::Int(h)])));
+            if let Some(ex) = &out.extract {
+                fields.push((
+                    "extract".into(),
+                    Json::Obj(vec![
+                        ("transistors".into(), Json::Int(ex.transistors as i128)),
+                        ("nets".into(), Json::Int(ex.nets as i128)),
+                    ]),
+                ));
+            }
+            let cif = out.cif.as_ref().map_or("", |c| c.as_str());
+            fields.push(("cif".into(), Json::Str(cif.to_string())));
+        }
+        Request::Sim { source, cycles } => {
+            let machine = silc_rtl::parse(source).map_err(|e| format!("isl.parse: {e}"))?;
+            let sim = sim_results(engine, &machine, *cycles, &mut stats)?;
+            fields.push(("machine".into(), Json::Str(machine.name.clone())));
+            fields.push(("cycles".into(), Json::Int(sim.cycles as i128)));
+            fields.push(("halted".into(), Json::Bool(sim.halted)));
+            fields.push(("state".into(), Json::Str(sim.state.clone())));
+            let render = |pairs: &[(String, u64)]| {
+                Json::Obj(
+                    pairs
+                        .iter()
+                        .map(|(name, value)| (name.clone(), Json::Int(*value as i128)))
+                        .collect(),
+                )
+            };
+            fields.push(("regs".into(), render(&sim.regs)));
+            fields.push(("outputs".into(), render(&sim.outputs)));
+        }
+        Request::Drc { source } => {
+            let design = elaborate(engine, source, &mut stats)?;
+            let flat = flat_regions(engine, &design, &mut stats)?;
+            let report = drc_report(engine, &flat, &RuleSet::mead_conway_nmos(), &mut stats)?;
+            fields.push((
+                "violations".into(),
+                Json::Int(report.violations.len() as i128),
+            ));
+            fields.push(("clean".into(), Json::Bool(report.is_clean())));
+            fields.push(("report".into(), Json::Str(report.to_string())));
+        }
+        Request::Sleep { ms } => {
+            // Sleep in short slices so shutdown drains fast and an
+            // expired deadline frees the worker early.
+            let end = Instant::now() + Duration::from_millis(*ms);
+            loop {
+                let now = Instant::now();
+                if now >= end {
+                    break;
+                }
+                if shared.should_stop() {
+                    break;
+                }
+                if now >= deadline {
+                    return Err(format!("slept past the {ms}ms deadline"));
+                }
+                std::thread::sleep((end - now).min(Duration::from_millis(5)));
+            }
+            fields.push(("slept_ms".into(), Json::Int(*ms as i128)));
+        }
+        Request::Stats | Request::Shutdown => {
+            unreachable!("control ops are answered on the connection thread")
+        }
+    }
+    fields.push(("cache_hits".into(), Json::Int(stats.hits as i128)));
+    fields.push(("cache_misses".into(), Json::Int(stats.misses as i128)));
+    Ok(fields)
+}
+
+/// Services one client: read a line, answer it, repeat. Reads tick every
+/// [`POLL_MS`]·4 so the loop can notice shutdown and idle expiry without
+/// a dedicated reaper thread.
+fn serve_connection(shared: &Shared, tx: SyncSender<Job>, stream: TcpStream) {
+    let Ok(reader_half) = stream.try_clone() else {
+        return;
+    };
+    if stream
+        .set_read_timeout(Some(Duration::from_millis(POLL_MS * 4)))
+        .is_err()
+    {
+        return;
+    }
+    let mut reader = BufReader::new(reader_half);
+    let mut writer = stream;
+    let idle_budget = Duration::from_millis(shared.config.idle_timeout_ms.max(1));
+    let mut last_done = Instant::now();
+    let mut line = String::new();
+    loop {
+        if shared.should_stop() {
+            return;
+        }
+        // `read_line` keeps whatever arrived before a timeout in `line`,
+        // so a request split across packets accumulates across ticks.
+        match reader.read_line(&mut line) {
+            Ok(0) => return, // client closed
+            Ok(_) => {
+                let keep_open = answer_line(shared, &tx, &mut writer, line.trim());
+                line.clear();
+                last_done = Instant::now();
+                if !keep_open {
+                    return;
+                }
+            }
+            Err(e) if matches!(e.kind(), ErrorKind::WouldBlock | ErrorKind::TimedOut) => {
+                if last_done.elapsed() > idle_budget {
+                    return; // idle reap
+                }
+            }
+            Err(_) => return,
+        }
+    }
+}
+
+/// Parses and answers one request line. Returns `false` when the
+/// connection should close (after a `shutdown` acknowledgement).
+fn answer_line(shared: &Shared, tx: &SyncSender<Job>, writer: &mut TcpStream, line: &str) -> bool {
+    if line.is_empty() {
+        return true; // blank keep-alive lines are not requests
+    }
+    shared.stats.requests.fetch_add(1, Ordering::SeqCst);
+    shared.config.tracer.add(names::SERVE_REQUESTS, 1);
+    let envelope = match parse_request(line, shared.config.enable_test_ops) {
+        Ok(envelope) => envelope,
+        Err(detail) => {
+            shared.stats.bad_requests.fetch_add(1, Ordering::SeqCst);
+            shared.config.tracer.add(names::SERVE_BAD_REQUEST, 1);
+            return respond(writer, &err_response(&None, kind::BAD_REQUEST, &detail));
+        }
+    };
+    match &envelope.request {
+        Request::Stats => respond(
+            writer,
+            &ok_response(&envelope.id, "stats", stats_fields(shared)),
+        ),
+        Request::Shutdown => {
+            // Acknowledge first so the requester sees the reply even
+            // though everything is about to wind down.
+            let _ = respond(writer, &ok_response(&envelope.id, "shutdown", Vec::new()));
+            shared.stop.store(true, Ordering::SeqCst);
+            false
+        }
+        _ => {
+            dispatch_compute(shared, tx, writer, envelope);
+            true
+        }
+    }
+}
+
+/// Enqueues a compute request and waits for its reply or deadline.
+fn dispatch_compute(
+    shared: &Shared,
+    tx: &SyncSender<Job>,
+    writer: &mut TcpStream,
+    envelope: Envelope,
+) {
+    let budget = Duration::from_millis(
+        envelope
+            .deadline_ms
+            .unwrap_or(shared.config.default_deadline_ms)
+            .max(1),
+    );
+    let deadline = Instant::now() + budget;
+    let (reply_tx, reply_rx) = mpsc::sync_channel::<String>(1);
+    let id = envelope.id.clone();
+    let depth = shared.stats.queue_depth.fetch_add(1, Ordering::SeqCst) + 1;
+    let job = Job {
+        envelope,
+        deadline,
+        reply: reply_tx,
+    };
+    match tx.try_send(job) {
+        Ok(()) => {
+            shared
+                .config
+                .tracer
+                .gauge_max(names::SERVE_QUEUE_DEPTH, depth);
+            match reply_rx.recv_timeout(budget) {
+                Ok(response) => {
+                    respond(writer, &response);
+                }
+                // `Disconnected` means a worker discarded the expired
+                // job before computing — the same client-visible fact.
+                Err(_) => {
+                    shared.stats.timeouts.fetch_add(1, Ordering::SeqCst);
+                    shared.config.tracer.add(names::SERVE_TIMEOUT, 1);
+                    let detail = format!("no result within {}ms", budget.as_millis());
+                    respond(writer, &err_response(&id, kind::TIMEOUT, &detail));
+                }
+            }
+        }
+        Err(send_error) => {
+            shared.stats.queue_depth.fetch_sub(1, Ordering::SeqCst);
+            let (kind_str, detail) = match send_error {
+                TrySendError::Full(_) => {
+                    shared.stats.rejected.fetch_add(1, Ordering::SeqCst);
+                    shared.config.tracer.add(names::SERVE_REJECTED, 1);
+                    (kind::OVERLOADED, "compute queue is full; retry later")
+                }
+                TrySendError::Disconnected(_) => (kind::ERROR, "server is shutting down"),
+            };
+            respond(writer, &err_response(&id, kind_str, detail));
+        }
+    }
+}
+
+/// The `stats` response body, in a fixed field order.
+fn stats_fields(shared: &Shared) -> Vec<(String, Json)> {
+    let count = |a: &AtomicU64| Json::Int(a.load(Ordering::SeqCst) as i128);
+    let s = &shared.stats;
+    vec![
+        ("accepted".into(), count(&s.accepted)),
+        ("requests".into(), count(&s.requests)),
+        ("timeouts".into(), count(&s.timeouts)),
+        ("rejected".into(), count(&s.rejected)),
+        ("bad_requests".into(), count(&s.bad_requests)),
+        ("busy_workers".into(), count(&s.busy_workers)),
+        ("queue_depth".into(), count(&s.queue_depth)),
+        (
+            "workers".into(),
+            Json::Int(shared.config.jobs.max(1) as i128),
+        ),
+        (
+            "queue_capacity".into(),
+            Json::Int(shared.config.queue_capacity.max(1) as i128),
+        ),
+        (
+            "persistent_cache".into(),
+            Json::Bool(shared.engine.is_persistent()),
+        ),
+    ]
+}
+
+/// Writes one response line; `false` (drop the connection) on I/O error.
+fn respond(writer: &mut TcpStream, response: &str) -> bool {
+    let mut payload = response.to_string();
+    payload.push('\n');
+    writer.write_all(payload.as_bytes()).is_ok() && writer.flush().is_ok()
+}
+
+// ---------------------------------------------------------------------
+// SIGINT: a self-installed handler setting one global flag, polled by
+// every server loop. Hand-declared because the workspace vendors no
+// `libc` and `std` exposes no signal API.
+
+static SIGINT_SEEN: AtomicBool = AtomicBool::new(false);
+
+fn sigint_seen() -> bool {
+    SIGINT_SEEN.load(Ordering::SeqCst)
+}
+
+#[cfg(unix)]
+extern "C" fn on_sigint(_signum: i32) {
+    // Only async-signal-safe work here: one atomic store.
+    SIGINT_SEEN.store(true, Ordering::SeqCst);
+}
+
+/// Routes SIGINT to a graceful shutdown of every [`Server::run`] loop in
+/// this process. Call once, before `run`. No-op on non-Unix targets.
+#[cfg(unix)]
+pub fn install_sigint_handler() {
+    extern "C" {
+        fn signal(signum: i32, handler: usize) -> usize;
+    }
+    const SIGINT: i32 = 2;
+    unsafe {
+        signal(SIGINT, on_sigint as extern "C" fn(i32) as usize);
+    }
+}
+
+/// Routes SIGINT to a graceful shutdown of every [`Server::run`] loop in
+/// this process. Call once, before `run`. No-op on non-Unix targets.
+#[cfg(not(unix))]
+pub fn install_sigint_handler() {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn test_config() -> ServerConfig {
+        ServerConfig {
+            jobs: 2,
+            queue_capacity: 2,
+            default_deadline_ms: 5_000,
+            idle_timeout_ms: 5_000,
+            enable_test_ops: true,
+            ..ServerConfig::default()
+        }
+    }
+
+    fn start(config: ServerConfig) -> (SocketAddr, ShutdownHandle, std::thread::JoinHandle<()>) {
+        let server = Server::bind(config).expect("bind");
+        let addr = server.local_addr().expect("addr");
+        let handle = server.shutdown_handle();
+        let join = std::thread::spawn(move || server.run().expect("serve"));
+        (addr, handle, join)
+    }
+
+    fn request(addr: SocketAddr, line: &str) -> Json {
+        let mut stream = TcpStream::connect(addr).expect("connect");
+        let mut payload = line.to_string();
+        payload.push('\n');
+        stream.write_all(payload.as_bytes()).expect("send");
+        let mut reader = BufReader::new(stream);
+        let mut response = String::new();
+        reader.read_line(&mut response).expect("reply");
+        crate::json::parse(response.trim()).expect("json reply")
+    }
+
+    #[test]
+    fn serves_compile_and_reaps_on_handle() {
+        let (addr, handle, join) = start(test_config());
+        let response = request(
+            addr,
+            r#"{"op":"compile","id":1,"source":"cell a() { box metal (0,0) (8,4); } place a() at (0,0);"}"#,
+        );
+        assert_eq!(response.get("ok"), Some(&Json::Bool(true)));
+        assert_eq!(response.get("id"), Some(&Json::Int(1)));
+        let cif = response.get("cif").and_then(Json::as_str).expect("cif");
+        assert!(cif.contains("DS"), "{cif}");
+        handle.shutdown();
+        join.join().expect("clean exit");
+    }
+
+    #[test]
+    fn malformed_lines_do_not_kill_the_connection() {
+        let (addr, handle, join) = start(test_config());
+        let mut stream = TcpStream::connect(addr).expect("connect");
+        stream
+            .write_all(b"this is not json\n{\"op\":\"stats\"}\n")
+            .expect("send");
+        let mut reader = BufReader::new(stream);
+        let mut first = String::new();
+        reader.read_line(&mut first).expect("bad-request reply");
+        let first = crate::json::parse(first.trim()).expect("json");
+        assert_eq!(
+            first.get("error").and_then(Json::as_str),
+            Some(kind::BAD_REQUEST)
+        );
+        let mut second = String::new();
+        reader.read_line(&mut second).expect("stats reply");
+        let second = crate::json::parse(second.trim()).expect("json");
+        assert_eq!(second.get("ok"), Some(&Json::Bool(true)));
+        assert_eq!(second.get("bad_requests"), Some(&Json::Int(1)));
+        handle.shutdown();
+        join.join().expect("clean exit");
+    }
+
+    #[test]
+    fn shutdown_request_stops_the_server() {
+        let (addr, _handle, join) = start(test_config());
+        let response = request(addr, r#"{"op":"shutdown","id":"bye"}"#);
+        assert_eq!(response.get("ok"), Some(&Json::Bool(true)));
+        assert_eq!(response.get("id").and_then(Json::as_str), Some("bye"));
+        join.join().expect("clean exit");
+    }
+
+    #[test]
+    fn idle_connections_are_reaped() {
+        let (addr, handle, join) = start(ServerConfig {
+            idle_timeout_ms: 150,
+            ..test_config()
+        });
+        let stream = TcpStream::connect(addr).expect("connect");
+        stream
+            .set_read_timeout(Some(Duration::from_secs(5)))
+            .expect("timeout");
+        let mut reader = BufReader::new(stream);
+        let mut buffer = String::new();
+        // The server closes the idle socket; the client sees EOF.
+        let n = reader.read_line(&mut buffer).expect("EOF, not hang");
+        assert_eq!(n, 0, "reaped without sending anything: {buffer:?}");
+        handle.shutdown();
+        join.join().expect("clean exit");
+    }
+}

@@ -61,6 +61,18 @@ pub mod names {
     pub const INCR_STORE_BYTES: &str = "incr.store_bytes";
     /// In-memory entries evicted to respect the capacity bound.
     pub const INCR_EVICTIONS: &str = "incr.evictions";
+    /// Connections accepted by `silc serve`.
+    pub const SERVE_ACCEPT: &str = "serve.accept";
+    /// Requests parsed and answered (any outcome) by `silc serve`.
+    pub const SERVE_REQUESTS: &str = "serve.requests";
+    /// High-water mark of the compute queue depth (max gauge).
+    pub const SERVE_QUEUE_DEPTH: &str = "serve.queue_depth";
+    /// Requests that exceeded their deadline.
+    pub const SERVE_TIMEOUT: &str = "serve.timeout";
+    /// Requests rejected with `overloaded` because the queue was full.
+    pub const SERVE_REJECTED: &str = "serve.rejected";
+    /// Lines that failed to parse as a request.
+    pub const SERVE_BAD_REQUEST: &str = "serve.bad_request";
 }
 
 /// Opens a [`Span`] on a tracer: `span!(tracer, "stage.pass")`. The

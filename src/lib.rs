@@ -51,5 +51,6 @@ pub use silc_pdp8 as pdp8;
 pub use silc_pla as pla;
 pub use silc_route as route;
 pub use silc_rtl as rtl;
+pub use silc_serve as serve;
 pub use silc_synth as synth;
 pub use silc_trace as trace;

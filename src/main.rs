@@ -7,6 +7,7 @@
 //! silc synth   <machine.isl>                          compile it onto standard modules
 //! silc pla     <table.pla> [-o out.cif] [--raw]       espresso table -> minimized PLA -> CIF
 //! silc batch   <manifest> [--jobs N]                  run many jobs against one shared cache
+//! silc serve   [--addr HOST:PORT] [--jobs N]          compile server over newline-delimited JSON
 //! ```
 //!
 //! Every subcommand also accepts `--stats` (per-stage wall-time and
@@ -25,6 +26,7 @@ use silc::incr::{
     sim_results, synth_allocation, Engine, EngineConfig, JobStats,
 };
 use silc::rtl::parse as parse_isl;
+use silc::serve::{install_sigint_handler, Server, ServerConfig};
 use silc::trace::{span, JsonlSink, StatsSink, Tracer};
 
 fn main() -> ExitCode {
@@ -35,6 +37,7 @@ fn main() -> ExitCode {
         Some("synth") => cmd_synth(&args[1..]),
         Some("pla") => cmd_pla(&args[1..]),
         Some("batch") => cmd_batch(&args[1..]),
+        Some("serve") => cmd_serve(&args[1..]),
         Some("--help") | Some("-h") | None => {
             eprint!("{}", USAGE);
             return ExitCode::SUCCESS;
@@ -57,6 +60,7 @@ usage:
   silc synth   <machine.isl>
   silc pla     <table.pla> [-o out.cif] [--raw]
   silc batch   <manifest> [--jobs N]
+  silc serve   [--addr HOST:PORT] [--jobs N]
 common flags:
   --stats            per-stage timing and counter summary on stderr
   --trace <file>     JSONL event stream (one object per span/counter)
@@ -70,7 +74,8 @@ struct Opts {
     no_drc: bool,
     raw: bool,
     cycles: u64,
-    jobs: usize,
+    jobs: Option<usize>,
+    addr: Option<String>,
     cache: Option<String>,
     stats: bool,
     trace: Option<String>,
@@ -104,6 +109,7 @@ fn parse_opts(cmd: &str, args: &[String]) -> Result<Opts, String> {
     let mut raw = false;
     let mut cycles = None;
     let mut jobs = None;
+    let mut addr = None;
     let mut cache = None;
     let mut no_cache = false;
     let mut stats = false;
@@ -131,7 +137,16 @@ fn parse_opts(cmd: &str, args: &[String]) -> Result<Opts, String> {
                     return Err(dup("--cycles"));
                 }
             }
-            "--jobs" if cmd == "batch" => {
+            "--addr" if cmd == "serve" => {
+                let value = it
+                    .next()
+                    .ok_or_else(|| "--addr needs a HOST:PORT".to_string())?
+                    .clone();
+                if addr.replace(value).is_some() {
+                    return Err(dup("--addr"));
+                }
+            }
+            "--jobs" if matches!(cmd, "batch" | "serve") => {
                 let value = it
                     .next()
                     .and_then(|s| s.parse::<usize>().ok())
@@ -188,8 +203,11 @@ fn parse_opts(cmd: &str, args: &[String]) -> Result<Opts, String> {
                     "--cycles" => {
                         format!("`--cycles` is only valid for `silc sim`, not `silc {cmd}`")
                     }
-                    "--jobs" => {
-                        format!("`--jobs` is only valid for `silc batch`, not `silc {cmd}`")
+                    "--jobs" => format!(
+                        "`--jobs` is only valid for `silc batch` and `silc serve`, not `silc {cmd}`"
+                    ),
+                    "--addr" => {
+                        format!("`--addr` is only valid for `silc serve`, not `silc {cmd}`")
                     }
                     "--no-drc" => {
                         format!("`--no-drc` is only valid for `silc compile`, not `silc {cmd}`")
@@ -211,13 +229,23 @@ fn parse_opts(cmd: &str, args: &[String]) -> Result<Opts, String> {
     if no_cache && cache.is_some() {
         return Err("`--no-cache` conflicts with `--cache`".into());
     }
+    // `serve` is the one daemon: it listens instead of reading a file.
+    let input = if cmd == "serve" {
+        if let Some(file) = input {
+            return Err(format!("`silc serve` takes no input file (got `{file}`)"));
+        }
+        String::new()
+    } else {
+        input.ok_or_else(|| format!("missing input file\n{USAGE}"))?
+    };
     Ok(Opts {
-        input: input.ok_or_else(|| format!("missing input file\n{USAGE}"))?,
+        input,
         output,
         no_drc,
         raw,
         cycles: cycles.unwrap_or(10_000),
-        jobs: jobs.unwrap_or(1),
+        jobs,
+        addr,
         cache,
         stats,
         trace,
@@ -389,7 +417,7 @@ fn run_batch_cmd(opts: &Opts, tracer: &Tracer) -> Result<(), String> {
     if jobs.is_empty() {
         return Err(format!("manifest `{}` has no jobs", opts.input));
     }
-    let results = run_batch(&engine, &jobs, opts.jobs);
+    let results = run_batch(&engine, &jobs, opts.jobs.unwrap_or(1));
     let label_width = results
         .iter()
         .map(|r| r.label.len())
@@ -424,4 +452,31 @@ fn run_batch_cmd(opts: &Opts, tracer: &Tracer) -> Result<(), String> {
         return Err(format!("{failed} batch job(s) failed"));
     }
     Ok(())
+}
+
+fn cmd_serve(args: &[String]) -> Result<(), String> {
+    let opts = parse_opts("serve", args)?;
+    let tracer = opts.tracer();
+    let result = run_serve(&opts, &tracer);
+    emit_trace(&opts, &tracer).and(result)
+}
+
+fn run_serve(opts: &Opts, tracer: &Tracer) -> Result<(), String> {
+    let mut config = ServerConfig {
+        cache_dir: opts.cache.as_ref().map(PathBuf::from),
+        tracer: tracer.clone(),
+        ..ServerConfig::default()
+    };
+    if let Some(addr) = &opts.addr {
+        config.addr = addr.clone();
+    }
+    if let Some(jobs) = opts.jobs {
+        config.jobs = jobs;
+        config.queue_capacity = jobs * 4;
+    }
+    let server = Server::bind(config)?;
+    let addr = server.local_addr()?;
+    install_sigint_handler();
+    eprintln!("silc serve: listening on {addr}; send {{\"op\":\"shutdown\"}} or SIGINT to stop");
+    server.run()
 }

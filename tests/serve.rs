@@ -1,0 +1,361 @@
+//! End-to-end tests of the `silc serve` protocol: concurrency, the
+//! failure envelope (timeout / overloaded / bad request), graceful
+//! SIGINT shutdown of the real binary, and byte-identical equivalence
+//! with the `silc compile` CLI.
+
+use proptest::prelude::*;
+use silc::serve::json::{parse as parse_json, Json};
+use silc::serve::{Server, ServerConfig};
+use std::io::{BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::process::{Command, Stdio};
+use std::time::{Duration, Instant};
+
+fn silc() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_silc"))
+}
+
+fn start(config: ServerConfig) -> (SocketAddr, silc::serve::ShutdownHandle) {
+    let server = Server::bind(config).expect("bind");
+    let addr = server.local_addr().expect("addr");
+    let handle = server.shutdown_handle();
+    std::thread::spawn(move || server.run().expect("serve"));
+    (addr, handle)
+}
+
+/// A persistent client connection issuing one request per call.
+struct Client {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+}
+
+impl Client {
+    fn connect(addr: SocketAddr) -> Client {
+        let stream = TcpStream::connect(addr).expect("connect");
+        stream
+            .set_read_timeout(Some(Duration::from_secs(30)))
+            .expect("client read timeout");
+        Client {
+            reader: BufReader::new(stream.try_clone().expect("clone")),
+            writer: stream,
+        }
+    }
+
+    fn request(&mut self, line: &str) -> Json {
+        let mut payload = line.to_string();
+        payload.push('\n');
+        self.writer.write_all(payload.as_bytes()).expect("send");
+        let mut response = String::new();
+        self.reader.read_line(&mut response).expect("reply");
+        parse_json(response.trim()).expect("well-formed reply")
+    }
+}
+
+/// JSON-escapes `source` for embedding in a request line.
+fn quoted(source: &str) -> String {
+    Json::Str(source.to_string()).to_string()
+}
+
+fn sil_program(width: i64) -> String {
+    format!(
+        "cell unit() {{
+            box metal (0, 0) ({width}, 12);
+            box poly (-2, 3) ({p}, 5);
+         }}
+         place unit() at (0, 0);",
+        p = width + 2,
+    )
+}
+
+/// Runs `silc compile <file> --no-drc` and returns its exact stdout.
+fn cli_compile_stdout(source: &str, tag: &str) -> Vec<u8> {
+    let dir = std::env::temp_dir().join(format!("silc-serve-cli-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let path = dir.join(format!("{tag}.sil"));
+    std::fs::write(&path, source).expect("write design");
+    let out = silc()
+        .arg("compile")
+        .arg(&path)
+        .arg("--no-drc")
+        .output()
+        .expect("CLI runs");
+    assert!(out.status.success(), "CLI compile failed: {out:?}");
+    out.stdout
+}
+
+#[test]
+fn eight_concurrent_clients_match_the_cli_byte_for_byte() {
+    let (addr, handle) = start(ServerConfig {
+        jobs: 4,
+        queue_capacity: 16,
+        ..ServerConfig::default()
+    });
+    let isl = "machine m { reg n[8]; state s { n := n + 1; if n == 5 { halt; } } }";
+    std::thread::scope(|scope| {
+        for client_id in 0..8i64 {
+            scope.spawn(move || {
+                let mut client = Client::connect(addr);
+                if client_id % 2 == 0 {
+                    // Compile clients: each a distinct design, each
+                    // checked against the real CLI's stdout bytes.
+                    let source = sil_program(6 + client_id);
+                    let reply = client.request(&format!(
+                        r#"{{"op":"compile","id":{client_id},"no_drc":true,"source":{}}}"#,
+                        quoted(&source)
+                    ));
+                    assert_eq!(reply.get("ok"), Some(&Json::Bool(true)), "{reply:?}");
+                    assert_eq!(reply.get("id"), Some(&Json::Int(client_id as i128)));
+                    let served = reply.get("cif").and_then(Json::as_str).expect("cif");
+                    let cli = cli_compile_stdout(&source, &format!("client{client_id}"));
+                    assert_eq!(
+                        served.as_bytes(),
+                        &cli[..],
+                        "served CIF diverged from the CLI for client {client_id}"
+                    );
+                } else {
+                    let reply = client.request(&format!(
+                        r#"{{"op":"sim","id":{client_id},"source":{}}}"#,
+                        quoted(isl)
+                    ));
+                    assert_eq!(reply.get("ok"), Some(&Json::Bool(true)), "{reply:?}");
+                    assert_eq!(reply.get("halted"), Some(&Json::Bool(true)));
+                    assert_eq!(
+                        reply.get("regs").and_then(|r| r.get("n")),
+                        Some(&Json::Int(6))
+                    );
+                }
+            });
+        }
+    });
+    // All 8 clients shared one engine: the stats op sees their traffic
+    // (the counter includes the stats request itself: 8 + 1).
+    let stats = Client::connect(addr).request(r#"{"op":"stats"}"#);
+    assert_eq!(stats.get("requests"), Some(&Json::Int(9)));
+    assert_eq!(stats.get("timeouts"), Some(&Json::Int(0)));
+    assert_eq!(stats.get("rejected"), Some(&Json::Int(0)));
+    handle.shutdown();
+}
+
+#[test]
+fn slow_request_times_out_without_stalling_other_clients() {
+    let (addr, handle) = start(ServerConfig {
+        jobs: 2,
+        queue_capacity: 4,
+        enable_test_ops: true,
+        ..ServerConfig::default()
+    });
+    let slow = std::thread::spawn(move || {
+        let mut client = Client::connect(addr);
+        let begin = Instant::now();
+        let reply = client.request(r#"{"op":"sleep","ms":5000,"deadline_ms":150,"id":"slow"}"#);
+        let waited = begin.elapsed();
+        assert_eq!(
+            reply.get("error").and_then(Json::as_str),
+            Some("timeout"),
+            "{reply:?}"
+        );
+        assert_eq!(reply.get("id").and_then(Json::as_str), Some("slow"));
+        assert!(
+            waited < Duration::from_secs(3),
+            "timeout reply took {waited:?}, deadline was 150ms"
+        );
+        // The connection survives its own timeout.
+        let again = client.request(r#"{"op":"stats"}"#);
+        assert_eq!(again.get("ok"), Some(&Json::Bool(true)));
+    });
+    // While the slow job occupies one worker, a fast client on the
+    // other worker is answered normally.
+    let mut fast = Client::connect(addr);
+    let reply = fast.request(&format!(
+        r#"{{"op":"compile","no_drc":true,"source":{}}}"#,
+        quoted(&sil_program(9))
+    ));
+    assert_eq!(reply.get("ok"), Some(&Json::Bool(true)), "{reply:?}");
+    slow.join().expect("slow client");
+    let stats = Client::connect(addr).request(r#"{"op":"stats"}"#);
+    assert_eq!(stats.get("timeouts"), Some(&Json::Int(1)));
+    handle.shutdown();
+}
+
+#[test]
+fn full_queue_answers_overloaded_immediately() {
+    let (addr, handle) = start(ServerConfig {
+        jobs: 1,
+        queue_capacity: 1,
+        enable_test_ops: true,
+        ..ServerConfig::default()
+    });
+    let mut stats_client = Client::connect(addr);
+    // Occupy the only worker, then fill the one queue slot. Stats are
+    // answered inline (never queued), so polling them cannot deadlock.
+    let mut busy = Client::connect(addr);
+    busy.writer
+        .write_all(b"{\"op\":\"sleep\",\"ms\":4000,\"id\":\"busy\"}\n")
+        .expect("send");
+    wait_for(&mut stats_client, "busy_workers", 1);
+    let mut queued = Client::connect(addr);
+    queued
+        .writer
+        .write_all(b"{\"op\":\"sleep\",\"ms\":4000,\"id\":\"queued\"}\n")
+        .expect("send");
+    wait_for(&mut stats_client, "queue_depth", 1);
+
+    // Worker busy + queue full: the next compute op must be rejected
+    // with `overloaded`, and fast (no deadline wait).
+    let begin = Instant::now();
+    let reply = Client::connect(addr).request(r#"{"op":"sleep","ms":1,"id":"rejected"}"#);
+    assert_eq!(
+        reply.get("error").and_then(Json::as_str),
+        Some("overloaded"),
+        "{reply:?}"
+    );
+    assert!(
+        begin.elapsed() < Duration::from_secs(2),
+        "overloaded reply should not wait for the queue"
+    );
+    let stats = stats_client.request(r#"{"op":"stats"}"#);
+    assert_eq!(stats.get("rejected"), Some(&Json::Int(1)));
+    // Shutdown drains: the in-flight and queued sleeps finish early
+    // (they poll the stop flag) rather than holding the server hostage.
+    handle.shutdown();
+}
+
+/// Polls the stats op until `field` reaches `want` (or panics after 5s).
+fn wait_for(stats_client: &mut Client, field: &str, want: i128) {
+    let begin = Instant::now();
+    loop {
+        let stats = stats_client.request(r#"{"op":"stats"}"#);
+        if stats.get(field) == Some(&Json::Int(want)) {
+            return;
+        }
+        assert!(
+            begin.elapsed() < Duration::from_secs(5),
+            "`{field}` never reached {want}: {stats:?}"
+        );
+        std::thread::sleep(Duration::from_millis(10));
+    }
+}
+
+#[test]
+fn sigint_drains_the_real_binary_and_exits_zero() {
+    let trace_path =
+        std::env::temp_dir().join(format!("silc-serve-sigint-{}.jsonl", std::process::id()));
+    let _ = std::fs::remove_file(&trace_path);
+    let mut child = silc()
+        .args(["serve", "--addr", "127.0.0.1:0", "--jobs", "2"])
+        .arg("--trace")
+        .arg(&trace_path)
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("spawn serve");
+    let stderr = child.stderr.take().expect("stderr piped");
+    let mut banner = String::new();
+    BufReader::new(stderr)
+        .read_line(&mut banner)
+        .expect("banner");
+    let addr: SocketAddr = banner
+        .split_whitespace()
+        .find_map(|word| word.trim_end_matches(';').parse().ok())
+        .unwrap_or_else(|| panic!("no address in banner: {banner:?}"));
+
+    // One real request over the wire proves the server is up.
+    let mut client = Client::connect(addr);
+    let reply = client.request(&format!(
+        r#"{{"op":"compile","no_drc":true,"source":{}}}"#,
+        quoted(&sil_program(7))
+    ));
+    assert_eq!(reply.get("ok"), Some(&Json::Bool(true)), "{reply:?}");
+
+    let interrupt = Command::new("kill")
+        .args(["-INT", &child.id().to_string()])
+        .status()
+        .expect("kill runs");
+    assert!(interrupt.success(), "could not signal the server");
+    let begin = Instant::now();
+    let status = loop {
+        if let Some(status) = child.try_wait().expect("wait") {
+            break status;
+        }
+        assert!(
+            begin.elapsed() < Duration::from_secs(15),
+            "server did not exit after SIGINT"
+        );
+        std::thread::sleep(Duration::from_millis(25));
+    };
+    assert!(status.success(), "SIGINT exit was not clean: {status:?}");
+
+    // The trace flushed on the way out, as well-formed JSONL naming the
+    // serve counters.
+    let trace = std::fs::read_to_string(&trace_path).expect("trace file written");
+    for line in trace.lines() {
+        parse_json(line).unwrap_or_else(|e| panic!("bad JSONL line `{line}`: {e}"));
+    }
+    assert!(trace.contains("\"serve.accept\""), "{trace}");
+    assert!(trace.contains("\"serve.requests\""), "{trace}");
+    let _ = std::fs::remove_file(&trace_path);
+}
+
+/// A randomized leaf-cell program (same family as the incremental
+/// engine's equivalence suite).
+fn random_program(dims: &[(i64, i64)]) -> String {
+    use std::fmt::Write as _;
+    let mut src = String::new();
+    let mut top = String::from("cell top() {\n");
+    for (i, &(w, h)) in dims.iter().enumerate() {
+        writeln!(
+            src,
+            "cell c{i}() {{ box metal (0, 0) ({w}, {h}); box poly (-2, {y0}) ({w}, {y1}); }}",
+            y0 = h + 3,
+            y1 = h + 5,
+        )
+        .unwrap();
+        writeln!(top, "place c{i}() at ({}, 0);", i as i64 * 40).unwrap();
+    }
+    top.push_str("}\nplace top() at (0, 0);");
+    src.push_str(&top);
+    src
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+    /// For random programs, the served `cif` field is byte-identical to
+    /// what `silc compile` prints on stdout.
+    #[test]
+    fn served_compile_is_byte_identical_to_the_cli(
+        dims in prop::collection::vec((4i64..24, 4i64..24), 1..4),
+    ) {
+        let source = random_program(&dims);
+        let (addr, handle) = start(ServerConfig {
+            jobs: 1,
+            queue_capacity: 4,
+            ..ServerConfig::default()
+        });
+        let reply = Client::connect(addr).request(&format!(
+            r#"{{"op":"compile","no_drc":true,"source":{}}}"#,
+            quoted(&source)
+        ));
+        handle.shutdown();
+        prop_assert_eq!(reply.get("ok"), Some(&Json::Bool(true)));
+        let served = reply.get("cif").and_then(Json::as_str).expect("cif");
+        let cli = cli_compile_stdout(&source, "prop");
+        prop_assert_eq!(served.as_bytes(), &cli[..]);
+    }
+}
+
+#[test]
+fn serve_rejects_misuse_of_the_cli() {
+    // An input file is a usage error for the daemon.
+    let out = silc().args(["serve", "design.sil"]).output().expect("runs");
+    assert!(!out.status.success());
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("takes no input file"), "{stderr}");
+    // `--addr` belongs to serve alone.
+    let out = silc()
+        .args(["sim", "x.isl", "--addr", "127.0.0.1:0"])
+        .output()
+        .expect("runs");
+    assert!(!out.status.success());
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("--addr"), "{stderr}");
+    assert!(stderr.contains("silc serve"), "{stderr}");
+}
