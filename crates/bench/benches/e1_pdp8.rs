@@ -3,7 +3,9 @@
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use silc_bench::e1;
-use silc_pdp8::isp_machine;
+use silc_exec::CompiledSim;
+use silc_pdp8::{assemble, isp_machine, load_program_into_isl};
+use silc_rtl::Simulator;
 use silc_synth::{synthesize, Sharing, SynthOptions};
 use std::hint::black_box;
 
@@ -29,6 +31,40 @@ fn bench(c: &mut Criterion) {
             )
         })
     });
+    let program = assemble("*200\nloop, iac\n jmp loop\n").expect("assembles");
+    let compiled = silc_exec::compile(&machine);
+    let mut image = vec![0u64; 4096];
+    for &(addr, word) in &program.words {
+        image[addr as usize] = u64::from(word);
+    }
+    let mut engines = c.benchmark_group("e1/sim_compiled_vs_interp");
+    engines.bench_function("interp_10k", |b| {
+        b.iter(|| {
+            let mut sim = Simulator::new(black_box(&machine));
+            load_program_into_isl(&mut sim, &program);
+            sim.run(10_000).unwrap()
+        })
+    });
+    engines.bench_function("compiled_10k", |b| {
+        b.iter(|| {
+            let mut sim = CompiledSim::new(black_box(&compiled));
+            sim.load_mem("m", &image).unwrap();
+            sim.set_reg("pc", u64::from(program.start)).unwrap();
+            sim.run(10_000).unwrap()
+        })
+    });
+    engines.finish();
+    let sim_rows = e1::sim_ablation(&[10_000, 100_000]);
+    println!(
+        "{}",
+        silc_bench::render_table(
+            "E1: PDP-8 simulation, compiled vs interpreted",
+            &["cycles", "interp ms", "compiled ms", "speedup"],
+            &e1::sim_table(&sim_rows),
+        )
+    );
+    print!("{}", e1::sim_json(&sim_rows));
+
     let (rows, result) = e1::table();
     println!(
         "{}",

@@ -1,0 +1,191 @@
+//! The compiled form of an ISL machine: a register-based bytecode over a
+//! flat `Vec<u64>` state arena.
+//!
+//! # Format
+//!
+//! Every register, input port and output port owns one **slot** in the
+//! arena; memories occupy contiguous word ranges after the signals. Each
+//! control state compiles to one straight-line op sequence (`if` lowers
+//! to [`Op::Jz`]/[`Op::Jmp`]) that reads pre-cycle slots, evaluates the
+//! state's combinational logic in levelized (operands-before-users)
+//! order through a scratch temp file, and records its writes; the
+//! executor commits all writes together at the end of the cycle, exactly
+//! like the tree-walking [`silc_rtl::Simulator`].
+//!
+//! Width semantics are baked in at compile time: every op that can carry
+//! bits above its result width stores the mask to clamp with, so the
+//! executor never consults declarations.
+
+use silc_rtl::BinaryOp;
+use std::collections::HashMap;
+
+/// Bit mask of a width (`>= 64` saturates to all ones), mirroring the
+/// interpreter's masking rule.
+pub(crate) fn mask(width: u32) -> u64 {
+    if width >= 64 {
+        u64::MAX
+    } else {
+        (1u64 << width) - 1
+    }
+}
+
+/// One bytecode instruction. `dst`/`a`/`b`/`src`/`addr`/`cond` index the
+/// scratch temp file; `slot` indexes the signal arena; `mem` indexes
+/// [`CompiledMachine::mems`]; jump targets are resolved op indices.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum Op {
+    /// `t[dst] = value`.
+    Const { dst: u32, value: u64 },
+    /// `t[dst] = arena[slot]` — a pre-cycle signal read.
+    Load { dst: u32, slot: u32 },
+    /// `t[dst] = mem[t[addr]]`, bounds-checked (errors like the
+    /// interpreter's `MemRead`).
+    LoadMem { dst: u32, mem: u32, addr: u32 },
+    /// `t[dst] = !t[a] & mask`.
+    Not { dst: u32, a: u32, mask: u64 },
+    /// `t[dst] = t[a].wrapping_neg() & mask`.
+    Neg { dst: u32, a: u32, mask: u64 },
+    /// `t[dst] = (t[a] == 0) as u64` — logical not.
+    IsZero { dst: u32, a: u32 },
+    /// `t[dst] = t[a] <op> t[b]`, masked where the operator wraps.
+    Bin {
+        dst: u32,
+        op: BinaryOp,
+        a: u32,
+        b: u32,
+        mask: u64,
+    },
+    /// `t[dst] = (t[a] >> lo) & mask` — a bit-slice read.
+    Slice {
+        dst: u32,
+        a: u32,
+        lo: u32,
+        mask: u64,
+    },
+    /// `t[dst] = (t[acc] << shift) | (t[part] & mask)` — one step of a
+    /// concatenation fold, MSB-first.
+    Fold {
+        dst: u32,
+        acc: u32,
+        part: u32,
+        shift: u32,
+        mask: u64,
+    },
+    /// Jump to `target` when `t[cond] == 0`.
+    Jz { cond: u32, target: u32 },
+    /// Unconditional jump.
+    Jmp { target: u32 },
+    /// Buffer a full signal write: `slot <- t[src] & mask`.
+    StoreFull { slot: u32, src: u32, mask: u64 },
+    /// Buffer a sliced signal write (read-modify-write against the
+    /// pending value if one exists, else the pre-cycle value).
+    StoreSlice {
+        slot: u32,
+        src: u32,
+        lo: u32,
+        mask: u64,
+    },
+    /// Buffer a memory word write, bounds-checked at execution.
+    StoreMem {
+        mem: u32,
+        addr: u32,
+        src: u32,
+        mask: u64,
+    },
+    /// Buffer the next control state (`goto`; last one wins).
+    SetState { index: u32 },
+    /// Buffer a halt (takes effect at end of cycle).
+    Halt,
+}
+
+/// What a signal slot is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum SigKind {
+    /// A register with its reset value.
+    Reg { init: u64 },
+    /// An input port (reset to 0, driven externally).
+    Input,
+    /// An output port (reset to 0).
+    Output,
+}
+
+/// Per-slot metadata.
+#[derive(Debug, Clone)]
+pub(crate) struct SigInfo {
+    /// Kept for disassembly/debug dumps even though lookups go through
+    /// the name index.
+    #[allow(dead_code)]
+    pub name: String,
+    pub width: u32,
+    pub kind: SigKind,
+}
+
+/// Per-memory metadata: a contiguous arena range.
+#[derive(Debug, Clone)]
+pub(crate) struct MemInfo {
+    pub name: String,
+    /// First arena word of this memory.
+    pub base: usize,
+    pub words: u64,
+    /// `mask(width)`.
+    pub mask: u64,
+}
+
+/// One compiled control state.
+#[derive(Debug, Clone)]
+pub(crate) struct CompiledState {
+    pub name: String,
+    pub ops: Vec<Op>,
+    /// Sensitivity bitset over signal slots: which slots the body reads.
+    /// The event scheduler re-executes the state only when one of these
+    /// (or a read memory) changed.
+    pub read_sigs: Vec<u64>,
+    /// Sensitivity bitset over memories.
+    pub read_mems: Vec<u64>,
+}
+
+/// Compile-time statistics, surfaced as `exec.*` trace counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CompileStats {
+    /// States compiled.
+    pub states: u64,
+    /// Ops emitted (after optimization).
+    pub ops: u64,
+    /// Expressions folded to constants at compile time.
+    pub folded: u64,
+    /// Common-subexpression hits (ops not emitted twice).
+    pub cse: u64,
+    /// Ops removed as dead code.
+    pub dead: u64,
+}
+
+/// An ISL machine lowered to bytecode; produced by [`crate::compile`]
+/// and executed by [`crate::CompiledSim`].
+#[derive(Debug, Clone)]
+pub struct CompiledMachine {
+    pub(crate) name: String,
+    pub(crate) sigs: Vec<SigInfo>,
+    pub(crate) mems: Vec<MemInfo>,
+    pub(crate) states: Vec<CompiledState>,
+    /// Scratch temp file size (max over states).
+    pub(crate) n_temps: u32,
+    /// Total arena words (signals + memory storage).
+    pub(crate) arena_len: usize,
+    /// Signal name -> slot.
+    pub(crate) sig_index: HashMap<String, u32>,
+    /// Memory name -> index into `mems`.
+    pub(crate) mem_index: HashMap<String, u32>,
+    pub(crate) stats: CompileStats,
+}
+
+impl CompiledMachine {
+    /// The machine's name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Compile-time statistics (op counts, folds, CSE and DCE tallies).
+    pub fn stats(&self) -> CompileStats {
+        self.stats
+    }
+}

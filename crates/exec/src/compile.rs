@@ -1,0 +1,650 @@
+//! Lowering an elaborated [`Machine`] to bytecode.
+//!
+//! Each state body is walked once in the interpreter's evaluation order,
+//! emitting ops through three optimizations:
+//!
+//! * **constant folding** — pure ops over known constants evaluate at
+//!   compile time with the interpreter's exact width/wrap rules;
+//! * **local value numbering** — a pure op with the same operands as an
+//!   earlier one in a dominating position reuses its temp (memory reads
+//!   are pre-cycle, so even they are CSE-able; their bounds check keeps
+//!   the first occurrence alive);
+//! * **dead-code elimination** — a backward pass drops pure ops whose
+//!   results feed no store, jump or control effect.
+//!
+//! Emission order is evaluation order, so the compiled program raises
+//! the same [`silc_rtl::RtlError`] on the same cycle as the interpreter.
+
+use crate::bytecode::*;
+use silc_rtl::{BinaryOp, Expr, Machine, Stmt, Target, UnaryOp};
+use std::collections::HashMap;
+
+/// Compiles a parse-validated machine to bytecode.
+///
+/// # Panics
+///
+/// Panics on names not declared in the machine, like
+/// [`silc_rtl::Simulator`] — parse-validated machines never trigger
+/// this.
+pub fn compile(machine: &Machine) -> CompiledMachine {
+    let mut sigs = Vec::new();
+    let mut sig_index = HashMap::new();
+    for r in &machine.regs {
+        sig_index.insert(r.name.clone(), sigs.len() as u32);
+        sigs.push(SigInfo {
+            name: r.name.clone(),
+            width: r.width,
+            kind: SigKind::Reg {
+                init: r.init & mask(r.width),
+            },
+        });
+    }
+    for p in &machine.outputs {
+        sig_index.insert(p.name.clone(), sigs.len() as u32);
+        sigs.push(SigInfo {
+            name: p.name.clone(),
+            width: p.width,
+            kind: SigKind::Output,
+        });
+    }
+    for p in &machine.inputs {
+        sig_index.insert(p.name.clone(), sigs.len() as u32);
+        sigs.push(SigInfo {
+            name: p.name.clone(),
+            width: p.width,
+            kind: SigKind::Input,
+        });
+    }
+    let mut mems = Vec::new();
+    let mut mem_index = HashMap::new();
+    let mut base = sigs.len();
+    for m in &machine.mems {
+        mem_index.insert(m.name.clone(), mems.len() as u32);
+        mems.push(MemInfo {
+            name: m.name.clone(),
+            base,
+            words: m.words,
+            mask: mask(m.width),
+        });
+        base += m.words as usize;
+    }
+
+    let mut stats = CompileStats {
+        states: machine.states.len() as u64,
+        ..CompileStats::default()
+    };
+    let mut states = Vec::with_capacity(machine.states.len());
+    let mut n_temps = 0;
+    let n_sig_words = sigs.len().div_ceil(64).max(1);
+    let n_mem_words = mems.len().div_ceil(64).max(1);
+    for st in &machine.states {
+        let mut cc = StateCompiler {
+            machine,
+            sig_index: &sig_index,
+            mem_index: &mem_index,
+            ops: Vec::new(),
+            labels: Vec::new(),
+            vn: Vec::new(),
+            temp_width: Vec::new(),
+            temp_const: Vec::new(),
+            stats: &mut stats,
+        };
+        cc.block(&st.body);
+        let ops = cc.finish();
+        n_temps = n_temps.max(cc.temp_width.len() as u32);
+
+        let mut read_sigs = vec![0u64; n_sig_words];
+        let mut read_mems = vec![0u64; n_mem_words];
+        for op in &ops {
+            match *op {
+                Op::Load { slot, .. } => read_sigs[slot as usize / 64] |= 1 << (slot % 64),
+                Op::LoadMem { mem, .. } => read_mems[mem as usize / 64] |= 1 << (mem % 64),
+                _ => {}
+            }
+        }
+        stats.ops += ops.len() as u64;
+        states.push(CompiledState {
+            name: st.name.clone(),
+            ops,
+            read_sigs,
+            read_mems,
+        });
+    }
+
+    CompiledMachine {
+        name: machine.name.clone(),
+        sigs,
+        mems,
+        states,
+        n_temps,
+        arena_len: base,
+        sig_index,
+        mem_index,
+        stats,
+    }
+}
+
+/// Value-numbering key: identifies a pure op up to operands. Constants
+/// carry their width because width propagates into downstream masks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum VnKey {
+    Const(u64, u32),
+    Load(u32),
+    LoadMem(u32, u32),
+    Un(UnaryOp, u32),
+    Bin(BinaryOp, u32, u32),
+    Slice(u32, u32, u32),
+    Fold(u32, u32, u32),
+}
+
+struct StateCompiler<'a> {
+    machine: &'a Machine,
+    sig_index: &'a HashMap<String, u32>,
+    mem_index: &'a HashMap<String, u32>,
+    /// Jump targets are label ids until `finish` resolves them.
+    ops: Vec<Op>,
+    /// Label id -> op index (position of the op the label precedes).
+    labels: Vec<u32>,
+    /// Scoped association list: truncated when leaving a branch, so an
+    /// entry is only reused from positions its op dominates.
+    vn: Vec<(VnKey, u32)>,
+    temp_width: Vec<u32>,
+    temp_const: Vec<Option<u64>>,
+    stats: &'a mut CompileStats,
+}
+
+impl StateCompiler<'_> {
+    fn fresh(&mut self, width: u32, cval: Option<u64>) -> u32 {
+        let t = self.temp_width.len() as u32;
+        self.temp_width.push(width);
+        self.temp_const.push(cval);
+        t
+    }
+
+    fn width(&self, t: u32) -> u32 {
+        self.temp_width[t as usize]
+    }
+
+    fn cval(&self, t: u32) -> Option<u64> {
+        self.temp_const[t as usize]
+    }
+
+    /// Interns a constant (already masked) of the given width.
+    fn const_temp(&mut self, value: u64, width: u32) -> u32 {
+        self.keyed(VnKey::Const(value, width), width, Some(value), |dst| {
+            Op::Const { dst, value }
+        })
+    }
+
+    /// Emits `make(dst)` unless an equivalent dominating op exists.
+    fn keyed(
+        &mut self,
+        key: VnKey,
+        width: u32,
+        cval: Option<u64>,
+        make: impl FnOnce(u32) -> Op,
+    ) -> u32 {
+        if let Some(&(_, t)) = self.vn.iter().find(|(k, _)| *k == key) {
+            if !matches!(key, VnKey::Const(..)) {
+                self.stats.cse += 1;
+            }
+            return t;
+        }
+        let dst = self.fresh(width, cval);
+        self.ops.push(make(dst));
+        self.vn.push((key, dst));
+        dst
+    }
+
+    /// A folded constant result (counted in the stats).
+    fn folded(&mut self, value: u64, width: u32) -> u32 {
+        self.stats.folded += 1;
+        self.const_temp(value, width)
+    }
+
+    fn new_label(&mut self) -> u32 {
+        self.labels.push(u32::MAX);
+        self.labels.len() as u32 - 1
+    }
+
+    fn place(&mut self, label: u32) {
+        self.labels[label as usize] = self.ops.len() as u32;
+    }
+
+    fn block(&mut self, body: &[Stmt]) {
+        for stmt in body {
+            match stmt {
+                Stmt::Assign { target, value } => {
+                    let v = self.expr(value);
+                    self.assign(target, v);
+                }
+                Stmt::If {
+                    cond,
+                    then_body,
+                    else_body,
+                } => {
+                    let c = self.expr(cond);
+                    if let Some(cv) = self.cval(c) {
+                        // Static condition: compile only the taken branch
+                        // (it executes unconditionally, so no new scope).
+                        self.stats.folded += 1;
+                        self.block(if cv != 0 { then_body } else { else_body });
+                        continue;
+                    }
+                    let l_else = self.new_label();
+                    let l_end = self.new_label();
+                    self.ops.push(Op::Jz {
+                        cond: c,
+                        target: l_else,
+                    });
+                    let mark = self.vn.len();
+                    self.block(then_body);
+                    self.vn.truncate(mark);
+                    self.ops.push(Op::Jmp { target: l_end });
+                    self.place(l_else);
+                    self.block(else_body);
+                    self.vn.truncate(mark);
+                    self.place(l_end);
+                }
+                Stmt::Goto(name) => {
+                    let index = self.machine.state_index(name).expect("validated") as u32;
+                    self.ops.push(Op::SetState { index });
+                }
+                Stmt::Halt => self.ops.push(Op::Halt),
+            }
+        }
+    }
+
+    fn assign(&mut self, target: &Target, v: u32) {
+        match target {
+            Target::Signal { name, slice } => {
+                let slot = self.sig_index[name.as_str()];
+                let width = if let Some(r) = self.machine.reg(name) {
+                    r.width
+                } else {
+                    self.machine
+                        .outputs
+                        .iter()
+                        .find(|p| p.name == *name)
+                        .expect("validated")
+                        .width
+                };
+                match slice {
+                    None => self.ops.push(Op::StoreFull {
+                        slot,
+                        src: v,
+                        mask: mask(width),
+                    }),
+                    Some((hi, lo)) => self.ops.push(Op::StoreSlice {
+                        slot,
+                        src: v,
+                        lo: *lo,
+                        mask: mask(hi - lo + 1),
+                    }),
+                }
+            }
+            Target::MemWord { name, addr } => {
+                let a = self.expr(addr);
+                let mem = self.mem_index[name.as_str()];
+                let m = self.machine.mem(name).expect("validated");
+                self.ops.push(Op::StoreMem {
+                    mem,
+                    addr: a,
+                    src: v,
+                    mask: mask(m.width),
+                });
+            }
+        }
+    }
+
+    fn expr(&mut self, e: &Expr) -> u32 {
+        match e {
+            Expr::Const { value, width } => {
+                let w = width.unwrap_or(64);
+                self.const_temp(value & mask(w), w)
+            }
+            Expr::Ident(name) => {
+                let slot = self.sig_index[name.as_str()];
+                let width = self
+                    .machine
+                    .regs
+                    .iter()
+                    .map(|r| (&r.name, r.width))
+                    .chain(self.machine.inputs.iter().map(|p| (&p.name, p.width)))
+                    .chain(self.machine.outputs.iter().map(|p| (&p.name, p.width)))
+                    .find(|(n, _)| **n == *name)
+                    .expect("validated")
+                    .1;
+                self.keyed(VnKey::Load(slot), width, None, |dst| Op::Load { dst, slot })
+            }
+            Expr::Slice { base, hi, lo } => {
+                let a = self.expr(base);
+                let w = hi - lo + 1;
+                if *lo < 64 {
+                    if let Some(v) = self.cval(a) {
+                        return self.folded((v >> lo) & mask(w), w);
+                    }
+                }
+                let lo = *lo;
+                self.keyed(VnKey::Slice(a, lo, w), w, None, |dst| Op::Slice {
+                    dst,
+                    a,
+                    lo,
+                    mask: mask(w),
+                })
+            }
+            Expr::MemRead { name, addr } => {
+                let a = self.expr(addr);
+                let mem = self.mem_index[name.as_str()];
+                let width = self.machine.mem(name).expect("validated").width;
+                // Never folded: the bounds check is a runtime effect.
+                self.keyed(VnKey::LoadMem(mem, a), width, None, |dst| Op::LoadMem {
+                    dst,
+                    mem,
+                    addr: a,
+                })
+            }
+            Expr::Unary { op, expr } => {
+                let a = self.expr(expr);
+                let w = self.width(a);
+                if let Some(v) = self.cval(a) {
+                    let (out, ow) = match op {
+                        UnaryOp::Not => ((!v) & mask(w), w),
+                        UnaryOp::Neg => (v.wrapping_neg() & mask(w), w),
+                        UnaryOp::LogicalNot => (u64::from(v == 0), 1),
+                    };
+                    return self.folded(out, ow);
+                }
+                let m = mask(w);
+                match op {
+                    UnaryOp::Not => self.keyed(VnKey::Un(*op, a), w, None, |dst| Op::Not {
+                        dst,
+                        a,
+                        mask: m,
+                    }),
+                    UnaryOp::Neg => self.keyed(VnKey::Un(*op, a), w, None, |dst| Op::Neg {
+                        dst,
+                        a,
+                        mask: m,
+                    }),
+                    UnaryOp::LogicalNot => {
+                        self.keyed(VnKey::Un(*op, a), 1, None, |dst| Op::IsZero { dst, a })
+                    }
+                }
+            }
+            Expr::Binary { op, lhs, rhs } => {
+                let a = self.expr(lhs);
+                let b = self.expr(rhs);
+                let (wa, wb) = (self.width(a), self.width(b));
+                let w = wa.max(wb);
+                // Result width and wrap mask, exactly as the interpreter.
+                let (ow, m) = match op {
+                    BinaryOp::Add | BinaryOp::Sub => (w, mask(w)),
+                    BinaryOp::And | BinaryOp::Or | BinaryOp::Xor => (w, mask(w)),
+                    BinaryOp::Shl | BinaryOp::Shr => (wa, mask(wa)),
+                    _ => (1, 1),
+                };
+                if let (Some(x), Some(y)) = (self.cval(a), self.cval(b)) {
+                    let v = match op {
+                        BinaryOp::Add => x.wrapping_add(y) & mask(w),
+                        BinaryOp::Sub => x.wrapping_sub(y) & mask(w),
+                        BinaryOp::And => x & y,
+                        BinaryOp::Or => x | y,
+                        BinaryOp::Xor => x ^ y,
+                        BinaryOp::Shl => {
+                            if y >= 64 {
+                                0
+                            } else {
+                                (x << y) & mask(wa)
+                            }
+                        }
+                        BinaryOp::Shr => {
+                            if y >= 64 {
+                                0
+                            } else {
+                                x >> y
+                            }
+                        }
+                        BinaryOp::Eq => u64::from(x == y),
+                        BinaryOp::Ne => u64::from(x != y),
+                        BinaryOp::Lt => u64::from(x < y),
+                        BinaryOp::Le => u64::from(x <= y),
+                        BinaryOp::Gt => u64::from(x > y),
+                        BinaryOp::Ge => u64::from(x >= y),
+                        BinaryOp::LogicalAnd => u64::from(x != 0 && y != 0),
+                        BinaryOp::LogicalOr => u64::from(x != 0 || y != 0),
+                    };
+                    return self.folded(v, ow);
+                }
+                let op = *op;
+                self.keyed(VnKey::Bin(op, a, b), ow, None, |dst| Op::Bin {
+                    dst,
+                    op,
+                    a,
+                    b,
+                    mask: m,
+                })
+            }
+            Expr::Concat(parts) => {
+                let mut acc = self.const_temp(0, 0);
+                let mut total: u32 = 0;
+                for p in parts {
+                    let part = self.expr(p);
+                    let pw = self.width(part);
+                    total = (total + pw).min(64);
+                    if pw < 64 {
+                        if let (Some(av), Some(pv)) = (self.cval(acc), self.cval(part)) {
+                            acc = self.folded((av << pw) | (pv & mask(pw)), total);
+                            continue;
+                        }
+                    }
+                    let (a, m) = (acc, mask(pw));
+                    acc = self.keyed(VnKey::Fold(a, part, pw), total, None, |dst| Op::Fold {
+                        dst,
+                        acc: a,
+                        part,
+                        shift: pw,
+                        mask: m,
+                    });
+                }
+                acc
+            }
+        }
+    }
+
+    /// Dead-code elimination and jump resolution: drops pure ops whose
+    /// temps feed no effect, then rewrites label ids to op indices.
+    fn finish(&mut self) -> Vec<Op> {
+        let n = self.ops.len();
+        let mut used = vec![false; self.temp_width.len()];
+        let mut keep = vec![false; n];
+        let mark = |t: u32, used: &mut Vec<bool>| used[t as usize] = true;
+        for i in (0..n).rev() {
+            let op = self.ops[i];
+            let root = matches!(
+                op,
+                Op::LoadMem { .. }
+                    | Op::Jz { .. }
+                    | Op::Jmp { .. }
+                    | Op::StoreFull { .. }
+                    | Op::StoreSlice { .. }
+                    | Op::StoreMem { .. }
+                    | Op::SetState { .. }
+                    | Op::Halt
+            );
+            let dst = match op {
+                Op::Const { dst, .. }
+                | Op::Load { dst, .. }
+                | Op::LoadMem { dst, .. }
+                | Op::Not { dst, .. }
+                | Op::Neg { dst, .. }
+                | Op::IsZero { dst, .. }
+                | Op::Bin { dst, .. }
+                | Op::Slice { dst, .. }
+                | Op::Fold { dst, .. } => Some(dst),
+                _ => None,
+            };
+            if !(root || dst.is_some_and(|d| used[d as usize])) {
+                continue;
+            }
+            keep[i] = true;
+            match op {
+                Op::LoadMem { addr, .. } => mark(addr, &mut used),
+                Op::Not { a, .. } | Op::Neg { a, .. } | Op::IsZero { a, .. } => mark(a, &mut used),
+                Op::Bin { a, b, .. } => {
+                    mark(a, &mut used);
+                    mark(b, &mut used);
+                }
+                Op::Slice { a, .. } => mark(a, &mut used),
+                Op::Fold { acc, part, .. } => {
+                    mark(acc, &mut used);
+                    mark(part, &mut used);
+                }
+                Op::Jz { cond, .. } => mark(cond, &mut used),
+                Op::StoreFull { src, .. } | Op::StoreSlice { src, .. } => mark(src, &mut used),
+                Op::StoreMem { addr, src, .. } => {
+                    mark(addr, &mut used);
+                    mark(src, &mut used);
+                }
+                _ => {}
+            }
+        }
+        // Old index -> new index (for label remapping; index n maps to
+        // the end of the compacted program).
+        let mut new_idx = vec![0u32; n + 1];
+        let mut c = 0u32;
+        for i in 0..n {
+            new_idx[i] = c;
+            if keep[i] {
+                c += 1;
+            }
+        }
+        new_idx[n] = c;
+        self.stats.dead += (n as u64) - u64::from(c);
+        let labels: Vec<u32> = self
+            .labels
+            .iter()
+            .map(|&pos| new_idx[pos as usize])
+            .collect();
+        self.ops
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| keep[*i])
+            .map(|(_, op)| match *op {
+                Op::Jz { cond, target } => Op::Jz {
+                    cond,
+                    target: labels[target as usize],
+                },
+                Op::Jmp { target } => Op::Jmp {
+                    target: labels[target as usize],
+                },
+                other => other,
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use silc_rtl::parse;
+
+    fn compiled(src: &str) -> CompiledMachine {
+        compile(&parse(src).unwrap())
+    }
+
+    #[test]
+    fn constant_expressions_fold() {
+        let cm = compiled("machine f { reg a[8]; state s { a := 2 + 3; halt; } }");
+        // One Const, one StoreFull, one Halt: the add happened at compile
+        // time.
+        assert_eq!(cm.states[0].ops.len(), 3);
+        assert!(cm.stats.folded >= 1);
+    }
+
+    #[test]
+    fn static_conditions_drop_the_dead_branch() {
+        let cm = compiled(
+            "machine f { reg a[8];
+               state s { if 1 { a := 1; } else { a := 2; } halt; } }",
+        );
+        assert!(cm.states[0]
+            .ops
+            .iter()
+            .all(|op| !matches!(op, Op::Jz { .. } | Op::Jmp { .. })));
+    }
+
+    #[test]
+    fn common_subexpressions_are_shared() {
+        let cm = compiled(
+            "machine c { reg a[8]; reg x[8]; reg y[8];
+               state s { x := a + 1; y := a + 1; halt; } }",
+        );
+        assert!(cm.stats.cse >= 1);
+        let adds = cm.states[0]
+            .ops
+            .iter()
+            .filter(|op| matches!(op, Op::Bin { .. }))
+            .count();
+        assert_eq!(adds, 1);
+    }
+
+    #[test]
+    fn unused_results_are_eliminated() {
+        // Folding `2 + 3` leaves the literal 2 and 3 ops dead; DCE
+        // sweeps them.
+        let cm = compiled("machine d { reg a[8]; state s { a := (2 + 3) + a; halt; } }");
+        let consts = cm.states[0]
+            .ops
+            .iter()
+            .filter(|op| matches!(op, Op::Const { .. }))
+            .count();
+        assert_eq!(consts, 1);
+        assert!(cm.stats.dead >= 2);
+    }
+
+    #[test]
+    fn branch_scoped_cse_does_not_leak() {
+        // The `a + 1` inside the taken branch must not satisfy the use
+        // after the join (it may never execute).
+        let cm = compiled(
+            "machine b { reg a[8]; reg x[8]; reg y[8]; port input c[1];
+               state s { if c { x := a + 1; } y := a + 1; halt; } }",
+        );
+        let adds = cm.states[0]
+            .ops
+            .iter()
+            .filter(|op| matches!(op, Op::Bin { .. }))
+            .count();
+        assert_eq!(adds, 2);
+    }
+
+    #[test]
+    fn read_sets_cover_loads_only() {
+        let cm = compiled(
+            "machine r { reg a[8]; reg b[8]; mem m[4][8];
+               state s { a := b; m[b] := 1; } }",
+        );
+        let st = &cm.states[0];
+        let b_slot = cm.sig_index["b"];
+        let a_slot = cm.sig_index["a"];
+        assert_ne!(st.read_sigs[0] & (1 << b_slot), 0);
+        assert_eq!(st.read_sigs[0] & (1 << a_slot), 0);
+        // The memory is written but never read.
+        assert_eq!(st.read_mems[0], 0);
+    }
+
+    #[test]
+    fn memory_reads_survive_dce() {
+        // The loaded value is unused, but the bounds check must still
+        // fire at run time.
+        let cm = compiled(
+            "machine m { reg a[8] init 99; reg x[8]; mem ram[4][8];
+               state s { x := ram[a] & 0; } }",
+        );
+        assert!(cm.states[0]
+            .ops
+            .iter()
+            .any(|op| matches!(op, Op::LoadMem { .. })));
+    }
+}

@@ -1,0 +1,385 @@
+//! Word-parallel compiled switch-level evaluation of extracted nMOS
+//! netlists.
+//!
+//! [`silc_extract::switch_level_eval`] settles one input pattern per
+//! call by fixed-point iteration over per-net `Level`s. This module
+//! compiles the same transistor graph once ([`compile_switch`]) and then
+//! evaluates **64 input patterns at a time**: every net's level is a
+//! pair of bit-words (`one`, `zero`), lane *j* of each word holding
+//! pattern *j*'s value, and conduction, driver reachability and the
+//! ratioed pulldown-wins rule all become bitwise word operations. The
+//! lanes are mutually independent, so each lane computes exactly what
+//! the scalar oracle computes for its pattern — including the
+//! instability bound — which the crate's tests exploit by diffing whole
+//! truth tables against the oracle.
+
+use silc_extract::SwitchError;
+use silc_netlist::Netlist;
+
+/// The settled levels of one net across 64 lanes: bit *j* of `one`
+/// (resp. `zero`) is set when lane *j* settled high (resp. low); a lane
+/// with neither bit is floating/unknown.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct NetWord {
+    /// Lanes pulled up to VDD.
+    pub one: u64,
+    /// Lanes pulled to ground (ratioed: pulldown wins).
+    pub zero: u64,
+}
+
+struct Fet {
+    depletion: bool,
+    gate: usize,
+    src: usize,
+    drn: usize,
+}
+
+/// A transistor netlist compiled for word-parallel evaluation.
+pub struct CompiledSwitch {
+    n_nets: usize,
+    names: Vec<String>,
+    fets: Vec<Fet>,
+    /// Net ids of the declared inputs, in call order.
+    input_ids: Vec<usize>,
+    vdd: usize,
+    gnd: usize,
+    /// Same fixed-point bound as the scalar oracle.
+    bound: usize,
+}
+
+/// Compiles a netlist for repeated word-parallel evaluation. `inputs`
+/// names the externally driven nets, in the order
+/// [`CompiledSwitch::eval_word`] expects its pattern words.
+///
+/// # Errors
+///
+/// * [`SwitchError::UnknownNet`] — an input or rail name is absent;
+/// * [`SwitchError::NotATransistor`] — a non-`enh`/`dep` instance.
+pub fn compile_switch(
+    netlist: &Netlist,
+    inputs: &[&str],
+    vdd: &str,
+    gnd: &str,
+) -> Result<CompiledSwitch, SwitchError> {
+    let need = |name: &str| {
+        netlist
+            .net_by_name(name)
+            .map(|id| id.raw() as usize)
+            .ok_or_else(|| SwitchError::UnknownNet {
+                name: name.to_string(),
+            })
+    };
+    let vdd_id = need(vdd)?;
+    let gnd_id = need(gnd)?;
+    let input_ids = inputs.iter().map(|n| need(n)).collect::<Result<_, _>>()?;
+    let mut fets = Vec::with_capacity(netlist.instances().len());
+    for inst in netlist.instances() {
+        let depletion = match inst.kind.as_str() {
+            "enh" => false,
+            "dep" => true,
+            _ => {
+                return Err(SwitchError::NotATransistor {
+                    instance: inst.name.clone(),
+                })
+            }
+        };
+        let pin = |p: &str| {
+            inst.connections
+                .iter()
+                .find(|(n, _)| n == p)
+                .map(|(_, id)| id.raw() as usize)
+                .ok_or_else(|| SwitchError::NotATransistor {
+                    instance: inst.name.clone(),
+                })
+        };
+        fets.push(Fet {
+            depletion,
+            gate: pin("gate")?,
+            src: pin("src")?,
+            drn: pin("drn")?,
+        });
+    }
+    let n_nets = netlist.nets().len();
+    Ok(CompiledSwitch {
+        n_nets,
+        names: netlist.nets().iter().map(|n| n.name.clone()).collect(),
+        fets,
+        input_ids,
+        vdd: vdd_id,
+        gnd: gnd_id,
+        bound: 2 * n_nets + 8,
+    })
+}
+
+/// The result of one 64-lane evaluation.
+pub struct SwitchWord {
+    /// Per-net settled lanes, indexed like the netlist's nets.
+    pub nets: Vec<NetWord>,
+    /// Lanes that failed to settle within the oracle's iteration bound
+    /// (the scalar evaluator reports [`SwitchError::Unstable`] for
+    /// exactly these patterns); their `nets` lanes are meaningless.
+    pub unstable: u64,
+}
+
+impl CompiledSwitch {
+    /// Number of nets (the length of [`SwitchWord::nets`]).
+    pub fn net_count(&self) -> usize {
+        self.n_nets
+    }
+
+    /// Net name by id.
+    pub fn net_name(&self, id: usize) -> &str {
+        &self.names[id]
+    }
+
+    /// Finds a net id by name.
+    pub fn net_id(&self, name: &str) -> Option<usize> {
+        self.names.iter().position(|n| n == name)
+    }
+
+    /// Evaluates 64 input patterns at once. `patterns[k]` carries input
+    /// *k*'s value for every lane: bit *j* is its level in pattern *j*.
+    /// All 64 lanes are always computed; callers enumerating fewer
+    /// patterns simply ignore the surplus lanes.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `patterns.len()` differs from the compiled input
+    /// count.
+    pub fn eval_word(&self, patterns: &[u64]) -> SwitchWord {
+        assert_eq!(
+            patterns.len(),
+            self.input_ids.len(),
+            "one pattern word per compiled input"
+        );
+        let n = self.n_nets;
+        // Forced polarity per net: rails in every lane, inputs per lane.
+        let mut forced_one = vec![0u64; n];
+        let mut forced_zero = vec![0u64; n];
+        let mut forced_any = vec![0u64; n];
+        forced_one[self.vdd] = u64::MAX;
+        forced_zero[self.gnd] = u64::MAX;
+        forced_any[self.vdd] = u64::MAX;
+        forced_any[self.gnd] = u64::MAX;
+        for (k, &id) in self.input_ids.iter().enumerate() {
+            forced_one[id] = patterns[k];
+            forced_zero[id] = !patterns[k];
+            forced_any[id] = u64::MAX;
+        }
+
+        let mut one: Vec<u64> = forced_one.clone();
+        let mut zero: Vec<u64> = forced_zero.clone();
+        let reach = |want_src: &[u64], one: &[u64]| -> Vec<u64> {
+            // Lane-wise driver reachability: a lane flows out of a net
+            // only if the net is a source there or unforced (drivers are
+            // low impedance); it flows through a channel lane where the
+            // transistor conducts (dep always, enh when its gate is 1).
+            let mut seen = want_src.to_vec();
+            loop {
+                let mut changed = false;
+                for f in &self.fets {
+                    let cond = if f.depletion { u64::MAX } else { one[f.gate] };
+                    for (from, to) in [(f.src, f.drn), (f.drn, f.src)] {
+                        let flow = (want_src[from] | (seen[from] & !forced_any[from])) & cond;
+                        let new = seen[to] | flow;
+                        if new != seen[to] {
+                            seen[to] = new;
+                            changed = true;
+                        }
+                    }
+                }
+                if !changed {
+                    return seen;
+                }
+            }
+        };
+
+        // A lane is settled once an iteration leaves it unchanged (a
+        // fixed point persists); the scalar oracle reports `Unstable`
+        // for exactly the lanes that never settle within the bound.
+        let mut settled_mask = 0u64;
+        for _ in 0..self.bound {
+            if settled_mask == u64::MAX {
+                break;
+            }
+            let down = reach(&forced_zero, &one);
+            let up = reach(&forced_one, &one);
+            let mut changed_lanes = 0u64;
+            for i in 0..n {
+                let (next_one, next_zero) = if forced_any[i] == u64::MAX {
+                    (forced_one[i], forced_zero[i])
+                } else {
+                    // Ratioed nMOS: a pulldown path wins over a pullup.
+                    (up[i] & !down[i], down[i])
+                };
+                changed_lanes |= (next_one ^ one[i]) | (next_zero ^ zero[i]);
+                one[i] = next_one;
+                zero[i] = next_zero;
+            }
+            settled_mask |= !changed_lanes;
+        }
+        let unstable = !settled_mask;
+        let nets = one
+            .iter()
+            .zip(&zero)
+            .map(|(&o, &z)| NetWord { one: o, zero: z })
+            .collect();
+        SwitchWord { nets, unstable }
+    }
+}
+
+/// The standard truth-table lane assignment: word *k* of the result
+/// drives input *k* with bit *j* = bit *k* of lane index *j*, so the 64
+/// lanes enumerate all patterns of up to 6 inputs (and cycle beyond).
+pub fn exhaustive_patterns(n_inputs: usize) -> Vec<u64> {
+    (0..n_inputs)
+        .map(|k| {
+            let mut w = 0u64;
+            for lane in 0..64 {
+                if (lane >> (k % 64)) & 1 == 1 {
+                    w |= 1 << lane;
+                }
+            }
+            w
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use silc_extract::{switch_level_eval, Level};
+
+    fn inverter() -> Netlist {
+        let mut n = Netlist::new("inv");
+        let inn = n.add_net("in");
+        let out = n.add_net("out");
+        let vdd = n.add_net("vdd");
+        let gnd = n.add_net("gnd");
+        n.add_instance("pu", "dep", &[("gate", out), ("src", out), ("drn", vdd)])
+            .unwrap();
+        n.add_instance("pd", "enh", &[("gate", inn), ("src", gnd), ("drn", out)])
+            .unwrap();
+        n
+    }
+
+    /// Diffs every lane of a word-parallel evaluation against the scalar
+    /// oracle over all 2^k input patterns.
+    fn cross_check(netlist: &Netlist, inputs: &[&str]) {
+        let cs = compile_switch(netlist, inputs, "vdd", "gnd").unwrap();
+        let patterns = exhaustive_patterns(inputs.len());
+        let word = cs.eval_word(&patterns);
+        for lane in 0..(1usize << inputs.len()) {
+            let scalar_inputs: Vec<(&str, bool)> = inputs
+                .iter()
+                .enumerate()
+                .map(|(k, &name)| (name, (lane >> k) & 1 == 1))
+                .collect();
+            let oracle = switch_level_eval(netlist, &scalar_inputs, "vdd", "gnd");
+            match oracle {
+                Err(e) => {
+                    assert!(matches!(e, SwitchError::Unstable), "{e}");
+                    assert_ne!(word.unstable & (1 << lane), 0, "lane {lane}");
+                }
+                Ok(levels) => {
+                    assert_eq!(word.unstable & (1 << lane), 0, "lane {lane}");
+                    for id in 0..cs.net_count() {
+                        let got = match (
+                            word.nets[id].one >> lane & 1,
+                            word.nets[id].zero >> lane & 1,
+                        ) {
+                            (1, 0) => Level::One,
+                            (0, 1) => Level::Zero,
+                            (0, 0) => Level::Unknown,
+                            _ => panic!("net both high and low"),
+                        };
+                        assert_eq!(
+                            got,
+                            levels[cs.net_name(id)],
+                            "lane {lane} net {}",
+                            cs.net_name(id)
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn inverter_matches_oracle_both_lanes() {
+        cross_check(&inverter(), &["in"]);
+    }
+
+    #[test]
+    fn nand_truth_table_matches_oracle() {
+        let mut n = Netlist::new("nand");
+        let a = n.add_net("a");
+        let b = n.add_net("b");
+        let out = n.add_net("out");
+        let mid = n.add_net("mid");
+        let vdd = n.add_net("vdd");
+        let gnd = n.add_net("gnd");
+        n.add_instance("pu", "dep", &[("gate", out), ("src", out), ("drn", vdd)])
+            .unwrap();
+        n.add_instance("p1", "enh", &[("gate", a), ("src", mid), ("drn", out)])
+            .unwrap();
+        n.add_instance("p2", "enh", &[("gate", b), ("src", gnd), ("drn", mid)])
+            .unwrap();
+        cross_check(&n, &["a", "b"]);
+        // And the classic check in plain terms: out == !(a && b).
+        let cs = compile_switch(&n, &["a", "b"], "vdd", "gnd").unwrap();
+        let w = cs.eval_word(&exhaustive_patterns(2));
+        let out_id = cs.net_id("out").unwrap();
+        for lane in 0..4u64 {
+            let expect = !((lane & 1 == 1) && (lane & 2 == 2));
+            assert_eq!(w.nets[out_id].one >> lane & 1 == 1, expect);
+        }
+    }
+
+    #[test]
+    fn pass_transistor_floats_in_the_right_lanes() {
+        let mut n = Netlist::new("pass");
+        let g = n.add_net("g");
+        let d = n.add_net("d");
+        let q = n.add_net("q");
+        let vdd = n.add_net("vdd");
+        let gnd = n.add_net("gnd");
+        n.add_instance("pd", "enh", &[("gate", d), ("src", gnd), ("drn", vdd)])
+            .unwrap();
+        n.add_instance("t", "enh", &[("gate", g), ("src", d), ("drn", q)])
+            .unwrap();
+        cross_check(&n, &["g", "d"]);
+    }
+
+    #[test]
+    fn unknown_names_are_rejected() {
+        let n = inverter();
+        assert!(matches!(
+            compile_switch(&n, &["nope"], "vdd", "gnd"),
+            Err(SwitchError::UnknownNet { .. })
+        ));
+        assert!(matches!(
+            compile_switch(&n, &[], "vcc", "gnd"),
+            Err(SwitchError::UnknownNet { .. })
+        ));
+    }
+
+    #[test]
+    fn ring_oscillator_lanes_flag_unstable() {
+        // A single inverter fed back on itself oscillates when enabled.
+        let mut n = Netlist::new("ring");
+        let en = n.add_net("en");
+        let x = n.add_net("x");
+        let y = n.add_net("y");
+        let vdd = n.add_net("vdd");
+        let gnd = n.add_net("gnd");
+        n.add_instance("pu", "dep", &[("gate", x), ("src", x), ("drn", vdd)])
+            .unwrap();
+        // x pulled low when (en && x): inverter in feedback.
+        n.add_instance("p1", "enh", &[("gate", en), ("src", y), ("drn", x)])
+            .unwrap();
+        n.add_instance("p2", "enh", &[("gate", x), ("src", gnd), ("drn", y)])
+            .unwrap();
+        cross_check(&n, &["en"]);
+    }
+}

@@ -1,0 +1,589 @@
+//! The bytecode executor: a drop-in for [`silc_rtl::Simulator`] with
+//! byte-identical observable behavior.
+//!
+//! Each cycle runs the current state's straight-line ops over the arena
+//! and a scratch temp file, buffering writes; the commit applies them
+//! together and records **change events** (slots and memories whose
+//! stored value actually changed). A two-list scheduler — last cycle's
+//! events versus the ones being recorded — lets [`CompiledSim::step`]
+//! prove a cycle is a no-op without running it: if the machine re-enters
+//! the state it just executed and none of that state's read set changed,
+//! the cycle must recompute and commit the very values already stored.
+//! [`CompiledSim::run`] extends the proof inductively and fast-forwards
+//! the whole remaining budget.
+
+use crate::bytecode::*;
+use crate::compile;
+use silc_rtl::{BinaryOp, Machine, RtlError, RunReport};
+
+fn bit_set(words: &mut [u64], i: u32) {
+    words[i as usize / 64] |= 1 << (i % 64);
+}
+
+fn disjoint(a: &[u64], b: &[u64]) -> bool {
+    a.iter().zip(b).all(|(x, y)| x & y == 0)
+}
+
+/// Executes a [`CompiledMachine`]; mirrors the [`silc_rtl::Simulator`]
+/// API and its observable semantics exactly.
+///
+/// # Example
+///
+/// ```
+/// use silc_exec::CompiledSim;
+/// use silc_rtl::parse;
+/// let m = parse("
+///     machine swap {
+///         reg a[8] init 1;
+///         reg b[8] init 2;
+///         state s { a := b; b := a; halt; }
+///     }
+/// ")?;
+/// let mut sim = CompiledSim::from_machine(&m);
+/// sim.run(10)?;
+/// assert_eq!(sim.reg("a"), Some(2));
+/// assert_eq!(sim.reg("b"), Some(1));
+/// # Ok::<(), silc_rtl::RtlError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct CompiledSim {
+    cm: CompiledMachine,
+    /// Signal slots then memory words.
+    arena: Vec<u64>,
+    temps: Vec<u64>,
+    /// Buffered signal writes: value, epoch stamp, first-write order.
+    pending: Vec<u64>,
+    pending_epoch: Vec<u64>,
+    epoch: u64,
+    write_list: Vec<u32>,
+    /// Buffered memory writes (mem, addr, value), last write wins.
+    mem_writes: Vec<(u32, u64, u64)>,
+    /// Change events from the last committed cycle (list one).
+    changed_sigs: Vec<u64>,
+    changed_mems: Vec<u64>,
+    /// Events being recorded by the current commit (list two).
+    next_sigs: Vec<u64>,
+    next_mems: Vec<u64>,
+    /// State executed (not fast-forwarded) last cycle, if any.
+    last_exec: Option<usize>,
+    /// The last `step` proved itself a no-op via the event lists.
+    quiescent: bool,
+    /// Cycles skipped by the scheduler instead of executed.
+    fast_cycles: u64,
+    state: usize,
+    cycle: u64,
+    halted: bool,
+}
+
+impl CompiledSim {
+    /// Creates an executor in the machine's reset configuration:
+    /// registers at their `init` values, memories zeroed, first state
+    /// current.
+    pub fn new(cm: &CompiledMachine) -> CompiledSim {
+        let n_sigs = cm.sigs.len();
+        let mut arena = vec![0u64; cm.arena_len];
+        for (i, s) in cm.sigs.iter().enumerate() {
+            if let SigKind::Reg { init } = s.kind {
+                arena[i] = init;
+            }
+        }
+        let sig_words = n_sigs.div_ceil(64).max(1);
+        let mem_words = cm.mems.len().div_ceil(64).max(1);
+        CompiledSim {
+            arena,
+            temps: vec![0; cm.n_temps as usize],
+            pending: vec![0; n_sigs],
+            pending_epoch: vec![0; n_sigs],
+            epoch: 0,
+            write_list: Vec::new(),
+            mem_writes: Vec::new(),
+            changed_sigs: vec![0; sig_words],
+            changed_mems: vec![0; mem_words],
+            next_sigs: vec![0; sig_words],
+            next_mems: vec![0; mem_words],
+            last_exec: None,
+            quiescent: false,
+            fast_cycles: 0,
+            state: 0,
+            cycle: 0,
+            halted: false,
+            cm: cm.clone(),
+        }
+    }
+
+    /// Compiles and instantiates in one step.
+    pub fn from_machine(machine: &Machine) -> CompiledSim {
+        CompiledSim::new(&compile(machine))
+    }
+
+    /// Current cycle count.
+    pub fn cycle(&self) -> u64 {
+        self.cycle
+    }
+
+    /// True after `halt` has executed.
+    pub fn is_halted(&self) -> bool {
+        self.halted
+    }
+
+    /// Name of the current control state.
+    pub fn state_name(&self) -> &str {
+        &self.cm.states[self.state].name
+    }
+
+    /// Cycles the event scheduler proved quiescent and skipped.
+    pub fn fast_forwarded(&self) -> u64 {
+        self.fast_cycles
+    }
+
+    /// Reads a register.
+    pub fn reg(&self, name: &str) -> Option<u64> {
+        let &slot = self.cm.sig_index.get(name)?;
+        matches!(self.cm.sigs[slot as usize].kind, SigKind::Reg { .. })
+            .then(|| self.arena[slot as usize])
+    }
+
+    /// Reads an output port.
+    pub fn output(&self, name: &str) -> Option<u64> {
+        let &slot = self.cm.sig_index.get(name)?;
+        matches!(self.cm.sigs[slot as usize].kind, SigKind::Output)
+            .then(|| self.arena[slot as usize])
+    }
+
+    /// Reads a memory word.
+    pub fn mem_word(&self, name: &str, addr: u64) -> Option<u64> {
+        let &mem = self.cm.mem_index.get(name)?;
+        let m = &self.cm.mems[mem as usize];
+        (addr < m.words).then(|| self.arena[m.base + addr as usize])
+    }
+
+    /// Drives an input port (value is masked to the port width).
+    ///
+    /// # Errors
+    ///
+    /// [`RtlError::Undeclared`] naming an unknown port.
+    pub fn set_input(&mut self, name: &str, value: u64) -> Result<(), RtlError> {
+        let slot = match self.cm.sig_index.get(name) {
+            Some(&s) if matches!(self.cm.sigs[s as usize].kind, SigKind::Input) => s,
+            _ => {
+                return Err(RtlError::Undeclared {
+                    name: name.to_string(),
+                })
+            }
+        };
+        let v = value & mask(self.cm.sigs[slot as usize].width);
+        if self.arena[slot as usize] != v {
+            self.arena[slot as usize] = v;
+            // Merge into the last-commit event list so the scheduler
+            // re-executes states sensitive to this port.
+            bit_set(&mut self.changed_sigs, slot);
+        }
+        self.quiescent = false;
+        Ok(())
+    }
+
+    /// Overwrites a register (for test setup; value is masked).
+    ///
+    /// # Errors
+    ///
+    /// [`RtlError::Undeclared`] naming an unknown register.
+    pub fn set_reg(&mut self, name: &str, value: u64) -> Result<(), RtlError> {
+        let slot = match self.cm.sig_index.get(name) {
+            Some(&s) if matches!(self.cm.sigs[s as usize].kind, SigKind::Reg { .. }) => s,
+            _ => {
+                return Err(RtlError::Undeclared {
+                    name: name.to_string(),
+                })
+            }
+        };
+        let v = value & mask(self.cm.sigs[slot as usize].width);
+        self.arena[slot as usize] = v;
+        // A poke may desynchronize a register the quiescent state writes
+        // but never reads; force a full execution to re-establish the
+        // scheduler's invariant.
+        self.last_exec = None;
+        self.quiescent = false;
+        Ok(())
+    }
+
+    /// Loads `data` into a memory starting at word 0 (for program
+    /// loading). Words are masked to the memory width.
+    ///
+    /// # Errors
+    ///
+    /// [`RtlError::Undeclared`] for an unknown memory;
+    /// [`RtlError::AddressOutOfRange`] when `data` overruns it.
+    pub fn load_mem(&mut self, name: &str, data: &[u64]) -> Result<(), RtlError> {
+        let Some(&mem) = self.cm.mem_index.get(name) else {
+            return Err(RtlError::Undeclared {
+                name: name.to_string(),
+            });
+        };
+        let m = &self.cm.mems[mem as usize];
+        if data.len() as u64 > m.words {
+            return Err(RtlError::AddressOutOfRange {
+                name: name.to_string(),
+                addr: data.len() as u64 - 1,
+                words: m.words,
+            });
+        }
+        for (i, &v) in data.iter().enumerate() {
+            self.arena[m.base + i] = v & m.mask;
+        }
+        self.last_exec = None;
+        self.quiescent = false;
+        Ok(())
+    }
+
+    /// Executes one cycle (a halted machine steps as a no-op).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RtlError::AddressOutOfRange`] on a bad memory access,
+    /// leaving the cycle uncommitted — exactly like the interpreter.
+    pub fn step(&mut self) -> Result<(), RtlError> {
+        if self.halted {
+            return Ok(());
+        }
+        if self.last_exec == Some(self.state) {
+            let st = &self.cm.states[self.state];
+            if disjoint(&self.changed_sigs, &st.read_sigs)
+                && disjoint(&self.changed_mems, &st.read_mems)
+            {
+                // Same state, same reads: the cycle recomputes and
+                // commits the values already stored.
+                self.cycle += 1;
+                self.fast_cycles += 1;
+                self.quiescent = true;
+                return Ok(());
+            }
+        }
+        self.exec_cycle()
+    }
+
+    /// Runs until `halt` or until `max_cycles` have executed. Once a
+    /// cycle proves quiescent the rest of the budget is fast-forwarded:
+    /// with no external pokes possible mid-run, every remaining cycle is
+    /// the same no-op.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`CompiledSim::step`] errors; running out of budget is
+    /// *not* an error (the report's `halted` field says which happened).
+    pub fn run(&mut self, max_cycles: u64) -> Result<RunReport, RtlError> {
+        let mut cycles = 0;
+        while !self.halted && cycles < max_cycles {
+            self.step()?;
+            cycles += 1;
+            if self.quiescent {
+                let rest = max_cycles - cycles;
+                self.cycle += rest;
+                self.fast_cycles += rest;
+                cycles = max_cycles;
+            }
+        }
+        Ok(RunReport {
+            cycles,
+            halted: self.halted,
+        })
+    }
+
+    fn exec_cycle(&mut self) -> Result<(), RtlError> {
+        self.epoch += 1;
+        self.write_list.clear();
+        self.mem_writes.clear();
+        let mut next_state: Option<u32> = None;
+        let mut halt = false;
+
+        let n_ops = self.cm.states[self.state].ops.len();
+        let mut pc = 0usize;
+        while pc < n_ops {
+            let op = self.cm.states[self.state].ops[pc];
+            match op {
+                Op::Const { dst, value } => self.temps[dst as usize] = value,
+                Op::Load { dst, slot } => self.temps[dst as usize] = self.arena[slot as usize],
+                Op::LoadMem { dst, mem, addr } => {
+                    let a = self.temps[addr as usize];
+                    let m = &self.cm.mems[mem as usize];
+                    if a >= m.words {
+                        return Err(RtlError::AddressOutOfRange {
+                            name: m.name.clone(),
+                            addr: a,
+                            words: m.words,
+                        });
+                    }
+                    self.temps[dst as usize] = self.arena[m.base + a as usize];
+                }
+                Op::Not { dst, a, mask } => {
+                    self.temps[dst as usize] = !self.temps[a as usize] & mask;
+                }
+                Op::Neg { dst, a, mask } => {
+                    self.temps[dst as usize] = self.temps[a as usize].wrapping_neg() & mask;
+                }
+                Op::IsZero { dst, a } => {
+                    self.temps[dst as usize] = u64::from(self.temps[a as usize] == 0);
+                }
+                Op::Bin {
+                    dst,
+                    op,
+                    a,
+                    b,
+                    mask,
+                } => {
+                    let x = self.temps[a as usize];
+                    let y = self.temps[b as usize];
+                    self.temps[dst as usize] = match op {
+                        BinaryOp::Add => x.wrapping_add(y) & mask,
+                        BinaryOp::Sub => x.wrapping_sub(y) & mask,
+                        BinaryOp::And => x & y,
+                        BinaryOp::Or => x | y,
+                        BinaryOp::Xor => x ^ y,
+                        BinaryOp::Shl => {
+                            if y >= 64 {
+                                0
+                            } else {
+                                (x << y) & mask
+                            }
+                        }
+                        BinaryOp::Shr => {
+                            if y >= 64 {
+                                0
+                            } else {
+                                x >> y
+                            }
+                        }
+                        BinaryOp::Eq => u64::from(x == y),
+                        BinaryOp::Ne => u64::from(x != y),
+                        BinaryOp::Lt => u64::from(x < y),
+                        BinaryOp::Le => u64::from(x <= y),
+                        BinaryOp::Gt => u64::from(x > y),
+                        BinaryOp::Ge => u64::from(x >= y),
+                        BinaryOp::LogicalAnd => u64::from(x != 0 && y != 0),
+                        BinaryOp::LogicalOr => u64::from(x != 0 || y != 0),
+                    };
+                }
+                Op::Slice { dst, a, lo, mask } => {
+                    self.temps[dst as usize] = (self.temps[a as usize] >> lo) & mask;
+                }
+                Op::Fold {
+                    dst,
+                    acc,
+                    part,
+                    shift,
+                    mask,
+                } => {
+                    self.temps[dst as usize] =
+                        (self.temps[acc as usize] << shift) | (self.temps[part as usize] & mask);
+                }
+                Op::Jz { cond, target } => {
+                    if self.temps[cond as usize] == 0 {
+                        pc = target as usize;
+                        continue;
+                    }
+                }
+                Op::Jmp { target } => {
+                    pc = target as usize;
+                    continue;
+                }
+                Op::StoreFull { slot, src, mask } => {
+                    let v = self.temps[src as usize] & mask;
+                    self.pend_sig(slot, v);
+                }
+                Op::StoreSlice {
+                    slot,
+                    src,
+                    lo,
+                    mask,
+                } => {
+                    let cur = if self.pending_epoch[slot as usize] == self.epoch {
+                        self.pending[slot as usize]
+                    } else {
+                        self.arena[slot as usize]
+                    };
+                    let field = (self.temps[src as usize] & mask) << lo;
+                    let keep = !(mask << lo);
+                    self.pend_sig(slot, (cur & keep) | field);
+                }
+                Op::StoreMem {
+                    mem,
+                    addr,
+                    src,
+                    mask,
+                } => {
+                    let a = self.temps[addr as usize];
+                    let m = &self.cm.mems[mem as usize];
+                    if a >= m.words {
+                        return Err(RtlError::AddressOutOfRange {
+                            name: m.name.clone(),
+                            addr: a,
+                            words: m.words,
+                        });
+                    }
+                    let v = self.temps[src as usize] & mask;
+                    match self
+                        .mem_writes
+                        .iter_mut()
+                        .find(|(wm, wa, _)| *wm == mem && *wa == a)
+                    {
+                        Some(w) => w.2 = v,
+                        None => self.mem_writes.push((mem, a, v)),
+                    }
+                }
+                Op::SetState { index } => next_state = Some(index),
+                Op::Halt => halt = true,
+            }
+            pc += 1;
+        }
+
+        // Commit, recording change events into list two.
+        self.next_sigs.iter_mut().for_each(|w| *w = 0);
+        self.next_mems.iter_mut().for_each(|w| *w = 0);
+        for i in 0..self.write_list.len() {
+            let slot = self.write_list[i];
+            let v = self.pending[slot as usize];
+            if self.arena[slot as usize] != v {
+                self.arena[slot as usize] = v;
+                bit_set(&mut self.next_sigs, slot);
+            }
+        }
+        for i in 0..self.mem_writes.len() {
+            let (mem, a, v) = self.mem_writes[i];
+            let idx = self.cm.mems[mem as usize].base + a as usize;
+            if self.arena[idx] != v {
+                self.arena[idx] = v;
+                bit_set(&mut self.next_mems, mem);
+            }
+        }
+        std::mem::swap(&mut self.changed_sigs, &mut self.next_sigs);
+        std::mem::swap(&mut self.changed_mems, &mut self.next_mems);
+        self.last_exec = Some(self.state);
+        if let Some(next) = next_state {
+            self.state = next as usize;
+        }
+        self.halted = halt;
+        self.cycle += 1;
+        self.quiescent = false;
+        Ok(())
+    }
+
+    fn pend_sig(&mut self, slot: u32, value: u64) {
+        if self.pending_epoch[slot as usize] != self.epoch {
+            self.pending_epoch[slot as usize] = self.epoch;
+            self.write_list.push(slot);
+        }
+        self.pending[slot as usize] = value;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use silc_rtl::parse;
+
+    fn sim(src: &str) -> CompiledSim {
+        CompiledSim::from_machine(&parse(src).unwrap())
+    }
+
+    #[test]
+    fn counter_counts_and_halts() {
+        let mut s = sim("machine c { reg n[8]; state r { n := n + 1; if n == 5 { halt; } } }");
+        let report = s.run(100).unwrap();
+        assert!(report.halted);
+        assert_eq!(report.cycles, 6);
+        assert_eq!(s.reg("n"), Some(6));
+    }
+
+    #[test]
+    fn transfers_are_parallel() {
+        let mut s = sim(
+            "machine swap { reg a[8] init 3; reg b[8] init 9; state s { a := b; b := a; halt; } }",
+        );
+        s.run(10).unwrap();
+        assert_eq!(s.reg("a"), Some(9));
+        assert_eq!(s.reg("b"), Some(3));
+    }
+
+    #[test]
+    fn quiescent_machine_fast_forwards() {
+        // After the first cycle `a` stops changing; the scheduler must
+        // skip the remaining budget instead of executing it.
+        let mut s = sim("machine q { reg a[8]; state s { a := 7; } }");
+        let report = s.run(1_000_000_000).unwrap();
+        assert!(!report.halted);
+        assert_eq!(report.cycles, 1_000_000_000);
+        assert_eq!(s.cycle(), 1_000_000_000);
+        assert_eq!(s.reg("a"), Some(7));
+        assert!(s.fast_forwarded() >= 999_999_990);
+    }
+
+    #[test]
+    fn input_poke_breaks_quiescence() {
+        let mut s = sim("machine io { port input x[8]; reg a[8];
+               state s { a := x + 1; } }");
+        s.run(100).unwrap();
+        assert_eq!(s.reg("a"), Some(1));
+        s.set_input("x", 41).unwrap();
+        s.run(100).unwrap();
+        assert_eq!(s.reg("a"), Some(42));
+    }
+
+    #[test]
+    fn reg_poke_breaks_quiescence_even_unread() {
+        // `a` is written but never read: a poke must still be overwritten
+        // by the next cycle, as the interpreter would.
+        let mut s = sim("machine p { reg a[8]; reg b[8]; state s { a := 7; } }");
+        s.run(100).unwrap();
+        s.set_reg("a", 99).unwrap();
+        s.run(1).unwrap();
+        assert_eq!(s.reg("a"), Some(7));
+    }
+
+    #[test]
+    fn setters_name_unknown_signals() {
+        let mut s = sim("machine u { reg a[8]; mem m[4][8]; port input x[1]; state s { halt; } }");
+        assert!(matches!(
+            s.set_input("a", 1),
+            Err(RtlError::Undeclared { name }) if name == "a"
+        ));
+        assert!(matches!(
+            s.set_reg("x", 1),
+            Err(RtlError::Undeclared { name }) if name == "x"
+        ));
+        assert!(matches!(
+            s.load_mem("nope", &[1]),
+            Err(RtlError::Undeclared { name }) if name == "nope"
+        ));
+        assert!(matches!(
+            s.load_mem("m", &[0; 5]),
+            Err(RtlError::AddressOutOfRange {
+                addr: 4,
+                words: 4,
+                ..
+            })
+        ));
+        s.load_mem("m", &[1, 2, 3]).unwrap();
+        assert_eq!(s.mem_word("m", 2), Some(3));
+    }
+
+    #[test]
+    fn memory_bounds_error_leaves_cycle_uncommitted() {
+        let mut s = sim(
+            "machine m { reg a[8] init 200; reg d[8] init 5; mem ram[16][8];
+               state r { d := ram[a]; } }",
+        );
+        let err = s.step().unwrap_err();
+        assert!(matches!(err, RtlError::AddressOutOfRange { addr: 200, .. }));
+        assert_eq!(s.cycle(), 0);
+        assert_eq!(s.reg("d"), Some(5));
+    }
+
+    #[test]
+    fn goto_and_slice_writes() {
+        let mut s = sim("machine g { reg a[8] init 0; reg b[8] init 0xAB;
+               state one { a[7:4] := b[3:0]; goto two; }
+               state two { a[0] := 1; halt; } }");
+        s.run(10).unwrap();
+        assert_eq!(s.reg("a"), Some(0xB1));
+        assert_eq!(s.state_name(), "two");
+    }
+}

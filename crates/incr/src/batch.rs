@@ -7,6 +7,7 @@
 //! compile counter.sil -o counter.cif
 //! compile alu.sil --no-drc
 //! sim traffic.isl --cycles 500
+//! sim cpu.isl --cycles 100000 --engine interp
 //! ```
 //!
 //! [`run_batch`] executes the jobs on a small thread pool against one
@@ -16,6 +17,7 @@
 
 use crate::engine::{Engine, JobStats};
 use crate::pipeline::{compile_sil, sim_results, CompileOptions};
+use silc_exec::SimEngine;
 use silc_rtl::parse as parse_isl;
 use silc_trace::span;
 use std::fs;
@@ -37,6 +39,8 @@ pub enum JobKind {
     Sim {
         /// Cycle budget.
         cycles: u64,
+        /// Per-job engine override; `None` defers to the batch default.
+        engine: Option<SimEngine>,
     },
 }
 
@@ -136,6 +140,7 @@ pub fn parse_manifest(text: &str, base: &Path) -> Result<Vec<JobSpec>, String> {
             }
             "sim" => {
                 let mut cycles = 10_000u64;
+                let mut engine = None;
                 let mut input = None;
                 let mut it = rest.iter();
                 while let Some(&word) = it.next() {
@@ -147,6 +152,12 @@ pub fn parse_manifest(text: &str, base: &Path) -> Result<Vec<JobSpec>, String> {
                             cycles = n
                                 .parse()
                                 .map_err(|_| err(format!("invalid cycle count `{n}`")))?;
+                        }
+                        "--engine" => {
+                            let name = it
+                                .next()
+                                .ok_or_else(|| err("`--engine` needs a name".into()))?;
+                            engine = Some(name.parse().map_err(|e: String| err(e))?);
                         }
                         w if w.starts_with('-') => {
                             return Err(err(format!("unknown sim flag `{w}`")));
@@ -162,7 +173,7 @@ pub fn parse_manifest(text: &str, base: &Path) -> Result<Vec<JobSpec>, String> {
                 jobs.push(JobSpec {
                     input: base.join(input),
                     line,
-                    kind: JobKind::Sim { cycles },
+                    kind: JobKind::Sim { cycles, engine },
                 });
                 continue;
             }
@@ -176,7 +187,11 @@ pub fn parse_manifest(text: &str, base: &Path) -> Result<Vec<JobSpec>, String> {
     Ok(jobs)
 }
 
-fn run_one(engine: &Engine, job: &JobSpec) -> (Result<String, String>, JobStats) {
+fn run_one(
+    engine: &Engine,
+    job: &JobSpec,
+    default_engine: SimEngine,
+) -> (Result<String, String>, JobStats) {
     let mut stats = JobStats::default();
     let outcome = (|| -> Result<String, String> {
         let source = fs::read_to_string(&job.input)
@@ -206,12 +221,16 @@ fn run_one(engine: &Engine, job: &JobSpec) -> (Result<String, String>, JobStats)
                     out.flat.flat_elements
                 ))
             }
-            JobKind::Sim { cycles } => {
+            JobKind::Sim {
+                cycles,
+                engine: sim_engine,
+            } => {
                 let machine = {
                     let _s = span!(engine.tracer(), "isl.parse");
                     parse_isl(&source).map_err(|e| format!("isl.parse: {e}"))?
                 };
-                let sim = sim_results(engine, &machine, *cycles, &mut stats)?;
+                let sim_engine = sim_engine.unwrap_or(default_engine);
+                let sim = sim_results(engine, &machine, *cycles, sim_engine, &mut stats)?;
                 Ok(format!(
                     "{} cycle(s), {}",
                     sim.cycles,
@@ -228,8 +247,14 @@ fn run_one(engine: &Engine, job: &JobSpec) -> (Result<String, String>, JobStats)
 }
 
 /// Runs every job against the shared engine on up to `workers` threads,
-/// returning results in manifest order.
-pub fn run_batch(engine: &Engine, jobs: &[JobSpec], workers: usize) -> Vec<JobResult> {
+/// returning results in manifest order. Sim jobs that name no engine in
+/// the manifest run on `default_engine` (the CLI's `--engine` flag).
+pub fn run_batch(
+    engine: &Engine,
+    jobs: &[JobSpec],
+    workers: usize,
+    default_engine: SimEngine,
+) -> Vec<JobResult> {
     let workers = workers.clamp(1, jobs.len().max(1));
     let cursor = AtomicUsize::new(0);
     let mut results: Vec<Option<JobResult>> = vec![None; jobs.len()];
@@ -241,7 +266,7 @@ pub fn run_batch(engine: &Engine, jobs: &[JobSpec], workers: usize) -> Vec<JobRe
                 let idx = cursor.fetch_add(1, Ordering::Relaxed);
                 let Some(job) = jobs.get(idx) else { break };
                 let started = Instant::now();
-                let (outcome, stats) = run_one(engine, job);
+                let (outcome, stats) = run_one(engine, job, default_engine);
                 let result = JobResult {
                     label: job.label(),
                     outcome,
@@ -287,7 +312,13 @@ mod tests {
                 no_drc: true
             }
         );
-        assert_eq!(jobs[2].kind, JobKind::Sim { cycles: 42 });
+        assert_eq!(
+            jobs[2].kind,
+            JobKind::Sim {
+                cycles: 42,
+                engine: None
+            }
+        );
         assert_eq!(jobs[2].line, 5);
     }
 
@@ -302,6 +333,8 @@ mod tests {
             ("compile a.sil --fast", "unknown compile flag"),
             ("compile a.sil b.sil", "extra argument"),
             ("sim m.isl --cycles many", "invalid cycle count"),
+            ("sim m.isl --engine", "needs a name"),
+            ("sim m.isl --engine turbo", "unknown engine `turbo`"),
         ] {
             let e = parse_manifest(text, base).unwrap_err();
             assert!(e.contains(needle), "{text:?} -> {e}");
@@ -325,7 +358,7 @@ mod tests {
         // One worker makes the hit/miss split deterministic (concurrent
         // workers may race identical jobs into duplicate computes).
         let engine = Engine::in_memory();
-        let results = run_batch(&engine, &jobs, 1);
+        let results = run_batch(&engine, &jobs, 1, SimEngine::default());
         assert_eq!(results.len(), 3);
         for r in &results {
             assert!(r.outcome.is_ok(), "{:?}", r.outcome);
@@ -338,7 +371,7 @@ mod tests {
         assert_eq!(total_misses, 4);
 
         // A concurrent re-run against the already-warm engine is all hits.
-        let warm = run_batch(&engine, &jobs, 4);
+        let warm = run_batch(&engine, &jobs, 4, SimEngine::default());
         assert!(warm.iter().all(|r| r.outcome.is_ok()));
         assert_eq!(warm.iter().map(|r| r.stats.misses).sum::<u64>(), 0);
         assert_eq!(warm.iter().map(|r| r.stats.hits).sum::<u64>(), 12);
@@ -355,7 +388,7 @@ mod tests {
                 no_drc: false,
             },
         }];
-        let results = run_batch(&engine, &jobs, 4);
+        let results = run_batch(&engine, &jobs, 4, SimEngine::default());
         assert!(results[0]
             .outcome
             .as_ref()
@@ -380,7 +413,7 @@ mod tests {
         fs::write(dir.join("bad.isl"), "machine oops { state").unwrap();
         let manifest = "compile good.sil\ncompile bad.sil\nsim bad.isl\ncompile good.sil\n";
         let jobs = parse_manifest(manifest, &dir).unwrap();
-        let results = run_batch(&Engine::in_memory(), &jobs, 2);
+        let results = run_batch(&Engine::in_memory(), &jobs, 2, SimEngine::default());
         assert!(results[0].outcome.is_ok(), "{:?}", results[0].outcome);
         assert!(results[3].outcome.is_ok(), "{:?}", results[3].outcome);
         let compile_err = results[1].outcome.as_ref().unwrap_err();

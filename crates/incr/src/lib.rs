@@ -50,3 +50,4 @@ pub use pipeline::{
     sim_results, synth_allocation, CompileOptions, CompileOutput, ExtractSnapshot, FlatSnapshot,
     PlaSnapshot, SimSnapshot, SynthSnapshot,
 };
+pub use silc_exec::SimEngine;

@@ -141,8 +141,9 @@ pub fn load_program_into_isl(sim: &mut Simulator, program: &Program) {
     for &(addr, word) in &program.words {
         image[addr as usize] = u64::from(word);
     }
-    assert!(sim.load_mem("m", &image));
-    assert!(sim.set_reg("pc", u64::from(program.start)));
+    sim.load_mem("m", &image).expect("ISP machine declares m");
+    sim.set_reg("pc", u64::from(program.start))
+        .expect("ISP machine declares pc");
 }
 
 /// The outcome of running the same program on the ISA reference simulator
@@ -343,7 +344,7 @@ mod tests {
         let machine = isp_machine().unwrap();
         let mut isl = Simulator::new(&machine);
         load_program_into_isl(&mut isl, &program);
-        isl.set_input("sr", 0o1234);
+        isl.set_input("sr", 0o1234).unwrap();
         isl.run(100).unwrap();
 
         assert_eq!(u64::from(isa.ac), isl.reg("ac").unwrap());

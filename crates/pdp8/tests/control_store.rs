@@ -37,8 +37,8 @@ fn control_store_predicts_every_microstep() {
     image[0o101] = 0;
 
     let mut sim = Simulator::new(&machine);
-    assert!(sim.load_mem("m", &image));
-    assert!(sim.set_reg("pc", 0o200));
+    sim.load_mem("m", &image).unwrap();
+    sim.set_reg("pc", 0o200).unwrap();
 
     let mut steps = 0;
     while !sim.is_halted() && steps < 400 {

@@ -113,27 +113,41 @@ impl Simulator {
         self.outputs.get(name).copied()
     }
 
-    /// Drives an input port (value is masked to the port width). Returns
-    /// false for an unknown port.
-    pub fn set_input(&mut self, name: &str, value: u64) -> bool {
-        if let Some(decl) = self.machine.inputs.iter().find(|p| p.name == name) {
-            self.inputs
-                .insert(name.to_string(), value & mask(decl.width));
-            true
-        } else {
-            false
-        }
+    /// Drives an input port (value is masked to the port width).
+    ///
+    /// # Errors
+    ///
+    /// [`RtlError::Undeclared`] naming an unknown port.
+    pub fn set_input(&mut self, name: &str, value: u64) -> Result<(), RtlError> {
+        let decl = self
+            .machine
+            .inputs
+            .iter()
+            .find(|p| p.name == name)
+            .ok_or_else(|| RtlError::Undeclared {
+                name: name.to_string(),
+            })?;
+        self.inputs
+            .insert(name.to_string(), value & mask(decl.width));
+        Ok(())
     }
 
-    /// Overwrites a register (for test setup). Returns false for an
-    /// unknown register.
-    pub fn set_reg(&mut self, name: &str, value: u64) -> bool {
-        if let Some(decl) = self.machine.regs.iter().find(|r| r.name == name) {
-            self.regs.insert(name.to_string(), value & mask(decl.width));
-            true
-        } else {
-            false
-        }
+    /// Overwrites a register (for test setup; value is masked).
+    ///
+    /// # Errors
+    ///
+    /// [`RtlError::Undeclared`] naming an unknown register.
+    pub fn set_reg(&mut self, name: &str, value: u64) -> Result<(), RtlError> {
+        let decl = self
+            .machine
+            .regs
+            .iter()
+            .find(|r| r.name == name)
+            .ok_or_else(|| RtlError::Undeclared {
+                name: name.to_string(),
+            })?;
+        self.regs.insert(name.to_string(), value & mask(decl.width));
+        Ok(())
     }
 
     /// Reads a memory word.
@@ -142,22 +156,35 @@ impl Simulator {
     }
 
     /// Loads `data` into a memory starting at word 0 (for program
-    /// loading). Returns false when the memory is unknown or too small.
-    pub fn load_mem(&mut self, name: &str, data: &[u64]) -> bool {
-        let Some(decl) = self.machine.mems.iter().find(|m| m.name == name) else {
-            return false;
-        };
+    /// loading). Words are masked to the memory width.
+    ///
+    /// # Errors
+    ///
+    /// [`RtlError::Undeclared`] for an unknown memory;
+    /// [`RtlError::AddressOutOfRange`] when `data` overruns it (nothing
+    /// is written).
+    pub fn load_mem(&mut self, name: &str, data: &[u64]) -> Result<(), RtlError> {
+        let decl = self
+            .machine
+            .mems
+            .iter()
+            .find(|m| m.name == name)
+            .ok_or_else(|| RtlError::Undeclared {
+                name: name.to_string(),
+            })?;
         let w = mask(decl.width);
-        let Some(storage) = self.mems.get_mut(name) else {
-            return false;
-        };
+        let storage = self.mems.get_mut(name).expect("declared memories exist");
         if data.len() > storage.len() {
-            return false;
+            return Err(RtlError::AddressOutOfRange {
+                name: name.to_string(),
+                addr: data.len() as u64 - 1,
+                words: decl.words,
+            });
         }
         for (slot, &v) in storage.iter_mut().zip(data) {
             *slot = v & w;
         }
-        true
+        Ok(())
     }
 
     /// Executes one cycle.
@@ -524,8 +551,11 @@ mod tests {
     fn io_ports() {
         let mut s = sim("machine io { port input x[8]; port output y[8];
                 state s { y := x + 1; halt; } }");
-        assert!(s.set_input("x", 41));
-        assert!(!s.set_input("nope", 1));
+        s.set_input("x", 41).unwrap();
+        assert!(matches!(
+            s.set_input("nope", 1),
+            Err(RtlError::Undeclared { name }) if name == "nope"
+        ));
         s.run(10).unwrap();
         assert_eq!(s.output("y"), Some(42));
     }
@@ -564,9 +594,19 @@ mod tests {
     fn load_mem_and_bounds() {
         let m = parse("machine l { reg a[4]; mem ram[4][8]; state s { halt; } }").unwrap();
         let mut s = Simulator::new(&m);
-        assert!(s.load_mem("ram", &[1, 2, 3]));
-        assert!(!s.load_mem("ram", &[0; 5]));
-        assert!(!s.load_mem("nope", &[1]));
+        s.load_mem("ram", &[1, 2, 3]).unwrap();
+        assert!(matches!(
+            s.load_mem("ram", &[0; 5]),
+            Err(RtlError::AddressOutOfRange {
+                addr: 4,
+                words: 4,
+                ..
+            })
+        ));
+        assert!(matches!(
+            s.load_mem("nope", &[1]),
+            Err(RtlError::Undeclared { .. })
+        ));
         assert_eq!(s.mem_word("ram", 2), Some(3));
     }
 

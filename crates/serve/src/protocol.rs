@@ -5,7 +5,7 @@
 //!
 //! ```json
 //! {"op":"compile","source":"cell a() {...}","no_drc":false,"extract":false}
-//! {"op":"sim","source":"machine m {...}","cycles":10000}
+//! {"op":"sim","source":"machine m {...}","cycles":10000,"engine":"compiled"}
 //! {"op":"drc","source":"cell a() {...}"}
 //! {"op":"stats"}
 //! {"op":"shutdown"}
@@ -25,6 +25,7 @@
 //! names the failing stage).
 
 use crate::json::{parse, Json};
+use silc_exec::SimEngine;
 
 /// Failure kinds carried in the `error` field of a failure response.
 pub mod kind {
@@ -57,6 +58,8 @@ pub enum Request {
         source: String,
         /// Cycle budget (the CLI default is 10 000).
         cycles: u64,
+        /// Engine override; `None` uses the server's default.
+        engine: Option<SimEngine>,
     },
     /// Elaborate + flatten + DRC only; report violations without CIF.
     Drc {
@@ -123,6 +126,16 @@ fn optional_bool(obj: &Json, key: &str) -> Result<bool, String> {
     }
 }
 
+fn optional_engine(obj: &Json) -> Result<Option<SimEngine>, String> {
+    match obj.get("engine") {
+        None | Some(Json::Null) => Ok(None),
+        Some(v) => {
+            let name = v.as_str().ok_or("`engine` must be a string")?;
+            name.parse().map(Some)
+        }
+    }
+}
+
 fn optional_u64(obj: &Json, key: &str) -> Result<Option<u64>, String> {
     match obj.get(key) {
         None | Some(Json::Null) => Ok(None),
@@ -159,6 +172,7 @@ pub fn parse_request(line: &str, allow_test_ops: bool) -> Result<Envelope, Strin
         "sim" => Request::Sim {
             source: required_str(&obj, "source", "sim")?,
             cycles: optional_u64(&obj, "cycles")?.unwrap_or(10_000),
+            engine: optional_engine(&obj)?,
         },
         "drc" => Request::Drc {
             source: required_str(&obj, "source", "drc")?,
@@ -230,7 +244,22 @@ mod tests {
             e.request,
             Request::Sim {
                 source: "machine m {}".into(),
-                cycles: 10_000
+                cycles: 10_000,
+                engine: None,
+            }
+        );
+
+        let e = parse_request(
+            r#"{"op":"sim","source":"machine m {}","engine":"interp"}"#,
+            false,
+        )
+        .unwrap();
+        assert_eq!(
+            e.request,
+            Request::Sim {
+                source: "machine m {}".into(),
+                cycles: 10_000,
+                engine: Some(SimEngine::Interp),
             }
         );
 
@@ -270,6 +299,16 @@ mod tests {
             parse_request(r#"{"op":"sim","source":"m","cycles":-1}"#, false)
                 .unwrap_err()
                 .contains("cycles")
+        );
+        assert!(
+            parse_request(r#"{"op":"sim","source":"m","engine":"warp"}"#, false)
+                .unwrap_err()
+                .contains("unknown engine `warp`")
+        );
+        assert!(
+            parse_request(r#"{"op":"sim","source":"m","engine":7}"#, false)
+                .unwrap_err()
+                .contains("`engine` must be a string")
         );
     }
 

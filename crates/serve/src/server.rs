@@ -41,6 +41,7 @@ use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
 use silc_drc::RuleSet;
+use silc_exec::SimEngine;
 use silc_incr::{
     compile_sil, drc_report, elaborate, flat_regions, sim_results, CompileOptions, Engine,
     EngineConfig, JobStats,
@@ -77,6 +78,8 @@ pub struct ServerConfig {
     /// Accept the test-only `sleep` op. Never set by the CLI; protocol
     /// tests use it to hold workers for a known duration.
     pub enable_test_ops: bool,
+    /// Engine servicing `sim` requests that name none themselves.
+    pub default_engine: SimEngine,
 }
 
 impl Default for ServerConfig {
@@ -91,6 +94,7 @@ impl Default for ServerConfig {
             cache_dir: None,
             tracer: Tracer::disabled(),
             enable_test_ops: false,
+            default_engine: SimEngine::default(),
         }
     }
 }
@@ -105,6 +109,8 @@ struct ServeStats {
     bad_requests: AtomicU64,
     busy_workers: AtomicU64,
     queue_depth: AtomicU64,
+    sim_compiled: AtomicU64,
+    sim_interp: AtomicU64,
 }
 
 /// State shared by the accept loop, connection threads and workers.
@@ -341,10 +347,21 @@ fn execute(
             let cif = out.cif.as_ref().map_or("", |c| c.as_str());
             fields.push(("cif".into(), Json::Str(cif.to_string())));
         }
-        Request::Sim { source, cycles } => {
+        Request::Sim {
+            source,
+            cycles,
+            engine: requested,
+        } => {
+            let sim_engine = requested.unwrap_or(shared.config.default_engine);
+            let counter = match sim_engine {
+                SimEngine::Compiled => &shared.stats.sim_compiled,
+                SimEngine::Interp => &shared.stats.sim_interp,
+            };
+            counter.fetch_add(1, Ordering::SeqCst);
             let machine = silc_rtl::parse(source).map_err(|e| format!("isl.parse: {e}"))?;
-            let sim = sim_results(engine, &machine, *cycles, &mut stats)?;
+            let sim = sim_results(engine, &machine, *cycles, sim_engine, &mut stats)?;
             fields.push(("machine".into(), Json::Str(machine.name.clone())));
+            fields.push(("engine".into(), Json::Str(sim_engine.to_string())));
             fields.push(("cycles".into(), Json::Int(sim.cycles as i128)));
             fields.push(("halted".into(), Json::Bool(sim.halted)));
             fields.push(("state".into(), Json::Str(sim.state.clone())));
@@ -546,6 +563,8 @@ fn stats_fields(shared: &Shared) -> Vec<(String, Json)> {
         ("bad_requests".into(), count(&s.bad_requests)),
         ("busy_workers".into(), count(&s.busy_workers)),
         ("queue_depth".into(), count(&s.queue_depth)),
+        ("sim.compiled".into(), count(&s.sim_compiled)),
+        ("sim.interp".into(), count(&s.sim_interp)),
         (
             "workers".into(),
             Json::Int(shared.config.jobs.max(1) as i128),
@@ -672,6 +691,35 @@ mod tests {
         let second = crate::json::parse(second.trim()).expect("json");
         assert_eq!(second.get("ok"), Some(&Json::Bool(true)));
         assert_eq!(second.get("bad_requests"), Some(&Json::Int(1)));
+        handle.shutdown();
+        join.join().expect("clean exit");
+    }
+
+    #[test]
+    fn stats_count_sims_per_engine_and_responses_agree() {
+        let (addr, handle, join) = start(test_config());
+        let source = Json::Str("machine m { reg a[4]; state s { a := a + 1; } }".into());
+        let compiled = request(
+            addr,
+            &format!(r#"{{"op":"sim","source":{source},"cycles":5}}"#),
+        );
+        assert_eq!(compiled.get("ok"), Some(&Json::Bool(true)));
+        assert_eq!(
+            compiled.get("engine").and_then(Json::as_str),
+            Some("compiled")
+        );
+        let interp = request(
+            addr,
+            &format!(r#"{{"op":"sim","source":{source},"cycles":5,"engine":"interp"}}"#),
+        );
+        assert_eq!(interp.get("engine").and_then(Json::as_str), Some("interp"));
+        // The engines must agree on every architectural field.
+        assert_eq!(compiled.get("regs"), interp.get("regs"));
+        assert_eq!(compiled.get("cycles"), interp.get("cycles"));
+        assert_eq!(compiled.get("state"), interp.get("state"));
+        let stats = request(addr, r#"{"op":"stats"}"#);
+        assert_eq!(stats.get("sim.compiled"), Some(&Json::Int(1)));
+        assert_eq!(stats.get("sim.interp"), Some(&Json::Int(1)));
         handle.shutdown();
         join.join().expect("clean exit");
     }

@@ -462,7 +462,7 @@ mod tests {
                 state work { x := x + 1; if x == 7 { goto done; } }
                 state done { halt; } }",
             |sim, cycle| {
-                sim.set_input("go", u64::from(cycle >= 2));
+                sim.set_input("go", u64::from(cycle >= 2)).unwrap();
             },
             40,
         );

@@ -39,6 +39,7 @@
 
 pub use silc_cif as cif;
 pub use silc_drc as drc;
+pub use silc_exec as exec;
 pub use silc_extract as extract;
 pub use silc_geom as geom;
 pub use silc_incr as incr;

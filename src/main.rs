@@ -3,7 +3,7 @@
 //!
 //! ```text
 //! silc compile <design.sil> [-o out.cif] [--no-drc]   SIL -> DRC -> CIF
-//! silc sim     <machine.isl> [--cycles N]             simulate an ISP description
+//! silc sim     <machine.isl> [--cycles N] [--engine E] simulate an ISP description
 //! silc synth   <machine.isl>                          compile it onto standard modules
 //! silc pla     <table.pla> [-o out.cif] [--raw]       espresso table -> minimized PLA -> CIF
 //! silc batch   <manifest> [--jobs N]                  run many jobs against one shared cache
@@ -21,6 +21,7 @@ use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
 use silc::drc::RuleSet;
+use silc::exec::SimEngine;
 use silc::incr::{
     cif_text, drc_report, elaborate, flat_regions, parse_manifest, pla_products, run_batch,
     sim_results, synth_allocation, Engine, EngineConfig, JobStats,
@@ -56,11 +57,11 @@ fn main() -> ExitCode {
 const USAGE: &str = "\
 usage:
   silc compile <design.sil> [-o out.cif] [--no-drc]
-  silc sim     <machine.isl> [--cycles N]
+  silc sim     <machine.isl> [--cycles N] [--engine compiled|interp]
   silc synth   <machine.isl>
   silc pla     <table.pla> [-o out.cif] [--raw]
-  silc batch   <manifest> [--jobs N]
-  silc serve   [--addr HOST:PORT] [--jobs N]
+  silc batch   <manifest> [--jobs N] [--engine compiled|interp]
+  silc serve   [--addr HOST:PORT] [--jobs N] [--engine compiled|interp]
 common flags:
   --stats            per-stage timing and counter summary on stderr
   --trace <file>     JSONL event stream (one object per span/counter)
@@ -74,6 +75,7 @@ struct Opts {
     no_drc: bool,
     raw: bool,
     cycles: u64,
+    sim_engine: SimEngine,
     jobs: Option<usize>,
     addr: Option<String>,
     cache: Option<String>,
@@ -108,6 +110,7 @@ fn parse_opts(cmd: &str, args: &[String]) -> Result<Opts, String> {
     let mut no_drc = false;
     let mut raw = false;
     let mut cycles = None;
+    let mut sim_engine = None;
     let mut jobs = None;
     let mut addr = None;
     let mut cache = None;
@@ -135,6 +138,15 @@ fn parse_opts(cmd: &str, args: &[String]) -> Result<Opts, String> {
                     .ok_or_else(|| "--cycles needs a number".to_string())?;
                 if cycles.replace(value).is_some() {
                     return Err(dup("--cycles"));
+                }
+            }
+            "--engine" if matches!(cmd, "sim" | "batch" | "serve") => {
+                let value: SimEngine = it
+                    .next()
+                    .ok_or_else(|| format!("--engine needs a name ({})", SimEngine::NAMES))?
+                    .parse()?;
+                if sim_engine.replace(value).is_some() {
+                    return Err(dup("--engine"));
                 }
             }
             "--addr" if cmd == "serve" => {
@@ -206,6 +218,10 @@ fn parse_opts(cmd: &str, args: &[String]) -> Result<Opts, String> {
                     "--jobs" => format!(
                         "`--jobs` is only valid for `silc batch` and `silc serve`, not `silc {cmd}`"
                     ),
+                    "--engine" => format!(
+                        "`--engine` is only valid for `silc sim`, `silc batch` and `silc serve`, \
+                         not `silc {cmd}`"
+                    ),
                     "--addr" => {
                         format!("`--addr` is only valid for `silc serve`, not `silc {cmd}`")
                     }
@@ -244,6 +260,7 @@ fn parse_opts(cmd: &str, args: &[String]) -> Result<Opts, String> {
         no_drc,
         raw,
         cycles: cycles.unwrap_or(10_000),
+        sim_engine: sim_engine.unwrap_or_default(),
         jobs,
         addr,
         cache,
@@ -338,7 +355,7 @@ fn run_sim(opts: &Opts, tracer: &Tracer) -> Result<(), String> {
         let _s = span!(tracer, "isl.parse");
         parse_isl(&source).map_err(|e| e.to_string())?
     };
-    let sim = sim_results(&engine, &machine, opts.cycles, &mut stats)?;
+    let sim = sim_results(&engine, &machine, opts.cycles, opts.sim_engine, &mut stats)?;
     println!(
         "{}: {} cycle(s), {} (final state `{}`)",
         machine.name,
@@ -417,7 +434,7 @@ fn run_batch_cmd(opts: &Opts, tracer: &Tracer) -> Result<(), String> {
     if jobs.is_empty() {
         return Err(format!("manifest `{}` has no jobs", opts.input));
     }
-    let results = run_batch(&engine, &jobs, opts.jobs.unwrap_or(1));
+    let results = run_batch(&engine, &jobs, opts.jobs.unwrap_or(1), opts.sim_engine);
     let label_width = results
         .iter()
         .map(|r| r.label.len())
@@ -465,6 +482,7 @@ fn run_serve(opts: &Opts, tracer: &Tracer) -> Result<(), String> {
     let mut config = ServerConfig {
         cache_dir: opts.cache.as_ref().map(PathBuf::from),
         tracer: tracer.clone(),
+        default_engine: opts.sim_engine,
         ..ServerConfig::default()
     };
     if let Some(addr) = &opts.addr {

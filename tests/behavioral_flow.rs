@@ -134,10 +134,10 @@ fn behavioral_and_structural_descriptions_of_one_function_agree() {
             let pla_next = (u64::from(outs[0]) << 1) | u64::from(outs[1]);
 
             let mut sim = Simulator::new(&machine);
-            assert!(sim.set_reg("s", state));
-            sim.set_input("c", c);
-            sim.set_input("tl", tl);
-            sim.set_input("ts", ts);
+            sim.set_reg("s", state).unwrap();
+            sim.set_input("c", c).unwrap();
+            sim.set_input("tl", tl).unwrap();
+            sim.set_input("ts", ts).unwrap();
             sim.step().expect("steps");
             let isl_next = sim.reg("s").expect("s exists");
             assert_eq!(

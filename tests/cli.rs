@@ -142,6 +142,48 @@ fn flags_are_validated_per_subcommand() {
         .expect("runs");
     assert!(!out.status.success());
     assert!(String::from_utf8_lossy(&out.stderr).contains("-o"));
+    // `--engine` belongs to sim/batch/serve.
+    let out = silc()
+        .args(["compile", sil.to_str().unwrap(), "--engine", "compiled"])
+        .output()
+        .expect("runs");
+    assert!(!out.status.success());
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("--engine"), "{stderr}");
+    assert!(stderr.contains("silc sim"), "{stderr}");
+    // Unknown engine names are rejected with the valid set.
+    let out = silc()
+        .args(["sim", isl.to_str().unwrap(), "--engine", "turbo"])
+        .output()
+        .expect("runs");
+    assert!(!out.status.success());
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("unknown engine `turbo`"), "{stderr}");
+    assert!(stderr.contains("compiled"), "{stderr}");
+    assert!(stderr.contains("interp"), "{stderr}");
+}
+
+#[test]
+fn sim_engines_print_identical_reports() {
+    let isl = write_temp(
+        "engines.isl",
+        "machine m { reg n[8]; port output o[8]; state s { n := n + 3; o := n; if n == 30 { halt; } } }",
+    );
+    let mut outputs = Vec::new();
+    for engine in ["compiled", "interp"] {
+        let out = silc()
+            .args(["sim", isl.to_str().unwrap(), "--engine", engine])
+            .output()
+            .expect("runs");
+        assert!(out.status.success(), "{engine}: {out:?}");
+        outputs.push(out.stdout);
+    }
+    assert_eq!(
+        outputs[0], outputs[1],
+        "engines must print byte-identical reports"
+    );
+    let text = String::from_utf8_lossy(&outputs[0]);
+    assert!(text.contains("halted"), "{text}");
 }
 
 #[test]
@@ -286,6 +328,7 @@ fn duplicate_flags_are_rejected_by_name() {
         vec!["compile", path, "--trace", "a", "--trace", "b"],
         vec!["compile", path, "--cache", "a", "--cache", "b"],
         vec!["sim", path, "--cycles", "5", "--cycles", "9"],
+        vec!["sim", path, "--engine", "interp", "--engine", "compiled"],
     ] {
         let flag = args[2];
         let out = silc().args(&args).output().expect("runs");
