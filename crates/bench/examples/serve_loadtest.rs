@@ -1,0 +1,159 @@
+//! Compile-farm load test (E9): replayable clients hammering `silc
+//! serve` over TCP, reporting throughput and latency percentiles.
+//!
+//! Two modes:
+//!
+//! ```text
+//! # A/B ablation, in-process: single-shard FIFO vs sharded-LRU farm.
+//! # Exits non-zero unless farm warm throughput >= 2x baseline
+//! # (release builds only).
+//! cargo run --release -p silc-bench --example serve_loadtest
+//!
+//! # External: hammer an already-running server (e.g. the real binary
+//! # in CI); no ratio check, but any bad_request or transport failure
+//! # is fatal.
+//! cargo run --release -p silc-bench --example serve_loadtest -- \
+//!     --addr 127.0.0.1:7878 --clients 2 --duration-ms 2000
+//! ```
+//!
+//! Prints a human table on stderr and one JSON object per run on
+//! stdout (the JSONL artifact CI uploads).
+
+use silc_bench::e9::{ab_comparison, load_json, load_table, run_load, LoadConfig};
+
+struct Args {
+    cfg: LoadConfig,
+    addr: Option<String>,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut cfg = LoadConfig::default();
+    let mut addr = None;
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| it.next().ok_or_else(|| format!("{name} needs a value"));
+        match flag.as_str() {
+            "--addr" => addr = Some(value("--addr")?),
+            "--clients" => cfg.clients = parse_positive(&value("--clients")?, "--clients")?,
+            "--requests" => {
+                cfg.requests_per_client = parse_positive(&value("--requests")?, "--requests")?;
+            }
+            "--duration-ms" => {
+                cfg.duration_ms =
+                    Some(parse_positive(&value("--duration-ms")?, "--duration-ms")? as u64);
+            }
+            "--seed" => {
+                cfg.seed = value("--seed")?
+                    .parse()
+                    .map_err(|_| "--seed needs a number".to_string())?;
+            }
+            "--hot-percent" => {
+                cfg.hot_percent = value("--hot-percent")?
+                    .parse()
+                    .map_err(|_| "--hot-percent needs 0..=100".to_string())?;
+            }
+            "--batch-percent" => {
+                cfg.batch_percent = value("--batch-percent")?
+                    .parse()
+                    .map_err(|_| "--batch-percent needs 0..=100".to_string())?;
+            }
+            "--sim-cycles" => {
+                cfg.sim_cycles = parse_positive(&value("--sim-cycles")?, "--sim-cycles")? as u64;
+            }
+            other => return Err(format!("unknown flag `{other}`")),
+        }
+    }
+    Ok(Args { cfg, addr })
+}
+
+fn parse_positive(text: &str, name: &str) -> Result<usize, String> {
+    text.parse::<usize>()
+        .ok()
+        .filter(|&n| n >= 1)
+        .ok_or_else(|| format!("{name} needs a positive number"))
+}
+
+const HEADER: [&str; 9] = [
+    "mode",
+    "clients",
+    "reqs",
+    "rps",
+    "p50us",
+    "p90us",
+    "p99us",
+    "bad/to/ovl/err",
+    "hotmiss",
+];
+
+fn main() {
+    let args = parse_args().unwrap_or_else(|e| {
+        eprintln!("serve_loadtest: {e}");
+        std::process::exit(2);
+    });
+    match args.addr {
+        Some(addr) => external(&addr, &args.cfg),
+        None => ablation(&args.cfg),
+    }
+}
+
+/// Hammer a server someone else started. Used by the CI smoke test
+/// against the real `silc serve` binary.
+fn external(addr: &str, cfg: &LoadConfig) {
+    let summary = run_load(addr, cfg, "external").unwrap_or_else(|e| {
+        eprintln!("serve_loadtest: {e}");
+        std::process::exit(1);
+    });
+    let rows = std::slice::from_ref(&summary);
+    eprintln!(
+        "{}",
+        silc_bench::render_table("E9: serve load", &HEADER, &load_table(rows))
+    );
+    print!("{}", load_json(rows));
+    if summary.bad_request > 0 || summary.error > 0 {
+        eprintln!(
+            "FAIL: {} bad_request, {} error response(s)",
+            summary.bad_request, summary.error
+        );
+        std::process::exit(1);
+    }
+}
+
+/// The headline A/B: FIFO single-shard baseline vs the sharded LRU farm.
+fn ablation(cfg: &LoadConfig) {
+    let report = ab_comparison(cfg).unwrap_or_else(|e| {
+        eprintln!("serve_loadtest: {e}");
+        std::process::exit(1);
+    });
+    let rows = [report.baseline.clone(), report.farm.clone()];
+    eprintln!(
+        "{}",
+        silc_bench::render_table(
+            "E9: compile farm vs single-lock baseline (warm, 8 clients)",
+            &HEADER,
+            &load_table(&rows),
+        )
+    );
+    eprintln!("warm throughput ratio: {:.2}x", report.ratio);
+    print!("{}", load_json(&rows));
+    for row in &rows {
+        if row.bad_request > 0 || row.error > 0 {
+            eprintln!(
+                "FAIL: mode {} saw {} bad_request, {} error response(s)",
+                row.mode, row.bad_request, row.error
+            );
+            std::process::exit(1);
+        }
+    }
+    // The acceptance bar only means anything on optimized builds.
+    if cfg!(debug_assertions) {
+        eprintln!("debug build: skipping the 2x throughput check");
+        return;
+    }
+    if report.ratio < 2.0 {
+        eprintln!(
+            "FAIL: farm is only {:.2}x the baseline throughput (need >= 2x)",
+            report.ratio
+        );
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,661 @@
+//! E9 — the compile-farm load test: a replayable client corpus hammering
+//! a real `silc serve` instance over TCP, measuring throughput and tail
+//! latency.
+//!
+//! The headline experiment is an A/B ablation run in-process on two
+//! otherwise identical servers:
+//!
+//! * **baseline** — one memory-cache shard with the FIFO eviction of the
+//!   single-lock era ([`EvictPolicy::Fifo`]).
+//! * **farm** — the sharded LRU cache with disk-hit promotion plus the
+//!   affinity-routed work-stealing scheduler ([`EvictPolicy::Lru`]).
+//!
+//! The workload is the shape Gray's programming-environment pitch
+//! implies: a small *hot set* of ISL machines under active edit, whose
+//! regression simulations are re-run over and over (editor
+//! round-trips), diluted by a stream of *cold* one-off design compiles
+//! (batch jobs, other users). A cached sim result is one cheap lookup;
+//! recomputing it burns the full cycle budget. Under capacity pressure
+//! FIFO evicts the hot sims as fast as the cold stream inserts; LRU
+//! keeps them resident because every hit re-warms them. The acceptance
+//! bar — warm-path throughput at 8 concurrent clients at least 2x the
+//! baseline — is a cache-policy property, so it holds even on a
+//! single-core runner where extra worker threads buy nothing.
+//!
+//! Every metric here is computed from raw microsecond samples; the JSONL
+//! rows carry the full power-of-two latency histogram, not just the
+//! percentiles, so regressions in the tail shape are visible in CI
+//! artifacts.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::time::{Duration, Instant};
+
+use silc_incr::EvictPolicy;
+use silc_serve::{Server, ServerConfig};
+
+/// Workload knobs. Everything is seeded and counted, never wall-clock
+/// random: the same config replays the same byte stream of requests.
+#[derive(Debug, Clone)]
+pub struct LoadConfig {
+    /// Concurrent client connections.
+    pub clients: usize,
+    /// Requests each client sends (when `duration_ms` is `None`).
+    pub requests_per_client: usize,
+    /// Stop after this long instead of after a fixed count.
+    pub duration_ms: Option<u64>,
+    /// Seed for the per-client request schedules.
+    pub seed: u64,
+    /// Distinct machines in the hot set.
+    pub hot_designs: usize,
+    /// Distinct designs in the cold universe.
+    pub cold_designs: usize,
+    /// Percent of requests drawn from the hot set.
+    pub hot_percent: u32,
+    /// Percent of requests sent with `"priority":"batch"`.
+    pub batch_percent: u32,
+    /// Cycle budget of each hot simulation (recompute cost knob): a
+    /// cached sim is one lookup regardless, so `sim_cycles` sets how
+    /// much an eviction costs without inflating request parse time.
+    pub sim_cycles: u64,
+    /// Grid edge of each cold design. Kept small: cold traffic's job is
+    /// to apply *insert pressure* on the cache, and both A/B modes pay
+    /// its compute cost equally, so cheap cold designs sharpen the
+    /// policy signal without changing who wins.
+    pub cold_design_size: u32,
+}
+
+impl Default for LoadConfig {
+    fn default() -> LoadConfig {
+        LoadConfig {
+            clients: 8,
+            requests_per_client: 250,
+            duration_ms: None,
+            seed: 0xE9,
+            hot_designs: 32,
+            // Large enough that cold picks rarely repeat: a cold
+            // request must be a genuine miss in BOTH modes, or it
+            // understates the insert pressure the policies differ on.
+            cold_designs: 4096,
+            hot_percent: 90,
+            batch_percent: 25,
+            sim_cycles: 50_000,
+            cold_design_size: 2,
+        }
+    }
+}
+
+/// Splitmix-style step: cheap, full-period, and good enough to spread
+/// request schedules. Not `rand` — the corpus must replay byte-for-byte
+/// from the seed alone.
+fn next(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// One generated SIL design: a DRC-clean grid of cells whose geometry is
+/// a function of `id`, so every id fingerprints differently. Single line,
+/// no quotes or escapes — safe to embed in a JSON string verbatim.
+pub fn design_source(id: u64, size: u32) -> String {
+    use std::fmt::Write as _;
+    let size = size.max(1) as u64;
+    // Vary widths within DRC-legal bounds so ids never collide.
+    let w = 4 + (id % 5) as i64;
+    let h = 12 + (id % 7) as i64;
+    let mut s = String::new();
+    let _ = write!(
+        s,
+        "cell u{id}() {{ box metal (0,0) ({w},{h}); box poly (0,{y}) ({w},{y2}); }}",
+        y = h + 4,
+        y2 = h + 8,
+    );
+    let pitch_x = w + 4;
+    let pitch_y = h + 12;
+    for r in 0..size {
+        for c in 0..size {
+            let _ = write!(
+                s,
+                " place u{id}() at ({x},{y});",
+                x = c as i64 * pitch_x,
+                y = r as i64 * pitch_y,
+            );
+        }
+    }
+    s
+}
+
+/// One generated ISL machine: a free-running register mill whose
+/// transfer constants are a function of `id`, so every id fingerprints
+/// differently. It never halts, so a simulation always burns its full
+/// cycle budget — the recompute cost an eviction inflicts is the
+/// [`LoadConfig::sim_cycles`] knob, independent of source length.
+pub fn machine_source(id: u64) -> String {
+    let w = 8 + id % 9;
+    let k = 1 + id % 13;
+    format!("machine m{id} {{ reg a[{w}]; reg b[{w}]; state run {{ a := a + {k}; b := b + a; }} }}")
+}
+
+/// The replayable request corpus: hot set plus cold universe.
+#[derive(Debug, Clone)]
+pub struct Corpus {
+    /// Machines whose simulations are re-run over and over (the editor
+    /// loop).
+    pub hot: Vec<String>,
+    /// One-off designs diluting the cache (everyone else's traffic).
+    pub cold: Vec<String>,
+}
+
+/// Builds the corpus for a config. Hot ids and cold ids are disjoint.
+pub fn build_corpus(cfg: &LoadConfig) -> Corpus {
+    let hot = (0..cfg.hot_designs.max(1) as u64)
+        .map(machine_source)
+        .collect();
+    let cold = (0..cfg.cold_designs as u64)
+        .map(|id| design_source(1_000_000 + id, cfg.cold_design_size))
+        .collect();
+    Corpus { hot, cold }
+}
+
+/// One scheduled request: which source to compile and at what priority.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Slot {
+    /// Index into [`Corpus::hot`] (`true`) or [`Corpus::cold`] (`false`).
+    pub hot: bool,
+    pub index: usize,
+    pub batch: bool,
+}
+
+/// The deterministic request schedule for one client.
+///
+/// Hot picks *cycle* through the hot set (staggered per client) rather
+/// than sampling it at random: that is what editor iteration looks like
+/// — every open design comes back around on a bounded interval — and it
+/// is the regime where eviction policy is decisive. A recency cache
+/// retains a cyclically touched working set outright, while FIFO ages
+/// it through the queue and re-misses it no matter how often it is hit.
+/// Random sampling would blur that line with geometric-tail gaps that
+/// evict designs under *any* policy.
+pub fn schedule(cfg: &LoadConfig, client: usize, len: usize) -> Vec<Slot> {
+    let mut state = cfg
+        .seed
+        .wrapping_add((client as u64).wrapping_mul(0xA24B_AED4_963E_E407));
+    let hot_universe = cfg.hot_designs.max(1);
+    // Spread client cursors evenly around the cycle. Bunched cursors
+    // would sweep the hot set as one wave, leaving each design a long
+    // untouched gap between visits — which no recency policy survives.
+    let mut cursor = client * hot_universe.div_ceil(cfg.clients.max(1)) % hot_universe;
+    (0..len)
+        .map(|_| {
+            let hot = next(&mut state) % 100 < u64::from(cfg.hot_percent.min(100));
+            let index = if hot {
+                cursor = (cursor + 1) % hot_universe;
+                cursor
+            } else {
+                (next(&mut state) % cfg.cold_designs.max(1) as u64) as usize
+            };
+            Slot {
+                hot,
+                index,
+                batch: next(&mut state) % 100 < u64::from(cfg.batch_percent.min(100)),
+            }
+        })
+        .collect()
+}
+
+/// Outcome counters plus the raw latency samples from one load run.
+#[derive(Debug, Clone, Default)]
+pub struct LoadSummary {
+    /// Which server configuration served the run.
+    pub mode: String,
+    pub clients: usize,
+    pub requests: u64,
+    pub ok: u64,
+    pub bad_request: u64,
+    pub timeout: u64,
+    pub overloaded: u64,
+    pub error: u64,
+    pub elapsed_ms: u64,
+    pub throughput_rps: f64,
+    pub p50_us: u64,
+    pub p90_us: u64,
+    pub p99_us: u64,
+    /// Hot-set requests that recomputed at least one stage — the
+    /// eviction-policy scorecard (hot traffic should stay resident).
+    pub hot_requests: u64,
+    pub hot_recomputes: u64,
+    /// Non-empty power-of-two buckets: `(upper_bound_us, count)`.
+    pub histogram: Vec<(u64, u64)>,
+}
+
+/// Nearest-rank percentile of an ascending-sorted sample set.
+pub fn percentile(sorted: &[u64], pct: f64) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    let rank = ((pct / 100.0) * sorted.len() as f64).ceil() as usize;
+    sorted[rank.clamp(1, sorted.len()) - 1]
+}
+
+/// Power-of-two latency histogram; only non-empty buckets appear.
+pub fn histogram(samples: &[u64]) -> Vec<(u64, u64)> {
+    let mut buckets: Vec<(u64, u64)> = Vec::new();
+    for &us in samples {
+        let upper = us.max(1).next_power_of_two();
+        match buckets.binary_search_by_key(&upper, |&(u, _)| u) {
+            Ok(i) => buckets[i].1 += 1,
+            Err(i) => buckets.insert(i, (upper, 1)),
+        }
+    }
+    buckets
+}
+
+struct ClientTally {
+    latencies_us: Vec<u64>,
+    ok: u64,
+    bad_request: u64,
+    timeout: u64,
+    overloaded: u64,
+    error: u64,
+    hot_requests: u64,
+    hot_recomputes: u64,
+}
+
+/// Sends one line, reads one line. The transport the server promises:
+/// newline-delimited JSON, one response per request.
+fn roundtrip(
+    stream: &mut TcpStream,
+    reader: &mut BufReader<TcpStream>,
+    line: &str,
+) -> Result<String, String> {
+    stream
+        .write_all(line.as_bytes())
+        .map_err(|e| format!("send: {e}"))?;
+    let mut reply = String::new();
+    let n = reader
+        .read_line(&mut reply)
+        .map_err(|e| format!("recv: {e}"))?;
+    if n == 0 {
+        return Err("server closed the connection".into());
+    }
+    Ok(reply)
+}
+
+/// True when the response reports at least one recomputed stage.
+fn reply_recomputed(reply: &str) -> bool {
+    !reply.contains("\"cache_misses\":0")
+}
+
+fn classify(tally: &mut ClientTally, reply: &str) {
+    if reply.contains("\"ok\":true") {
+        tally.ok += 1;
+    } else if reply.contains("\"error\":\"bad_request\"") {
+        tally.bad_request += 1;
+    } else if reply.contains("\"error\":\"timeout\"") {
+        tally.timeout += 1;
+    } else if reply.contains("\"error\":\"overloaded\"") {
+        tally.overloaded += 1;
+    } else {
+        tally.error += 1;
+    }
+}
+
+fn client_loop(
+    addr: &str,
+    cfg: &LoadConfig,
+    corpus: &Corpus,
+    client: usize,
+    deadline: Option<Instant>,
+) -> Result<ClientTally, String> {
+    let mut stream = TcpStream::connect(addr).map_err(|e| format!("connect {addr}: {e}"))?;
+    let mut reader = BufReader::new(stream.try_clone().map_err(|e| e.to_string())?);
+    let plan = schedule(cfg, client, cfg.requests_per_client.max(1));
+    let mut tally = ClientTally {
+        latencies_us: Vec::with_capacity(plan.len()),
+        ok: 0,
+        bad_request: 0,
+        timeout: 0,
+        overloaded: 0,
+        error: 0,
+        hot_requests: 0,
+        hot_recomputes: 0,
+    };
+    // Duration mode replays the same schedule cyclically until time is
+    // up, so the request *mix* stays deterministic even when the count
+    // is not.
+    let mut i = 0usize;
+    loop {
+        match deadline {
+            Some(end) => {
+                if Instant::now() >= end {
+                    break;
+                }
+            }
+            None => {
+                if i >= plan.len() {
+                    break;
+                }
+            }
+        }
+        let slot = plan[i % plan.len()];
+        i += 1;
+        let priority = if slot.batch { "batch" } else { "interactive" };
+        let line = if slot.hot {
+            let source = &corpus.hot[slot.index % corpus.hot.len().max(1)];
+            format!(
+                "{{\"op\":\"sim\",\"source\":\"{source}\",\"cycles\":{},\"priority\":\"{priority}\"}}\n",
+                cfg.sim_cycles
+            )
+        } else {
+            let source = &corpus.cold[slot.index % corpus.cold.len().max(1)];
+            format!("{{\"op\":\"compile\",\"source\":\"{source}\",\"priority\":\"{priority}\"}}\n")
+        };
+        let started = Instant::now();
+        let reply = roundtrip(&mut stream, &mut reader, &line)?;
+        tally
+            .latencies_us
+            .push(started.elapsed().as_micros() as u64);
+        classify(&mut tally, &reply);
+        if slot.hot {
+            tally.hot_requests += 1;
+            if reply_recomputed(&reply) {
+                tally.hot_recomputes += 1;
+            }
+        }
+    }
+    Ok(tally)
+}
+
+/// Simulates every hot machine once over one connection, so a timed run
+/// measures the warm steady state, not server cold start.
+pub fn warm_hot_set(addr: &str, cfg: &LoadConfig, corpus: &Corpus) -> Result<(), String> {
+    let mut stream = TcpStream::connect(addr).map_err(|e| format!("connect {addr}: {e}"))?;
+    let mut reader = BufReader::new(stream.try_clone().map_err(|e| e.to_string())?);
+    for source in &corpus.hot {
+        let line = format!(
+            "{{\"op\":\"sim\",\"source\":\"{source}\",\"cycles\":{}}}\n",
+            cfg.sim_cycles
+        );
+        let reply = roundtrip(&mut stream, &mut reader, &line)?;
+        if !reply.contains("\"ok\":true") {
+            return Err(format!("warmup sim failed: {}", reply.trim()));
+        }
+    }
+    Ok(())
+}
+
+/// Runs the full client fleet against a live server and aggregates the
+/// samples.
+///
+/// # Errors
+///
+/// Connection or transport failures from any client; a well-behaved
+/// server never triggers them (protocol-level failures are *counted*,
+/// not errors).
+pub fn run_load(addr: &str, cfg: &LoadConfig, mode: &str) -> Result<LoadSummary, String> {
+    let corpus = build_corpus(cfg);
+    let deadline = cfg
+        .duration_ms
+        .map(|ms| Instant::now() + Duration::from_millis(ms));
+    let started = Instant::now();
+    let tallies: Vec<Result<ClientTally, String>> = std::thread::scope(|scope| {
+        let corpus = &corpus;
+        let handles: Vec<_> = (0..cfg.clients.max(1))
+            .map(|client| scope.spawn(move || client_loop(addr, cfg, corpus, client, deadline)))
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().unwrap_or_else(|_| Err("client panicked".into())))
+            .collect()
+    });
+    let elapsed = started.elapsed();
+    let mut samples = Vec::new();
+    let mut summary = LoadSummary {
+        mode: mode.to_string(),
+        clients: cfg.clients.max(1),
+        ..LoadSummary::default()
+    };
+    for tally in tallies {
+        let tally = tally?;
+        summary.ok += tally.ok;
+        summary.bad_request += tally.bad_request;
+        summary.timeout += tally.timeout;
+        summary.overloaded += tally.overloaded;
+        summary.error += tally.error;
+        summary.hot_requests += tally.hot_requests;
+        summary.hot_recomputes += tally.hot_recomputes;
+        samples.extend(tally.latencies_us);
+    }
+    summary.requests = samples.len() as u64;
+    summary.elapsed_ms = elapsed.as_millis() as u64;
+    summary.throughput_rps = summary.requests as f64 / elapsed.as_secs_f64().max(1e-9);
+    samples.sort_unstable();
+    summary.p50_us = percentile(&samples, 50.0);
+    summary.p90_us = percentile(&samples, 90.0);
+    summary.p99_us = percentile(&samples, 99.0);
+    summary.histogram = histogram(&samples);
+    Ok(summary)
+}
+
+/// Table rows for [`crate::render_table`].
+pub fn load_table(rows: &[LoadSummary]) -> Vec<Vec<String>> {
+    rows.iter()
+        .map(|r| {
+            vec![
+                r.mode.clone(),
+                r.clients.to_string(),
+                r.requests.to_string(),
+                format!("{:.0}", r.throughput_rps),
+                r.p50_us.to_string(),
+                r.p90_us.to_string(),
+                r.p99_us.to_string(),
+                format!(
+                    "{}/{}/{}/{}",
+                    r.bad_request, r.timeout, r.overloaded, r.error
+                ),
+                format!("{}/{}", r.hot_recomputes, r.hot_requests),
+            ]
+        })
+        .collect()
+}
+
+/// One JSON object per summary, newline-terminated — the artifact CI
+/// uploads and greps.
+pub fn load_json(rows: &[LoadSummary]) -> String {
+    use std::fmt::Write as _;
+    let mut s = String::new();
+    for r in rows {
+        let hist = r
+            .histogram
+            .iter()
+            .map(|(upper, count)| format!("[{upper},{count}]"))
+            .collect::<Vec<_>>()
+            .join(",");
+        let _ = writeln!(
+            s,
+            "{{\"bench\":\"e9/serve_load\",\"mode\":\"{}\",\"clients\":{},\"requests\":{},\
+             \"ok\":{},\"bad_request\":{},\"timeout\":{},\"overloaded\":{},\"error\":{},\
+             \"elapsed_ms\":{},\"throughput_rps\":{:.1},\"p50_us\":{},\"p90_us\":{},\
+             \"p99_us\":{},\"hot_requests\":{},\"hot_recomputes\":{},\"hist\":[{}]}}",
+            r.mode,
+            r.clients,
+            r.requests,
+            r.ok,
+            r.bad_request,
+            r.timeout,
+            r.overloaded,
+            r.error,
+            r.elapsed_ms,
+            r.throughput_rps,
+            r.p50_us,
+            r.p90_us,
+            r.p99_us,
+            r.hot_requests,
+            r.hot_recomputes,
+            hist,
+        );
+    }
+    s
+}
+
+/// The memory budget both A/B servers get: holds the hot set's sim
+/// entries (one per machine) with slack for the cold stream's stage
+/// entries in flight, so cold traffic applies real eviction pressure.
+/// Policy, not capacity, is the variable under test.
+fn ab_mem_entries(cfg: &LoadConfig) -> usize {
+    cfg.hot_designs.max(1) + 128
+}
+
+fn ab_server(cfg: &LoadConfig, shards: usize, policy: EvictPolicy) -> ServerConfig {
+    ServerConfig {
+        jobs: 2,
+        queue_capacity: cfg.clients.max(1) * 8,
+        shards,
+        mem_entries: ab_mem_entries(cfg),
+        policy,
+        ..ServerConfig::default()
+    }
+}
+
+/// The A/B result: both summaries plus the warm-throughput ratio.
+#[derive(Debug, Clone)]
+pub struct AbReport {
+    pub baseline: LoadSummary,
+    pub farm: LoadSummary,
+    /// `farm.throughput_rps / baseline.throughput_rps`.
+    pub ratio: f64,
+}
+
+/// Runs the load once against a single-shard FIFO server (the
+/// single-lock era) and once against the sharded LRU farm, in this
+/// process, each warmed before timing.
+///
+/// # Errors
+///
+/// Server bind/run or client transport failures.
+pub fn ab_comparison(cfg: &LoadConfig) -> Result<AbReport, String> {
+    let run_mode = |mode: &str, shards: usize, policy: EvictPolicy| {
+        let server = Server::bind(ab_server(cfg, shards, policy))?;
+        let addr = server.local_addr()?.to_string();
+        let handle = server.shutdown_handle();
+        let serving = std::thread::spawn(move || server.run());
+        let corpus = build_corpus(cfg);
+        let result = warm_hot_set(&addr, cfg, &corpus).and_then(|()| run_load(&addr, cfg, mode));
+        handle.shutdown();
+        serving
+            .join()
+            .map_err(|_| "server panicked".to_string())??;
+        result
+    };
+    let baseline = run_mode("baseline-fifo-1shard", 1, EvictPolicy::Fifo)?;
+    let farm = run_mode("farm-lru-8shard", 8, EvictPolicy::Lru)?;
+    let ratio = farm.throughput_rps / baseline.throughput_rps.max(1e-9);
+    Ok(AbReport {
+        baseline,
+        farm,
+        ratio,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn corpus_and_schedule_replay_from_the_seed() {
+        let cfg = LoadConfig::default();
+        assert_eq!(build_corpus(&cfg).hot, build_corpus(&cfg).hot);
+        assert_eq!(schedule(&cfg, 3, 50), schedule(&cfg, 3, 50));
+        // Different clients get different streams; different seeds too.
+        assert_ne!(schedule(&cfg, 0, 50), schedule(&cfg, 1, 50));
+        let reseeded = LoadConfig { seed: 7, ..cfg };
+        assert_ne!(
+            schedule(&reseeded, 0, 50),
+            schedule(&LoadConfig::default(), 0, 50)
+        );
+    }
+
+    #[test]
+    fn the_mix_respects_the_hot_percent() {
+        let cfg = LoadConfig {
+            hot_percent: 80,
+            ..LoadConfig::default()
+        };
+        let plan = schedule(&cfg, 0, 2000);
+        let hot = plan.iter().filter(|s| s.hot).count();
+        assert!((1400..=1800).contains(&hot), "hot {hot}/2000");
+        assert!(plan.iter().any(|s| s.batch));
+        assert!(plan.iter().any(|s| !s.batch));
+    }
+
+    #[test]
+    fn sources_are_distinct_json_safe_single_lines() {
+        let a = design_source(0, 3);
+        let b = design_source(1, 3);
+        let m = machine_source(0);
+        let n = machine_source(1);
+        assert_ne!(a, b);
+        assert_ne!(m, n);
+        for text in [&a, &b, &m, &n] {
+            assert!(!text.contains('"') && !text.contains('\\') && !text.contains('\n'));
+        }
+        // Machines must parse and free-run: a halting hot machine would
+        // stop paying its cycle budget and deflate the recompute cost.
+        let parsed = silc_rtl::parse(&m).expect("machine parses");
+        let mut sim = silc_rtl::Simulator::new(&parsed);
+        let report = sim.run(500).expect("machine simulates");
+        assert_eq!(report.cycles, 500);
+        assert!(!report.halted);
+    }
+
+    #[test]
+    fn percentiles_use_nearest_rank() {
+        let sorted: Vec<u64> = (1..=100).collect();
+        assert_eq!(percentile(&sorted, 50.0), 50);
+        assert_eq!(percentile(&sorted, 99.0), 99);
+        assert_eq!(percentile(&sorted, 100.0), 100);
+        assert_eq!(percentile(&[42], 50.0), 42);
+        assert_eq!(percentile(&[], 50.0), 0);
+    }
+
+    #[test]
+    fn histogram_buckets_are_powers_of_two() {
+        let buckets = histogram(&[1, 2, 3, 100, 100, 5000]);
+        assert_eq!(buckets, vec![(1, 1), (2, 1), (4, 1), (128, 2), (8192, 1)]);
+        assert_eq!(buckets.iter().map(|&(_, c)| c).sum::<u64>(), 6);
+    }
+
+    #[test]
+    fn a_small_load_run_completes_cleanly_end_to_end() {
+        let cfg = LoadConfig {
+            clients: 2,
+            requests_per_client: 8,
+            hot_designs: 2,
+            cold_designs: 4,
+            sim_cycles: 64,
+            ..LoadConfig::default()
+        };
+        let server = Server::bind(ServerConfig {
+            jobs: 2,
+            ..ServerConfig::default()
+        })
+        .expect("bind");
+        let addr = server.local_addr().expect("addr").to_string();
+        let handle = server.shutdown_handle();
+        let serving = std::thread::spawn(move || server.run());
+        let corpus = build_corpus(&cfg);
+        warm_hot_set(&addr, &cfg, &corpus).expect("warmup");
+        let summary = run_load(&addr, &cfg, "test").expect("load");
+        handle.shutdown();
+        serving.join().expect("join").expect("serve");
+        assert_eq!(summary.requests, 16);
+        assert_eq!(summary.ok, 16, "{summary:?}");
+        assert_eq!(summary.bad_request, 0);
+        assert!(summary.p50_us <= summary.p99_us);
+        let json = load_json(&[summary]);
+        assert!(json.contains("\"bench\":\"e9/serve_load\""), "{json}");
+        assert!(json.ends_with('\n'));
+    }
+}

@@ -9,9 +9,31 @@
 //! library, every downstream stage keys identically and is served from
 //! cache.
 //!
-//! The engine is `Sync`: batch workers on separate threads share one
-//! engine (and therefore one cache) through `&Engine`. The store lock is
-//! held only for lookups and insertions, never across a compute.
+//! The engine is `Sync`: batch workers and serve workers on separate
+//! threads share one engine (and therefore one cache) through
+//! `&Engine`. The memory tier is **lock-striped**: entries are spread
+//! across N shards selected by fingerprint bits, each behind its own
+//! mutex with its own recency order, so concurrent warm queries on
+//! different shards never contend. Shard locks are held only for
+//! lookups and insertions, never across a compute or a disk read.
+//!
+//! The entry budget is **globally pooled**: a lock-free occupancy
+//! counter tracks the total across shards, and an inserting shard
+//! evicts its own least-recent entries while the *global* total is over
+//! budget. Victim selection stays shard-local (no cross-shard locking)
+//! but a shard whose fingerprints happen to carry more than their share
+//! of the hot set may outgrow `mem_entries / shards` — the eviction
+//! pressure lands wherever the cold inserts land, instead of thrashing
+//! whichever shard lost the hash lottery.
+//!
+//! Within a shard, eviction is touch-on-hit LRU by default (a hit
+//! refreshes the entry, so hot entries survive capacity pressure); the
+//! pre-shard insertion-order FIFO policy is kept as
+//! [`EvictPolicy::Fifo`] for ablation baselines. Entries served from
+//! the disk tier repeatedly are *promoted*: once a key's disk-hit count
+//! reaches [`EngineConfig::promote_after`], it is pinned into the
+//! memory tier and exempted from eviction (up to a per-shard pin
+//! budget).
 
 use crate::codec::{Dec, Enc, Persist};
 use crate::disk::DiskCache;
@@ -21,7 +43,8 @@ use std::any::Any;
 use std::collections::HashMap;
 use std::collections::VecDeque;
 use std::path::PathBuf;
-use std::sync::{Arc, Mutex};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
 
 /// One pipeline stage, identifying a query family. The tag goes into
 /// persisted entry headers (stable across builds); the name goes into
@@ -77,15 +100,53 @@ impl Stage {
     };
 }
 
+/// Memory-tier eviction policy.
+///
+/// [`EvictPolicy::Lru`] is the production policy. [`EvictPolicy::Fifo`]
+/// reproduces the pre-shard engine's insertion-order eviction and is
+/// kept as the single-lock ablation baseline for the serve load test
+/// (`e9`) and the shard-equivalence proptests — eviction policy must
+/// never change *results*, only hit rates.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub enum EvictPolicy {
+    /// Touch-on-hit least-recently-used: a hit refreshes the entry's
+    /// recency, so repeatedly-hit entries survive capacity pressure.
+    #[default]
+    Lru,
+    /// Insertion-order FIFO: entries age out in insertion order no
+    /// matter how often they hit.
+    Fifo,
+}
+
+/// The default worker-thread count for parallel front-ends (`silc
+/// batch` job workers, `silc serve` compute workers): the machine's
+/// available parallelism clamped to at most 8, falling back to 2 when
+/// the machine cannot say.
+pub fn default_parallelism() -> usize {
+    std::thread::available_parallelism().map_or(2, |n| n.get().min(8))
+}
+
 /// Engine construction options.
 #[derive(Debug, Clone)]
 pub struct EngineConfig {
     /// Directory for the persistent cache; `None` = in-memory only.
     pub cache_dir: Option<PathBuf>,
-    /// Maximum in-memory entries before FIFO eviction.
+    /// Total in-memory entry budget, pooled across shards: any one
+    /// shard may outgrow its even share as long as the global total
+    /// stays under budget.
     pub mem_entries: usize,
-    /// Receives `incr.*` counters (hits, misses, bytes, evictions).
+    /// Receives `incr.*` counters (hits, misses, bytes, evictions,
+    /// promotions, per-shard occupancy).
     pub tracer: Tracer,
+    /// Lock-stripe count for the memory tier; rounded up to a power of
+    /// two and clamped to `1..=256`.
+    pub shards: usize,
+    /// Memory-tier eviction policy.
+    pub policy: EvictPolicy,
+    /// Disk hits on one key before it is promoted — pinned into the
+    /// memory tier, exempt from eviction (up to half a shard's budget).
+    /// `0` disables promotion.
+    pub promote_after: u32,
 }
 
 impl Default for EngineConfig {
@@ -94,6 +155,9 @@ impl Default for EngineConfig {
             cache_dir: None,
             mem_entries: 4096,
             tracer: Tracer::disabled(),
+            shards: 8,
+            policy: EvictPolicy::Lru,
+            promote_after: 2,
         }
     }
 }
@@ -111,25 +175,167 @@ pub struct JobStats {
 
 type MemKey = (u8, u128);
 
+struct Slot {
+    value: Arc<dyn Any + Send + Sync>,
+    /// Last-touch sequence number; identifies this entry's one live
+    /// record in the shard's recency queue.
+    stamp: u64,
+    /// Pinned entries (disk-tier promotions) are exempt from eviction.
+    pinned: bool,
+}
+
+/// One lock stripe of the memory tier. The recency queue is
+/// *lazy-stamped*: touching an entry pushes a fresh `(stamp, key)`
+/// record and bumps the entry's stamp, leaving the old record behind as
+/// a tombstone that eviction skips. The queue is compacted when
+/// tombstones dominate.
 #[derive(Default)]
-struct MemStore {
-    entries: HashMap<MemKey, Arc<dyn Any + Send + Sync>>,
-    order: VecDeque<MemKey>,
+struct Shard {
+    entries: HashMap<MemKey, Slot>,
+    order: VecDeque<(u64, MemKey)>,
+    seq: u64,
+    pinned: usize,
+    /// Disk-hit counts per key, driving promotion.
+    disk_touches: HashMap<MemKey, u32>,
+}
+
+impl Shard {
+    fn touch(&mut self, key: MemKey, policy: EvictPolicy) {
+        if policy != EvictPolicy::Lru {
+            return;
+        }
+        if let Some(slot) = self.entries.get_mut(&key) {
+            if slot.pinned {
+                return;
+            }
+            self.seq += 1;
+            slot.stamp = self.seq;
+            self.order.push_back((self.seq, key));
+            self.compact_if_bloated();
+        }
+    }
+
+    /// Inserts (or replaces) an entry, then evicts this shard's
+    /// least-recent entries while the *global* occupancy is over
+    /// budget. Returns the number of evictions.
+    ///
+    /// The shard never evicts the entry it is inserting: if its own
+    /// oldest live entry is `key`, the excess lives on some other shard
+    /// and the overshoot (bounded by the shard count) is reclaimed by
+    /// the next insert that lands there.
+    fn insert(
+        &mut self,
+        key: MemKey,
+        value: Arc<dyn Any + Send + Sync>,
+        pin: bool,
+        occupancy: &AtomicUsize,
+        global_budget: usize,
+    ) -> u64 {
+        match self.entries.get_mut(&key) {
+            Some(slot) => {
+                slot.value = value;
+                if pin && !slot.pinned {
+                    slot.pinned = true;
+                    self.pinned += 1;
+                }
+            }
+            None => {
+                self.seq += 1;
+                self.entries.insert(
+                    key,
+                    Slot {
+                        value,
+                        stamp: self.seq,
+                        pinned: pin,
+                    },
+                );
+                occupancy.fetch_add(1, Ordering::Relaxed);
+                if pin {
+                    self.pinned += 1;
+                } else {
+                    self.order.push_back((self.seq, key));
+                }
+            }
+        }
+        let mut evicted = 0;
+        while occupancy.load(Ordering::Relaxed) > global_budget {
+            let Some(&(stamp, old)) = self.order.front() else {
+                break;
+            };
+            let live = self
+                .entries
+                .get(&old)
+                .is_some_and(|slot| slot.stamp == stamp && !slot.pinned);
+            if live && old == key {
+                break;
+            }
+            self.order.pop_front();
+            if live {
+                self.entries.remove(&old);
+                occupancy.fetch_sub(1, Ordering::Relaxed);
+                evicted += 1;
+            }
+        }
+        self.compact_if_bloated();
+        evicted
+    }
+
+    fn compact_if_bloated(&mut self) {
+        if self.order.len() > self.entries.len() * 2 + 16 {
+            let entries = &self.entries;
+            self.order.retain(|&(stamp, key)| {
+                entries
+                    .get(&key)
+                    .is_some_and(|slot| slot.stamp == stamp && !slot.pinned)
+            });
+        }
+    }
+}
+
+/// Returns interned `("incr.shardN.hits", "incr.shardN.entries")`
+/// counter names for shard `N`. Names are leaked once per distinct
+/// shard index process-wide (the tracer API wants `&'static str`).
+fn shard_counter_names(i: usize) -> (&'static str, &'static str) {
+    static NAMES: OnceLock<Mutex<HashMap<usize, (&'static str, &'static str)>>> = OnceLock::new();
+    let mut table = NAMES
+        .get_or_init(|| Mutex::new(HashMap::new()))
+        .lock()
+        .expect("shard name table");
+    *table.entry(i).or_insert_with(|| {
+        (
+            Box::leak(format!("incr.shard{i}.hits").into_boxed_str()),
+            Box::leak(format!("incr.shard{i}.entries").into_boxed_str()),
+        )
+    })
 }
 
 /// The memoizing query engine. See the module docs.
 pub struct Engine {
-    mem: Mutex<MemStore>,
+    shards: Vec<Mutex<Shard>>,
+    /// Global entry budget, pooled across shards.
+    budget: usize,
+    /// Total live entries across all shards; lets an inserting shard
+    /// evict against the global budget without touching other shards'
+    /// locks.
+    occupancy: AtomicUsize,
+    /// Per-shard cap on pinned entries.
+    pin_cap: usize,
+    policy: EvictPolicy,
+    promote_after: u32,
     disk: Option<DiskCache>,
-    mem_entries: usize,
     tracer: Tracer,
+    /// `(hits, entries)` counter names per shard; built only when the
+    /// tracer is enabled so the disabled path never formats or leaks.
+    shard_names: Option<Vec<(&'static str, &'static str)>>,
 }
 
 impl std::fmt::Debug for Engine {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("Engine")
             .field("disk", &self.disk)
-            .field("mem_entries", &self.mem_entries)
+            .field("shards", &self.shards.len())
+            .field("budget", &self.budget)
+            .field("policy", &self.policy)
             .finish_non_exhaustive()
     }
 }
@@ -146,11 +352,25 @@ impl Engine {
             Some(dir) => Some(DiskCache::open(dir)?),
             None => None,
         };
+        let shard_count = config.shards.clamp(1, 256).next_power_of_two();
+        let budget = config.mem_entries.max(1);
+        let share = budget.div_ceil(shard_count).max(1);
+        let shard_names = config
+            .tracer
+            .is_enabled()
+            .then(|| (0..shard_count).map(shard_counter_names).collect());
         Ok(Engine {
-            mem: Mutex::new(MemStore::default()),
+            shards: (0..shard_count)
+                .map(|_| Mutex::new(Shard::default()))
+                .collect(),
+            budget,
+            occupancy: AtomicUsize::new(0),
+            pin_cap: (share / 2).max(1),
+            policy: config.policy,
+            promote_after: config.promote_after,
             disk,
-            mem_entries: config.mem_entries.max(1),
             tracer: config.tracer,
+            shard_names,
         })
     }
 
@@ -171,6 +391,25 @@ impl Engine {
     /// True when a persistent cache directory is attached.
     pub fn is_persistent(&self) -> bool {
         self.disk.is_some()
+    }
+
+    /// The number of lock stripes in the memory tier.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Current memory-tier occupancy: `(entries, pinned)` summed over
+    /// all shards.
+    pub fn mem_occupancy(&self) -> (usize, usize) {
+        self.shards.iter().fold((0, 0), |(e, p), shard| {
+            let shard = shard.lock().expect("engine shard");
+            (e + shard.entries.len(), p + shard.pinned)
+        })
+    }
+
+    fn shard_index(&self, (tag, raw): MemKey) -> usize {
+        let folded = (raw as u64) ^ ((raw >> 64) as u64) ^ (u64::from(tag) << 56);
+        (folded as usize) & (self.shards.len() - 1)
     }
 
     /// Answers the query `(stage, key)`, computing (and caching) on
@@ -196,12 +435,21 @@ impl Engine {
         F: FnOnce() -> Result<T, String>,
     {
         let mem_key: MemKey = (stage.tag, key.raw());
-        if let Some(entry) = self.mem.lock().expect("engine store").entries.get(&mem_key) {
-            if let Ok(value) = Arc::clone(entry).downcast::<T>() {
-                stats.hits += 1;
-                self.tracer.add(names::INCR_HIT, 1);
-                self.tracer.add(names::INCR_MEM_HIT, 1);
-                return Ok(value);
+        let idx = self.shard_index(mem_key);
+        {
+            let mut shard = self.shards[idx].lock().expect("engine shard");
+            if let Some(slot) = shard.entries.get(&mem_key) {
+                if let Ok(value) = Arc::clone(&slot.value).downcast::<T>() {
+                    shard.touch(mem_key, self.policy);
+                    drop(shard);
+                    stats.hits += 1;
+                    self.tracer.add(names::INCR_HIT, 1);
+                    self.tracer.add(names::INCR_MEM_HIT, 1);
+                    if let Some(names) = &self.shard_names {
+                        self.tracer.add(names[idx].0, 1);
+                    }
+                    return Ok(value);
+                }
             }
         }
         if let Some(disk) = &self.disk {
@@ -210,7 +458,7 @@ impl Engine {
                 match T::decode(&mut d) {
                     Ok(value) if d.is_done() => {
                         let value = Arc::new(value);
-                        self.insert_mem(mem_key, Arc::clone(&value) as _);
+                        self.insert_after_disk_hit(idx, mem_key, Arc::clone(&value) as _);
                         stats.hits += 1;
                         self.tracer.add(names::INCR_HIT, 1);
                         self.tracer.add(names::INCR_DISK_HIT, 1);
@@ -230,7 +478,7 @@ impl Engine {
         let value = Arc::new(compute().map_err(|e| format!("{}: {e}", stage.name))?);
         stats.misses += 1;
         self.tracer.add(names::INCR_MISS, 1);
-        self.insert_mem(mem_key, Arc::clone(&value) as _);
+        self.insert_mem(idx, mem_key, Arc::clone(&value) as _, false);
         if let Some(disk) = &self.disk {
             let mut e = Enc::new();
             value.encode(&mut e);
@@ -240,21 +488,37 @@ impl Engine {
         Ok(value)
     }
 
-    fn insert_mem(&self, key: MemKey, value: Arc<dyn Any + Send + Sync>) {
-        let mut store = self.mem.lock().expect("engine store");
-        if store.entries.insert(key, value).is_none() {
-            store.order.push_back(key);
+    /// Re-inserts a disk-tier hit into the memory tier, promoting
+    /// (pinning) the entry once its disk-hit count reaches the
+    /// threshold — a hot entry that keeps falling out of memory stops
+    /// paying the decode tax.
+    fn insert_after_disk_hit(&self, idx: usize, key: MemKey, value: Arc<dyn Any + Send + Sync>) {
+        let pin = {
+            let mut shard = self.shards[idx].lock().expect("engine shard");
+            if shard.disk_touches.len() > self.budget * 8 / self.shards.len() + 64 {
+                shard.disk_touches.clear();
+            }
+            let touches = shard.disk_touches.entry(key).or_insert(0);
+            *touches += 1;
+            self.promote_after > 0 && *touches >= self.promote_after && shard.pinned < self.pin_cap
+        };
+        if pin {
+            self.tracer.add(names::INCR_PROMOTED, 1);
         }
-        let mut evicted = 0;
-        while store.entries.len() > self.mem_entries {
-            let Some(oldest) = store.order.pop_front() else {
-                break;
-            };
-            store.entries.remove(&oldest);
-            evicted += 1;
-        }
+        self.insert_mem(idx, key, value, pin);
+    }
+
+    fn insert_mem(&self, idx: usize, key: MemKey, value: Arc<dyn Any + Send + Sync>, pin: bool) {
+        let (evicted, occupied) = {
+            let mut shard = self.shards[idx].lock().expect("engine shard");
+            let evicted = shard.insert(key, value, pin, &self.occupancy, self.budget);
+            (evicted, shard.entries.len())
+        };
         if evicted > 0 {
             self.tracer.add(names::INCR_EVICTIONS, evicted);
+        }
+        if let Some(names) = &self.shard_names {
+            self.tracer.gauge_max(names[idx].1, occupied as u64);
         }
     }
 }
@@ -308,8 +572,9 @@ mod tests {
     #[test]
     fn engine_is_shareable_across_threads() {
         // The serve daemon and batch workers hand `&Engine` to many
-        // threads at once; the engine must stay `Send + Sync` (the store
-        // lock is the only interior mutability, held per-operation).
+        // threads at once; the engine must stay `Send + Sync` (the
+        // shard locks are the only interior mutability, held
+        // per-operation).
         fn assert_send_sync<T: Send + Sync>() {}
         assert_send_sync::<Engine>();
         assert_send_sync::<EngineConfig>();
@@ -332,9 +597,10 @@ mod tests {
     fn eviction_respects_capacity() {
         let tracer = Tracer::enabled();
         let engine = Engine::new(EngineConfig {
-            cache_dir: None,
             mem_entries: 2,
+            shards: 1,
             tracer: tracer.clone(),
+            ..EngineConfig::default()
         })
         .unwrap();
         let mut stats = JobStats::default();
@@ -354,6 +620,179 @@ mod tests {
         assert_eq!(report.counter(names::INCR_MISS), Some(6));
     }
 
+    /// The satellite regression: under the old insertion-order FIFO a
+    /// hot entry inserted early was evicted before cold recent ones; LRU
+    /// must keep it alive through arbitrary capacity pressure.
+    #[test]
+    fn repeatedly_hit_entry_survives_capacity_pressure() {
+        let pressure = |policy: EvictPolicy| {
+            let engine = Engine::new(EngineConfig {
+                mem_entries: 2,
+                shards: 1,
+                policy,
+                ..EngineConfig::default()
+            })
+            .unwrap();
+            let hot_computes = AtomicU64::new(0);
+            let mut stats = JobStats::default();
+            let query_hot = |stats: &mut JobStats| {
+                engine
+                    .query(Stage::SIM, key(1000), stats, || {
+                        hot_computes.fetch_add(1, Ordering::Relaxed);
+                        Ok(42u64)
+                    })
+                    .unwrap()
+            };
+            query_hot(&mut stats);
+            for n in 0..6 {
+                engine
+                    .query(Stage::SIM, key(2000 + n), &mut stats, || Ok(n))
+                    .unwrap();
+                query_hot(&mut stats);
+            }
+            hot_computes.load(Ordering::Relaxed)
+        };
+        assert_eq!(pressure(EvictPolicy::Lru), 1, "LRU evicted a hot entry");
+        assert!(
+            pressure(EvictPolicy::Fifo) > 1,
+            "the FIFO baseline should demonstrate the old bug"
+        );
+    }
+
+    #[test]
+    fn shards_spread_entries_and_count_per_shard_hits() {
+        let tracer = Tracer::enabled();
+        let engine = Engine::new(EngineConfig {
+            shards: 8,
+            tracer: tracer.clone(),
+            ..EngineConfig::default()
+        })
+        .unwrap();
+        assert_eq!(engine.shard_count(), 8);
+        let mut stats = JobStats::default();
+        for n in 0..32 {
+            engine
+                .query(Stage::SIM, key(n), &mut stats, || Ok(n))
+                .unwrap();
+        }
+        assert_eq!(engine.mem_occupancy(), (32, 0));
+        // key(0) lands on shard 0 (low fingerprint bits); a second
+        // query is a memory hit counted against that shard.
+        engine
+            .query(Stage::SIM, key(0), &mut stats, || Ok(0u64))
+            .unwrap();
+        let report = tracer.finish();
+        assert_eq!(report.counter("incr.shard0.hits"), Some(1));
+        assert!(report.counter("incr.shard0.entries").unwrap_or(0) >= 1);
+    }
+
+    /// The budget is pooled: when the hash lottery concentrates the
+    /// working set on one shard, that shard may hold more than its even
+    /// share (here: the whole budget) instead of thrashing, and a fresh
+    /// insert on an *empty* shard is never its own eviction victim.
+    #[test]
+    fn shard_may_outgrow_its_even_share_under_a_pooled_budget() {
+        let engine = Engine::new(EngineConfig {
+            shards: 2,
+            mem_entries: 4,
+            ..EngineConfig::default()
+        })
+        .unwrap();
+        let mut stats = JobStats::default();
+        // key(n) lands on shard n & 1: even keys all hash to shard 0.
+        for n in [0u64, 2, 4, 6] {
+            engine
+                .query(Stage::SIM, key(n), &mut stats, || Ok(n))
+                .unwrap();
+        }
+        assert_eq!(engine.mem_occupancy(), (4, 0));
+        // A fifth even key evicts shard 0's oldest; the survivors — a
+        // full global budget on one shard — still hit.
+        engine
+            .query(Stage::SIM, key(8), &mut stats, || Ok(8u64))
+            .unwrap();
+        assert_eq!(engine.mem_occupancy(), (4, 0));
+        for n in [2u64, 4, 6, 8] {
+            engine
+                .query(Stage::SIM, key(n), &mut stats, || Ok(0u64))
+                .unwrap();
+        }
+        assert_eq!(stats, JobStats { hits: 4, misses: 5 });
+        // Shard 1 is empty and the pool is full: its first insert must
+        // survive (bounded overshoot), not evict itself.
+        engine
+            .query(Stage::SIM, key(1), &mut stats, || Ok(1u64))
+            .unwrap();
+        engine
+            .query(Stage::SIM, key(1), &mut stats, || Ok(0u64))
+            .unwrap();
+        assert_eq!(stats, JobStats { hits: 5, misses: 6 });
+    }
+
+    #[test]
+    fn disk_hits_above_the_touch_threshold_are_pinned() {
+        let dir = std::env::temp_dir().join(format!("silc-incr-promote-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        {
+            let warm = Engine::new(EngineConfig {
+                cache_dir: Some(dir.clone()),
+                ..EngineConfig::default()
+            })
+            .unwrap();
+            let mut stats = JobStats::default();
+            warm.query(Stage::CIF, key(77), &mut stats, || Ok("hot".to_string()))
+                .unwrap();
+        }
+        let tracer = Tracer::enabled();
+        let engine = Engine::new(EngineConfig {
+            cache_dir: Some(dir.clone()),
+            mem_entries: 2,
+            shards: 1,
+            promote_after: 2,
+            tracer: tracer.clone(),
+            ..EngineConfig::default()
+        })
+        .unwrap();
+        let mut stats = JobStats::default();
+        let hot = |engine: &Engine, stats: &mut JobStats| {
+            engine
+                .query(Stage::CIF, key(77), stats, || {
+                    Err::<String, _>("must come from cache".into())
+                })
+                .unwrap()
+        };
+        // First disk hit: touch 1, not yet pinned; push it out.
+        hot(&engine, &mut stats);
+        for n in 0..2 {
+            engine
+                .query(Stage::CIF, key(200 + n), &mut stats, || Ok(n.to_string()))
+                .unwrap();
+        }
+        // Second disk hit crosses the threshold: pinned from here on.
+        hot(&engine, &mut stats);
+        for n in 0..4 {
+            engine
+                .query(Stage::CIF, key(300 + n), &mut stats, || Ok(n.to_string()))
+                .unwrap();
+        }
+        // Despite heavy pressure in a 2-entry shard, the pinned entry
+        // answers from memory (the error closure proves no recompute,
+        // the counters prove no third disk read).
+        let value = hot(&engine, &mut stats);
+        assert_eq!(*value, "hot");
+        assert_eq!(engine.mem_occupancy().1, 1, "exactly one pinned entry");
+        let report = tracer.finish();
+        assert_eq!(report.counter(names::INCR_PROMOTED), Some(1));
+        assert_eq!(report.counter(names::INCR_DISK_HIT), Some(2));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn default_parallelism_is_clamped() {
+        let n = default_parallelism();
+        assert!((1..=8).contains(&n), "default_parallelism() = {n}");
+    }
+
     #[test]
     fn disk_round_trip_survives_a_new_engine() {
         let dir = std::env::temp_dir().join(format!("silc-incr-engine-{}", std::process::id()));
@@ -362,6 +801,7 @@ mod tests {
             cache_dir: Some(dir.clone()),
             mem_entries: 4096,
             tracer,
+            ..EngineConfig::default()
         };
         let mut stats = JobStats::default();
         {

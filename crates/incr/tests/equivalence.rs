@@ -4,7 +4,7 @@
 //! build — and a fully warm recompile is an order of magnitude faster.
 
 use proptest::prelude::*;
-use silc_incr::{compile_sil, CompileOptions, Engine, EngineConfig, JobStats};
+use silc_incr::{compile_sil, CompileOptions, Engine, EngineConfig, EvictPolicy, JobStats};
 use silc_trace::Tracer;
 use std::path::PathBuf;
 use std::time::Instant;
@@ -201,5 +201,45 @@ proptest! {
         let warm = observe(&engine, &source, &mut warm_stats);
         prop_assert_eq!(warm, cold);
         prop_assert_eq!(warm_stats.misses, 0);
+    }
+
+    /// Sharding and eviction change *when* the cache recomputes, never
+    /// what it answers. Replaying one request stream against engines
+    /// with different shard counts and starvation-level budgets (down
+    /// to one entry, so eviction churns on every insert) must yield
+    /// byte-identical outputs at every step; the single-shard FIFO
+    /// engine of the pre-farm era is the oracle.
+    #[test]
+    fn outputs_are_identical_across_shard_counts_and_budgets(
+        dims in prop::collection::vec((4i64..20, 4i64..20, 0i64..8), 2..5),
+        picks in prop::collection::vec(0usize..8, 4..16),
+        mem_entries in 1usize..12,
+    ) {
+        let programs: Vec<String> = dims
+            .iter()
+            .map(|d| program(std::slice::from_ref(d), false))
+            .collect();
+        let replay = |shards: usize, policy: EvictPolicy| -> Result<Vec<_>, TestCaseError> {
+            let engine = Engine::new(EngineConfig {
+                shards,
+                policy,
+                mem_entries,
+                ..EngineConfig::default()
+            })
+            .expect("engine config cannot fail without a cache dir");
+            picks
+                .iter()
+                .map(|&p| {
+                    let mut stats = JobStats::default();
+                    observe(&engine, &programs[p % programs.len()], &mut stats)
+                        .map_err(TestCaseError::fail)
+                })
+                .collect()
+        };
+        let oracle = replay(1, EvictPolicy::Fifo)?;
+        for shards in [1usize, 2, 8] {
+            let farm = replay(shards, EvictPolicy::Lru)?;
+            prop_assert_eq!(&farm, &oracle, "LRU engine with {} shard(s) diverged", shards);
+        }
     }
 }

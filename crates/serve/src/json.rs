@@ -250,13 +250,25 @@ impl Parser<'_> {
                     return Err(format!("raw control byte 0x{b:02x} in string"));
                 }
                 Some(_) => {
-                    // Consume one UTF-8 scalar (the input is a &str, so
-                    // the bytes are valid UTF-8 by construction).
-                    let rest =
-                        std::str::from_utf8(&self.bytes[self.pos..]).expect("input was a &str");
-                    let c = rest.chars().next().expect("peeked non-empty");
-                    out.push(c);
-                    self.pos += c.len_utf8();
+                    // Bulk-copy the maximal run of plain bytes. The
+                    // delimiters (`"`, `\`, controls) are all ASCII and
+                    // UTF-8 continuation bytes are >= 0x80, so a
+                    // byte-wise scan can only stop on a character
+                    // boundary and the run is valid UTF-8 as a whole
+                    // (the input is a &str by construction). One
+                    // validation per run, not one per character, keeps
+                    // large embedded sources (SIL designs) linear.
+                    let start = self.pos;
+                    while let Some(&b) = self.bytes.get(self.pos) {
+                        if b == b'"' || b == b'\\' || b < 0x20 {
+                            break;
+                        }
+                        self.pos += 1;
+                    }
+                    out.push_str(
+                        std::str::from_utf8(&self.bytes[start..self.pos])
+                            .expect("input was a &str"),
+                    );
                 }
             }
         }

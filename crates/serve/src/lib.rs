@@ -30,5 +30,5 @@ pub mod protocol;
 pub mod server;
 
 pub use json::Json;
-pub use protocol::{parse_request, Envelope, Request};
+pub use protocol::{parse_request, Envelope, Priority, Request};
 pub use server::{install_sigint_handler, Server, ServerConfig, ShutdownHandle};

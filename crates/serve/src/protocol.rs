@@ -12,8 +12,10 @@
 //! ```
 //!
 //! Every request may carry `"id"` (any scalar, echoed verbatim in the
-//! response so clients can pipeline) and `"deadline_ms"` (per-request
-//! compute budget overriding the server default).
+//! response so clients can pipeline), `"deadline_ms"` (per-request
+//! compute budget overriding the server default) and `"priority"`
+//! (`"interactive"`, the default, or `"batch"` — batch traffic yields
+//! to interactive traffic in the worker queues).
 //!
 //! # Responses
 //!
@@ -78,6 +80,18 @@ pub enum Request {
     },
 }
 
+/// Scheduling priority carried in the optional `priority` field. The
+/// server keeps two lanes per worker; interactive jobs are always
+/// dequeued before batch jobs.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub enum Priority {
+    /// The default: editor/CLI round-trips that jump batch traffic.
+    #[default]
+    Interactive,
+    /// Bulk traffic that yields to interactive requests.
+    Batch,
+}
+
 impl Request {
     /// The `op` string echoed in success responses.
     pub fn op(&self) -> &'static str {
@@ -97,6 +111,27 @@ impl Request {
     pub fn is_control(&self) -> bool {
         matches!(self, Request::Stats | Request::Shutdown)
     }
+
+    /// A 64-bit FNV-1a hash of the request's cacheable identity (op
+    /// tag and source text), used by the farm's cache-affinity router:
+    /// two requests with equal hashes hit the same engine entries, so
+    /// they should land on the same worker's warm shard path. Never
+    /// zero for compute ops; zero (no affinity) for control and test
+    /// ops.
+    pub fn affinity(&self) -> u64 {
+        let (tag, source) = match self {
+            Request::Compile { source, .. } => (1u8, source.as_str()),
+            Request::Sim { source, .. } => (2, source.as_str()),
+            Request::Drc { source } => (3, source.as_str()),
+            Request::Stats | Request::Shutdown | Request::Sleep { .. } => return 0,
+        };
+        let mut h = 0xcbf2_9ce4_8422_2325u64;
+        for &byte in std::iter::once(&tag).chain(source.as_bytes()) {
+            h ^= u64::from(byte);
+            h = h.wrapping_mul(0x100_0000_01b3);
+        }
+        h | 1
+    }
 }
 
 /// A request plus its wire envelope (client id, deadline override).
@@ -106,6 +141,8 @@ pub struct Envelope {
     pub id: Option<Json>,
     /// Per-request deadline override in milliseconds.
     pub deadline_ms: Option<u64>,
+    /// Scheduling lane (defaults to interactive).
+    pub priority: Priority,
     /// The decoded operation.
     pub request: Request,
 }
@@ -133,6 +170,17 @@ fn optional_engine(obj: &Json) -> Result<Option<SimEngine>, String> {
             let name = v.as_str().ok_or("`engine` must be a string")?;
             name.parse().map(Some)
         }
+    }
+}
+
+fn optional_priority(obj: &Json) -> Result<Priority, String> {
+    match obj.get("priority") {
+        None | Some(Json::Null) => Ok(Priority::Interactive),
+        Some(v) => match v.as_str() {
+            Some("interactive") => Ok(Priority::Interactive),
+            Some("batch") => Ok(Priority::Batch),
+            _ => Err("`priority` must be \"interactive\" or \"batch\"".into()),
+        },
     }
 }
 
@@ -187,6 +235,7 @@ pub fn parse_request(line: &str, allow_test_ops: bool) -> Result<Envelope, Strin
     Ok(Envelope {
         id: obj.get("id").cloned(),
         deadline_ms: optional_u64(&obj, "deadline_ms")?,
+        priority: optional_priority(&obj)?,
         request,
     })
 }
@@ -271,6 +320,45 @@ mod tests {
             assert!(e.request.is_control(), "{op}");
             assert_eq!(e.request.op(), op);
         }
+    }
+
+    #[test]
+    fn priority_parses_and_defaults_to_interactive() {
+        let e = parse_request(r#"{"op":"drc","source":"x"}"#, false).unwrap();
+        assert_eq!(e.priority, Priority::Interactive);
+        let e = parse_request(r#"{"op":"drc","source":"x","priority":"batch"}"#, false).unwrap();
+        assert_eq!(e.priority, Priority::Batch);
+        let e = parse_request(
+            r#"{"op":"drc","source":"x","priority":"interactive"}"#,
+            false,
+        )
+        .unwrap();
+        assert_eq!(e.priority, Priority::Interactive);
+        for bad in [r#""turbo""#, "3"] {
+            let err = parse_request(
+                &format!(r#"{{"op":"drc","source":"x","priority":{bad}}}"#),
+                false,
+            )
+            .unwrap_err();
+            assert!(err.contains("priority"), "{err}");
+        }
+    }
+
+    #[test]
+    fn affinity_tracks_the_cacheable_identity() {
+        let parse = |line: &str| parse_request(line, true).unwrap().request;
+        let a = parse(r#"{"op":"compile","source":"cell a() {}"}"#).affinity();
+        let b = parse(r#"{"op":"compile","source":"cell b() {}"}"#).affinity();
+        assert_ne!(a, 0, "compute ops always have affinity");
+        assert_ne!(a, b, "different sources, different affinity");
+        // Same source, same op -> same hash; a different op on the same
+        // source keys different cache entries, so it hashes apart.
+        let a2 = parse(r#"{"op":"compile","source":"cell a() {}","id":9}"#).affinity();
+        assert_eq!(a, a2, "envelope fields must not perturb affinity");
+        let drc = parse(r#"{"op":"drc","source":"cell a() {}"}"#).affinity();
+        assert_ne!(a, drc);
+        assert_eq!(parse(r#"{"op":"stats"}"#).affinity(), 0);
+        assert_eq!(parse(r#"{"op":"sleep","ms":1}"#).affinity(), 0);
     }
 
     #[test]

@@ -1,58 +1,87 @@
-//! The compile server: a threaded TCP accept loop feeding a bounded
-//! worker pool that shares ONE incremental [`Engine`].
+//! The compile server: a threaded TCP accept loop feeding a compile
+//! *farm* — per-worker dequeues with work stealing — over ONE shared
+//! incremental [`Engine`] whose memory tier is lock-striped into shards.
 //!
 //! ```text
-//!            ┌── connection thread ──┐   try_send    ┌─ worker 0 ─┐
-//! accept ──▶ │ read line → parse →   ├──────────────▶│            │──▶ engine
-//!            │ wait (recv_timeout) ◀─┤  bounded queue └────────────┘   (shared,
-//!            └───────────────────────┘                ┌─ worker N ─┐    cached)
-//!                                                     └────────────┘
+//!            ┌── connection thread ──┐  dispatch   ┌─ worker 0 ─┐
+//! accept ──▶ │ read line → parse →   ├────────────▶│ lanes: I|B │──▶ engine
+//!            │ wait (recv_timeout) ◀─┤  (affinity  └─────┬──────┘   (shared,
+//!            └───────────────────────┘   routing)  steal │          sharded)
+//!                                                  ┌─────▼──────┐
+//!                                                  │ worker N   │
+//!                                                  └────────────┘
 //! ```
 //!
-//! Robustness properties, each with a dedicated mechanism:
+//! Scheduling properties, each with a dedicated mechanism:
 //!
-//! * **Backpressure** — the queue is a [`mpsc::sync_channel`] of fixed
-//!   capacity; a full queue answers `overloaded` immediately instead of
-//!   buffering unboundedly ([`crate::protocol::kind::OVERLOADED`]).
+//! * **Cache affinity** — each worker keeps a ring of the affinity
+//!   hashes it recently completed; the dispatcher routes a request to
+//!   the worker warmest for its source (bounded by a depth slack so a
+//!   popular source cannot pile onto one worker unboundedly).
+//! * **Work stealing** — a worker with empty lanes steals from the
+//!   *back* of another worker's lanes (the cold end, preserving the
+//!   victim's warm front), so affinity routing never strands work.
+//! * **Priority lanes** — every worker has an interactive and a batch
+//!   lane (`"priority"` request field, interactive by default);
+//!   interactive jobs always dequeue first, so bulk traffic cannot
+//!   push editor round-trips past their deadlines.
+//! * **Per-client fairness** — a worker avoids serving the same
+//!   connection twice in a row when another client's job is waiting
+//!   within a small scan window, so one chatty connection cannot
+//!   starve its neighbours.
+//!
+//! Robustness properties (unchanged contract from the single-queue
+//! server):
+//!
+//! * **Backpressure** — total queued jobs are bounded by
+//!   `queue_capacity`; past it requests answer `overloaded` immediately
+//!   ([`crate::protocol::kind::OVERLOADED`]).
 //! * **Deadlines** — the connection thread waits for the worker's reply
 //!   with `recv_timeout`; past the deadline the client gets a `timeout`
 //!   response and the connection moves on. Workers additionally drop
-//!   jobs that are already expired at dequeue, so a burst of doomed
-//!   work cannot occupy the pool.
+//!   jobs that are already expired at dequeue.
 //! * **Isolation** — a malformed line gets a `bad_request` reply and the
 //!   connection survives; a panicking pipeline is caught per-job
 //!   (`catch_unwind`) and answered as an `error`.
 //! * **Idle reaping** — connections that complete no request within the
-//!   idle window are closed (reads tick every `POLL_MS` so the check
-//!   is cheap).
+//!   idle window are closed.
 //! * **Graceful shutdown** — a `shutdown` request or SIGINT stops the
-//!   accept loop, lets in-flight jobs finish, drains the queue, joins
-//!   every thread and returns `Ok(())`. The disk cache needs no
-//!   separate flush: [`Engine`] writes entries atomically at compute
-//!   time, so whatever finished is already durable.
+//!   accept loop; workers keep draining (their own lanes *and* steals)
+//!   until no job remains, then every thread joins and `run` returns
+//!   `Ok(())`.
 
+use std::collections::VecDeque;
 use std::io::{BufRead, BufReader, ErrorKind, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::PathBuf;
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::mpsc::{self, Receiver, RecvTimeoutError, SyncSender, TrySendError};
-use std::sync::{Arc, Mutex};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::mpsc::{self, SyncSender};
+use std::sync::{Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
 
 use silc_drc::RuleSet;
 use silc_exec::SimEngine;
 use silc_incr::{
-    compile_sil, drc_report, elaborate, flat_regions, sim_results, CompileOptions, Engine,
-    EngineConfig, JobStats,
+    compile_sil, default_parallelism, drc_report, elaborate, flat_regions, sim_results,
+    CompileOptions, Engine, EngineConfig, EvictPolicy, JobStats,
 };
 use silc_trace::{names, Tracer};
 
 use crate::json::Json;
-use crate::protocol::{err_response, kind, ok_response, parse_request, Envelope, Request};
+use crate::protocol::{
+    err_response, kind, ok_response, parse_request, Envelope, Priority, Request,
+};
 
 /// How often blocked loops wake to check the stop flag, in milliseconds.
 const POLL_MS: u64 = 25;
+/// Affinity hashes remembered per worker.
+const RECENT_RING: usize = 32;
+/// How many queued jobs the fairness pop scans for another client.
+const FAIRNESS_SCAN: usize = 4;
+/// Affinity routing yields to load balance when the warm worker is this
+/// many jobs deeper than the shallowest one.
+const AFFINITY_DEPTH_SLACK: usize = 4;
 
 /// Server tuning knobs. `Default` is production-shaped; tests shrink the
 /// queue and deadlines to force each failure mode deterministically.
@@ -63,8 +92,8 @@ pub struct ServerConfig {
     pub addr: String,
     /// Worker threads computing pipeline requests.
     pub jobs: usize,
-    /// Bounded compute-queue capacity; a full queue answers
-    /// `overloaded`.
+    /// Bound on total queued (not yet running) jobs across all workers;
+    /// past it requests answer `overloaded`.
     pub queue_capacity: usize,
     /// Default per-request deadline when the request names none.
     pub default_deadline_ms: u64,
@@ -72,6 +101,13 @@ pub struct ServerConfig {
     pub idle_timeout_ms: u64,
     /// Persistent cache directory for the shared engine.
     pub cache_dir: Option<PathBuf>,
+    /// Lock-stripe count for the engine's memory tier (`--shards`).
+    pub shards: usize,
+    /// Total memory-tier entry budget for the engine.
+    pub mem_entries: usize,
+    /// Memory-tier eviction policy ([`EvictPolicy::Fifo`] is the
+    /// single-lock-era baseline, kept for the `e9` load-test ablation).
+    pub policy: EvictPolicy,
     /// Trace destination; `serve.*` counters and pipeline spans land
     /// here.
     pub tracer: Tracer,
@@ -84,7 +120,8 @@ pub struct ServerConfig {
 
 impl Default for ServerConfig {
     fn default() -> ServerConfig {
-        let jobs = std::thread::available_parallelism().map_or(2, |n| n.get().min(8));
+        let jobs = default_parallelism();
+        let engine = EngineConfig::default();
         ServerConfig {
             addr: "127.0.0.1:0".to_string(),
             jobs,
@@ -92,6 +129,9 @@ impl Default for ServerConfig {
             default_deadline_ms: 30_000,
             idle_timeout_ms: 60_000,
             cache_dir: None,
+            shards: engine.shards,
+            mem_entries: engine.mem_entries,
+            policy: engine.policy,
             tracer: Tracer::disabled(),
             enable_test_ops: false,
             default_engine: SimEngine::default(),
@@ -108,7 +148,10 @@ struct ServeStats {
     rejected: AtomicU64,
     bad_requests: AtomicU64,
     busy_workers: AtomicU64,
-    queue_depth: AtomicU64,
+    stolen: AtomicU64,
+    affinity_hits: AtomicU64,
+    lane_interactive: AtomicU64,
+    lane_batch: AtomicU64,
     sim_compiled: AtomicU64,
     sim_interp: AtomicU64,
 }
@@ -134,6 +177,216 @@ struct Job {
     envelope: Envelope,
     deadline: Instant,
     reply: SyncSender<String>,
+    /// Originating connection, for per-client fairness.
+    conn: u64,
+    /// Cache-affinity hash of the request (0 = none).
+    affinity: u64,
+}
+
+/// One worker's scheduling state: two job lanes behind a mutex (with a
+/// condvar for wakeups), a queued-depth counter, and a lock-free ring
+/// of recently completed affinity hashes the dispatcher reads to find
+/// the warmest worker.
+struct WorkerHub {
+    lanes: Mutex<Lanes>,
+    wake: Condvar,
+    depth: AtomicUsize,
+    recent: Vec<AtomicU64>,
+    cursor: AtomicUsize,
+}
+
+impl WorkerHub {
+    fn new() -> WorkerHub {
+        WorkerHub {
+            lanes: Mutex::new(Lanes::default()),
+            wake: Condvar::new(),
+            depth: AtomicUsize::new(0),
+            recent: (0..RECENT_RING).map(|_| AtomicU64::new(0)).collect(),
+            cursor: AtomicUsize::new(0),
+        }
+    }
+}
+
+/// A worker's two job lanes. Interactive always dequeues before batch.
+#[derive(Default)]
+struct Lanes {
+    interactive: VecDeque<Job>,
+    batch: VecDeque<Job>,
+}
+
+impl Lanes {
+    fn is_empty(&self) -> bool {
+        self.interactive.is_empty() && self.batch.is_empty()
+    }
+
+    /// Owner pop: interactive first, avoiding `last_conn` when another
+    /// client's job waits within the fairness scan window.
+    fn pop(&mut self, last_conn: Option<u64>) -> Option<Job> {
+        Self::pop_lane(&mut self.interactive, last_conn)
+            .or_else(|| Self::pop_lane(&mut self.batch, last_conn))
+    }
+
+    fn pop_lane(lane: &mut VecDeque<Job>, last_conn: Option<u64>) -> Option<Job> {
+        if let Some(last) = last_conn {
+            let scan = lane.len().min(FAIRNESS_SCAN);
+            if let Some(pos) = lane.iter().take(scan).position(|j| j.conn != last) {
+                return lane.remove(pos);
+            }
+        }
+        lane.pop_front()
+    }
+
+    /// Thief pop: from the back (the cold end), so the victim keeps the
+    /// jobs its cache is warmest for. Interactive still outranks batch.
+    fn steal(&mut self) -> Option<Job> {
+        self.interactive
+            .pop_back()
+            .or_else(|| self.batch.pop_back())
+    }
+}
+
+/// What [`Farm::dispatch`] did with a job.
+struct Dispatched {
+    /// Total queued jobs after the enqueue (for the depth gauge).
+    depth: u64,
+    /// The job was routed by affinity, not load.
+    affinity_hit: bool,
+    /// Index of the chosen worker.
+    #[cfg_attr(not(test), allow(dead_code))]
+    worker: usize,
+}
+
+/// The scheduler: per-worker hubs plus the global queued-job count that
+/// implements backpressure.
+struct Farm {
+    workers: Vec<WorkerHub>,
+    queued: AtomicUsize,
+    capacity: usize,
+}
+
+impl Farm {
+    fn new(workers: usize, capacity: usize) -> Farm {
+        Farm {
+            workers: (0..workers.max(1)).map(|_| WorkerHub::new()).collect(),
+            queued: AtomicUsize::new(0),
+            capacity: capacity.max(1),
+        }
+    }
+
+    /// Routes and enqueues one job: the worker with the most recent
+    /// completions of the same affinity hash wins (within a depth slack
+    /// of the shallowest worker); otherwise the shallowest worker.
+    /// Rejects the job when the global queue bound is reached.
+    fn dispatch(&self, job: Job) -> Result<Dispatched, Box<Job>> {
+        if self.queued.load(Ordering::SeqCst) >= self.capacity {
+            return Err(Box::new(job));
+        }
+        let mut warm = None; // (worker, score)
+        if job.affinity != 0 && self.workers.len() > 1 {
+            for (i, hub) in self.workers.iter().enumerate() {
+                let score = hub
+                    .recent
+                    .iter()
+                    .filter(|slot| slot.load(Ordering::Relaxed) == job.affinity)
+                    .count();
+                if score > 0 && warm.is_none_or(|(_, best)| score > best) {
+                    warm = Some((i, score));
+                }
+            }
+        }
+        let shallowest = self
+            .workers
+            .iter()
+            .enumerate()
+            .min_by_key(|(_, hub)| hub.depth.load(Ordering::SeqCst))
+            .map_or(0, |(i, _)| i);
+        let min_depth = self.workers[shallowest].depth.load(Ordering::SeqCst);
+        let (target, affinity_hit) = match warm {
+            Some((i, _))
+                if self.workers[i].depth.load(Ordering::SeqCst)
+                    <= min_depth + AFFINITY_DEPTH_SLACK =>
+            {
+                (i, true)
+            }
+            _ => (shallowest, false),
+        };
+        let hub = &self.workers[target];
+        // Count before pushing so depth/queued never read below zero.
+        let depth = self.queued.fetch_add(1, Ordering::SeqCst) as u64 + 1;
+        hub.depth.fetch_add(1, Ordering::SeqCst);
+        {
+            let mut lanes = hub.lanes.lock().expect("worker lanes");
+            match job.envelope.priority {
+                Priority::Interactive => lanes.interactive.push_back(job),
+                Priority::Batch => lanes.batch.push_back(job),
+            }
+        }
+        hub.wake.notify_one();
+        // Poke a neighbour too: if the warm worker is mid-compute, an
+        // idle one can steal promptly instead of on its poll tick.
+        if self.workers.len() > 1 {
+            self.workers[(target + 1) % self.workers.len()]
+                .wake
+                .notify_one();
+        }
+        Ok(Dispatched {
+            depth,
+            affinity_hit,
+            worker: target,
+        })
+    }
+
+    /// Worker `me` claims its next job: own lanes first (fairness-aware),
+    /// then a steal sweep over the other workers. Returns the job and
+    /// whether it was stolen.
+    fn take(&self, me: usize, last_conn: Option<u64>) -> Option<(Job, bool)> {
+        let own = self.workers[me]
+            .lanes
+            .lock()
+            .expect("worker lanes")
+            .pop(last_conn);
+        if let Some(job) = own {
+            self.workers[me].depth.fetch_sub(1, Ordering::SeqCst);
+            self.queued.fetch_sub(1, Ordering::SeqCst);
+            return Some((job, false));
+        }
+        for offset in 1..self.workers.len() {
+            let victim = &self.workers[(me + offset) % self.workers.len()];
+            // try_lock: never block on a hub being serviced; the poll
+            // tick retries soon enough.
+            let stolen = victim.lanes.try_lock().ok().and_then(|mut l| l.steal());
+            if let Some(job) = stolen {
+                victim.depth.fetch_sub(1, Ordering::SeqCst);
+                self.queued.fetch_sub(1, Ordering::SeqCst);
+                return Some((job, true));
+            }
+        }
+        None
+    }
+
+    /// Blocks worker `me` until new work is signalled or the poll tick
+    /// elapses. Re-checks emptiness under the lock, so a dispatch
+    /// racing this call cannot be missed.
+    fn park(&self, me: usize) {
+        let hub = &self.workers[me];
+        let lanes = hub.lanes.lock().expect("worker lanes");
+        if lanes.is_empty() {
+            let _ = hub
+                .wake
+                .wait_timeout(lanes, Duration::from_millis(POLL_MS * 2))
+                .expect("worker lanes");
+        }
+    }
+
+    /// Records a completed affinity hash into worker `me`'s ring.
+    fn record_recent(&self, me: usize, affinity: u64) {
+        if affinity == 0 {
+            return;
+        }
+        let hub = &self.workers[me];
+        let slot = hub.cursor.fetch_add(1, Ordering::Relaxed) % hub.recent.len();
+        hub.recent[slot].store(affinity, Ordering::Relaxed);
+    }
 }
 
 /// Requests shutdown from outside [`Server::run`] — tests use this where
@@ -170,6 +423,9 @@ impl Server {
         let engine = Engine::new(EngineConfig {
             cache_dir: config.cache_dir.clone(),
             tracer: config.tracer.clone(),
+            shards: config.shards.max(1),
+            mem_entries: config.mem_entries.max(1),
+            policy: config.policy,
             ..EngineConfig::default()
         })?;
         Ok(Server {
@@ -215,19 +471,22 @@ impl Server {
         listener
             .set_nonblocking(true)
             .map_err(|e| format!("cannot poll the listener: {e}"))?;
-        let (tx, rx) = mpsc::sync_channel::<Job>(shared.config.queue_capacity.max(1));
-        let rx = Mutex::new(rx);
+        let farm = Farm::new(
+            shared.config.jobs.max(1),
+            shared.config.queue_capacity.max(1),
+        );
+        let shared = &shared;
+        let farm = &farm;
         std::thread::scope(|scope| {
-            for _ in 0..shared.config.jobs.max(1) {
-                scope.spawn(|| worker_loop(&shared, &rx));
+            for me in 0..farm.workers.len() {
+                scope.spawn(move || worker_loop(shared, farm, me));
             }
             while !shared.should_stop() {
                 match listener.accept() {
                     Ok((stream, _peer)) => {
-                        shared.stats.accepted.fetch_add(1, Ordering::SeqCst);
+                        let conn = shared.stats.accepted.fetch_add(1, Ordering::SeqCst);
                         shared.config.tracer.add(names::SERVE_ACCEPT, 1);
-                        let tx = tx.clone();
-                        scope.spawn(|| serve_connection(&shared, tx, stream));
+                        scope.spawn(move || serve_connection(shared, farm, stream, conn));
                     }
                     Err(e) if e.kind() == ErrorKind::WouldBlock => {
                         std::thread::sleep(Duration::from_millis(POLL_MS));
@@ -241,26 +500,27 @@ impl Server {
                     }
                 }
             }
-            // Leaving the scope joins workers (which drain the queue)
-            // and connection threads (which finish their in-flight
-            // request, then notice the stop flag on the next read tick).
+            // Leaving the scope joins workers (which drain every lane,
+            // stealing included) and connection threads (which finish
+            // their in-flight request, then notice the stop flag on the
+            // next read tick).
         });
         Ok(())
     }
 }
 
-/// Pulls jobs off the shared queue until shutdown *and* the queue is
-/// empty — `recv_timeout` returning `Timeout` proves emptiness, so
-/// checking the stop flag only there gives drain-then-exit for free.
-fn worker_loop(shared: &Shared, rx: &Mutex<Receiver<Job>>) {
+/// One worker: claim (own lanes, then steal), run, record affinity,
+/// repeat — until shutdown *and* no queued job remains anywhere, which
+/// gives drain-then-exit for free.
+fn worker_loop(shared: &Shared, farm: &Farm, me: usize) {
+    let mut last_conn = None;
     loop {
-        let next = rx
-            .lock()
-            .expect("serve queue receiver poisoned")
-            .recv_timeout(Duration::from_millis(POLL_MS * 2));
-        match next {
-            Ok(job) => {
-                shared.stats.queue_depth.fetch_sub(1, Ordering::SeqCst);
+        match farm.take(me, last_conn) {
+            Some((job, stolen)) => {
+                if stolen {
+                    shared.stats.stolen.fetch_add(1, Ordering::SeqCst);
+                    shared.config.tracer.add(names::SERVE_STEAL, 1);
+                }
                 if Instant::now() >= job.deadline {
                     // The waiter has already answered `timeout`; don't
                     // burn a worker on a result nobody will read.
@@ -269,15 +529,19 @@ fn worker_loop(shared: &Shared, rx: &Mutex<Receiver<Job>>) {
                 shared.stats.busy_workers.fetch_add(1, Ordering::SeqCst);
                 let response = run_job(shared, &job);
                 shared.stats.busy_workers.fetch_sub(1, Ordering::SeqCst);
+                // Record warmth BEFORE replying: the client's next
+                // request may race the ring update otherwise.
+                farm.record_recent(me, job.affinity);
                 // Fails iff the waiter timed out meanwhile; discard.
                 let _ = job.reply.send(response);
+                last_conn = Some(job.conn);
             }
-            Err(RecvTimeoutError::Timeout) => {
-                if shared.should_stop() {
+            None => {
+                if shared.should_stop() && farm.queued.load(Ordering::SeqCst) == 0 {
                     return;
                 }
+                farm.park(me);
             }
-            Err(RecvTimeoutError::Disconnected) => return,
         }
     }
 }
@@ -418,7 +682,7 @@ fn execute(
 /// Services one client: read a line, answer it, repeat. Reads tick every
 /// [`POLL_MS`]·4 so the loop can notice shutdown and idle expiry without
 /// a dedicated reaper thread.
-fn serve_connection(shared: &Shared, tx: SyncSender<Job>, stream: TcpStream) {
+fn serve_connection(shared: &Shared, farm: &Farm, stream: TcpStream, conn: u64) {
     let Ok(reader_half) = stream.try_clone() else {
         return;
     };
@@ -442,7 +706,7 @@ fn serve_connection(shared: &Shared, tx: SyncSender<Job>, stream: TcpStream) {
         match reader.read_line(&mut line) {
             Ok(0) => return, // client closed
             Ok(_) => {
-                let keep_open = answer_line(shared, &tx, &mut writer, line.trim());
+                let keep_open = answer_line(shared, farm, &mut writer, line.trim(), conn);
                 line.clear();
                 last_done = Instant::now();
                 if !keep_open {
@@ -461,7 +725,13 @@ fn serve_connection(shared: &Shared, tx: SyncSender<Job>, stream: TcpStream) {
 
 /// Parses and answers one request line. Returns `false` when the
 /// connection should close (after a `shutdown` acknowledgement).
-fn answer_line(shared: &Shared, tx: &SyncSender<Job>, writer: &mut TcpStream, line: &str) -> bool {
+fn answer_line(
+    shared: &Shared,
+    farm: &Farm,
+    writer: &mut TcpStream,
+    line: &str,
+    conn: u64,
+) -> bool {
     if line.is_empty() {
         return true; // blank keep-alive lines are not requests
     }
@@ -478,7 +748,7 @@ fn answer_line(shared: &Shared, tx: &SyncSender<Job>, writer: &mut TcpStream, li
     match &envelope.request {
         Request::Stats => respond(
             writer,
-            &ok_response(&envelope.id, "stats", stats_fields(shared)),
+            &ok_response(&envelope.id, "stats", stats_fields(shared, farm)),
         ),
         Request::Shutdown => {
             // Acknowledge first so the requester sees the reply even
@@ -488,7 +758,7 @@ fn answer_line(shared: &Shared, tx: &SyncSender<Job>, writer: &mut TcpStream, li
             false
         }
         _ => {
-            dispatch_compute(shared, tx, writer, envelope);
+            dispatch_compute(shared, farm, writer, envelope, conn);
             true
         }
     }
@@ -497,9 +767,10 @@ fn answer_line(shared: &Shared, tx: &SyncSender<Job>, writer: &mut TcpStream, li
 /// Enqueues a compute request and waits for its reply or deadline.
 fn dispatch_compute(
     shared: &Shared,
-    tx: &SyncSender<Job>,
+    farm: &Farm,
     writer: &mut TcpStream,
     envelope: Envelope,
+    conn: u64,
 ) {
     let budget = Duration::from_millis(
         envelope
@@ -510,18 +781,35 @@ fn dispatch_compute(
     let deadline = Instant::now() + budget;
     let (reply_tx, reply_rx) = mpsc::sync_channel::<String>(1);
     let id = envelope.id.clone();
-    let depth = shared.stats.queue_depth.fetch_add(1, Ordering::SeqCst) + 1;
+    let priority = envelope.priority;
+    let affinity = envelope.request.affinity();
     let job = Job {
         envelope,
         deadline,
         reply: reply_tx,
+        conn,
+        affinity,
     };
-    match tx.try_send(job) {
-        Ok(()) => {
+    match farm.dispatch(job) {
+        Ok(routed) => {
             shared
                 .config
                 .tracer
-                .gauge_max(names::SERVE_QUEUE_DEPTH, depth);
+                .gauge_max(names::SERVE_QUEUE_DEPTH, routed.depth);
+            if routed.affinity_hit {
+                shared.stats.affinity_hits.fetch_add(1, Ordering::SeqCst);
+                shared.config.tracer.add(names::SERVE_AFFINITY_HIT, 1);
+            }
+            match priority {
+                Priority::Interactive => {
+                    shared.stats.lane_interactive.fetch_add(1, Ordering::SeqCst);
+                    shared.config.tracer.add(names::SERVE_LANE_INTERACTIVE, 1);
+                }
+                Priority::Batch => {
+                    shared.stats.lane_batch.fetch_add(1, Ordering::SeqCst);
+                    shared.config.tracer.add(names::SERVE_LANE_BATCH, 1);
+                }
+            }
             match reply_rx.recv_timeout(budget) {
                 Ok(response) => {
                     respond(writer, &response);
@@ -536,25 +824,22 @@ fn dispatch_compute(
                 }
             }
         }
-        Err(send_error) => {
-            shared.stats.queue_depth.fetch_sub(1, Ordering::SeqCst);
-            let (kind_str, detail) = match send_error {
-                TrySendError::Full(_) => {
-                    shared.stats.rejected.fetch_add(1, Ordering::SeqCst);
-                    shared.config.tracer.add(names::SERVE_REJECTED, 1);
-                    (kind::OVERLOADED, "compute queue is full; retry later")
-                }
-                TrySendError::Disconnected(_) => (kind::ERROR, "server is shutting down"),
-            };
-            respond(writer, &err_response(&id, kind_str, detail));
+        Err(_job) => {
+            shared.stats.rejected.fetch_add(1, Ordering::SeqCst);
+            shared.config.tracer.add(names::SERVE_REJECTED, 1);
+            respond(
+                writer,
+                &err_response(&id, kind::OVERLOADED, "compute queue is full; retry later"),
+            );
         }
     }
 }
 
 /// The `stats` response body, in a fixed field order.
-fn stats_fields(shared: &Shared) -> Vec<(String, Json)> {
+fn stats_fields(shared: &Shared, farm: &Farm) -> Vec<(String, Json)> {
     let count = |a: &AtomicU64| Json::Int(a.load(Ordering::SeqCst) as i128);
     let s = &shared.stats;
+    let (mem_entries, mem_pinned) = shared.engine.mem_occupancy();
     vec![
         ("accepted".into(), count(&s.accepted)),
         ("requests".into(), count(&s.requests)),
@@ -562,7 +847,14 @@ fn stats_fields(shared: &Shared) -> Vec<(String, Json)> {
         ("rejected".into(), count(&s.rejected)),
         ("bad_requests".into(), count(&s.bad_requests)),
         ("busy_workers".into(), count(&s.busy_workers)),
-        ("queue_depth".into(), count(&s.queue_depth)),
+        (
+            "queue_depth".into(),
+            Json::Int(farm.queued.load(Ordering::SeqCst) as i128),
+        ),
+        ("stolen".into(), count(&s.stolen)),
+        ("affinity_hits".into(), count(&s.affinity_hits)),
+        ("interactive".into(), count(&s.lane_interactive)),
+        ("batch".into(), count(&s.lane_batch)),
         ("sim.compiled".into(), count(&s.sim_compiled)),
         ("sim.interp".into(), count(&s.sim_interp)),
         (
@@ -570,9 +862,15 @@ fn stats_fields(shared: &Shared) -> Vec<(String, Json)> {
             Json::Int(shared.config.jobs.max(1) as i128),
         ),
         (
+            "shards".into(),
+            Json::Int(shared.engine.shard_count() as i128),
+        ),
+        (
             "queue_capacity".into(),
             Json::Int(shared.config.queue_capacity.max(1) as i128),
         ),
+        ("mem_entries".into(), Json::Int(mem_entries as i128)),
+        ("mem_pinned".into(), Json::Int(mem_pinned as i128)),
         (
             "persistent_cache".into(),
             Json::Bool(shared.engine.is_persistent()),
@@ -656,6 +954,81 @@ mod tests {
         crate::json::parse(response.trim()).expect("json reply")
     }
 
+    fn test_job(conn: u64, affinity: u64, priority: Priority) -> Job {
+        let (reply, _discard) = mpsc::sync_channel(1);
+        Job {
+            envelope: Envelope {
+                id: None,
+                deadline_ms: None,
+                priority,
+                request: Request::Stats,
+            },
+            deadline: Instant::now() + Duration::from_secs(5),
+            reply,
+            conn,
+            affinity,
+        }
+    }
+
+    #[test]
+    fn farm_prefers_warm_workers_within_the_depth_slack() {
+        let farm = Farm::new(2, 16);
+        farm.record_recent(1, 77);
+        let routed = farm
+            .dispatch(test_job(1, 77, Priority::Interactive))
+            .ok()
+            .expect("under capacity");
+        assert_eq!(routed.worker, 1, "affinity routes to the warm worker");
+        assert!(routed.affinity_hit);
+        // No affinity: load balance to the shallowest worker instead.
+        let routed = farm
+            .dispatch(test_job(2, 0, Priority::Interactive))
+            .ok()
+            .expect("under capacity");
+        assert_eq!(routed.worker, 0);
+        assert!(!routed.affinity_hit);
+    }
+
+    #[test]
+    fn farm_bounds_the_queue_and_steals_from_the_cold_end() {
+        let farm = Farm::new(2, 2);
+        farm.record_recent(0, 5);
+        assert!(farm.dispatch(test_job(1, 5, Priority::Batch)).is_ok());
+        assert!(farm.dispatch(test_job(2, 5, Priority::Batch)).is_ok());
+        assert!(
+            farm.dispatch(test_job(3, 5, Priority::Batch)).is_err(),
+            "capacity 2 is full"
+        );
+        // Worker 1 owns nothing; it steals worker 0's *newest* job,
+        // leaving the warm front with its owner.
+        let (job, stolen) = farm.take(1, None).expect("steal");
+        assert!(stolen);
+        assert_eq!(job.conn, 2);
+        let (job, stolen) = farm.take(0, None).expect("own job");
+        assert!(!stolen);
+        assert_eq!(job.conn, 1);
+        assert!(farm.take(0, None).is_none());
+        assert_eq!(farm.queued.load(Ordering::SeqCst), 0);
+    }
+
+    #[test]
+    fn lanes_favor_interactive_and_alternate_clients() {
+        let farm = Farm::new(1, 16);
+        assert!(farm.dispatch(test_job(7, 0, Priority::Batch)).is_ok());
+        assert!(farm.dispatch(test_job(7, 0, Priority::Batch)).is_ok());
+        assert!(farm.dispatch(test_job(8, 0, Priority::Batch)).is_ok());
+        assert!(farm.dispatch(test_job(9, 0, Priority::Interactive)).is_ok());
+        // Interactive jumps the entire batch lane.
+        let (job, _) = farm.take(0, None).expect("interactive first");
+        assert_eq!(job.conn, 9);
+        // Fairness: having just served conn 7, prefer conn 8's job even
+        // though 7's are older.
+        let (job, _) = farm.take(0, Some(7)).expect("fair pop");
+        assert_eq!(job.conn, 8);
+        let (job, _) = farm.take(0, Some(8)).expect("remaining");
+        assert_eq!(job.conn, 7);
+    }
+
     #[test]
     fn serves_compile_and_reaps_on_handle() {
         let (addr, handle, join) = start(test_config());
@@ -720,6 +1093,47 @@ mod tests {
         let stats = request(addr, r#"{"op":"stats"}"#);
         assert_eq!(stats.get("sim.compiled"), Some(&Json::Int(1)));
         assert_eq!(stats.get("sim.interp"), Some(&Json::Int(1)));
+        handle.shutdown();
+        join.join().expect("clean exit");
+    }
+
+    #[test]
+    fn priority_lanes_and_affinity_show_in_stats() {
+        let (addr, handle, join) = start(test_config());
+        let source = r#""cell a() { box metal (0,0) (8,4); } place a() at (0,0);""#;
+        // One persistent connection so both compiles share a conn id;
+        // the repeat lands on the worker already warm for the source.
+        let mut stream = TcpStream::connect(addr).expect("connect");
+        let mut reader = BufReader::new(stream.try_clone().expect("clone"));
+        for priority in ["batch", "interactive"] {
+            let line =
+                format!("{{\"op\":\"compile\",\"source\":{source},\"priority\":\"{priority}\"}}\n");
+            stream.write_all(line.as_bytes()).expect("send");
+            let mut reply = String::new();
+            reader.read_line(&mut reply).expect("reply");
+            let reply = crate::json::parse(reply.trim()).expect("json");
+            assert_eq!(reply.get("ok"), Some(&Json::Bool(true)), "{reply:?}");
+        }
+        let stats = request(addr, r#"{"op":"stats"}"#);
+        assert_eq!(stats.get("batch"), Some(&Json::Int(1)));
+        assert_eq!(stats.get("interactive"), Some(&Json::Int(1)));
+        assert_eq!(stats.get("affinity_hits"), Some(&Json::Int(1)));
+        assert_eq!(stats.get("shards"), Some(&Json::Int(8)));
+        assert!(stats.get("mem_entries").is_some());
+        handle.shutdown();
+        join.join().expect("clean exit");
+    }
+
+    #[test]
+    fn invalid_priority_is_a_bad_request() {
+        let (addr, handle, join) = start(test_config());
+        let reply = request(addr, r#"{"op":"drc","source":"x","priority":"turbo"}"#);
+        assert_eq!(
+            reply.get("error").and_then(Json::as_str),
+            Some(kind::BAD_REQUEST)
+        );
+        let detail = reply.get("detail").and_then(Json::as_str).expect("detail");
+        assert!(detail.contains("priority"), "{detail}");
         handle.shutdown();
         join.join().expect("clean exit");
     }

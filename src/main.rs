@@ -6,8 +6,8 @@
 //! silc sim     <machine.isl> [--cycles N] [--engine E] simulate an ISP description
 //! silc synth   <machine.isl>                          compile it onto standard modules
 //! silc pla     <table.pla> [-o out.cif] [--raw]       espresso table -> minimized PLA -> CIF
-//! silc batch   <manifest> [--jobs N]                  run many jobs against one shared cache
-//! silc serve   [--addr HOST:PORT] [--jobs N]          compile server over newline-delimited JSON
+//! silc batch   <manifest> [--jobs N] [--shards N]     run many jobs against one shared cache
+//! silc serve   [--addr HOST:PORT] [--jobs N] [--shards N] compile server over newline-delimited JSON
 //! ```
 //!
 //! Every subcommand also accepts `--stats` (per-stage wall-time and
@@ -23,8 +23,8 @@ use std::process::ExitCode;
 use silc::drc::RuleSet;
 use silc::exec::SimEngine;
 use silc::incr::{
-    cif_text, drc_report, elaborate, flat_regions, parse_manifest, pla_products, run_batch,
-    sim_results, synth_allocation, Engine, EngineConfig, JobStats,
+    cif_text, default_parallelism, drc_report, elaborate, flat_regions, parse_manifest,
+    pla_products, run_batch, sim_results, synth_allocation, Engine, EngineConfig, JobStats,
 };
 use silc::rtl::parse as parse_isl;
 use silc::serve::{install_sigint_handler, Server, ServerConfig};
@@ -60,8 +60,8 @@ usage:
   silc sim     <machine.isl> [--cycles N] [--engine compiled|interp]
   silc synth   <machine.isl>
   silc pla     <table.pla> [-o out.cif] [--raw]
-  silc batch   <manifest> [--jobs N] [--engine compiled|interp]
-  silc serve   [--addr HOST:PORT] [--jobs N] [--engine compiled|interp]
+  silc batch   <manifest> [--jobs N] [--shards N] [--engine compiled|interp]
+  silc serve   [--addr HOST:PORT] [--jobs N] [--shards N] [--engine compiled|interp]
 common flags:
   --stats            per-stage timing and counter summary on stderr
   --trace <file>     JSONL event stream (one object per span/counter)
@@ -77,6 +77,7 @@ struct Opts {
     cycles: u64,
     sim_engine: SimEngine,
     jobs: Option<usize>,
+    shards: Option<usize>,
     addr: Option<String>,
     cache: Option<String>,
     stats: bool,
@@ -96,10 +97,12 @@ impl Opts {
     /// The query engine every subcommand compiles through: persistent
     /// when `--cache <dir>` was given, in-memory otherwise.
     fn engine(&self, tracer: &Tracer) -> Result<Engine, String> {
+        let defaults = EngineConfig::default();
         Engine::new(EngineConfig {
             cache_dir: self.cache.as_ref().map(PathBuf::from),
             tracer: tracer.clone(),
-            ..EngineConfig::default()
+            shards: self.shards.unwrap_or(defaults.shards),
+            ..defaults
         })
     }
 }
@@ -112,6 +115,7 @@ fn parse_opts(cmd: &str, args: &[String]) -> Result<Opts, String> {
     let mut cycles = None;
     let mut sim_engine = None;
     let mut jobs = None;
+    let mut shards = None;
     let mut addr = None;
     let mut cache = None;
     let mut no_cache = false;
@@ -168,6 +172,16 @@ fn parse_opts(cmd: &str, args: &[String]) -> Result<Opts, String> {
                     return Err(dup("--jobs"));
                 }
             }
+            "--shards" if matches!(cmd, "batch" | "serve") => {
+                let value = it
+                    .next()
+                    .and_then(|s| s.parse::<usize>().ok())
+                    .filter(|&n| n >= 1)
+                    .ok_or_else(|| "--shards needs a positive number".to_string())?;
+                if shards.replace(value).is_some() {
+                    return Err(dup("--shards"));
+                }
+            }
             "--no-drc" if cmd == "compile" => {
                 if no_drc {
                     return Err(dup("--no-drc"));
@@ -218,6 +232,10 @@ fn parse_opts(cmd: &str, args: &[String]) -> Result<Opts, String> {
                     "--jobs" => format!(
                         "`--jobs` is only valid for `silc batch` and `silc serve`, not `silc {cmd}`"
                     ),
+                    "--shards" => format!(
+                        "`--shards` is only valid for `silc batch` and `silc serve`, \
+                         not `silc {cmd}`"
+                    ),
                     "--engine" => format!(
                         "`--engine` is only valid for `silc sim`, `silc batch` and `silc serve`, \
                          not `silc {cmd}`"
@@ -262,6 +280,7 @@ fn parse_opts(cmd: &str, args: &[String]) -> Result<Opts, String> {
         cycles: cycles.unwrap_or(10_000),
         sim_engine: sim_engine.unwrap_or_default(),
         jobs,
+        shards,
         addr,
         cache,
         stats,
@@ -434,7 +453,12 @@ fn run_batch_cmd(opts: &Opts, tracer: &Tracer) -> Result<(), String> {
     if jobs.is_empty() {
         return Err(format!("manifest `{}` has no jobs", opts.input));
     }
-    let results = run_batch(&engine, &jobs, opts.jobs.unwrap_or(1), opts.sim_engine);
+    let results = run_batch(
+        &engine,
+        &jobs,
+        opts.jobs.unwrap_or_else(default_parallelism),
+        opts.sim_engine,
+    );
     let label_width = results
         .iter()
         .map(|r| r.label.len())
@@ -491,6 +515,9 @@ fn run_serve(opts: &Opts, tracer: &Tracer) -> Result<(), String> {
     if let Some(jobs) = opts.jobs {
         config.jobs = jobs;
         config.queue_capacity = jobs * 4;
+    }
+    if let Some(shards) = opts.shards {
+        config.shards = shards;
     }
     let server = Server::bind(config)?;
     let addr = server.local_addr()?;

@@ -504,6 +504,58 @@ fn batch_reports_failing_jobs_without_aborting_the_rest() {
 }
 
 #[test]
+fn shards_and_jobs_flags_are_validated() {
+    let dir = temp_dir("shards-flags");
+    std::fs::write(
+        dir.join("d.sil"),
+        "cell c() { box metal (0,0) (4,20); } place c() at (0,0);",
+    )
+    .unwrap();
+    let manifest_path = dir.join("jobs.txt");
+    std::fs::write(&manifest_path, "compile d.sil\n").unwrap();
+    let manifest = manifest_path.to_str().unwrap();
+    // Zero is not a stripe count or a worker count; name the flag.
+    for (args, flag) in [
+        (vec!["batch", manifest, "--shards", "0"], "--shards"),
+        (vec!["batch", manifest, "--shards", "x"], "--shards"),
+        (vec!["batch", manifest, "--jobs", "0"], "--jobs"),
+        (vec!["serve", "--shards", "0"], "--shards"),
+        (vec!["serve", "--jobs", "0"], "--jobs"),
+    ] {
+        let out = silc().args(&args).output().expect("runs");
+        assert!(!out.status.success(), "{args:?}");
+        let stderr = String::from_utf8_lossy(&out.stderr);
+        assert!(stderr.contains(flag), "{args:?}: {stderr}");
+        assert!(stderr.contains("positive number"), "{args:?}: {stderr}");
+    }
+    // Duplicates are rejected by name.
+    let out = silc()
+        .args(["batch", manifest, "--shards", "2", "--shards", "4"])
+        .output()
+        .expect("runs");
+    assert!(!out.status.success());
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("duplicate"), "{stderr}");
+    assert!(stderr.contains("--shards"), "{stderr}");
+    // `--shards` belongs to batch/serve only.
+    let sil = dir.join("d.sil");
+    let out = silc()
+        .args(["compile", sil.to_str().unwrap(), "--shards", "4"])
+        .output()
+        .expect("runs");
+    assert!(!out.status.success());
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("--shards"), "{stderr}");
+    assert!(stderr.contains("silc batch"), "{stderr}");
+    // And a valid stripe count works end to end.
+    let out = silc()
+        .args(["batch", manifest, "--shards", "4"])
+        .output()
+        .expect("runs");
+    assert!(out.status.success(), "{out:?}");
+}
+
+#[test]
 fn unknown_command_fails_with_usage() {
     let out = silc().arg("bogus").output().expect("runs");
     assert!(!out.status.success());

@@ -220,6 +220,59 @@ fn full_queue_answers_overloaded_immediately() {
     handle.shutdown();
 }
 
+#[test]
+fn batch_flood_does_not_starve_interactive_requests() {
+    let (addr, handle) = start(ServerConfig {
+        jobs: 1,
+        queue_capacity: 16,
+        enable_test_ops: true,
+        ..ServerConfig::default()
+    });
+    let mut stats_client = Client::connect(addr);
+    // Six batch clients pile 3s of sleep onto the single worker without
+    // waiting for replies. Kept alive so their jobs stay deliverable.
+    let mut flood = Vec::new();
+    for i in 0..6 {
+        let mut client = Client::connect(addr);
+        client
+            .writer
+            .write_all(
+                format!("{{\"op\":\"sleep\",\"ms\":500,\"priority\":\"batch\",\"id\":{i}}}\n")
+                    .as_bytes(),
+            )
+            .expect("send flood");
+        flood.push(client);
+    }
+    wait_for(&mut stats_client, "busy_workers", 1);
+
+    // An interactive compile must jump the batch backlog: it waits for
+    // at most the in-flight sleep (500ms), never the full 3s queue —
+    // which would blow its deadline.
+    let begin = Instant::now();
+    let reply = Client::connect(addr).request(&format!(
+        r#"{{"op":"compile","no_drc":true,"priority":"interactive","deadline_ms":2500,"source":{}}}"#,
+        quoted(&sil_program(11))
+    ));
+    let waited = begin.elapsed();
+    assert_eq!(reply.get("ok"), Some(&Json::Bool(true)), "{reply:?}");
+    assert!(
+        waited < Duration::from_millis(2000),
+        "interactive request waited {waited:?} behind the batch flood"
+    );
+
+    let stats = stats_client.request(r#"{"op":"stats"}"#);
+    assert_eq!(stats.get("batch"), Some(&Json::Int(6)), "{stats:?}");
+    assert_eq!(stats.get("interactive"), Some(&Json::Int(1)), "{stats:?}");
+    // The flood still completes: every batch client gets its reply.
+    for client in &mut flood {
+        let mut response = String::new();
+        client.reader.read_line(&mut response).expect("flood reply");
+        let reply = parse_json(response.trim()).expect("well-formed flood reply");
+        assert_eq!(reply.get("ok"), Some(&Json::Bool(true)), "{reply:?}");
+    }
+    handle.shutdown();
+}
+
 /// Polls the stats op until `field` reaches `want` (or panics after 5s).
 fn wait_for(stats_client: &mut Client, field: &str, want: i128) {
     let begin = Instant::now();
