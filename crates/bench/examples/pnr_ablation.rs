@@ -1,0 +1,78 @@
+//! E10 — place-and-route ablation over seeded random netlists.
+//!
+//! Routes the default corpus (4..40 cells, multiple seeds each) serial
+//! and parallel, checks every row (100% routed, byte-identical CIF,
+//! DRC-clean, extraction matches the source netlist), prints the table
+//! to stderr and one JSON object per row to stdout, and exits non-zero
+//! if any row fails a check.
+//!
+//! ```text
+//! cargo run --release -p silc-bench --example pnr_ablation > e10.jsonl
+//! ```
+
+use silc_bench::e10::{pnr_json, pnr_table, run_corpus, CORPUS};
+use silc_bench::render_table;
+
+fn main() {
+    let mut corpus: Vec<(usize, u64)> = CORPUS.to_vec();
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--quick" => {
+                // CI smoke subset: small sizes, one seed each.
+                corpus = vec![(4, 1), (8, 1), (16, 1)];
+            }
+            "--cells" => {
+                let n: usize = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| die("--cells needs a number"));
+                corpus = vec![(n, 1)];
+            }
+            other => die(&format!("unknown flag `{other}`")),
+        }
+    }
+
+    let rows = run_corpus(&corpus);
+    let table = pnr_table(&rows);
+    eprint!(
+        "{}",
+        render_table(
+            "E10: place-and-route ablation",
+            &[
+                "cells",
+                "seed",
+                "routed",
+                "wirelen",
+                "vias",
+                "rounds",
+                "serial_us",
+                "parallel_us",
+                "ok",
+            ],
+            &table,
+        )
+    );
+    print!("{}", pnr_json(&rows));
+
+    let failed: Vec<_> = rows.iter().filter(|r| !r.accepted()).collect();
+    if !failed.is_empty() {
+        for r in &failed {
+            eprintln!(
+                "FAIL: cells={} seed={}: routed {}/{}, identical={}, drc_clean={}, lvs_ok={}",
+                r.cells, r.seed, r.routed, r.nets, r.identical, r.drc_clean, r.lvs_ok
+            );
+        }
+        std::process::exit(1);
+    }
+    eprintln!(
+        "all {} corpus points routed 100%, byte-identical, drc-clean, lvs-clean",
+        rows.len()
+    );
+}
+
+fn die(msg: &str) -> ! {
+    eprintln!("pnr_ablation: {msg}");
+    eprintln!("usage: pnr_ablation [--quick | --cells N]");
+    std::process::exit(2);
+}

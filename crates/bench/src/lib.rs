@@ -7,6 +7,7 @@
 //! examples print the tables.
 
 pub mod e1;
+pub mod e10;
 pub mod e2;
 pub mod e3;
 pub mod e4;

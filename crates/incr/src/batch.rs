@@ -8,6 +8,7 @@
 //! compile alu.sil --no-drc
 //! sim traffic.isl --cycles 500
 //! sim cpu.isl --cycles 100000 --engine interp
+//! pnr adder.sil -o adder_routed.cif --stack mead-conway-nmos
 //! ```
 //!
 //! [`run_batch`] executes the jobs on a small thread pool against one
@@ -16,7 +17,7 @@
 //! pull jobs from an atomic cursor; results land in manifest order.
 
 use crate::engine::{Engine, JobStats};
-use crate::pipeline::{compile_sil, sim_results, CompileOptions};
+use crate::pipeline::{compile_sil, pnr_sil, sim_results, CompileOptions};
 use silc_exec::SimEngine;
 use silc_rtl::parse as parse_isl;
 use silc_trace::span;
@@ -42,6 +43,14 @@ pub enum JobKind {
         /// Per-job engine override; `None` defers to the batch default.
         engine: Option<SimEngine>,
     },
+    /// Place and route a SIL design's extracted netlist.
+    Pnr {
+        /// Write the routed CIF here; `None` = discard (route for the
+        /// DRC + extract-back check).
+        output: Option<PathBuf>,
+        /// Routing stack name; `None` = the default stack.
+        stack: Option<String>,
+    },
 }
 
 /// One parsed manifest line.
@@ -61,6 +70,7 @@ impl JobSpec {
         let verb = match self.kind {
             JobKind::Compile { .. } => "compile",
             JobKind::Sim { .. } => "sim",
+            JobKind::Pnr { .. } => "pnr",
         };
         format!("{verb} {}", self.input.display())
     }
@@ -177,9 +187,50 @@ pub fn parse_manifest(text: &str, base: &Path) -> Result<Vec<JobSpec>, String> {
                 });
                 continue;
             }
+            "pnr" => {
+                let mut output = None;
+                let mut stack: Option<String> = None;
+                let mut input = None;
+                let mut it = rest.iter();
+                while let Some(&word) = it.next() {
+                    match word {
+                        "-o" | "--output" => {
+                            let path = it
+                                .next()
+                                .ok_or_else(|| err(format!("`{word}` needs a path")))?;
+                            if output.replace(base.join(path)).is_some() {
+                                return Err(err(format!("duplicate `{word}`")));
+                            }
+                        }
+                        "--stack" => {
+                            let name = it
+                                .next()
+                                .ok_or_else(|| err("`--stack` needs a name".into()))?;
+                            if stack.replace(name.to_string()).is_some() {
+                                return Err(err("duplicate `--stack`".into()));
+                            }
+                        }
+                        w if w.starts_with('-') => {
+                            return Err(err(format!("unknown pnr flag `{w}`")));
+                        }
+                        w => {
+                            if input.replace(w).is_some() {
+                                return Err(err(format!("unexpected extra argument `{w}`")));
+                            }
+                        }
+                    }
+                }
+                let input = input.ok_or_else(|| err("pnr needs an input file".into()))?;
+                jobs.push(JobSpec {
+                    input: base.join(input),
+                    line,
+                    kind: JobKind::Pnr { output, stack },
+                });
+                continue;
+            }
             other => {
                 return Err(err(format!(
-                    "unknown verb `{other}` (expected `compile` or `sim`)"
+                    "unknown verb `{other}` (expected `compile`, `sim` or `pnr`)"
                 )))
             }
         }
@@ -241,6 +292,18 @@ fn run_one(
                     }
                 ))
             }
+            JobKind::Pnr { output, stack } => {
+                let stack = stack.as_deref().unwrap_or(silc_pnr::RouteStack::KNOWN[0]);
+                let out = pnr_sil(engine, &source, stack, true, &mut stats)?;
+                if let Some(path) = output {
+                    fs::write(path, out.cif.as_bytes())
+                        .map_err(|e| format!("cannot write `{}`: {e}", path.display()))?;
+                }
+                Ok(format!(
+                    "{} cells, {}/{} nets, wirelength {}, {} via(s)",
+                    out.cells, out.routed, out.nets, out.wirelength, out.vias
+                ))
+            }
         }
     })();
     (outcome, stats)
@@ -292,11 +355,12 @@ mod tests {
     fn manifest_parses_verbs_flags_and_comments() {
         let base = Path::new("/designs");
         let jobs = parse_manifest(
-            "# header\n\ncompile a.sil -o a.cif\ncompile b.sil --no-drc\nsim m.isl --cycles 42\n",
+            "# header\n\ncompile a.sil -o a.cif\ncompile b.sil --no-drc\nsim m.isl --cycles 42\n\
+             pnr c.sil -o c.cif --stack nmos\n",
             base,
         )
         .unwrap();
-        assert_eq!(jobs.len(), 3);
+        assert_eq!(jobs.len(), 4);
         assert_eq!(jobs[0].input, base.join("a.sil"));
         assert_eq!(
             jobs[0].kind,
@@ -320,6 +384,14 @@ mod tests {
             }
         );
         assert_eq!(jobs[2].line, 5);
+        assert_eq!(
+            jobs[3].kind,
+            JobKind::Pnr {
+                output: Some(base.join("c.cif")),
+                stack: Some("nmos".into())
+            }
+        );
+        assert_eq!(jobs[3].label(), "pnr /designs/c.sil");
     }
 
     #[test]
@@ -335,6 +407,11 @@ mod tests {
             ("sim m.isl --cycles many", "invalid cycle count"),
             ("sim m.isl --engine", "needs a name"),
             ("sim m.isl --engine turbo", "unknown engine `turbo`"),
+            ("pnr", "needs an input"),
+            ("pnr a.sil --stack", "needs a name"),
+            ("pnr a.sil --stack x --stack y", "duplicate `--stack`"),
+            ("pnr a.sil --fast", "unknown pnr flag"),
+            ("pnr a.sil b.sil", "extra argument"),
         ] {
             let e = parse_manifest(text, base).unwrap_err();
             assert!(e.contains(needle), "{text:?} -> {e}");

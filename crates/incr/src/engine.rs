@@ -98,6 +98,11 @@ impl Stage {
         name: "pla",
         tag: 7,
     };
+    /// Netlist + stack + floorplan → routed layout products.
+    pub const PNR: Stage = Stage {
+        name: "pnr",
+        tag: 8,
+    };
 }
 
 /// Memory-tier eviction policy.

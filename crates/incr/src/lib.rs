@@ -49,7 +49,7 @@ pub use disk::{DiskCache, FORMAT_VERSION};
 pub use engine::{default_parallelism, Engine, EngineConfig, EvictPolicy, JobStats, Stage};
 pub use pipeline::{
     cif_text, compile_sil, drc_report, elaborate, extract_signature, flat_regions, pla_products,
-    sim_results, synth_allocation, CompileOptions, CompileOutput, ExtractSnapshot, FlatSnapshot,
-    PlaSnapshot, SimSnapshot, SynthSnapshot,
+    pnr_products, pnr_sil, sim_results, synth_allocation, CompileOptions, CompileOutput,
+    ExtractSnapshot, FlatSnapshot, PlaSnapshot, PnrSnapshot, SimSnapshot, SynthSnapshot,
 };
 pub use silc_exec::SimEngine;

@@ -27,7 +27,9 @@ use silc_geom::{Fingerprint, Rect};
 use silc_lang::{Compiler, Design, PRELUDE};
 use silc_layout::CellStats;
 use silc_logic::TruthTable;
+use silc_netlist::Netlist;
 use silc_pla::{generate_layout_traced, Minimize, PlaSpec};
+use silc_pnr::{place_and_route_traced, Floorplan, RouteStack};
 use silc_rtl::{Machine, RunReport, Simulator};
 use silc_synth::{synthesize_traced, Sharing, SynthOptions};
 use silc_trace::span;
@@ -169,6 +171,62 @@ impl Persist for PlaSnapshot {
         Ok(PlaSnapshot {
             personality: d.str()?,
             report: Report::decode(d)?,
+            cif: d.str()?,
+        })
+    }
+}
+
+/// Place-and-route products: run counters, the DRC report over the
+/// routed geometry, the extract-back verdict and the CIF text.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PnrSnapshot {
+    /// Cells placed.
+    pub cells: u64,
+    /// Multi-pin nets needing routing.
+    pub nets: u64,
+    /// Nets successfully routed (equals `nets`; a shortfall is an error).
+    pub routed: u64,
+    /// Total routed wirelength in lambda.
+    pub wirelength: u64,
+    /// Vias dropped.
+    pub vias: u64,
+    /// Routing rounds executed.
+    pub rounds: u64,
+    /// Rounds that performed rip-up-and-reroute.
+    pub ripup_rounds: u64,
+    /// DRC report over the routed layout.
+    pub drc: Report,
+    /// True when the routed layout extracts back to a netlist that
+    /// structurally matches the source.
+    pub lvs_ok: bool,
+    /// The routed layout as CIF text.
+    pub cif: String,
+}
+
+impl Persist for PnrSnapshot {
+    fn encode(&self, e: &mut Enc) {
+        e.u64(self.cells);
+        e.u64(self.nets);
+        e.u64(self.routed);
+        e.u64(self.wirelength);
+        e.u64(self.vias);
+        e.u64(self.rounds);
+        e.u64(self.ripup_rounds);
+        self.drc.encode(e);
+        self.lvs_ok.encode(e);
+        e.str(&self.cif);
+    }
+    fn decode(d: &mut Dec<'_>) -> Result<Self, DecodeError> {
+        Ok(PnrSnapshot {
+            cells: d.u64()?,
+            nets: d.u64()?,
+            routed: d.u64()?,
+            wirelength: d.u64()?,
+            vias: d.u64()?,
+            rounds: d.u64()?,
+            ripup_rounds: d.u64()?,
+            drc: Report::decode(d)?,
+            lvs_ok: bool::decode(d)?,
             cif: d.str()?,
         })
     }
@@ -452,6 +510,99 @@ pub fn pla_products(
             cif,
         })
     })
+}
+
+/// Netlist + routing stack + floorplan → routed layout products. The
+/// key is exactly those three fingerprints: the `parallel` flag stays
+/// out because serial and parallel runs are byte-identical by
+/// construction (proptest-enforced in `silc-pnr`), so either build may
+/// serve the other's cache entry.
+///
+/// # Errors
+///
+/// Placement or routing failures ([`silc_pnr::PnrError`] rendered to
+/// strings, every variant naming the net, track or stack context), or
+/// extraction/CIF errors over the routed geometry.
+pub fn pnr_products(
+    engine: &Engine,
+    netlist: &Netlist,
+    stack: &RouteStack,
+    floorplan: &Floorplan,
+    parallel: bool,
+    stats: &mut JobStats,
+) -> Result<Arc<PnrSnapshot>, String> {
+    let key = (netlist, stack, floorplan).fingerprint();
+    engine.query(Stage::PNR, key, stats, || {
+        let tracer = engine.tracer();
+        let out = place_and_route_traced(netlist, stack, floorplan, parallel, tracer)
+            .map_err(|e| e.to_string())?;
+        let drc =
+            silc_drc::check_traced(&out.library, out.root, &RuleSet::mead_conway_nmos(), tracer)
+                .map_err(|e| e.to_string())?;
+        let extracted = silc_extract::extract_traced(&out.library, out.root, tracer)
+            .map_err(|e| e.to_string())?;
+        let lvs_ok = extracted.netlist.structurally_matches(netlist);
+        let cif = CifWriter::new()
+            .with_tracer(tracer.clone())
+            .write_to_string(&out.library, out.root)
+            .map_err(|e| e.to_string())?;
+        Ok(PnrSnapshot {
+            cells: out.report.cells,
+            nets: out.report.nets,
+            routed: out.report.routed,
+            wirelength: out.report.wirelength,
+            vias: out.report.vias,
+            rounds: out.report.rounds,
+            ripup_rounds: out.report.ripup_rounds,
+            drc,
+            lvs_ok,
+            cif,
+        })
+    })
+}
+
+/// The full `silc pnr` pipeline over SIL source: elaborate, extract the
+/// transistor netlist, place it into a [`Floorplan::squarish`]
+/// floorplan on the named stack, and route — every front-end (CLI,
+/// batch `pnr` jobs, serve `pnr` requests) runs through here, so they
+/// share cache entries. Elaboration and extraction are themselves
+/// queries; the routed products come from [`pnr_products`].
+///
+/// # Errors
+///
+/// The first failing stage's error. A DRC-dirty routed layout or an
+/// extract-back mismatch IS an error here — unlike compile, pnr
+/// *generated* the geometry, so either means the router is wrong.
+pub fn pnr_sil(
+    engine: &Engine,
+    source: &str,
+    stack_name: &str,
+    parallel: bool,
+    stats: &mut JobStats,
+) -> Result<Arc<PnrSnapshot>, String> {
+    let stack = RouteStack::by_name(stack_name).map_err(|e| format!("pnr: {e}"))?;
+    let design = elaborate(engine, source, stats)?;
+    let extracted = silc_extract::extract_traced(&design.library, design.top, engine.tracer())
+        .map_err(|e| format!("extract: {e}"))?;
+    let floorplan = Floorplan::squarish(extracted.netlist.instances().len());
+    let out = pnr_products(
+        engine,
+        &extracted.netlist,
+        &stack,
+        &floorplan,
+        parallel,
+        stats,
+    )?;
+    if !out.drc.is_clean() {
+        return Err(format!(
+            "drc: routed layout has {} violation(s)",
+            out.drc.violations.len()
+        ));
+    }
+    if !out.lvs_ok {
+        return Err("pnr: extract-back does not match the source netlist".into());
+    }
+    Ok(out)
 }
 
 /// Options for the one-call compile pipeline.

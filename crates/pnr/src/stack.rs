@@ -1,0 +1,257 @@
+//! The declared routing stack: which layers carry wires, in which
+//! direction, on what pitch, and how layer changes are made.
+//!
+//! The stack is *data*, not code: the placer and router consult it for
+//! every coordinate they emit, so a different process (different pitch,
+//! swapped directions, wider wires) is a different [`RouteStack`] value,
+//! not a different router. Stacks join incremental cache keys through
+//! [`Fingerprint`], so editing the stack invalidates routed results.
+
+use silc_geom::{Coord, Fingerprint, FpHasher, Point, Rect};
+use silc_layout::Layer;
+use std::fmt;
+
+/// Preferred routing direction of one stack layer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Dir {
+    /// Wires run left-to-right; tracks are rows.
+    Horiz,
+    /// Wires run bottom-to-top; tracks are columns.
+    Vert,
+}
+
+impl fmt::Display for Dir {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Dir::Horiz => "horiz",
+            Dir::Vert => "vert",
+        })
+    }
+}
+
+/// One routable layer of the stack.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RouteLayer {
+    /// The mask layer wires are drawn on.
+    pub layer: Layer,
+    /// Preferred (and, in this router, only) direction.
+    pub dir: Dir,
+    /// Drawn wire width in lambda.
+    pub wire_width: Coord,
+    /// Same-layer spacing rule in lambda (mirrors the DRC rule set).
+    pub spacing: Coord,
+}
+
+/// How adjacent stack layers are joined.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ViaRule {
+    /// The cut mask layer.
+    pub cut_layer: Layer,
+    /// Square cut edge length in lambda.
+    pub cut: Coord,
+    /// Landing-pad surround beyond the cut on both joined layers.
+    pub surround: Coord,
+    /// Cut-to-cut spacing rule in lambda.
+    pub spacing: Coord,
+}
+
+impl ViaRule {
+    /// Edge length of the square landing pad a via places on each
+    /// joined layer.
+    pub fn pad(&self) -> Coord {
+        self.cut + 2 * self.surround
+    }
+}
+
+/// A full declared routing stack plus the track grid it induces.
+///
+/// Track `(col, row)` crossings sit at
+/// `(origin.x + pitch*col, origin.y + pitch*row)` in lambda. The same
+/// pitch serves every layer so any crossing is a legal via site.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RouteStack {
+    /// Stack name (joins cache keys and diagnostics).
+    pub name: String,
+    /// Routable layers, bottom-up. Index is the router's layer id.
+    pub layers: Vec<RouteLayer>,
+    /// Via rule joining adjacent stack layers.
+    pub via: ViaRule,
+    /// Track pitch in lambda, shared by all layers.
+    pub pitch: Coord,
+    /// Lambda position of track crossing `(0, 0)`.
+    pub origin: Point,
+}
+
+impl RouteStack {
+    /// The Mead–Conway nMOS stack the rest of the workspace targets:
+    /// poly runs vertically, metal horizontally, contact cuts join
+    /// them. Pitch 7 leaves one lambda of slack between adjacent-track
+    /// 4x4 via pads under the 3-lambda metal spacing rule.
+    pub fn mead_conway_nmos() -> RouteStack {
+        RouteStack {
+            name: "mead-conway-nmos".to_string(),
+            layers: vec![
+                RouteLayer {
+                    layer: Layer::Poly,
+                    dir: Dir::Vert,
+                    wire_width: 2,
+                    spacing: 2,
+                },
+                RouteLayer {
+                    layer: Layer::Metal,
+                    dir: Dir::Horiz,
+                    wire_width: 3,
+                    spacing: 3,
+                },
+            ],
+            via: ViaRule {
+                cut_layer: Layer::Contact,
+                cut: 2,
+                surround: 1,
+                spacing: 2,
+            },
+            pitch: 7,
+            origin: Point::new(2, 4),
+        }
+    }
+
+    /// Looks up a stack by CLI name.
+    ///
+    /// # Errors
+    ///
+    /// [`crate::PnrError::UnknownStack`] naming the unknown stack and
+    /// the known ones.
+    pub fn by_name(name: &str) -> Result<RouteStack, crate::PnrError> {
+        match name {
+            "mead-conway-nmos" | "nmos" => Ok(RouteStack::mead_conway_nmos()),
+            _ => Err(crate::PnrError::UnknownStack {
+                name: name.to_string(),
+            }),
+        }
+    }
+
+    /// Names of the stacks [`RouteStack::by_name`] accepts.
+    pub const KNOWN: &'static [&'static str] = &["mead-conway-nmos", "nmos"];
+
+    /// Router layer id carrying `dir`, if any.
+    pub fn layer_for_dir(&self, dir: Dir) -> Option<usize> {
+        self.layers.iter().position(|l| l.dir == dir)
+    }
+
+    /// Lambda x of vertical track `col`.
+    pub fn track_x(&self, col: i64) -> Coord {
+        self.origin.x + self.pitch * col
+    }
+
+    /// Lambda y of horizontal track `row`.
+    pub fn track_y(&self, row: i64) -> Coord {
+        self.origin.y + self.pitch * row
+    }
+
+    /// Lambda position of track crossing `(col, row)`.
+    pub fn crossing(&self, col: i64, row: i64) -> Point {
+        Point::new(self.track_x(col), self.track_y(row))
+    }
+
+    /// The square via landing pad centered on crossing `(col, row)`.
+    pub fn pad_rect(&self, col: i64, row: i64) -> Rect {
+        Rect::centered(self.crossing(col, row), self.via.pad(), self.via.pad())
+            .expect("via pad has positive extent")
+    }
+
+    /// The square via cut centered on crossing `(col, row)`.
+    pub fn cut_rect(&self, col: i64, row: i64) -> Rect {
+        Rect::centered(self.crossing(col, row), self.via.cut, self.via.cut)
+            .expect("via cut has positive extent")
+    }
+
+    /// The wire rectangle for a run on stack layer `l` between track
+    /// crossings `(c1, r1)` and `(c2, r2)` (inclusive; for [`Dir::Horiz`]
+    /// the rows must match, for [`Dir::Vert`] the columns). A
+    /// single-crossing run yields a `width`-long stub.
+    pub fn run_rect(&self, l: usize, c1: i64, r1: i64, c2: i64, r2: i64) -> Rect {
+        let rl = &self.layers[l];
+        let w = rl.wire_width;
+        // Odd widths sit asymmetrically on the track: [t - w/2, t + w - w/2].
+        let lo = w / 2;
+        let hi = w - lo;
+        let (xa, xb) = (self.track_x(c1.min(c2)), self.track_x(c1.max(c2)));
+        let (ya, yb) = (self.track_y(r1.min(r2)), self.track_y(r1.max(r2)));
+        let r = match rl.dir {
+            Dir::Horiz => Rect::new(Point::new(xa - lo, ya - lo), Point::new(xb + hi, ya + hi)),
+            Dir::Vert => Rect::new(Point::new(xa - lo, ya - lo), Point::new(xa + hi, yb + hi)),
+        };
+        r.expect("run rect has positive extent")
+    }
+}
+
+impl Fingerprint for RouteStack {
+    fn fp_hash(&self, h: &mut FpHasher) {
+        h.write_str(&self.name);
+        h.write_len(self.layers.len());
+        for l in &self.layers {
+            h.write_u32(l.layer.index() as u32);
+            h.write_u32(matches!(l.dir, Dir::Vert) as u32);
+            h.write_i64(l.wire_width);
+            h.write_i64(l.spacing);
+        }
+        h.write_u32(self.via.cut_layer.index() as u32);
+        h.write_i64(self.via.cut);
+        h.write_i64(self.via.surround);
+        h.write_i64(self.via.spacing);
+        h.write_i64(self.pitch);
+        self.origin.fp_hash(h);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nmos_stack_shape() {
+        let s = RouteStack::mead_conway_nmos();
+        assert_eq!(s.layers.len(), 2);
+        assert_eq!(s.layers[0].layer, Layer::Poly);
+        assert_eq!(s.layers[1].layer, Layer::Metal);
+        assert_eq!(s.layer_for_dir(Dir::Horiz), Some(1));
+        assert_eq!(s.layer_for_dir(Dir::Vert), Some(0));
+        assert_eq!(s.via.pad(), 4);
+        // Adjacent-track via pads keep the metal spacing rule.
+        let gap = s.pitch - s.via.pad();
+        assert!(gap >= s.layers[1].spacing);
+    }
+
+    #[test]
+    fn by_name_rejects_unknown() {
+        let err = RouteStack::by_name("cmos9").unwrap_err();
+        let msg = err.to_string();
+        assert!(msg.contains("cmos9"), "message names the stack: {msg}");
+        assert!(
+            msg.contains("mead-conway-nmos"),
+            "message lists known stacks: {msg}"
+        );
+    }
+
+    #[test]
+    fn run_rect_spans_inclusive() {
+        let s = RouteStack::mead_conway_nmos();
+        // Metal (layer 1, horiz, width 3) from (0,0) to (2,0).
+        let r = s.run_rect(1, 0, 0, 2, 0);
+        assert_eq!(r.left(), s.track_x(0) - 1);
+        assert_eq!(r.right(), s.track_x(2) + 2);
+        assert_eq!(r.height(), 3);
+        // Poly (layer 0, vert, width 2) single-crossing stub.
+        let p = s.run_rect(0, 1, 1, 1, 1);
+        assert_eq!(p.width(), 2);
+        assert_eq!(p.height(), 2);
+    }
+
+    #[test]
+    fn fingerprint_tracks_edits() {
+        let a = RouteStack::mead_conway_nmos();
+        let mut b = a.clone();
+        b.pitch = 8;
+        assert_ne!(a.fingerprint(), b.fingerprint());
+    }
+}

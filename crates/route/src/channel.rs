@@ -155,7 +155,7 @@ pub fn channel_route(problem: &ChannelProblem) -> Result<ChannelRoute, RouteErro
                 .filter(|n| !placed.contains(n))
                 .copied()
                 .collect();
-            return Err(RouteError::VerticalConstraintCycle { nets });
+            return Err(RouteError::VerticalConstraintCycle { nets, track });
         }
         // Left-edge: sort by left end, pack greedily without overlap.
         eligible.sort_by_key(|n| spans[n].0);
@@ -311,10 +311,15 @@ mod tests {
     #[test]
     fn classic_cycle_detected() {
         // Net 1 above 2 at column 0; net 2 above 1 at column 1.
+        let e = channel_route(&p(&[1, 2], &[2, 1], 7)).unwrap_err();
         assert!(matches!(
-            channel_route(&p(&[1, 2], &[2, 1], 7)),
-            Err(RouteError::VerticalConstraintCycle { .. })
+            e,
+            RouteError::VerticalConstraintCycle { ref nets, track: 0 } if nets == &[1, 2]
         ));
+        // The message names the stuck nets and the fill round.
+        let msg = e.to_string();
+        assert!(msg.contains("[1, 2]"), "{msg}");
+        assert!(msg.contains("track 0"), "{msg}");
     }
 
     #[test]

@@ -1,3 +1,4 @@
+use silc_geom::Coord;
 use std::error::Error;
 use std::fmt;
 
@@ -19,12 +20,20 @@ pub enum RouteError {
         side: &'static str,
         /// Index of the offending terminal.
         index: usize,
+        /// Coordinate of the offending terminal.
+        at: Coord,
+        /// Coordinate of the terminal before it.
+        prev: Coord,
+        /// Minimum separation the router requires.
+        pitch: Coord,
     },
     /// The channel router's vertical constraint graph has a cycle, which
     /// a dogleg-free router cannot resolve.
     VerticalConstraintCycle {
         /// Nets on the cycle.
         nets: Vec<u32>,
+        /// The track being filled when no eligible net remained.
+        track: usize,
     },
     /// A routing problem with no terminals at all — the caller built a
     /// channel for zero nets, which is a construction bug, not a route.
@@ -47,11 +56,24 @@ impl fmt::Display for RouteError {
                     "river channel has {bottom} bottom vs {top} top terminals"
                 )
             }
-            RouteError::TerminalsNotOrdered { side, index } => {
-                write!(f, "{side} terminal {index} is out of order or too close")
+            RouteError::TerminalsNotOrdered {
+                side,
+                index,
+                at,
+                prev,
+                pitch,
+            } => {
+                write!(
+                    f,
+                    "{side} terminal {index} at x={at} is out of order or too close \
+                     (previous terminal at x={prev}, pitch {pitch})"
+                )
             }
-            RouteError::VerticalConstraintCycle { nets } => {
-                write!(f, "vertical constraint cycle through nets {nets:?}")
+            RouteError::VerticalConstraintCycle { nets, track } => {
+                write!(
+                    f,
+                    "vertical constraint cycle through nets {nets:?} while filling track {track}"
+                )
             }
             RouteError::EmptyChannel => write!(f, "routing problem has no terminals"),
             RouteError::PortMismatch { port } => {
@@ -70,10 +92,44 @@ mod tests {
 
     #[test]
     fn messages_carry_detail() {
-        let e = RouteError::VerticalConstraintCycle { nets: vec![3, 7] };
+        let e = RouteError::VerticalConstraintCycle {
+            nets: vec![3, 7],
+            track: 2,
+        };
         assert!(e.to_string().contains('3'));
         let e = RouteError::PortMismatch { port: "clk".into() };
         assert!(e.to_string().contains("clk"));
+    }
+
+    #[test]
+    fn cycle_message_names_nets_and_track() {
+        // Regression: the message used to stop at the net list; the
+        // track tells which fill round got stuck.
+        let e = RouteError::VerticalConstraintCycle {
+            nets: vec![3, 7],
+            track: 2,
+        };
+        let msg = e.to_string();
+        assert!(msg.contains("[3, 7]"), "{msg}");
+        assert!(msg.contains("track 2"), "{msg}");
+    }
+
+    #[test]
+    fn unordered_message_names_coordinates_and_pitch() {
+        // Regression: "terminal 2 is out of order" gave no way to find
+        // the offending terminal in a wide channel.
+        let e = RouteError::TerminalsNotOrdered {
+            side: "bottom",
+            index: 2,
+            at: 5,
+            prev: 10,
+            pitch: 4,
+        };
+        let msg = e.to_string();
+        assert!(msg.contains("bottom terminal 2"), "{msg}");
+        assert!(msg.contains("x=5"), "{msg}");
+        assert!(msg.contains("x=10"), "{msg}");
+        assert!(msg.contains("pitch 4"), "{msg}");
     }
 
     #[test]

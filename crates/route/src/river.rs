@@ -68,7 +68,13 @@ pub fn river_route(
     for (side, terms) in [("bottom", bottom), ("top", top)] {
         for i in 1..terms.len() {
             if terms[i] < terms[i - 1] + pitch {
-                return Err(RouteError::TerminalsNotOrdered { side, index: i });
+                return Err(RouteError::TerminalsNotOrdered {
+                    side,
+                    index: i,
+                    at: terms[i],
+                    prev: terms[i - 1],
+                    pitch,
+                });
             }
         }
     }
@@ -253,13 +259,21 @@ mod tests {
 
     #[test]
     fn unordered_terminals_rejected() {
+        let e = river_route(&[0, 10, 5], &[0, 10, 20], 4).unwrap_err();
         assert!(matches!(
-            river_route(&[0, 10, 5], &[0, 10, 20], 4),
-            Err(RouteError::TerminalsNotOrdered {
+            e,
+            RouteError::TerminalsNotOrdered {
                 side: "bottom",
-                index: 2
-            })
+                index: 2,
+                at: 5,
+                prev: 10,
+                pitch: 4,
+            }
         ));
+        // The message locates the offence without a debugger.
+        let msg = e.to_string();
+        assert!(msg.contains("bottom terminal 2 at x=5"), "{msg}");
+        assert!(msg.contains("x=10"), "{msg}");
         // Too-close terminals also rejected.
         assert!(matches!(
             river_route(&[0, 2], &[0, 10], 4),

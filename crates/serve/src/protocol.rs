@@ -7,6 +7,7 @@
 //! {"op":"compile","source":"cell a() {...}","no_drc":false,"extract":false}
 //! {"op":"sim","source":"machine m {...}","cycles":10000,"engine":"compiled"}
 //! {"op":"drc","source":"cell a() {...}"}
+//! {"op":"pnr","source":"cell a() {...}","stack":"mead-conway-nmos"}
 //! {"op":"stats"}
 //! {"op":"shutdown"}
 //! ```
@@ -68,6 +69,14 @@ pub enum Request {
         /// SIL source text.
         source: String,
     },
+    /// Place and route the design's extracted netlist; mirrors
+    /// `silc pnr` (the `cif` field is the routed layout).
+    Pnr {
+        /// SIL source text.
+        source: String,
+        /// Routing stack name; `None` uses the default stack.
+        stack: Option<String>,
+    },
     /// Server statistics; answered inline, never queued.
     Stats,
     /// Graceful shutdown: drain in-flight jobs, then exit.
@@ -99,6 +108,7 @@ impl Request {
             Request::Compile { .. } => "compile",
             Request::Sim { .. } => "sim",
             Request::Drc { .. } => "drc",
+            Request::Pnr { .. } => "pnr",
             Request::Stats => "stats",
             Request::Shutdown => "shutdown",
             Request::Sleep { .. } => "sleep",
@@ -123,6 +133,7 @@ impl Request {
             Request::Compile { source, .. } => (1u8, source.as_str()),
             Request::Sim { source, .. } => (2, source.as_str()),
             Request::Drc { source } => (3, source.as_str()),
+            Request::Pnr { source, .. } => (4, source.as_str()),
             Request::Stats | Request::Shutdown | Request::Sleep { .. } => return 0,
         };
         let mut h = 0xcbf2_9ce4_8422_2325u64;
@@ -225,6 +236,13 @@ pub fn parse_request(line: &str, allow_test_ops: bool) -> Result<Envelope, Strin
         "drc" => Request::Drc {
             source: required_str(&obj, "source", "drc")?,
         },
+        "pnr" => Request::Pnr {
+            source: required_str(&obj, "source", "pnr")?,
+            stack: match obj.get("stack") {
+                None | Some(Json::Null) => None,
+                Some(v) => Some(v.as_str().ok_or("`stack` must be a string")?.to_string()),
+            },
+        },
         "stats" => Request::Stats,
         "shutdown" => Request::Shutdown,
         "sleep" if allow_test_ops => Request::Sleep {
@@ -315,6 +333,23 @@ mod tests {
         let e = parse_request(r#"{"op":"drc","source":"x","deadline_ms":250}"#, false).unwrap();
         assert_eq!(e.deadline_ms, Some(250));
 
+        let e = parse_request(r#"{"op":"pnr","source":"cell a() {}"}"#, false).unwrap();
+        assert_eq!(
+            e.request,
+            Request::Pnr {
+                source: "cell a() {}".into(),
+                stack: None,
+            }
+        );
+        let e = parse_request(r#"{"op":"pnr","source":"x","stack":"nmos"}"#, false).unwrap();
+        assert_eq!(
+            e.request,
+            Request::Pnr {
+                source: "x".into(),
+                stack: Some("nmos".into()),
+            }
+        );
+
         for op in ["stats", "shutdown"] {
             let e = parse_request(&format!(r#"{{"op":"{op}"}}"#), false).unwrap();
             assert!(e.request.is_control(), "{op}");
@@ -357,6 +392,11 @@ mod tests {
         assert_eq!(a, a2, "envelope fields must not perturb affinity");
         let drc = parse(r#"{"op":"drc","source":"cell a() {}"}"#).affinity();
         assert_ne!(a, drc);
+        let pnr = parse(r#"{"op":"pnr","source":"cell a() {}"}"#).affinity();
+        assert_ne!(pnr, 0, "pnr is a compute op");
+        assert!(pnr != a && pnr != drc, "pnr keys its own cache entries");
+        let pnr2 = parse(r#"{"op":"pnr","source":"cell a() {}","stack":"nmos"}"#).affinity();
+        assert_eq!(pnr, pnr2, "affinity is per-source, not per-stack");
         assert_eq!(parse(r#"{"op":"stats"}"#).affinity(), 0);
         assert_eq!(parse(r#"{"op":"sleep","ms":1}"#).affinity(), 0);
     }
@@ -383,6 +423,14 @@ mod tests {
         assert!(parse_request(r#"{"op":"compile"}"#, false)
             .unwrap_err()
             .contains("source"));
+        assert!(parse_request(r#"{"op":"pnr"}"#, false)
+            .unwrap_err()
+            .contains("source"));
+        assert!(
+            parse_request(r#"{"op":"pnr","source":"x","stack":7}"#, false)
+                .unwrap_err()
+                .contains("`stack` must be a string")
+        );
         assert!(
             parse_request(r#"{"op":"sim","source":"m","cycles":-1}"#, false)
                 .unwrap_err()

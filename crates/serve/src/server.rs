@@ -63,7 +63,7 @@ use std::time::{Duration, Instant};
 use silc_drc::RuleSet;
 use silc_exec::SimEngine;
 use silc_incr::{
-    compile_sil, default_parallelism, drc_report, elaborate, flat_regions, sim_results,
+    compile_sil, default_parallelism, drc_report, elaborate, flat_regions, pnr_sil, sim_results,
     CompileOptions, Engine, EngineConfig, EvictPolicy, JobStats,
 };
 use silc_trace::{names, Tracer};
@@ -651,6 +651,18 @@ fn execute(
             fields.push(("clean".into(), Json::Bool(report.is_clean())));
             fields.push(("report".into(), Json::Str(report.to_string())));
         }
+        Request::Pnr { source, stack } => {
+            let stack = stack.as_deref().unwrap_or(silc_pnr::RouteStack::KNOWN[0]);
+            let out = pnr_sil(engine, source, stack, true, &mut stats)?;
+            fields.push(("cells".into(), Json::Int(out.cells as i128)));
+            fields.push(("nets".into(), Json::Int(out.nets as i128)));
+            fields.push(("routed".into(), Json::Int(out.routed as i128)));
+            fields.push(("wirelength".into(), Json::Int(out.wirelength as i128)));
+            fields.push(("vias".into(), Json::Int(out.vias as i128)));
+            fields.push(("rounds".into(), Json::Int(out.rounds as i128)));
+            fields.push(("lvs_ok".into(), Json::Bool(out.lvs_ok)));
+            fields.push(("cif".into(), Json::Str(out.cif.clone())));
+        }
         Request::Sleep { ms } => {
             // Sleep in short slices so shutdown drains fast and an
             // expired deadline frees the worker early.
@@ -1040,6 +1052,48 @@ mod tests {
         assert_eq!(response.get("id"), Some(&Json::Int(1)));
         let cif = response.get("cif").and_then(Json::as_str).expect("cif");
         assert!(cif.contains("DS"), "{cif}");
+        handle.shutdown();
+        join.join().expect("clean exit");
+    }
+
+    #[test]
+    fn serves_pnr_with_routed_cif_and_lvs() {
+        let (addr, handle, join) = start(test_config());
+        // Two transistors on one diffusion strip: enough to extract a
+        // real netlist and route it.
+        let source = "cell inv() { \
+             box diff (0, 0) (4, 30); \
+             box poly (-4, 8) (8, 10); \
+             box poly (-4, 20) (8, 22); \
+             box implant (-2, 18) (6, 24); \
+             box contact (1, 14) (3, 16); \
+             box metal (0, 13) (12, 17); } \
+             place inv() at (0, 0);";
+        let response = request(
+            addr,
+            &format!(
+                r#"{{"op":"pnr","id":7,"source":{}}}"#,
+                Json::Str(source.into())
+            ),
+        );
+        assert_eq!(response.get("ok"), Some(&Json::Bool(true)), "{response:?}");
+        assert_eq!(response.get("id"), Some(&Json::Int(7)));
+        assert_eq!(response.get("cells"), Some(&Json::Int(2)));
+        assert_eq!(response.get("lvs_ok"), Some(&Json::Bool(true)));
+        assert_eq!(response.get("nets"), response.get("routed"));
+        let cif = response.get("cif").and_then(Json::as_str).expect("cif");
+        assert!(cif.contains("DS"), "{cif}");
+        // An unknown stack is a pipeline error naming the stack.
+        let bad = request(
+            addr,
+            &format!(
+                r#"{{"op":"pnr","source":{},"stack":"cmos9"}}"#,
+                Json::Str(source.into())
+            ),
+        );
+        assert_eq!(bad.get("ok"), Some(&Json::Bool(false)));
+        let detail = bad.get("detail").and_then(Json::as_str).expect("detail");
+        assert!(detail.contains("cmos9"), "{detail}");
         handle.shutdown();
         join.join().expect("clean exit");
     }

@@ -16,7 +16,8 @@
 //!    experiment of the paper's reference \[6\]).
 //!
 //! Regular-block generators ([`pla`], [`mem`]), wiring management
-//! ([`route`]), and a layout extractor ([`extract`]) complete the flow.
+//! ([`route`]), full-chip gridded place-and-route ([`pnr`]), and a
+//! layout extractor ([`extract`]) complete the flow.
 //!
 //! # Quickstart
 //!
@@ -50,6 +51,7 @@ pub use silc_mem as mem;
 pub use silc_netlist as netlist;
 pub use silc_pdp8 as pdp8;
 pub use silc_pla as pla;
+pub use silc_pnr as pnr;
 pub use silc_route as route;
 pub use silc_rtl as rtl;
 pub use silc_serve as serve;

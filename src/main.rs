@@ -6,6 +6,7 @@
 //! silc sim     <machine.isl> [--cycles N] [--engine E] simulate an ISP description
 //! silc synth   <machine.isl>                          compile it onto standard modules
 //! silc pla     <table.pla> [-o out.cif] [--raw]       espresso table -> minimized PLA -> CIF
+//! silc pnr     <design.sil> [-o out.cif] [--stack S]  place and route the extracted netlist
 //! silc batch   <manifest> [--jobs N] [--shards N]     run many jobs against one shared cache
 //! silc serve   [--addr HOST:PORT] [--jobs N] [--shards N] compile server over newline-delimited JSON
 //! ```
@@ -24,7 +25,8 @@ use silc::drc::RuleSet;
 use silc::exec::SimEngine;
 use silc::incr::{
     cif_text, default_parallelism, drc_report, elaborate, flat_regions, parse_manifest,
-    pla_products, run_batch, sim_results, synth_allocation, Engine, EngineConfig, JobStats,
+    pla_products, pnr_sil, run_batch, sim_results, synth_allocation, Engine, EngineConfig,
+    JobStats,
 };
 use silc::rtl::parse as parse_isl;
 use silc::serve::{install_sigint_handler, Server, ServerConfig};
@@ -37,6 +39,7 @@ fn main() -> ExitCode {
         Some("sim") => cmd_sim(&args[1..]),
         Some("synth") => cmd_synth(&args[1..]),
         Some("pla") => cmd_pla(&args[1..]),
+        Some("pnr") => cmd_pnr(&args[1..]),
         Some("batch") => cmd_batch(&args[1..]),
         Some("serve") => cmd_serve(&args[1..]),
         Some("--help") | Some("-h") | None => {
@@ -60,6 +63,7 @@ usage:
   silc sim     <machine.isl> [--cycles N] [--engine compiled|interp]
   silc synth   <machine.isl>
   silc pla     <table.pla> [-o out.cif] [--raw]
+  silc pnr     <design.sil> [-o out.cif] [--stack NAME] [--jobs N]
   silc batch   <manifest> [--jobs N] [--shards N] [--engine compiled|interp]
   silc serve   [--addr HOST:PORT] [--jobs N] [--shards N] [--engine compiled|interp]
 common flags:
@@ -72,6 +76,7 @@ common flags:
 struct Opts {
     input: String,
     output: Option<String>,
+    stack: Option<String>,
     no_drc: bool,
     raw: bool,
     cycles: u64,
@@ -110,6 +115,7 @@ impl Opts {
 fn parse_opts(cmd: &str, args: &[String]) -> Result<Opts, String> {
     let mut input = None;
     let mut output = None;
+    let mut stack = None;
     let mut no_drc = false;
     let mut raw = false;
     let mut cycles = None;
@@ -126,7 +132,7 @@ fn parse_opts(cmd: &str, args: &[String]) -> Result<Opts, String> {
     let dup = |flag: &str| format!("duplicate flag `{flag}`");
     while let Some(a) = it.next() {
         match a.as_str() {
-            "-o" if matches!(cmd, "compile" | "pla") => {
+            "-o" if matches!(cmd, "compile" | "pla" | "pnr") => {
                 let value = it
                     .next()
                     .ok_or_else(|| "-o needs a file name".to_string())?
@@ -162,7 +168,21 @@ fn parse_opts(cmd: &str, args: &[String]) -> Result<Opts, String> {
                     return Err(dup("--addr"));
                 }
             }
-            "--jobs" if matches!(cmd, "batch" | "serve") => {
+            "--stack" if cmd == "pnr" => {
+                let value = it
+                    .next()
+                    .ok_or_else(|| {
+                        format!(
+                            "--stack needs a name ({})",
+                            silc::pnr::RouteStack::KNOWN.join(", ")
+                        )
+                    })?
+                    .clone();
+                if stack.replace(value).is_some() {
+                    return Err(dup("--stack"));
+                }
+            }
+            "--jobs" if matches!(cmd, "batch" | "serve" | "pnr") => {
                 let value = it
                     .next()
                     .and_then(|s| s.parse::<usize>().ok())
@@ -230,8 +250,12 @@ fn parse_opts(cmd: &str, args: &[String]) -> Result<Opts, String> {
                         format!("`--cycles` is only valid for `silc sim`, not `silc {cmd}`")
                     }
                     "--jobs" => format!(
-                        "`--jobs` is only valid for `silc batch` and `silc serve`, not `silc {cmd}`"
+                        "`--jobs` is only valid for `silc batch`, `silc serve` and `silc pnr`, \
+                         not `silc {cmd}`"
                     ),
+                    "--stack" => {
+                        format!("`--stack` is only valid for `silc pnr`, not `silc {cmd}`")
+                    }
                     "--shards" => format!(
                         "`--shards` is only valid for `silc batch` and `silc serve`, \
                          not `silc {cmd}`"
@@ -248,7 +272,8 @@ fn parse_opts(cmd: &str, args: &[String]) -> Result<Opts, String> {
                     }
                     "--raw" => format!("`--raw` is only valid for `silc pla`, not `silc {cmd}`"),
                     "-o" => format!(
-                        "`-o` is only valid for `silc compile` and `silc pla`, not `silc {cmd}`"
+                        "`-o` is only valid for `silc compile`, `silc pla` and `silc pnr`, \
+                         not `silc {cmd}`"
                     ),
                     _ => format!("unknown flag `{f}` for `silc {cmd}`\n{USAGE}"),
                 });
@@ -275,6 +300,7 @@ fn parse_opts(cmd: &str, args: &[String]) -> Result<Opts, String> {
     Ok(Opts {
         input,
         output,
+        stack,
         no_drc,
         raw,
         cycles: cycles.unwrap_or(10_000),
@@ -432,6 +458,41 @@ fn run_pla(opts: &Opts, tracer: &Tracer) -> Result<(), String> {
     eprintln!("{}", products.personality);
     eprint!("{}", products.report);
     write_out(opts.output.as_deref(), &products.cif)
+}
+
+fn cmd_pnr(args: &[String]) -> Result<(), String> {
+    let opts = parse_opts("pnr", args)?;
+    let tracer = opts.tracer();
+    let result = run_pnr(&opts, &tracer);
+    emit_trace(&opts, &tracer).and(result)
+}
+
+fn run_pnr(opts: &Opts, tracer: &Tracer) -> Result<(), String> {
+    let engine = opts.engine(tracer)?;
+    let mut stats = JobStats::default();
+    let source = read(&opts.input)?;
+    // `--jobs 1` forces the serial router; anything else (including the
+    // default) routes net batches in parallel. Both produce the same
+    // bytes, so the cache key does not mention it.
+    let parallel = opts.jobs.is_none_or(|j| j > 1);
+    let stack = opts
+        .stack
+        .as_deref()
+        .unwrap_or(silc::pnr::RouteStack::KNOWN[0]);
+    let snap = pnr_sil(&engine, &source, stack, parallel, &mut stats)?;
+    eprintln!(
+        "routed `{}`: {} cells, {}/{} nets, wirelength {}, {} via(s), \
+         {} routing round(s) ({} rip-up), drc clean, extract-back ok",
+        opts.input,
+        snap.cells,
+        snap.routed,
+        snap.nets,
+        snap.wirelength,
+        snap.vias,
+        snap.rounds,
+        snap.ripup_rounds,
+    );
+    write_out(opts.output.as_deref(), &snap.cif)
 }
 
 fn cmd_batch(args: &[String]) -> Result<(), String> {

@@ -92,6 +92,97 @@ fn pla_compiles_espresso_format() {
     assert!(stderr.contains("0 violation"), "{stderr}");
 }
 
+/// A DRC-clean design whose extraction yields real transistors — the
+/// input `silc pnr` places and routes.
+const PNR_SIL: &str = "cell inv() { \
+     box diff (0, 0) (4, 30); \
+     box poly (-4, 8) (8, 10); \
+     box poly (-4, 20) (8, 22); \
+     box implant (-2, 18) (6, 24); \
+     box contact (1, 14) (3, 16); \
+     box metal (0, 13) (12, 17); } \
+     cell column(n) { array inv() at (0, 0) step (0, 0) (0, 36) count 1 n; } \
+     place column(4) at (0, 0);";
+
+#[test]
+fn pnr_routes_and_emits_cif() {
+    let sil = write_temp("pnr.sil", PNR_SIL);
+    let out = silc()
+        .args(["pnr", sil.to_str().unwrap(), "--stats"])
+        .output()
+        .expect("runs");
+    assert!(out.status.success(), "{out:?}");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stdout.contains("DS"), "routed CIF on stdout: {stdout}");
+    assert!(stderr.contains("8 cells"), "{stderr}");
+    assert!(stderr.contains("4/4 nets"), "all nets routed: {stderr}");
+    assert!(stderr.contains("drc clean"), "{stderr}");
+    assert!(stderr.contains("extract-back ok"), "{stderr}");
+    for stage in ["pnr.place", "pnr.route", "drc.spacing", "cif.write"] {
+        assert!(stderr.contains(stage), "missing `{stage}`: {stderr}");
+    }
+}
+
+#[test]
+fn pnr_serial_and_parallel_emit_identical_bytes() {
+    let sil = write_temp("pnr-par.sil", PNR_SIL);
+    let path = sil.to_str().unwrap();
+    let serial = silc()
+        .args(["pnr", path, "--jobs", "1"])
+        .output()
+        .expect("runs");
+    assert!(serial.status.success(), "{serial:?}");
+    let parallel = silc()
+        .args(["pnr", path, "--jobs", "4"])
+        .output()
+        .expect("runs");
+    assert!(parallel.status.success(), "{parallel:?}");
+    assert_eq!(serial.stdout, parallel.stdout);
+}
+
+#[test]
+fn pnr_flags_are_validated() {
+    let sil = write_temp("pnr-flags.sil", PNR_SIL);
+    let path = sil.to_str().unwrap();
+    // `--stack` belongs to `pnr` only.
+    let out = silc()
+        .args(["compile", path, "--stack", "nmos"])
+        .output()
+        .expect("runs");
+    assert!(!out.status.success());
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("--stack"), "{stderr}");
+    assert!(stderr.contains("silc pnr"), "{stderr}");
+    // Duplicates are rejected by name.
+    let out = silc()
+        .args(["pnr", path, "--stack", "nmos", "--stack", "nmos"])
+        .output()
+        .expect("runs");
+    assert!(!out.status.success());
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("duplicate"), "{stderr}");
+    assert!(stderr.contains("--stack"), "{stderr}");
+    // An unknown stack fails with the valid set.
+    let out = silc()
+        .args(["pnr", path, "--stack", "cmos9"])
+        .output()
+        .expect("runs");
+    assert!(!out.status.success());
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("cmos9"), "{stderr}");
+    assert!(stderr.contains("mead-conway-nmos"), "{stderr}");
+    // `--no-drc` stays a compile flag.
+    let out = silc()
+        .args(["pnr", path, "--no-drc"])
+        .output()
+        .expect("runs");
+    assert!(!out.status.success());
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("--no-drc"), "{stderr}");
+    assert!(stderr.contains("silc compile"), "{stderr}");
+}
+
 #[test]
 fn unknown_flag_is_rejected_by_name() {
     let sil = write_temp(
