@@ -1,0 +1,69 @@
+//! E11 — equivalence-checking ablation over seeded random designs.
+//!
+//! Verifies the default corpus both ways (minimized PLA vs. truth
+//! table, synthesized control store vs. ISL machine), checks every row
+//! (clean pair equivalent, proven-function-changing mutant refuted,
+//! warm re-verify a pure `Stage::VERIFY` cache hit), prints the table
+//! to stderr and one JSON object per row to stdout, and exits non-zero
+//! if any row fails a check.
+//!
+//! ```text
+//! cargo run --release -p silc-bench --example verify_ablation > e11.jsonl
+//! ```
+
+use silc_bench::e11::{run_corpus, verify_json, verify_table, CORPUS};
+use silc_bench::render_table;
+
+fn main() {
+    let mut corpus: Vec<u64> = CORPUS.to_vec();
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--quick" => {
+                // CI smoke subset: first three seeds, both checks each.
+                corpus = vec![1, 2, 3];
+            }
+            "--seed" => {
+                let n: u64 = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| die("--seed needs a number"));
+                corpus = vec![n];
+            }
+            other => die(&format!("unknown flag `{other}`")),
+        }
+    }
+
+    let rows = run_corpus(&corpus);
+    let table = verify_table(&rows);
+    eprint!(
+        "{}",
+        render_table(
+            "E11: equivalence-checking ablation",
+            &["check", "seed", "in/out", "clean", "mutant", "cold_us", "warm_us", "warm", "ok",],
+            &table,
+        )
+    );
+    print!("{}", verify_json(&rows));
+
+    let failed: Vec<_> = rows.iter().filter(|r| !r.accepted()).collect();
+    if !failed.is_empty() {
+        for r in &failed {
+            eprintln!(
+                "FAIL: check={} seed={}: clean_pass={}, mutant_caught={}, warm={}h/{}m",
+                r.check, r.seed, r.clean_pass, r.mutant_caught, r.warm_hits, r.warm_misses
+            );
+        }
+        std::process::exit(1);
+    }
+    eprintln!(
+        "all {} corpus points verified clean, refuted their mutants, and re-verified from cache",
+        rows.len()
+    );
+}
+
+fn die(msg: &str) -> ! {
+    eprintln!("verify_ablation: {msg}");
+    eprintln!("usage: verify_ablation [--quick | --seed N]");
+    std::process::exit(2);
+}

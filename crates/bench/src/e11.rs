@@ -1,0 +1,406 @@
+//! E11 — the equivalence-checking ablation: seeded random designs run
+//! through `silc-verify` via the memoized `Stage::VERIFY` pipeline,
+//! each corpus point checked four ways:
+//!
+//! 1. the clean (truth table → minimize) or (ISL → control store) pair
+//!    verifies equivalent — zero false fails,
+//! 2. a seeded function-changing mutation is refuted — zero false
+//!    passes (the mutation is replayed against a brute-force minterm
+//!    oracle first, so "function-changing" is a proven property, not an
+//!    assumption),
+//! 3. the cold verify recomputes (cache misses ≥ 1),
+//! 4. the warm re-verify is a pure `Stage::VERIFY` cache hit
+//!    (misses = 0, hits ≥ 1).
+//!
+//! The corpus replays bit-for-bit from its seeds, like E10's.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use silc_incr::{verify_isl, verify_pla, Engine, JobStats};
+use silc_logic::{Cover, Cube, Lit, TruthTable};
+use silc_pla::{Minimize, PlaSpec};
+use silc_trace::Tracer;
+use silc_verify::{check_against_table_traced, Network, Options};
+use std::time::Instant;
+
+/// Which production check a corpus point exercises.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum VerifyCheck {
+    /// Minimized PLA personality vs. its source truth table.
+    Table,
+    /// Synthesized control store vs. the exact table of an ISL machine.
+    Control,
+}
+
+impl VerifyCheck {
+    /// Short name used in tables and JSON rows.
+    pub fn name(self) -> &'static str {
+        match self {
+            VerifyCheck::Table => "table",
+            VerifyCheck::Control => "control",
+        }
+    }
+}
+
+/// One (check, seed) run of the corpus.
+#[derive(Debug, Clone)]
+pub struct VerifyRow {
+    /// Which check ran.
+    pub check: &'static str,
+    /// Generator seed.
+    pub seed: u64,
+    /// Inputs of the common truth table.
+    pub inputs: usize,
+    /// Outputs of the common truth table.
+    pub outputs: usize,
+    /// The clean pair verified equivalent.
+    pub clean_pass: bool,
+    /// The seeded function-changing mutation was refuted.
+    pub mutant_caught: bool,
+    /// Cold (recomputing) verify wall time, microseconds.
+    pub cold_us: u128,
+    /// Warm (cached) re-verify wall time, microseconds.
+    pub warm_us: u128,
+    /// Cache misses on the cold verify (must be ≥ 1).
+    pub cold_misses: u64,
+    /// Cache hits on the warm re-verify (must be ≥ 1).
+    pub warm_hits: u64,
+    /// Cache misses on the warm re-verify (must be 0).
+    pub warm_misses: u64,
+}
+
+impl VerifyRow {
+    /// No false fail, no false pass, and the warm re-verify was a pure
+    /// cache hit.
+    pub fn accepted(&self) -> bool {
+        self.clean_pass
+            && self.mutant_caught
+            && self.cold_misses >= 1
+            && self.warm_hits >= 1
+            && self.warm_misses == 0
+    }
+}
+
+/// The default corpus: each seed runs both checks.
+pub const CORPUS: &[u64] = &[1, 2, 3, 4, 5, 6, 7, 8];
+
+/// A random PLA source with don't-care inputs and outputs, in the
+/// format `silc verify` consumes.
+fn random_pla_source(rng: &mut StdRng) -> String {
+    let ni = rng.gen_range(3..6usize);
+    let no = rng.gen_range(1..4usize);
+    let mut s = format!(".i {ni}\n.o {no}\n");
+    s.push_str(".ilb");
+    for i in 0..ni {
+        s.push_str(&format!(" i{i}"));
+    }
+    s.push_str("\n.ob");
+    for o in 0..no {
+        s.push_str(&format!(" o{o}"));
+    }
+    s.push('\n');
+    for _ in 0..rng.gen_range(2..7usize) {
+        for _ in 0..ni {
+            s.push(match rng.gen_range(0..3u32) {
+                0 => '0',
+                1 => '1',
+                _ => '-',
+            });
+        }
+        s.push(' ');
+        for _ in 0..no {
+            s.push(match rng.gen_range(0..4u32) {
+                0 | 1 => '1',
+                2 => '0',
+                _ => '-',
+            });
+        }
+        s.push('\n');
+    }
+    s.push_str(".e\n");
+    s
+}
+
+/// A small random-but-valid ISL machine (same shape as the verify
+/// crate's proptest generator, so its control store stays within the
+/// oracle's enumerable width).
+fn random_machine_source(rng: &mut StdRng) -> String {
+    let n_states = rng.gen_range(2..5usize);
+    let n_regs = rng.gen_range(1..3usize);
+    let mut src = String::from("machine m {\n");
+    for r in 0..n_regs {
+        src.push_str(&format!("  reg r{r}[{}];\n", rng.gen_range(2..5u32)));
+    }
+    for s in 0..n_states {
+        src.push_str(&format!("  state s{s} {{\n"));
+        let assign = |rng: &mut StdRng| {
+            let r = rng.gen_range(0..n_regs);
+            match rng.gen_range(0..3u32) {
+                0 => format!("r{r} := r{r} + 1;"),
+                1 => format!("r{r} := r{r} ^ r{};", rng.gen_range(0..n_regs)),
+                _ => format!("r{r} := {};", rng.gen_range(0..4u32)),
+            }
+        };
+        if rng.gen_bool(0.7) {
+            let c = rng.gen_range(0..n_regs);
+            let k = rng.gen_range(0..4u32);
+            src.push_str(&format!("    if r{c} == {k} {{\n"));
+            src.push_str(&format!("      {}\n", assign(rng)));
+            src.push_str(&format!("      goto s{};\n", rng.gen_range(0..n_states)));
+            src.push_str("    } else {\n");
+            if rng.gen_bool(0.3) {
+                src.push_str("      halt;\n");
+            } else {
+                src.push_str(&format!("      goto s{};\n", rng.gen_range(0..n_states)));
+            }
+            src.push_str("    }\n");
+        } else {
+            src.push_str(&format!("    {}\n", assign(rng)));
+            src.push_str(&format!("    goto s{};\n", rng.gen_range(0..n_states)));
+        }
+        src.push_str("  }\n");
+    }
+    src.push('}');
+    src
+}
+
+/// `spec`'s realized output covers, with constant-0 outputs widened
+/// from the width-0 covers `FromIterator` hands back.
+fn realized_covers(spec: &PlaSpec) -> Vec<Cover> {
+    (0..spec.num_outputs())
+        .map(|o| {
+            let c = spec.output_cover(o);
+            if c.is_empty() {
+                Cover::empty(spec.num_inputs())
+            } else {
+                c
+            }
+        })
+        .collect()
+}
+
+/// Brute-force oracle: does `impl_covers` satisfy `table` on every
+/// minterm? DC wins over ON on overlap, matching `minimize`'s
+/// convention.
+fn oracle_ok(table: &TruthTable, impl_covers: &[Cover]) -> bool {
+    let ni = table.num_inputs();
+    for m in 0..(1u64 << ni) {
+        for (o, cover) in impl_covers.iter().enumerate() {
+            if table.dc_cover(o).unwrap().eval(m) {
+                continue;
+            }
+            if table.on_cover(o).unwrap().eval(m) != cover.eval(m) {
+                return false;
+            }
+        }
+    }
+    true
+}
+
+/// Flips one literal / drops one cube / adds one random cube in one
+/// output cover — a seeded "silent synthesis bug".
+fn mutate(rng: &mut StdRng, covers: &mut [Cover]) {
+    let ni = covers[0].num_inputs();
+    let o = rng.gen_range(0..covers.len());
+    let cover = &mut covers[o];
+    match rng.gen_range(0..3u32) {
+        0 if !cover.is_empty() => {
+            let ci = rng.gen_range(0..cover.len());
+            let pos = rng.gen_range(0..ni);
+            let cube = cover.cubes()[ci].clone();
+            let new_lit = match cube.lit(pos) {
+                Lit::One => Lit::Zero,
+                Lit::Zero => Lit::DontCare,
+                Lit::DontCare => Lit::One,
+            };
+            let mut cubes: Vec<Cube> = cover.cubes().to_vec();
+            cubes[ci] = cube.with_lit(pos, new_lit);
+            *cover = Cover::from_cubes(ni, cubes).unwrap();
+        }
+        1 if cover.len() > 1 => {
+            let ci = rng.gen_range(0..cover.len());
+            let mut cubes: Vec<Cube> = cover.cubes().to_vec();
+            cubes.remove(ci);
+            *cover = Cover::from_cubes(ni, cubes).unwrap();
+        }
+        _ => {
+            let lits: Vec<Lit> = (0..ni)
+                .map(|_| match rng.gen_range(0..3u32) {
+                    0 => Lit::Zero,
+                    1 => Lit::One,
+                    _ => Lit::DontCare,
+                })
+                .collect();
+            let mut cubes: Vec<Cube> = cover.cubes().to_vec();
+            cubes.push(Cube::from_lits(lits));
+            *cover = Cover::from_cubes(ni, cubes).unwrap();
+        }
+    }
+}
+
+/// Mutates `spec`'s realized covers until the oracle confirms the
+/// function actually changed, then asks the checker for a verdict.
+/// Returns true when the checker refutes the mutant.
+fn mutant_is_caught(rng: &mut StdRng, table: &TruthTable, spec: &PlaSpec) -> bool {
+    let clean = realized_covers(spec);
+    let mut covers = clean.clone();
+    for _ in 0..256 {
+        mutate(rng, &mut covers);
+        if !oracle_ok(table, &covers) {
+            let outputs: Vec<(String, Cover)> = table
+                .output_names()
+                .iter()
+                .cloned()
+                .zip(covers.iter().cloned())
+                .collect();
+            let net = Network::from_covers(table.input_names(), &outputs)
+                .expect("mutated covers form a network");
+            let report =
+                check_against_table_traced(&net, table, &Options::default(), &Tracer::disabled())
+                    .expect("mutant check decides");
+            return !report.equivalent;
+        }
+        covers = clean.clone();
+    }
+    panic!("seeded corpus admits no function-changing mutation");
+}
+
+/// Runs one corpus point: clean verify cold and warm through
+/// `Stage::VERIFY`, plus a proven-function-changing mutant that the
+/// checker must refute.
+pub fn run_one(check: VerifyCheck, seed: u64) -> VerifyRow {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let (source, table) = match check {
+        VerifyCheck::Table => {
+            let source = random_pla_source(&mut rng);
+            let table = TruthTable::parse_pla(&source).expect("generated PLA parses");
+            (source, table)
+        }
+        VerifyCheck::Control => {
+            let source = random_machine_source(&mut rng);
+            let machine = silc_rtl::parse(&source).expect("generated machine parses");
+            (source, silc_synth::control_table(&machine).table)
+        }
+    };
+
+    let engine = Engine::in_memory();
+    let run = |stats: &mut JobStats| match check {
+        VerifyCheck::Table => verify_pla(&engine, &source, stats),
+        VerifyCheck::Control => verify_isl(&engine, &source, stats),
+    };
+
+    let mut cold_stats = JobStats::default();
+    let started = Instant::now();
+    let cold = run(&mut cold_stats).expect("cold verify decides");
+    let cold_us = started.elapsed().as_micros();
+
+    let mut warm_stats = JobStats::default();
+    let started = Instant::now();
+    let warm = run(&mut warm_stats).expect("warm verify decides");
+    let warm_us = started.elapsed().as_micros();
+
+    let spec = PlaSpec::from_truth_table(&table, Minimize::Heuristic).expect("table minimizes");
+    let mutant_caught = mutant_is_caught(&mut rng, &table, &spec);
+
+    VerifyRow {
+        check: check.name(),
+        seed,
+        inputs: table.num_inputs(),
+        outputs: table.num_outputs(),
+        clean_pass: cold.equivalent && warm.equivalent,
+        mutant_caught,
+        cold_us,
+        warm_us,
+        cold_misses: cold_stats.misses,
+        warm_hits: warm_stats.hits,
+        warm_misses: warm_stats.misses,
+    }
+}
+
+/// Runs both checks for every seed in `corpus`.
+pub fn run_corpus(corpus: &[u64]) -> Vec<VerifyRow> {
+    let mut rows = Vec::new();
+    for &seed in corpus {
+        rows.push(run_one(VerifyCheck::Table, seed));
+        rows.push(run_one(VerifyCheck::Control, seed));
+    }
+    rows
+}
+
+/// Table rows for [`crate::render_table`].
+pub fn verify_table(rows: &[VerifyRow]) -> Vec<Vec<String>> {
+    rows.iter()
+        .map(|r| {
+            vec![
+                r.check.to_string(),
+                r.seed.to_string(),
+                format!("{}/{}", r.inputs, r.outputs),
+                (if r.clean_pass { "yes" } else { "NO" }).to_string(),
+                (if r.mutant_caught { "yes" } else { "NO" }).to_string(),
+                r.cold_us.to_string(),
+                r.warm_us.to_string(),
+                format!("{}h/{}m", r.warm_hits, r.warm_misses),
+                (if r.accepted() { "yes" } else { "NO" }).to_string(),
+            ]
+        })
+        .collect()
+}
+
+/// One JSON object per row, newline-terminated — the artifact CI
+/// uploads and validates.
+pub fn verify_json(rows: &[VerifyRow]) -> String {
+    use std::fmt::Write as _;
+    let mut s = String::new();
+    for r in rows {
+        let _ = writeln!(
+            s,
+            "{{\"bench\":\"e11/verify\",\"check\":\"{}\",\"seed\":{},\"inputs\":{},\
+             \"outputs\":{},\"clean_pass\":{},\"mutant_caught\":{},\"cold_us\":{},\
+             \"warm_us\":{},\"cold_misses\":{},\"warm_hits\":{},\"warm_misses\":{},\
+             \"accepted\":{}}}",
+            r.check,
+            r.seed,
+            r.inputs,
+            r.outputs,
+            r.clean_pass,
+            r.mutant_caught,
+            r.cold_us,
+            r.warm_us,
+            r.cold_misses,
+            r.warm_hits,
+            r.warm_misses,
+            r.accepted(),
+        );
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_corpus_point_passes_every_check() {
+        for check in [VerifyCheck::Table, VerifyCheck::Control] {
+            let row = run_one(check, 1);
+            assert!(row.clean_pass, "{check:?}: false fail on clean pair");
+            assert!(row.mutant_caught, "{check:?}: false pass on mutant");
+            assert!(row.cold_misses >= 1, "{check:?}: cold verify hit cache");
+            assert_eq!(row.warm_misses, 0, "{check:?}: warm verify recomputed");
+            assert!(row.warm_hits >= 1, "{check:?}: warm verify missed cache");
+            assert!(row.accepted());
+        }
+    }
+
+    #[test]
+    fn json_rows_are_single_line_objects() {
+        let rows = vec![run_one(VerifyCheck::Table, 2)];
+        let json = verify_json(&rows);
+        let mut lines = json.lines();
+        let line = lines.next().expect("one row");
+        assert!(lines.next().is_none());
+        assert!(line.starts_with("{\"bench\":\"e11/verify\""), "{line}");
+        assert!(line.ends_with('}'), "{line}");
+        assert!(line.contains("\"warm_misses\":0"), "{line}");
+    }
+}

@@ -8,6 +8,7 @@
 
 pub mod e1;
 pub mod e10;
+pub mod e11;
 pub mod e2;
 pub mod e3;
 pub mod e4;

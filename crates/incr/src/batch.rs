@@ -9,6 +9,8 @@
 //! sim traffic.isl --cycles 500
 //! sim cpu.isl --cycles 100000 --engine interp
 //! pnr adder.sil -o adder_routed.cif --stack mead-conway-nmos
+//! verify control.pla
+//! verify decoder.pla --against decoder_golden.pla
 //! ```
 //!
 //! [`run_batch`] executes the jobs on a small thread pool against one
@@ -17,7 +19,10 @@
 //! pull jobs from an atomic cursor; results land in manifest order.
 
 use crate::engine::{Engine, JobStats};
-use crate::pipeline::{compile_sil, pnr_sil, sim_results, CompileOptions};
+use crate::pipeline::{
+    compile_sil, pnr_sil, sim_results, verify_against, verify_isl, verify_pla, verify_sil,
+    CompileOptions,
+};
 use silc_exec::SimEngine;
 use silc_rtl::parse as parse_isl;
 use silc_trace::span;
@@ -51,6 +56,13 @@ pub enum JobKind {
         /// Routing stack name; `None` = the default stack.
         stack: Option<String>,
     },
+    /// Equivalence-check an artifact against its specification.
+    Verify {
+        /// Check against this PLA table instead of the input's own spec.
+        against: Option<PathBuf>,
+        /// Routing stack for `.sil` inputs; `None` = the default stack.
+        stack: Option<String>,
+    },
 }
 
 /// One parsed manifest line.
@@ -71,6 +83,7 @@ impl JobSpec {
             JobKind::Compile { .. } => "compile",
             JobKind::Sim { .. } => "sim",
             JobKind::Pnr { .. } => "pnr",
+            JobKind::Verify { .. } => "verify",
         };
         format!("{verb} {}", self.input.display())
     }
@@ -228,9 +241,50 @@ pub fn parse_manifest(text: &str, base: &Path) -> Result<Vec<JobSpec>, String> {
                 });
                 continue;
             }
+            "verify" => {
+                let mut against = None;
+                let mut stack: Option<String> = None;
+                let mut input = None;
+                let mut it = rest.iter();
+                while let Some(&word) = it.next() {
+                    match word {
+                        "--against" => {
+                            let path = it
+                                .next()
+                                .ok_or_else(|| err("`--against` needs a path".into()))?;
+                            if against.replace(base.join(path)).is_some() {
+                                return Err(err("duplicate `--against`".into()));
+                            }
+                        }
+                        "--stack" => {
+                            let name = it
+                                .next()
+                                .ok_or_else(|| err("`--stack` needs a name".into()))?;
+                            if stack.replace(name.to_string()).is_some() {
+                                return Err(err("duplicate `--stack`".into()));
+                            }
+                        }
+                        w if w.starts_with('-') => {
+                            return Err(err(format!("unknown verify flag `{w}`")));
+                        }
+                        w => {
+                            if input.replace(w).is_some() {
+                                return Err(err(format!("unexpected extra argument `{w}`")));
+                            }
+                        }
+                    }
+                }
+                let input = input.ok_or_else(|| err("verify needs an input file".into()))?;
+                jobs.push(JobSpec {
+                    input: base.join(input),
+                    line,
+                    kind: JobKind::Verify { against, stack },
+                });
+                continue;
+            }
             other => {
                 return Err(err(format!(
-                    "unknown verb `{other}` (expected `compile`, `sim` or `pnr`)"
+                    "unknown verb `{other}` (expected `compile`, `sim`, `pnr` or `verify`)"
                 )))
             }
         }
@@ -304,6 +358,41 @@ fn run_one(
                     out.cells, out.routed, out.nets, out.wirelength, out.vias
                 ))
             }
+            JobKind::Verify { against, stack } => {
+                let ext = job.input.extension().and_then(|e| e.to_str()).unwrap_or("");
+                let snap = match (against, ext) {
+                    (Some(spec_path), "pla") => {
+                        let spec = fs::read_to_string(spec_path)
+                            .map_err(|e| format!("cannot read `{}`: {e}", spec_path.display()))?;
+                        verify_against(engine, &source, &spec, &mut stats)?
+                    }
+                    (Some(_), _) => {
+                        return Err(format!(
+                            "`--against` checks one PLA table against another; got `{}`",
+                            job.input.display()
+                        ))
+                    }
+                    (None, "pla") => verify_pla(engine, &source, &mut stats)?,
+                    (None, "isl") => verify_isl(engine, &source, &mut stats)?,
+                    (None, "sil") => {
+                        let stack = stack.as_deref().unwrap_or(silc_pnr::RouteStack::KNOWN[0]);
+                        verify_sil(engine, &source, stack, &mut stats)?
+                    }
+                    (None, _) => {
+                        return Err(format!(
+                            "verify needs a `.pla`, `.isl` or `.sil` input, got `{}`",
+                            job.input.display()
+                        ))
+                    }
+                };
+                if !snap.equivalent {
+                    return Err(format!(
+                        "verify: NOT equivalent ({})",
+                        snap.mismatches.join("; ")
+                    ));
+                }
+                Ok(snap.summary())
+            }
         }
     })();
     (outcome, stats)
@@ -356,11 +445,12 @@ mod tests {
         let base = Path::new("/designs");
         let jobs = parse_manifest(
             "# header\n\ncompile a.sil -o a.cif\ncompile b.sil --no-drc\nsim m.isl --cycles 42\n\
-             pnr c.sil -o c.cif --stack nmos\n",
+             pnr c.sil -o c.cif --stack nmos\nverify d.pla --against gold.pla\n\
+             verify e.sil --stack nmos\n",
             base,
         )
         .unwrap();
-        assert_eq!(jobs.len(), 4);
+        assert_eq!(jobs.len(), 6);
         assert_eq!(jobs[0].input, base.join("a.sil"));
         assert_eq!(
             jobs[0].kind,
@@ -392,6 +482,21 @@ mod tests {
             }
         );
         assert_eq!(jobs[3].label(), "pnr /designs/c.sil");
+        assert_eq!(
+            jobs[4].kind,
+            JobKind::Verify {
+                against: Some(base.join("gold.pla")),
+                stack: None
+            }
+        );
+        assert_eq!(jobs[4].label(), "verify /designs/d.pla");
+        assert_eq!(
+            jobs[5].kind,
+            JobKind::Verify {
+                against: None,
+                stack: Some("nmos".into())
+            }
+        );
     }
 
     #[test]
@@ -412,6 +517,15 @@ mod tests {
             ("pnr a.sil --stack x --stack y", "duplicate `--stack`"),
             ("pnr a.sil --fast", "unknown pnr flag"),
             ("pnr a.sil b.sil", "extra argument"),
+            ("verify", "needs an input"),
+            ("verify a.pla --against", "needs a path"),
+            (
+                "verify a.pla --against x --against y",
+                "duplicate `--against`",
+            ),
+            ("verify a.sil --stack x --stack y", "duplicate `--stack`"),
+            ("verify a.pla --fast", "unknown verify flag"),
+            ("verify a.pla b.pla", "extra argument"),
         ] {
             let e = parse_manifest(text, base).unwrap_err();
             assert!(e.contains(needle), "{text:?} -> {e}");
@@ -452,6 +566,33 @@ mod tests {
         assert!(warm.iter().all(|r| r.outcome.is_ok()));
         assert_eq!(warm.iter().map(|r| r.stats.misses).sum::<u64>(), 0);
         assert_eq!(warm.iter().map(|r| r.stats.hits).sum::<u64>(), 12);
+    }
+
+    #[test]
+    fn verify_jobs_pass_and_fail_in_one_batch() {
+        let dir = std::env::temp_dir().join(format!("silc-incr-verify-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        fs::create_dir_all(&dir).unwrap();
+        let table = ".i 2\n.o 1\n.ilb a b\n.ob y\n10 1\n01 1\n";
+        fs::write(dir.join("good.pla"), table).unwrap();
+        fs::write(dir.join("bad.pla"), table.replace("01 1", "01 0")).unwrap();
+        let manifest = "verify good.pla\nverify bad.pla --against good.pla\n";
+        let jobs = parse_manifest(manifest, &dir).unwrap();
+        let results = run_batch(&Engine::in_memory(), &jobs, 2, SimEngine::default());
+        assert!(
+            results[0].outcome.as_ref().unwrap().contains("equivalent"),
+            "{:?}",
+            results[0].outcome
+        );
+        assert!(
+            results[1]
+                .outcome
+                .as_ref()
+                .unwrap_err()
+                .contains("NOT equivalent"),
+            "{:?}",
+            results[1].outcome
+        );
     }
 
     #[test]

@@ -103,6 +103,11 @@ impl Stage {
         name: "pnr",
         tag: 8,
     };
+    /// Implementation + specification → equivalence verdict.
+    pub const VERIFY: Stage = Stage {
+        name: "verify",
+        tag: 9,
+    };
 }
 
 /// Memory-tier eviction policy.

@@ -49,7 +49,8 @@ pub use disk::{DiskCache, FORMAT_VERSION};
 pub use engine::{default_parallelism, Engine, EngineConfig, EvictPolicy, JobStats, Stage};
 pub use pipeline::{
     cif_text, compile_sil, drc_report, elaborate, extract_signature, flat_regions, pla_products,
-    pnr_products, pnr_sil, sim_results, synth_allocation, CompileOptions, CompileOutput,
-    ExtractSnapshot, FlatSnapshot, PlaSnapshot, PnrSnapshot, SimSnapshot, SynthSnapshot,
+    pnr_products, pnr_sil, sim_results, synth_allocation, verify_against, verify_isl, verify_pla,
+    verify_sil, CompileOptions, CompileOutput, ExtractSnapshot, FlatSnapshot, PlaSnapshot,
+    PnrSnapshot, SimSnapshot, SynthSnapshot, VerifySnapshot,
 };
 pub use silc_exec::SimEngine;

@@ -33,6 +33,10 @@ use silc_pnr::{place_and_route_traced, Floorplan, RouteStack};
 use silc_rtl::{Machine, RunReport, Simulator};
 use silc_synth::{synthesize_traced, Sharing, SynthOptions};
 use silc_trace::span;
+use silc_verify::{
+    check_against_table_traced, check_equivalence_traced, network_from_netlist, Network,
+    Options as VerifyOptions,
+};
 use std::sync::Arc;
 
 /// Flattened geometry plus the die statistics the CLI summarises —
@@ -603,6 +607,226 @@ pub fn pnr_sil(
         return Err("pnr: extract-back does not match the source netlist".into());
     }
     Ok(out)
+}
+
+/// An equivalence-check verdict, memoized as [`Stage::VERIFY`]. *Both*
+/// verdicts cache — a failing check is exactly as expensive to recompute
+/// as a passing one, and every key pins both sides, so a cached failure
+/// can never mask a later fix (the fix changes the key).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct VerifySnapshot {
+    /// Which check ran: `pla`, `isl`, `sil` or `against`.
+    pub check: String,
+    /// True when every output pair was proven equivalent.
+    pub equivalent: bool,
+    /// Output pairs examined.
+    pub outputs: u64,
+    /// Nodes merged by structural hashing.
+    pub strash_merged: u64,
+    /// Simulation rounds run.
+    pub sim_rounds: u64,
+    /// Output pairs refuted by simulation.
+    pub sim_refuted: u64,
+    /// Output pairs decided by the exact cover-containment tier.
+    pub exact_decided: u64,
+    /// Mismatch descriptions, sorted; empty iff `equivalent`.
+    pub mismatches: Vec<String>,
+}
+
+impl VerifySnapshot {
+    /// The one-line verdict every front-end prints.
+    pub fn summary(&self) -> String {
+        let verdict = if self.equivalent {
+            "equivalent"
+        } else {
+            "NOT equivalent"
+        };
+        format!(
+            "verify({}): {verdict}: {} outputs ({} strash-merged, {} sim-refuted, {} exact, {} rounds)",
+            self.check,
+            self.outputs,
+            self.strash_merged,
+            self.sim_refuted,
+            self.exact_decided,
+            self.sim_rounds
+        )
+    }
+}
+
+impl Persist for VerifySnapshot {
+    fn encode(&self, e: &mut Enc) {
+        e.str(&self.check);
+        self.equivalent.encode(e);
+        e.u64(self.outputs);
+        e.u64(self.strash_merged);
+        e.u64(self.sim_rounds);
+        e.u64(self.sim_refuted);
+        e.u64(self.exact_decided);
+        self.mismatches.encode(e);
+    }
+    fn decode(d: &mut Dec<'_>) -> Result<Self, DecodeError> {
+        Ok(VerifySnapshot {
+            check: d.str()?,
+            equivalent: bool::decode(d)?,
+            outputs: d.u64()?,
+            strash_merged: d.u64()?,
+            sim_rounds: d.u64()?,
+            sim_refuted: d.u64()?,
+            exact_decided: d.u64()?,
+            mismatches: Vec::<String>::decode(d)?,
+        })
+    }
+}
+
+fn verify_snapshot(check: &str, report: silc_verify::Report) -> VerifySnapshot {
+    VerifySnapshot {
+        check: check.to_string(),
+        equivalent: report.equivalent,
+        outputs: report.outputs as u64,
+        strash_merged: report.strash_merged as u64,
+        sim_rounds: report.sim_rounds as u64,
+        sim_refuted: report.sim_refuted as u64,
+        exact_decided: report.exact_decided as u64,
+        mismatches: report.mismatches,
+    }
+}
+
+/// The single-level network realizing `spec`'s output covers.
+fn realized_network(spec: &PlaSpec) -> Result<Network, String> {
+    let outputs: Vec<(String, silc_logic::Cover)> = spec
+        .output_names()
+        .iter()
+        .enumerate()
+        .map(|(o, n)| (n.clone(), spec.output_cover(o)))
+        .collect();
+    Network::from_covers(spec.input_names(), &outputs).map_err(|e| e.to_string())
+}
+
+/// Check 2: minimized PLA vs. its own truth table. The implementation
+/// side (the heuristically minimized personality) is a deterministic
+/// function of the specification side, so the source text plus the
+/// check tag pins both sides' fingerprints.
+///
+/// # Errors
+///
+/// Table parse or minimization errors, rendered to strings. An
+/// *inequivalent* pair is NOT an error: the verdict comes back in the
+/// snapshot.
+pub fn verify_pla(
+    engine: &Engine,
+    source: &str,
+    stats: &mut JobStats,
+) -> Result<Arc<VerifySnapshot>, String> {
+    let key = ("verify-pla", source).fingerprint();
+    engine.query(Stage::VERIFY, key, stats, || {
+        let tracer = engine.tracer();
+        let table = TruthTable::parse_pla(source).map_err(|e| e.to_string())?;
+        let spec = PlaSpec::from_truth_table_traced(&table, Minimize::Heuristic, tracer)
+            .map_err(|e| e.to_string())?;
+        let net = realized_network(&spec)?;
+        let report = check_against_table_traced(&net, &table, &VerifyOptions::default(), tracer)
+            .map_err(|e| e.to_string())?;
+        Ok(verify_snapshot("pla", report))
+    })
+}
+
+/// Check 1: synthesized control store vs. its RTL source. Sequential
+/// equivalence under the state-register correspondence reduces to a
+/// combinational check of the minimized control PLA against the exact
+/// next-state/control table derived from the machine. Keyed by the
+/// parsed machine, so formatting-only ISL edits hit the cache.
+///
+/// # Errors
+///
+/// ISL parse or minimization errors, rendered to strings. An
+/// inequivalent pair is NOT an error: the verdict comes back in the
+/// snapshot.
+pub fn verify_isl(
+    engine: &Engine,
+    source: &str,
+    stats: &mut JobStats,
+) -> Result<Arc<VerifySnapshot>, String> {
+    let machine = silc_rtl::parse(source).map_err(|e| e.to_string())?;
+    let key = ("verify-isl", &machine).fingerprint();
+    engine.query(Stage::VERIFY, key, stats, || {
+        let tracer = engine.tracer();
+        let control = silc_synth::control_table(&machine);
+        let spec = PlaSpec::from_truth_table_traced(&control.table, Minimize::Heuristic, tracer)
+            .map_err(|e| e.to_string())?;
+        let net = realized_network(&spec)?;
+        let report =
+            check_against_table_traced(&net, &control.table, &VerifyOptions::default(), tracer)
+                .map_err(|e| e.to_string())?;
+        Ok(verify_snapshot("isl", report))
+    })
+}
+
+/// Check 3: pnr extract-back netlist vs. the input netlist — the
+/// functional upgrade of `structurally_matches` LVS. The key is the
+/// same `(netlist, stack, floorplan)` triple as [`pnr_products`], so a
+/// warm verify is a pure [`Stage::VERIFY`] hit; a cold one re-runs
+/// place-and-route inside the closure (the routed geometry is
+/// deterministic in the key, so this stays correct).
+///
+/// # Errors
+///
+/// Elaboration, extraction, placement or routing failures, rendered to
+/// strings. An inequivalent pair is NOT an error: the verdict comes
+/// back in the snapshot.
+pub fn verify_sil(
+    engine: &Engine,
+    source: &str,
+    stack_name: &str,
+    stats: &mut JobStats,
+) -> Result<Arc<VerifySnapshot>, String> {
+    let stack = RouteStack::by_name(stack_name).map_err(|e| format!("verify: {e}"))?;
+    let design = elaborate(engine, source, stats)?;
+    let extracted = silc_extract::extract_traced(&design.library, design.top, engine.tracer())
+        .map_err(|e| format!("extract: {e}"))?;
+    let floorplan = Floorplan::squarish(extracted.netlist.instances().len());
+    let key = (("verify-sil", &extracted.netlist), (&stack, &floorplan)).fingerprint();
+    engine.query(Stage::VERIFY, key, stats, || {
+        let tracer = engine.tracer();
+        let out = place_and_route_traced(&extracted.netlist, &stack, &floorplan, false, tracer)
+            .map_err(|e| e.to_string())?;
+        let back = silc_extract::extract_traced(&out.library, out.root, tracer)
+            .map_err(|e| e.to_string())?;
+        let impl_net = network_from_netlist(&back.netlist).map_err(|e| e.to_string())?;
+        let spec_net = network_from_netlist(&extracted.netlist).map_err(|e| e.to_string())?;
+        let report =
+            check_equivalence_traced(&impl_net, &spec_net, &VerifyOptions::default(), tracer)
+                .map_err(|e| e.to_string())?;
+        Ok(verify_snapshot("sil", report))
+    })
+}
+
+/// `silc verify A --against B`: two PLA tables checked against each
+/// other — A's *raw* (unminimized) realized covers against B's table.
+/// Keyed by both sources' fingerprints.
+///
+/// # Errors
+///
+/// Parse errors on either side, rendered to strings. An inequivalent
+/// pair is NOT an error: the verdict comes back in the snapshot.
+pub fn verify_against(
+    engine: &Engine,
+    impl_source: &str,
+    spec_source: &str,
+    stats: &mut JobStats,
+) -> Result<Arc<VerifySnapshot>, String> {
+    let key = ("verify-against", impl_source, spec_source).fingerprint();
+    engine.query(Stage::VERIFY, key, stats, || {
+        let tracer = engine.tracer();
+        let impl_table = TruthTable::parse_pla(impl_source).map_err(|e| format!("impl: {e}"))?;
+        let spec_table = TruthTable::parse_pla(spec_source).map_err(|e| format!("spec: {e}"))?;
+        let spec = PlaSpec::from_truth_table_traced(&impl_table, Minimize::None, tracer)
+            .map_err(|e| e.to_string())?;
+        let net = realized_network(&spec)?;
+        let report =
+            check_against_table_traced(&net, &spec_table, &VerifyOptions::default(), tracer)
+                .map_err(|e| e.to_string())?;
+        Ok(verify_snapshot("against", report))
+    })
 }
 
 /// Options for the one-call compile pipeline.

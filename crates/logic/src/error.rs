@@ -38,6 +38,14 @@ pub enum LogicError {
         /// Number of inputs available.
         inputs: usize,
     },
+    /// An internal cover invariant was violated (for example, exact
+    /// covering found an ON minterm with no covering prime). Surfaced as
+    /// an error so a malformed cover degrades a request instead of
+    /// panicking a worker.
+    CoverInvariant {
+        /// Which invariant failed.
+        detail: String,
+    },
 }
 
 impl fmt::Display for LogicError {
@@ -63,6 +71,9 @@ impl fmt::Display for LogicError {
             }
             LogicError::BadInputIndex { index, inputs } => {
                 write!(f, "input index {index} out of range for {inputs} inputs")
+            }
+            LogicError::CoverInvariant { detail } => {
+                write!(f, "cover invariant violated: {detail}")
             }
         }
     }

@@ -109,7 +109,14 @@ pub fn minimize_exact(on: &Cover, dc: &Cover) -> Result<Cover, LogicError> {
         &mut chosen,
         &mut best,
     );
-    let selection = best.expect("a cover always exists: every minterm has a prime");
+    // Every ON minterm is covered by at least one prime, so branch-and-
+    // bound must find some selection; if it did not, an internal cover
+    // invariant was violated and the caller gets a real error rather than
+    // a worker-killing panic.
+    let selection = best.ok_or_else(|| LogicError::CoverInvariant {
+        detail: "exact covering found no selection: an ON minterm has no covering prime"
+            .to_string(),
+    })?;
     let cubes = selection.into_iter().map(|i| primes[i].clone()).collect();
     Cover::from_cubes(n, cubes)
 }

@@ -216,14 +216,23 @@ impl TruthTable {
     /// Parses the Berkeley PLA text format (`.i`, `.o`, `.ilb`, `.ob`,
     /// `.p`, term rows, `.e`).
     ///
+    /// The declared shape is enforced: re-declaring `.i`, `.o`, `.ilb`,
+    /// `.ob` or `.p` is an error (a second `.i` would silently reinterpret
+    /// every term row already read), `.ilb`/`.ob` name counts must match
+    /// `.i`/`.o`, and a `.p` product-term count must match the number of
+    /// term rows actually present.
+    ///
     /// # Errors
     ///
     /// [`LogicError::ParsePla`] with the offending line number.
     pub fn parse_pla(text: &str) -> Result<TruthTable, LogicError> {
         let mut num_inputs: Option<usize> = None;
         let mut num_outputs: Option<usize> = None;
-        let mut input_names: Option<Vec<String>> = None;
-        let mut output_names: Option<Vec<String>> = None;
+        // Names and term count carry the line they were declared on so
+        // cross-checks at end of parse can still point at a line.
+        let mut input_names: Option<(Vec<String>, usize)> = None;
+        let mut output_names: Option<(Vec<String>, usize)> = None;
+        let mut term_count: Option<(usize, usize)> = None;
         let mut rows: Vec<(Cube, Vec<OutBit>)> = Vec::new();
 
         for (lineno, raw) in text.lines().enumerate() {
@@ -239,28 +248,45 @@ impl TruthTable {
                 let mut parts = rest.split_whitespace();
                 match parts.next() {
                     Some("i") => {
-                        num_inputs = Some(
-                            parts
-                                .next()
-                                .and_then(|s| s.parse().ok())
-                                .ok_or_else(|| err("bad .i directive"))?,
-                        );
+                        let value = parts
+                            .next()
+                            .and_then(|s| s.parse().ok())
+                            .ok_or_else(|| err("bad .i directive"))?;
+                        if num_inputs.replace(value).is_some() {
+                            return Err(err("duplicate .i directive"));
+                        }
                     }
                     Some("o") => {
-                        num_outputs = Some(
-                            parts
-                                .next()
-                                .and_then(|s| s.parse().ok())
-                                .ok_or_else(|| err("bad .o directive"))?,
-                        );
+                        let value = parts
+                            .next()
+                            .and_then(|s| s.parse().ok())
+                            .ok_or_else(|| err("bad .o directive"))?;
+                        if num_outputs.replace(value).is_some() {
+                            return Err(err("duplicate .o directive"));
+                        }
                     }
                     Some("ilb") => {
-                        input_names = Some(parts.map(str::to_string).collect());
+                        let names = parts.map(str::to_string).collect();
+                        if input_names.replace((names, lineno + 1)).is_some() {
+                            return Err(err("duplicate .ilb directive"));
+                        }
                     }
                     Some("ob") => {
-                        output_names = Some(parts.map(str::to_string).collect());
+                        let names = parts.map(str::to_string).collect();
+                        if output_names.replace((names, lineno + 1)).is_some() {
+                            return Err(err("duplicate .ob directive"));
+                        }
                     }
-                    Some("p") | Some("e") | Some("end") => {}
+                    Some("p") => {
+                        let value = parts
+                            .next()
+                            .and_then(|s| s.parse().ok())
+                            .ok_or_else(|| err("bad .p directive"))?;
+                        if term_count.replace((value, lineno + 1)).is_some() {
+                            return Err(err("duplicate .p directive"));
+                        }
+                    }
+                    Some("e") | Some("end") => {}
                     Some(other) => {
                         return Err(err(&format!("unknown directive .{other}")));
                     }
@@ -296,16 +322,35 @@ impl TruthTable {
             line: 0,
             message: "missing .o directive".into(),
         })?;
-        let mut t = TruthTable::new(ni, no);
-        if let Some(names) = input_names {
-            if names.len() == ni {
-                t.input_names = names;
+        if let Some((count, line)) = term_count {
+            if count != rows.len() {
+                return Err(LogicError::ParsePla {
+                    line,
+                    message: format!(
+                        ".p declares {count} product terms but {} term rows follow",
+                        rows.len()
+                    ),
+                });
             }
         }
-        if let Some(names) = output_names {
-            if names.len() == no {
-                t.output_names = names;
+        let mut t = TruthTable::new(ni, no);
+        if let Some((names, line)) = input_names {
+            if names.len() != ni {
+                return Err(LogicError::ParsePla {
+                    line,
+                    message: format!(".ilb names {} inputs but .i declares {ni}", names.len()),
+                });
             }
+            t.input_names = names;
+        }
+        if let Some((names, line)) = output_names {
+            if names.len() != no {
+                return Err(LogicError::ParsePla {
+                    line,
+                    message: format!(".ob names {} outputs but .o declares {no}", names.len()),
+                });
+            }
+            t.output_names = names;
         }
         t.rows = rows;
         Ok(t)
@@ -427,6 +472,52 @@ mod tests {
         assert!(t
             .push_row(Cube::parse("11").unwrap(), vec![OutBit::On])
             .is_ok());
+    }
+
+    #[test]
+    fn p_count_mismatch_rejected() {
+        let text = ".i 2\n.o 1\n.p 3\n11 1\n10 1\n.e\n";
+        let err = TruthTable::parse_pla(text).unwrap_err();
+        assert!(matches!(err, LogicError::ParsePla { line: 3, .. }), "{err}");
+        assert!(err.to_string().contains("3 product terms"));
+        // A correct .p count still parses.
+        let ok = ".i 2\n.o 1\n.p 2\n11 1\n10 1\n.e\n";
+        assert_eq!(TruthTable::parse_pla(ok).unwrap().rows().len(), 2);
+    }
+
+    #[test]
+    fn ilb_ob_arity_mismatch_rejected() {
+        let bad_ilb = ".i 3\n.o 1\n.ilb a b\n1-0 1\n.e\n";
+        let err = TruthTable::parse_pla(bad_ilb).unwrap_err();
+        assert!(matches!(err, LogicError::ParsePla { line: 3, .. }), "{err}");
+        assert!(err.to_string().contains(".ilb"));
+        let bad_ob = ".i 2\n.o 1\n.ob f g\n11 1\n.e\n";
+        let err = TruthTable::parse_pla(bad_ob).unwrap_err();
+        assert!(matches!(err, LogicError::ParsePla { line: 3, .. }), "{err}");
+        assert!(err.to_string().contains(".ob"));
+    }
+
+    #[test]
+    fn duplicate_directives_rejected() {
+        for (text, what) in [
+            (".i 2\n.i 3\n.o 1\n11 1\n.e\n", ".i"),
+            (".i 2\n.o 1\n.o 2\n11 1\n.e\n", ".o"),
+            (".i 2\n.o 1\n.ilb a b\n.ilb c d\n11 1\n.e\n", ".ilb"),
+            (".i 2\n.o 1\n.ob f\n.ob g\n11 1\n.e\n", ".ob"),
+            (".i 2\n.o 1\n.p 1\n.p 1\n11 1\n.e\n", ".p"),
+        ] {
+            let err = TruthTable::parse_pla(text).unwrap_err();
+            assert!(
+                err.to_string().contains(&format!("duplicate {what}")),
+                "{text:?}: {err}"
+            );
+        }
+    }
+
+    #[test]
+    fn bad_p_directive_rejected() {
+        let err = TruthTable::parse_pla(".i 1\n.o 1\n.p many\n1 1\n.e\n").unwrap_err();
+        assert!(matches!(err, LogicError::ParsePla { line: 3, .. }), "{err}");
     }
 
     #[test]

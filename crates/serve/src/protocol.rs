@@ -8,6 +8,7 @@
 //! {"op":"sim","source":"machine m {...}","cycles":10000,"engine":"compiled"}
 //! {"op":"drc","source":"cell a() {...}"}
 //! {"op":"pnr","source":"cell a() {...}","stack":"mead-conway-nmos"}
+//! {"op":"verify","source":".i 2\n...","lang":"pla","against":".i 2\n..."}
 //! {"op":"stats"}
 //! {"op":"shutdown"}
 //! ```
@@ -77,6 +78,20 @@ pub enum Request {
         /// Routing stack name; `None` uses the default stack.
         stack: Option<String>,
     },
+    /// Equivalence-check an artifact against its specification; mirrors
+    /// `silc verify`.
+    Verify {
+        /// Source text of the artifact to check.
+        source: String,
+        /// Source language: `"pla"`, `"isl"` or `"sil"` (serve carries
+        /// text, not file names, so the extension travels here).
+        lang: String,
+        /// PLA spec text to check a `"pla"` source against instead of
+        /// its own minimized realization.
+        against: Option<String>,
+        /// Routing stack for `"sil"` sources; `None` uses the default.
+        stack: Option<String>,
+    },
     /// Server statistics; answered inline, never queued.
     Stats,
     /// Graceful shutdown: drain in-flight jobs, then exit.
@@ -109,6 +124,7 @@ impl Request {
             Request::Sim { .. } => "sim",
             Request::Drc { .. } => "drc",
             Request::Pnr { .. } => "pnr",
+            Request::Verify { .. } => "verify",
             Request::Stats => "stats",
             Request::Shutdown => "shutdown",
             Request::Sleep { .. } => "sleep",
@@ -134,6 +150,7 @@ impl Request {
             Request::Sim { source, .. } => (2, source.as_str()),
             Request::Drc { source } => (3, source.as_str()),
             Request::Pnr { source, .. } => (4, source.as_str()),
+            Request::Verify { source, .. } => (5, source.as_str()),
             Request::Stats | Request::Shutdown | Request::Sleep { .. } => return 0,
         };
         let mut h = 0xcbf2_9ce4_8422_2325u64;
@@ -243,6 +260,26 @@ pub fn parse_request(line: &str, allow_test_ops: bool) -> Result<Envelope, Strin
                 Some(v) => Some(v.as_str().ok_or("`stack` must be a string")?.to_string()),
             },
         },
+        "verify" => {
+            let lang = required_str(&obj, "lang", "verify")?;
+            if !matches!(lang.as_str(), "pla" | "isl" | "sil") {
+                return Err(format!(
+                    "`lang` must be \"pla\", \"isl\" or \"sil\", got `{lang}`"
+                ));
+            }
+            Request::Verify {
+                source: required_str(&obj, "source", "verify")?,
+                lang,
+                against: match obj.get("against") {
+                    None | Some(Json::Null) => None,
+                    Some(v) => Some(v.as_str().ok_or("`against` must be a string")?.to_string()),
+                },
+                stack: match obj.get("stack") {
+                    None | Some(Json::Null) => None,
+                    Some(v) => Some(v.as_str().ok_or("`stack` must be a string")?.to_string()),
+                },
+            }
+        }
         "stats" => Request::Stats,
         "shutdown" => Request::Shutdown,
         "sleep" if allow_test_ops => Request::Sleep {
@@ -350,6 +387,31 @@ mod tests {
             }
         );
 
+        let e = parse_request(r#"{"op":"verify","source":".i 1","lang":"pla"}"#, false).unwrap();
+        assert_eq!(
+            e.request,
+            Request::Verify {
+                source: ".i 1".into(),
+                lang: "pla".into(),
+                against: None,
+                stack: None,
+            }
+        );
+        let e = parse_request(
+            r#"{"op":"verify","source":".i 1","lang":"pla","against":".i 1"}"#,
+            false,
+        )
+        .unwrap();
+        assert_eq!(
+            e.request,
+            Request::Verify {
+                source: ".i 1".into(),
+                lang: "pla".into(),
+                against: Some(".i 1".into()),
+                stack: None,
+            }
+        );
+
         for op in ["stats", "shutdown"] {
             let e = parse_request(&format!(r#"{{"op":"{op}"}}"#), false).unwrap();
             assert!(e.request.is_control(), "{op}");
@@ -397,6 +459,12 @@ mod tests {
         assert!(pnr != a && pnr != drc, "pnr keys its own cache entries");
         let pnr2 = parse(r#"{"op":"pnr","source":"cell a() {}","stack":"nmos"}"#).affinity();
         assert_eq!(pnr, pnr2, "affinity is per-source, not per-stack");
+        let verify = parse(r#"{"op":"verify","source":"cell a() {}","lang":"sil"}"#).affinity();
+        assert_ne!(verify, 0, "verify is a compute op");
+        assert!(
+            verify != a && verify != drc && verify != pnr,
+            "verify keys its own cache entries"
+        );
         assert_eq!(parse(r#"{"op":"stats"}"#).affinity(), 0);
         assert_eq!(parse(r#"{"op":"sleep","ms":1}"#).affinity(), 0);
     }
@@ -430,6 +498,14 @@ mod tests {
             parse_request(r#"{"op":"pnr","source":"x","stack":7}"#, false)
                 .unwrap_err()
                 .contains("`stack` must be a string")
+        );
+        assert!(parse_request(r#"{"op":"verify","source":"x"}"#, false)
+            .unwrap_err()
+            .contains("lang"));
+        assert!(
+            parse_request(r#"{"op":"verify","source":"x","lang":"vhdl"}"#, false)
+                .unwrap_err()
+                .contains("vhdl")
         );
         assert!(
             parse_request(r#"{"op":"sim","source":"m","cycles":-1}"#, false)

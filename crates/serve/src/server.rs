@@ -64,7 +64,8 @@ use silc_drc::RuleSet;
 use silc_exec::SimEngine;
 use silc_incr::{
     compile_sil, default_parallelism, drc_report, elaborate, flat_regions, pnr_sil, sim_results,
-    CompileOptions, Engine, EngineConfig, EvictPolicy, JobStats,
+    verify_against, verify_isl, verify_pla, verify_sil, CompileOptions, Engine, EngineConfig,
+    EvictPolicy, JobStats,
 };
 use silc_trace::{names, Tracer};
 
@@ -662,6 +663,49 @@ fn execute(
             fields.push(("rounds".into(), Json::Int(out.rounds as i128)));
             fields.push(("lvs_ok".into(), Json::Bool(out.lvs_ok)));
             fields.push(("cif".into(), Json::Str(out.cif.clone())));
+        }
+        Request::Verify {
+            source,
+            lang,
+            against,
+            stack,
+        } => {
+            let snap = match (against, lang.as_str()) {
+                (Some(spec), "pla") => verify_against(engine, source, spec, &mut stats)?,
+                (Some(_), other) => {
+                    return Err(format!(
+                        "verify: `against` checks one PLA table against another, not `{other}`"
+                    ))
+                }
+                (None, "pla") => verify_pla(engine, source, &mut stats)?,
+                (None, "isl") => verify_isl(engine, source, &mut stats)?,
+                (None, "sil") => {
+                    let stack = stack.as_deref().unwrap_or(silc_pnr::RouteStack::KNOWN[0]);
+                    verify_sil(engine, source, stack, &mut stats)?
+                }
+                (None, other) => return Err(format!("verify: unsupported lang `{other}`")),
+            };
+            fields.push(("check".into(), Json::Str(snap.check.clone())));
+            fields.push(("equivalent".into(), Json::Bool(snap.equivalent)));
+            fields.push(("outputs".into(), Json::Int(snap.outputs as i128)));
+            fields.push((
+                "strash_merged".into(),
+                Json::Int(snap.strash_merged as i128),
+            ));
+            fields.push(("sim_refuted".into(), Json::Int(snap.sim_refuted as i128)));
+            fields.push((
+                "exact_decided".into(),
+                Json::Int(snap.exact_decided as i128),
+            ));
+            fields.push((
+                "mismatches".into(),
+                Json::Arr(
+                    snap.mismatches
+                        .iter()
+                        .map(|m| Json::Str(m.clone()))
+                        .collect(),
+                ),
+            ));
         }
         Request::Sleep { ms } => {
             // Sleep in short slices so shutdown drains fast and an

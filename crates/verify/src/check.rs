@@ -1,0 +1,682 @@
+//! The decision engine: structural hashing, simulation-guided partition
+//! refinement, and exact cube-cover containment.
+//!
+//! Both entry points run the same three-tier procedure:
+//!
+//! 1. **Structural hashing** — the two sides are spliced into one
+//!    network over shared primary inputs and [`Network::strash`]ed;
+//!    output pairs that collapse to the same node are equivalent with no
+//!    further work.
+//! 2. **Simulation refinement** — rounds of 64-lane bit-packed random
+//!    vectors partition the surviving nodes into candidate-equivalence
+//!    classes; an output pair whose words ever differ is *refuted*, and
+//!    the differing lane is decoded into a concrete counterexample.
+//!    Rounds stop early once the partition is stable.
+//! 3. **Exact fallback** — pairs still candidate-equivalent are decided
+//!    by flattening both sides to ON/OFF covers over the primary inputs
+//!    and asking [`Cover::covers`] in both directions. Simulation can
+//!    only refute; this tier is what makes a *pass* a proof.
+//!
+//! There is no SAT solver anywhere: the exact tier is the same cube
+//! calculus (`cofactor`-until-tautology) that `minimize` is built on.
+
+use crate::network::Network;
+use crate::{Report, VerifyError};
+use rand::rngs::StdRng;
+use rand::{RngCore, SeedableRng};
+use silc_logic::{Cover, Cube, Lit, TruthTable};
+use silc_trace::{span, Tracer};
+
+/// Tuning knobs for the decision engine.
+#[derive(Debug, Clone)]
+pub struct Options {
+    /// Maximum rounds of 64-lane random simulation (the engine stops
+    /// early when the candidate partition is stable).
+    pub sim_rounds: usize,
+    /// Seed for the random vectors. Fixed by default so verdicts are
+    /// deterministic and therefore cacheable.
+    pub seed: u64,
+    /// Cube-count cap on any cover built during exact flattening.
+    pub cube_cap: usize,
+}
+
+impl Default for Options {
+    fn default() -> Options {
+        Options {
+            sim_rounds: 8,
+            seed: 0x511C_0DE5,
+            cube_cap: 20_000,
+        }
+    }
+}
+
+/// Exhaustive-within-64-lanes input patterns: input `i < 6` toggles
+/// with period `2^(i+1)`, so any 6 inputs sweep all 64 combinations in
+/// one word. Inputs beyond 6 get random words.
+const WALSH: [u64; 6] = [
+    0xAAAA_AAAA_AAAA_AAAA,
+    0xCCCC_CCCC_CCCC_CCCC,
+    0xF0F0_F0F0_F0F0_F0F0,
+    0xFF00_FF00_FF00_FF00,
+    0xFFFF_0000_FFFF_0000,
+    0xFFFF_FFFF_0000_0000,
+];
+
+fn input_words(num_inputs: usize, round: usize, rng: &mut StdRng) -> Vec<u64> {
+    (0..num_inputs)
+        .map(|i| {
+            if round == 0 && i < WALSH.len() {
+                WALSH[i]
+            } else {
+                rng.next_u64()
+            }
+        })
+        .collect()
+}
+
+/// Renders lane `lane` of the input words as `a=0 b=1 …`.
+fn render_lane(names: &[String], words: &[u64], lane: u32) -> String {
+    names
+        .iter()
+        .zip(words)
+        .map(|(n, w)| format!("{n}={}", (w >> lane) & 1))
+        .collect::<Vec<_>>()
+        .join(" ")
+}
+
+/// Renders a witness cube (`1-0` over named inputs) as `a=1 c=0`.
+fn render_cube(names: &[String], cube: &Cube) -> String {
+    let bound: Vec<String> = names
+        .iter()
+        .zip(cube.lits())
+        .filter(|(_, &l)| l != Lit::DontCare)
+        .map(|(n, &l)| format!("{n}={}", if l == Lit::One { 1 } else { 0 }))
+        .collect();
+    if bound.is_empty() {
+        "any input".to_string()
+    } else {
+        bound.join(" ")
+    }
+}
+
+/// One output pair awaiting a verdict.
+struct Pair {
+    name: String,
+    impl_node: crate::network::NodeId,
+    spec_node: crate::network::NodeId,
+    refuted: Option<String>,
+}
+
+/// Splices `spec` into `impl_net` over shared primary inputs (matched
+/// by name) and returns the combined network plus the spec outputs'
+/// node ids in the combined id space.
+fn splice(
+    impl_net: &Network,
+    spec: &Network,
+) -> Result<(Network, Vec<(String, crate::network::NodeId)>), VerifyError> {
+    let mut combined = impl_net.clone();
+    // Spec inputs must be exactly the impl inputs (any order).
+    let mut missing: Vec<&str> = Vec::new();
+    let mut input_map = Vec::with_capacity(spec.input_names().len());
+    for name in spec.input_names() {
+        match impl_net.input_names().iter().position(|n| n == name) {
+            Some(i) => input_map.push(i),
+            None => missing.push(name),
+        }
+    }
+    if !missing.is_empty() {
+        return Err(VerifyError::InputMismatch {
+            detail: format!("spec inputs not in impl: {}", missing.join(", ")),
+        });
+    }
+    if let Some(extra) = impl_net
+        .input_names()
+        .iter()
+        .find(|n| !spec.input_names().contains(n))
+    {
+        return Err(VerifyError::InputMismatch {
+            detail: format!("impl input `{extra}` not in spec"),
+        });
+    }
+    let spec_outputs = combined.splice_nodes(spec, &input_map)?;
+    Ok((combined, spec_outputs))
+}
+
+/// Checks two completely specified networks for functional equivalence,
+/// output by output. Outputs are paired by name; both sides must expose
+/// the same output and input name sets.
+///
+/// # Errors
+///
+/// [`VerifyError::InputMismatch`] when the interfaces disagree,
+/// [`VerifyError::TooLarge`] when exact flattening exceeds the cube
+/// cap. An *inequivalence* is not an error: it comes back in
+/// [`Report::mismatches`].
+pub fn check_equivalence_traced(
+    impl_net: &Network,
+    spec_net: &Network,
+    options: &Options,
+    tracer: &Tracer,
+) -> Result<Report, VerifyError> {
+    let (mut combined, spec_outputs) = splice(impl_net, spec_net)?;
+
+    // Pair outputs by name.
+    let mut pairs: Vec<Pair> = Vec::new();
+    for (name, spec_node) in &spec_outputs {
+        let impl_node = combined
+            .outputs()
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|&(_, id)| id)
+            .ok_or_else(|| VerifyError::InputMismatch {
+                detail: format!("spec output `{name}` has no impl counterpart"),
+            })?;
+        pairs.push(Pair {
+            name: name.clone(),
+            impl_node,
+            spec_node: *spec_node,
+            refuted: None,
+        });
+    }
+    if let Some((extra, _)) = impl_net
+        .outputs()
+        .iter()
+        .find(|(n, _)| !spec_outputs.iter().any(|(s, _)| s == n))
+    {
+        return Err(VerifyError::InputMismatch {
+            detail: format!("impl output `{extra}` has no spec counterpart"),
+        });
+    }
+    for (_, node) in &spec_outputs {
+        combined.mark_output("", *node); // keep spec nodes live through strash
+    }
+
+    let strash_merged = {
+        let mut s = span!(tracer, "verify.strash");
+        let merged = combined.strash();
+        s.attr("merged", merged as u64);
+        merged
+    };
+    // Re-read node ids after strash remapping: outputs were appended in
+    // pair order after the impl outputs.
+    let impl_out_count = impl_net.outputs().len();
+    for (i, pair) in pairs.iter_mut().enumerate() {
+        pair.spec_node = combined.outputs()[impl_out_count + i].1;
+        pair.impl_node = combined
+            .outputs()
+            .iter()
+            .find(|(n, _)| n == &pair.name)
+            .map(|&(_, id)| id)
+            .expect("impl output survives strash");
+    }
+
+    // Tier 2: simulation-guided partition refinement.
+    let mut rng = StdRng::seed_from_u64(options.seed);
+    let names: Vec<String> = combined.input_names().to_vec();
+    let mut classes: Vec<u32> = vec![0; combined.len()];
+    let mut class_count = 1usize;
+    let mut rounds = 0usize;
+    let mut refuted = 0usize;
+    {
+        let mut s = span!(tracer, "verify.sim");
+        for round in 0..options.sim_rounds {
+            rounds = round + 1;
+            let words = input_words(names.len(), round, &mut rng);
+            let values = combined.eval64(&words);
+            for pair in pairs.iter_mut().filter(|p| p.refuted.is_none()) {
+                let a = values[pair.impl_node.index()];
+                let b = values[pair.spec_node.index()];
+                if a != b {
+                    let lane = (a ^ b).trailing_zeros();
+                    pair.refuted = Some(format!(
+                        "output `{}`: impl={} spec={} under {}",
+                        pair.name,
+                        (a >> lane) & 1,
+                        (b >> lane) & 1,
+                        render_lane(&names, &words, lane)
+                    ));
+                    refuted += 1;
+                }
+            }
+            // Refine the candidate partition: nodes stay together only
+            // while their signatures agree.
+            let mut next: std::collections::HashMap<(u32, u64), u32> =
+                std::collections::HashMap::new();
+            let mut changed = false;
+            for (i, &v) in values.iter().enumerate() {
+                let len = next.len() as u32;
+                let class = *next.entry((classes[i], v)).or_insert(len);
+                if class != classes[i] {
+                    changed = true;
+                }
+                classes[i] = class;
+            }
+            class_count = next.len();
+            if !changed && round > 0 {
+                break; // partition stable: more vectors refine nothing
+            }
+        }
+        s.attr("rounds", rounds as u64);
+        s.attr("classes", class_count as u64);
+    }
+    tracer.add("verify.sim_refuted", refuted as u64);
+
+    // Tier 3: exact decision for the surviving candidates.
+    let mut exact_decided = 0usize;
+    let mut mismatches: Vec<String> = pairs.iter().filter_map(|p| p.refuted.clone()).collect();
+    let undecided: Vec<&Pair> = pairs
+        .iter()
+        .filter(|p| p.refuted.is_none() && p.impl_node != p.spec_node)
+        .collect();
+    if !undecided.is_empty() {
+        let mut s = span!(tracer, "verify.exact");
+        let phases = combined.flatten_phases(options.cube_cap)?;
+        for pair in undecided {
+            exact_decided += 1;
+            let (on_a, off_a) = &phases[pair.impl_node.index()];
+            let (on_b, off_b) = &phases[pair.spec_node.index()];
+            if on_a.equivalent(on_b) {
+                continue;
+            }
+            // Build a witness: a cube where exactly one side is ON.
+            let witness = intersect_covers(on_a, off_b)
+                .cubes()
+                .first()
+                .cloned()
+                .or_else(|| intersect_covers(off_a, on_b).cubes().first().cloned());
+            let place = witness
+                .map(|c| render_cube(&names, &c))
+                .unwrap_or_else(|| "unknown input".to_string());
+            mismatches.push(format!(
+                "output `{}`: impl and spec differ (e.g. under {place})",
+                pair.name
+            ));
+        }
+        s.attr("decided", exact_decided as u64);
+    }
+
+    mismatches.sort();
+    finish_report(
+        tracer,
+        Report {
+            equivalent: mismatches.is_empty(),
+            outputs: pairs.len(),
+            strash_merged,
+            sim_rounds: rounds,
+            sim_refuted: refuted,
+            exact_decided,
+            mismatches,
+        },
+    )
+}
+
+/// Checks an implementation network against a [`TruthTable`]
+/// specification with don't-cares: for every output, the implementation
+/// must sit between ON ∖ DC and ON ∪ DC. A minterm listed both ON and
+/// DC counts as a don't-care — the same convention `minimize` uses (its
+/// IRREDUNDANT step may drop any cube inside the DC set). A fully
+/// specified table (no `-` outputs) degenerates to plain equivalence.
+///
+/// # Errors
+///
+/// As [`check_equivalence_traced`]; the table's input/output names must
+/// match the network's.
+pub fn check_against_table_traced(
+    impl_net: &Network,
+    table: &TruthTable,
+    options: &Options,
+    tracer: &Tracer,
+) -> Result<Report, VerifyError> {
+    if impl_net.input_names() != table.input_names() {
+        return Err(VerifyError::InputMismatch {
+            detail: format!(
+                "impl inputs [{}] do not match table inputs [{}]",
+                impl_net.input_names().join(", "),
+                table.input_names().join(", ")
+            ),
+        });
+    }
+    let mut spec: Vec<(String, Cover, Cover)> = Vec::new(); // (name, on, dc)
+    for (o, name) in table.output_names().iter().enumerate() {
+        if !impl_net.outputs().iter().any(|(n, _)| n == name) {
+            return Err(VerifyError::InputMismatch {
+                detail: format!("table output `{name}` has no impl counterpart"),
+            });
+        }
+        let on = table.on_cover(o).map_err(VerifyError::Logic)?;
+        let dc = table.dc_cover(o).map_err(VerifyError::Logic)?;
+        spec.push((name.clone(), on, dc));
+    }
+    if let Some((extra, _)) = impl_net
+        .outputs()
+        .iter()
+        .find(|(n, _)| !table.output_names().contains(n))
+    {
+        return Err(VerifyError::InputMismatch {
+            detail: format!("impl output `{extra}` has no table counterpart"),
+        });
+    }
+
+    let mut combined = impl_net.clone();
+    let strash_merged = {
+        let mut s = span!(tracer, "verify.strash");
+        let merged = combined.strash();
+        s.attr("merged", merged as u64);
+        merged
+    };
+
+    // Tier 2: word-parallel refutation against the table's covers.
+    let mut rng = StdRng::seed_from_u64(options.seed);
+    let names: Vec<String> = combined.input_names().to_vec();
+    let mut refuted_by: Vec<Option<String>> = vec![None; spec.len()];
+    let mut rounds = 0usize;
+    let mut refuted = 0usize;
+    {
+        let mut s = span!(tracer, "verify.sim");
+        for round in 0..options.sim_rounds {
+            rounds = round + 1;
+            let words = input_words(names.len(), round, &mut rng);
+            let values = combined.eval64(&words);
+            for (i, (name, on, dc)) in spec.iter().enumerate() {
+                if refuted_by[i].is_some() {
+                    continue;
+                }
+                let node = combined
+                    .outputs()
+                    .iter()
+                    .find(|(n, _)| n == name)
+                    .map(|&(_, id)| id)
+                    .expect("validated above");
+                let impl_w = values[node.index()];
+                let on_w = eval_cover64(on, &words);
+                let dc_w = eval_cover64(dc, &words);
+                // Wrong when the spec demands ON (outside DC) and the
+                // impl is low, or the impl is high outside ON ∪ DC.
+                let bad = (on_w & !dc_w & !impl_w) | (impl_w & !(on_w | dc_w));
+                if bad != 0 {
+                    let lane = bad.trailing_zeros();
+                    refuted_by[i] = Some(format!(
+                        "output `{name}`: impl={} spec={} under {}",
+                        (impl_w >> lane) & 1,
+                        (on_w >> lane) & 1,
+                        render_lane(&names, &words, lane)
+                    ));
+                    refuted += 1;
+                }
+            }
+            if refuted_by.iter().all(|r| r.is_some()) {
+                break;
+            }
+        }
+        s.attr("rounds", rounds as u64);
+    }
+    tracer.add("verify.sim_refuted", refuted as u64);
+
+    // Tier 3: exact containment for outputs simulation could not refute.
+    let mut exact_decided = 0usize;
+    let mut mismatches: Vec<String> = refuted_by.iter().flatten().cloned().collect();
+    if refuted_by.iter().any(|r| r.is_none()) {
+        let mut s = span!(tracer, "verify.exact");
+        let phases = combined.flatten_phases(options.cube_cap)?;
+        for (i, (name, on, dc)) in spec.iter().enumerate() {
+            if refuted_by[i].is_some() {
+                continue;
+            }
+            exact_decided += 1;
+            let node = combined
+                .outputs()
+                .iter()
+                .find(|(n, _)| n == name)
+                .map(|&(_, id)| id)
+                .expect("validated above");
+            let (impl_on, impl_off) = &phases[node.index()];
+            let required = intersect_covers(on, &complement(dc));
+            if !impl_on.covers(&required) {
+                let witness = intersect_covers(&required, impl_off)
+                    .cubes()
+                    .first()
+                    .cloned();
+                let place = witness
+                    .map(|c| render_cube(&names, &c))
+                    .unwrap_or_else(|| "unknown input".to_string());
+                mismatches.push(format!(
+                    "output `{name}`: impl drops required ON-set (e.g. under {place})"
+                ));
+                continue;
+            }
+            let mut allowed = on.clone();
+            for cube in dc.cubes() {
+                allowed.push(cube.clone()).map_err(VerifyError::Logic)?;
+            }
+            if !allowed.covers(impl_on) {
+                let witness = intersect_covers(impl_on, &complement(&allowed))
+                    .cubes()
+                    .first()
+                    .cloned();
+                let place = witness
+                    .map(|c| render_cube(&names, &c))
+                    .unwrap_or_else(|| "unknown input".to_string());
+                mismatches.push(format!(
+                    "output `{name}`: impl asserts outside ON \u{222a} DC (e.g. under {place})"
+                ));
+            }
+        }
+        s.attr("decided", exact_decided as u64);
+    }
+
+    mismatches.sort();
+    finish_report(
+        tracer,
+        Report {
+            equivalent: mismatches.is_empty(),
+            outputs: spec.len(),
+            strash_merged,
+            sim_rounds: rounds,
+            sim_refuted: refuted,
+            exact_decided,
+            mismatches,
+        },
+    )
+}
+
+fn finish_report(tracer: &Tracer, report: Report) -> Result<Report, VerifyError> {
+    tracer.add("verify.outputs", report.outputs as u64);
+    tracer.add("verify.strash_merged", report.strash_merged as u64);
+    tracer.add("verify.exact_decided", report.exact_decided as u64);
+    tracer.add("verify.mismatches", report.mismatches.len() as u64);
+    Ok(report)
+}
+
+/// Evaluates a cover over 64 packed input vectors (same convention as
+/// [`Network::eval64`]).
+fn eval_cover64(cover: &Cover, words: &[u64]) -> u64 {
+    let mut sum = 0u64;
+    for cube in cover.cubes() {
+        let mut product = u64::MAX;
+        for (i, &lit) in cube.lits().iter().enumerate() {
+            product &= match lit {
+                Lit::One => words[i],
+                Lit::Zero => !words[i],
+                Lit::DontCare => u64::MAX,
+            };
+        }
+        sum |= product;
+    }
+    sum
+}
+
+/// Pairwise cube intersection of two covers (the AND of the functions).
+fn intersect_covers(a: &Cover, b: &Cover) -> Cover {
+    let n = a.num_inputs();
+    let cubes = a
+        .cubes()
+        .iter()
+        .flat_map(|x| b.cubes().iter().filter_map(move |y| x.intersect(y)))
+        .collect();
+    Cover::from_cubes(n, cubes).expect("widths agree")
+}
+
+fn complement(cover: &Cover) -> Cover {
+    crate::network::complement_cover(cover)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use silc_logic::TruthTable;
+
+    fn table_network(table: &TruthTable) -> Network {
+        let outputs: Vec<(String, Cover)> = table
+            .output_names()
+            .iter()
+            .enumerate()
+            .map(|(o, n)| (n.clone(), table.on_cover(o).unwrap()))
+            .collect();
+        Network::from_covers(table.input_names(), &outputs).unwrap()
+    }
+
+    #[test]
+    fn identical_tables_are_equivalent() {
+        let t =
+            TruthTable::parse_pla(".i 3\n.o 2\n.ilb a b c\n.ob f g\n1-0 10\n-11 01\n.e\n").unwrap();
+        let net = table_network(&t);
+        let r =
+            check_equivalence_traced(&net, &net.clone(), &Options::default(), &Tracer::disabled())
+                .unwrap();
+        assert!(r.equivalent, "{:?}", r.mismatches);
+        assert_eq!(r.outputs, 2);
+        // Identical cones collapse structurally.
+        assert!(r.strash_merged >= 2);
+    }
+
+    #[test]
+    fn single_cube_mutation_is_refuted() {
+        let spec =
+            TruthTable::parse_pla(".i 3\n.o 1\n.ilb a b c\n.ob f\n1-0 1\n011 1\n.e\n").unwrap();
+        let broken =
+            TruthTable::parse_pla(".i 3\n.o 1\n.ilb a b c\n.ob f\n1-0 1\n010 1\n.e\n").unwrap();
+        let r = check_equivalence_traced(
+            &table_network(&broken),
+            &table_network(&spec),
+            &Options::default(),
+            &Tracer::disabled(),
+        )
+        .unwrap();
+        assert!(!r.equivalent);
+        assert_eq!(r.mismatches.len(), 1);
+        assert!(
+            r.mismatches[0].contains("output `f`"),
+            "{}",
+            r.mismatches[0]
+        );
+    }
+
+    #[test]
+    fn dont_cares_permit_either_phase() {
+        // Spec: f is ON at 11, DC at 10, OFF elsewhere.
+        let spec = TruthTable::parse_pla(".i 2\n.o 1\n.ilb a b\n.ob f\n11 1\n10 -\n.e\n").unwrap();
+        // Impl 1: f = a·b (DC resolved low).
+        let low = Network::from_covers(
+            &["a".into(), "b".into()],
+            &[(
+                "f".into(),
+                Cover::from_cubes(2, vec![Cube::parse("11").unwrap()]).unwrap(),
+            )],
+        )
+        .unwrap();
+        // Impl 2: f = a (DC resolved high).
+        let high = Network::from_covers(
+            &["a".into(), "b".into()],
+            &[(
+                "f".into(),
+                Cover::from_cubes(2, vec![Cube::parse("1-").unwrap()]).unwrap(),
+            )],
+        )
+        .unwrap();
+        // Impl 3: f = a + b (asserts at 01, outside ON ∪ DC).
+        let wrong = Network::from_covers(
+            &["a".into(), "b".into()],
+            &[(
+                "f".into(),
+                Cover::from_cubes(
+                    2,
+                    vec![Cube::parse("1-").unwrap(), Cube::parse("-1").unwrap()],
+                )
+                .unwrap(),
+            )],
+        )
+        .unwrap();
+        let opts = Options::default();
+        let t = Tracer::disabled();
+        assert!(
+            check_against_table_traced(&low, &spec, &opts, &t)
+                .unwrap()
+                .equivalent
+        );
+        assert!(
+            check_against_table_traced(&high, &spec, &opts, &t)
+                .unwrap()
+                .equivalent
+        );
+        let r = check_against_table_traced(&wrong, &spec, &opts, &t).unwrap();
+        assert!(!r.equivalent);
+        assert!(r.mismatches[0].contains("f"), "{}", r.mismatches[0]);
+    }
+
+    #[test]
+    fn interface_mismatches_are_errors_not_verdicts() {
+        let a = Network::from_covers(
+            &["a".into()],
+            &[(
+                "f".into(),
+                Cover::from_cubes(1, vec![Cube::parse("1").unwrap()]).unwrap(),
+            )],
+        )
+        .unwrap();
+        let b = Network::from_covers(
+            &["b".into()],
+            &[(
+                "f".into(),
+                Cover::from_cubes(1, vec![Cube::parse("1").unwrap()]).unwrap(),
+            )],
+        )
+        .unwrap();
+        let err =
+            check_equivalence_traced(&a, &b, &Options::default(), &Tracer::disabled()).unwrap_err();
+        assert!(matches!(err, VerifyError::InputMismatch { .. }), "{err}");
+    }
+
+    #[test]
+    fn deep_networks_need_the_exact_tier() {
+        // A 8-input parity chain vs its flat two-level form: random
+        // simulation alone cannot *prove* these equal; the exact tier
+        // must close it. (It can of course refute a mutation.)
+        let n = 8usize;
+        let xor2 = Cover::from_cubes(
+            2,
+            vec![Cube::parse("10").unwrap(), Cube::parse("01").unwrap()],
+        )
+        .unwrap();
+        let mut chain = Network::new();
+        let inputs: Vec<_> = (0..n).map(|i| chain.add_input(format!("x{i}"))).collect();
+        let mut acc = inputs[0];
+        for &x in &inputs[1..] {
+            acc = chain.add_cone(vec![acc, x], xor2.clone(), false).unwrap();
+        }
+        chain.mark_output("p", acc);
+
+        let names: Vec<String> = (0..n).map(|i| format!("x{i}")).collect();
+        let flat_cover = Cover::from_minterms(
+            n,
+            &(0..(1u64 << n))
+                .filter(|m| m.count_ones() % 2 == 1)
+                .collect::<Vec<_>>(),
+        );
+        let flat = Network::from_covers(&names, &[("p".into(), flat_cover)]).unwrap();
+
+        let r = check_equivalence_traced(&chain, &flat, &Options::default(), &Tracer::disabled())
+            .unwrap();
+        assert!(r.equivalent, "{:?}", r.mismatches);
+        assert_eq!(r.exact_decided, 1);
+    }
+}

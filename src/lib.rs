@@ -16,8 +16,9 @@
 //!    experiment of the paper's reference \[6\]).
 //!
 //! Regular-block generators ([`pla`], [`mem`]), wiring management
-//! ([`route`]), full-chip gridded place-and-route ([`pnr`]), and a
-//! layout extractor ([`extract`]) complete the flow.
+//! ([`route`]), full-chip gridded place-and-route ([`pnr`]), a layout
+//! extractor ([`extract`]), and an equivalence checker ([`verify`])
+//! complete the flow.
 //!
 //! # Quickstart
 //!
@@ -57,3 +58,4 @@ pub use silc_rtl as rtl;
 pub use silc_serve as serve;
 pub use silc_synth as synth;
 pub use silc_trace as trace;
+pub use silc_verify as verify;

@@ -7,6 +7,7 @@
 //! silc synth   <machine.isl>                          compile it onto standard modules
 //! silc pla     <table.pla> [-o out.cif] [--raw]       espresso table -> minimized PLA -> CIF
 //! silc pnr     <design.sil> [-o out.cif] [--stack S]  place and route the extracted netlist
+//! silc verify  <file.pla|.isl|.sil> [--against FILE]  equivalence-check an artifact against its spec
 //! silc batch   <manifest> [--jobs N] [--shards N]     run many jobs against one shared cache
 //! silc serve   [--addr HOST:PORT] [--jobs N] [--shards N] compile server over newline-delimited JSON
 //! ```
@@ -25,8 +26,8 @@ use silc::drc::RuleSet;
 use silc::exec::SimEngine;
 use silc::incr::{
     cif_text, default_parallelism, drc_report, elaborate, flat_regions, parse_manifest,
-    pla_products, pnr_sil, run_batch, sim_results, synth_allocation, Engine, EngineConfig,
-    JobStats,
+    pla_products, pnr_sil, run_batch, sim_results, synth_allocation, verify_against, verify_isl,
+    verify_pla, verify_sil, Engine, EngineConfig, JobStats,
 };
 use silc::rtl::parse as parse_isl;
 use silc::serve::{install_sigint_handler, Server, ServerConfig};
@@ -40,6 +41,7 @@ fn main() -> ExitCode {
         Some("synth") => cmd_synth(&args[1..]),
         Some("pla") => cmd_pla(&args[1..]),
         Some("pnr") => cmd_pnr(&args[1..]),
+        Some("verify") => cmd_verify(&args[1..]),
         Some("batch") => cmd_batch(&args[1..]),
         Some("serve") => cmd_serve(&args[1..]),
         Some("--help") | Some("-h") | None => {
@@ -64,6 +66,7 @@ usage:
   silc synth   <machine.isl>
   silc pla     <table.pla> [-o out.cif] [--raw]
   silc pnr     <design.sil> [-o out.cif] [--stack NAME] [--jobs N]
+  silc verify  <file.pla|.isl|.sil> [--against FILE] [--stack NAME]
   silc batch   <manifest> [--jobs N] [--shards N] [--engine compiled|interp]
   silc serve   [--addr HOST:PORT] [--jobs N] [--shards N] [--engine compiled|interp]
 common flags:
@@ -77,6 +80,7 @@ struct Opts {
     input: String,
     output: Option<String>,
     stack: Option<String>,
+    against: Option<String>,
     no_drc: bool,
     raw: bool,
     cycles: u64,
@@ -116,6 +120,7 @@ fn parse_opts(cmd: &str, args: &[String]) -> Result<Opts, String> {
     let mut input = None;
     let mut output = None;
     let mut stack = None;
+    let mut against = None;
     let mut no_drc = false;
     let mut raw = false;
     let mut cycles = None;
@@ -168,7 +173,16 @@ fn parse_opts(cmd: &str, args: &[String]) -> Result<Opts, String> {
                     return Err(dup("--addr"));
                 }
             }
-            "--stack" if cmd == "pnr" => {
+            "--against" if cmd == "verify" => {
+                let value = it
+                    .next()
+                    .ok_or_else(|| "--against needs a file name".to_string())?
+                    .clone();
+                if against.replace(value).is_some() {
+                    return Err(dup("--against"));
+                }
+            }
+            "--stack" if matches!(cmd, "pnr" | "verify") => {
                 let value = it
                     .next()
                     .ok_or_else(|| {
@@ -253,8 +267,12 @@ fn parse_opts(cmd: &str, args: &[String]) -> Result<Opts, String> {
                         "`--jobs` is only valid for `silc batch`, `silc serve` and `silc pnr`, \
                          not `silc {cmd}`"
                     ),
-                    "--stack" => {
-                        format!("`--stack` is only valid for `silc pnr`, not `silc {cmd}`")
+                    "--stack" => format!(
+                        "`--stack` is only valid for `silc pnr` and `silc verify`, \
+                         not `silc {cmd}`"
+                    ),
+                    "--against" => {
+                        format!("`--against` is only valid for `silc verify`, not `silc {cmd}`")
                     }
                     "--shards" => format!(
                         "`--shards` is only valid for `silc batch` and `silc serve`, \
@@ -301,6 +319,7 @@ fn parse_opts(cmd: &str, args: &[String]) -> Result<Opts, String> {
         input,
         output,
         stack,
+        against,
         no_drc,
         raw,
         cycles: cycles.unwrap_or(10_000),
@@ -493,6 +512,61 @@ fn run_pnr(opts: &Opts, tracer: &Tracer) -> Result<(), String> {
         snap.ripup_rounds,
     );
     write_out(opts.output.as_deref(), &snap.cif)
+}
+
+fn cmd_verify(args: &[String]) -> Result<(), String> {
+    let opts = parse_opts("verify", args)?;
+    let tracer = opts.tracer();
+    let result = run_verify(&opts, &tracer);
+    emit_trace(&opts, &tracer).and(result)
+}
+
+fn run_verify(opts: &Opts, tracer: &Tracer) -> Result<(), String> {
+    let engine = opts.engine(tracer)?;
+    let mut stats = JobStats::default();
+    let source = read(&opts.input)?;
+    let ext = Path::new(&opts.input)
+        .extension()
+        .and_then(|e| e.to_str())
+        .unwrap_or("");
+    let snap = match (&opts.against, ext) {
+        (Some(spec_path), "pla") => {
+            let spec = read(spec_path)?;
+            verify_against(&engine, &source, &spec, &mut stats)?
+        }
+        (Some(_), _) => {
+            return Err(format!(
+                "`--against` checks one PLA table against another; got `{}`",
+                opts.input
+            ))
+        }
+        (None, "pla") => verify_pla(&engine, &source, &mut stats)?,
+        (None, "isl") => verify_isl(&engine, &source, &mut stats)?,
+        (None, "sil") => {
+            let stack = opts
+                .stack
+                .as_deref()
+                .unwrap_or(silc::pnr::RouteStack::KNOWN[0]);
+            verify_sil(&engine, &source, stack, &mut stats)?
+        }
+        (None, _) => {
+            return Err(format!(
+                "verify needs a `.pla`, `.isl` or `.sil` input, got `{}`",
+                opts.input
+            ))
+        }
+    };
+    eprintln!("{}", snap.summary());
+    for m in &snap.mismatches {
+        eprintln!("  {m}");
+    }
+    if !snap.equivalent {
+        return Err(format!(
+            "`{}` is NOT equivalent to its specification",
+            opts.input
+        ));
+    }
+    Ok(())
 }
 
 fn cmd_batch(args: &[String]) -> Result<(), String> {

@@ -646,6 +646,103 @@ fn shards_and_jobs_flags_are_validated() {
     assert!(out.status.success(), "{out:?}");
 }
 
+/// A PLA whose heuristic minimization `silc verify` re-checks, plus a
+/// mutated copy (one output bit flipped) that must be refuted.
+const VERIFY_PLA: &str = ".i 3\n.o 2\n.ilb a b c\n.ob x y\n11- 10\n1-1 10\n-11 01\n000 01\n";
+
+#[test]
+fn verify_passes_clean_pla_and_refutes_mutant() {
+    let clean = write_temp("verify-clean.pla", VERIFY_PLA);
+    let out = silc().arg("verify").arg(&clean).output().expect("runs");
+    assert!(out.status.success(), "{out:?}");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("equivalent"), "{stderr}");
+
+    let mutant = write_temp("verify-mutant.pla", &VERIFY_PLA.replace("-11 01", "-11 11"));
+    let out = silc()
+        .args([
+            "verify",
+            mutant.to_str().unwrap(),
+            "--against",
+            clean.to_str().unwrap(),
+        ])
+        .output()
+        .expect("runs");
+    assert!(!out.status.success(), "mutant must be refuted: {out:?}");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("NOT equivalent"), "{stderr}");
+    assert!(stderr.contains("output `x`"), "counterexample: {stderr}");
+}
+
+#[test]
+fn verify_flags_are_validated() {
+    let pla = write_temp("verify-flags.pla", VERIFY_PLA);
+    let path = pla.to_str().unwrap();
+    // `--against` belongs to `verify` only.
+    let out = silc()
+        .args(["pla", path, "--against", path])
+        .output()
+        .expect("runs");
+    assert!(!out.status.success());
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("--against"), "{stderr}");
+    assert!(stderr.contains("silc verify"), "{stderr}");
+    // Duplicates are rejected by name.
+    let out = silc()
+        .args(["verify", path, "--against", path, "--against", path])
+        .output()
+        .expect("runs");
+    assert!(!out.status.success());
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("duplicate"), "{stderr}");
+    assert!(stderr.contains("--against"), "{stderr}");
+    // `--against` only compares PLA tables.
+    let isl = write_temp(
+        "verify-flags.isl",
+        "machine m { reg n[8]; state s { n := n + 1; if n == 5 { halt; } } }",
+    );
+    let out = silc()
+        .args(["verify", isl.to_str().unwrap(), "--against", path])
+        .output()
+        .expect("runs");
+    assert!(!out.status.success());
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("--against"), "{stderr}");
+}
+
+#[test]
+fn warm_reverify_is_a_pure_cache_hit() {
+    let dir = temp_dir("warm-verify");
+    let pla = dir.join("d.pla");
+    std::fs::write(&pla, VERIFY_PLA).unwrap();
+    let cache = dir.join("cache");
+    let run = || {
+        silc()
+            .args([
+                "verify",
+                pla.to_str().unwrap(),
+                "--cache",
+                cache.to_str().unwrap(),
+                "--stats",
+            ])
+            .output()
+            .expect("runs")
+    };
+    let cold = run();
+    assert!(cold.status.success(), "{cold:?}");
+    let cold_err = String::from_utf8_lossy(&cold.stderr);
+    assert!(cold_err.contains("incr.miss"), "{cold_err}");
+    let warm = run();
+    assert!(warm.status.success(), "{warm:?}");
+    let stderr = String::from_utf8_lossy(&warm.stderr);
+    assert!(stderr.contains("incr.hit"), "{stderr}");
+    assert!(
+        !stderr.contains("incr.miss"),
+        "warm verify missed: {stderr}"
+    );
+    assert!(stderr.contains("equivalent"), "{stderr}");
+}
+
 #[test]
 fn unknown_command_fails_with_usage() {
     let out = silc().arg("bogus").output().expect("runs");

@@ -137,6 +137,48 @@ fn eight_concurrent_clients_match_the_cli_byte_for_byte() {
 }
 
 #[test]
+fn verify_op_answers_verdicts_and_reuses_the_cache() {
+    let (addr, handle) = start(ServerConfig::default());
+    let mut client = Client::connect(addr);
+    let table = ".i 2\n.o 1\n.ilb a b\n.ob y\n10 1\n01 1\n";
+
+    // A table verifies against its own minimized realization.
+    let reply = client.request(&format!(
+        r#"{{"op":"verify","lang":"pla","source":{}}}"#,
+        quoted(table)
+    ));
+    assert_eq!(reply.get("ok"), Some(&Json::Bool(true)), "{reply:?}");
+    assert_eq!(reply.get("equivalent"), Some(&Json::Bool(true)));
+    assert_eq!(reply.get("check").and_then(Json::as_str), Some("pla"));
+
+    // A mutated implementation against the golden table is refuted —
+    // still an ok response; the verdict is data, not an error.
+    let mutated = table.replace("01 1", "01 0");
+    let reply = client.request(&format!(
+        r#"{{"op":"verify","lang":"pla","source":{},"against":{}}}"#,
+        quoted(&mutated),
+        quoted(table)
+    ));
+    assert_eq!(reply.get("ok"), Some(&Json::Bool(true)), "{reply:?}");
+    assert_eq!(reply.get("equivalent"), Some(&Json::Bool(false)));
+    let mismatches = reply.get("mismatches").expect("mismatches");
+    assert!(
+        mismatches.to_string().contains('y'),
+        "counterexample names the output: {mismatches}"
+    );
+
+    // Repeating the first request is a pure Stage::VERIFY cache hit.
+    let reply = client.request(&format!(
+        r#"{{"op":"verify","lang":"pla","source":{}}}"#,
+        quoted(table)
+    ));
+    assert_eq!(reply.get("equivalent"), Some(&Json::Bool(true)));
+    assert_eq!(reply.get("cache_misses"), Some(&Json::Int(0)));
+    assert_eq!(reply.get("cache_hits"), Some(&Json::Int(1)));
+    handle.shutdown();
+}
+
+#[test]
 fn slow_request_times_out_without_stalling_other_clients() {
     let (addr, handle) = start(ServerConfig {
         jobs: 2,
